@@ -1,0 +1,49 @@
+"""Experiment BA1: batch evaluation with subquery memoization (future work 6).
+
+Workloads whose queries share subtrees (here: template queries derived
+from sampled records, plus the verbatim workload which repeats whole
+records) are evaluated individually vs through the
+:class:`~repro.core.batch.BatchEvaluator`.  Expected shape: batching wins
+roughly in proportion to the share of repeated subtrees and never loses
+more than the memo bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchEvaluator
+from repro.core.bottomup import bottomup_match_nodes
+
+SIZE = 2000
+DATASET = "zipf-wide"
+
+
+def _workload_with_sharing(records, repeat: int) -> list:
+    """Each sampled record query appears ``repeat`` times (templates)."""
+    base = [tree for _key, tree in records[:30]]
+    return base * repeat
+
+
+@pytest.mark.benchmark(group="batch-eval")
+@pytest.mark.parametrize("repeat", [1, 3], ids=["unique", "3x-shared"])
+@pytest.mark.parametrize("mode", ["individual", "batched"])
+def test_batch(benchmark, workloads, figure, repeat, mode):
+    workload = workloads.get(DATASET, SIZE, n_queries=10)
+    workload.index.set_cache("frequency")
+    ifile = workload.index.inverted_file
+    queries = _workload_with_sharing(workload.records, repeat)
+
+    if mode == "individual":
+        def run() -> int:
+            return sum(len(bottomup_match_nodes(query, ifile))
+                       for query in queries)
+    else:
+        def run() -> int:
+            evaluator = BatchEvaluator(ifile)
+            return sum(len(evaluator.match_nodes(query))
+                       for query in queries)
+
+    label = f"{mode}"
+    figure.record(benchmark, label, f"{repeat}x", run,
+                  queries=len(queries), dataset=f"{DATASET}@{SIZE}")

@@ -1,0 +1,47 @@
+"""Experiment B1: Bloom-filter pruning for the naive scan (Section 3.3).
+
+The hierarchical Bloom filters let the naive checker skip records whose
+filter comparison already refutes containment.  Expected shape: every
+filter beats the unfiltered scan on this half-negative workload; the
+depth (pair) filter prunes at least as well as the flat one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bloom import BloomIndex
+from repro.core.naive import NaiveScanner
+
+DATASET = "zipf-wide"
+SIZE = 1000
+N_QUERIES = 10
+
+_BLOOMS: dict[str, BloomIndex | None] = {}
+
+
+def _bloom_for(kind: str | None, records) -> BloomIndex | None:
+    if kind is None:
+        return None
+    if kind not in _BLOOMS:
+        _BLOOMS[kind] = BloomIndex.build(records, kind=kind)
+    return _BLOOMS[kind]
+
+
+@pytest.mark.benchmark(group="bloom-prefilter")
+@pytest.mark.parametrize("kind", [None, "flat", "breadth", "depth"],
+                         ids=["no-filter", "flat", "breadth", "depth"])
+def test_bloom_prefilter(benchmark, workloads, figure, kind):
+    workload = workloads.get(DATASET, SIZE, n_queries=N_QUERIES)
+    bloom = _bloom_for(kind, workload.records)
+    scanner = NaiveScanner(workload.records, bloom_index=bloom)
+
+    def run() -> int:
+        total = 0
+        for bench in workload.queries:
+            total += len(scanner.query(bench.query))
+        return total
+
+    label = kind if kind else "no-filter"
+    figure.record(benchmark, "naive-scan", label, run, rounds=3,
+                  queries=N_QUERIES, dataset=f"{DATASET}@{SIZE}")

@@ -1,0 +1,46 @@
+"""Experiment A1: the O(|q| * |S|) worst-case bound (Section 3 analysis).
+
+Two sweeps on uniform wide data: (1) fixed query workload, growing |S|;
+(2) fixed |S|, query workloads bucketed by query size |q|.  Expected
+shape: per-query time grows at most linearly along either axis (in
+practice sub-linearly in |S| -- posting lists, not the whole database,
+are touched).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_query_runner
+from repro.data.queries import make_benchmark_queries
+
+DATASET = "uniform-wide"
+
+
+@pytest.mark.benchmark(group="complexity-db-size")
+@pytest.mark.parametrize("size", [1000, 2000, 4000, 8000])
+@pytest.mark.parametrize("algorithm", ["topdown", "bottomup"])
+def test_scale_with_database(benchmark, workloads, figure, size, algorithm):
+    workload = workloads.get(DATASET, size, n_queries=40)
+    workload.index.set_cache(None)
+    runner = make_query_runner(workload.index, workload.queries, algorithm)
+    figure.record(benchmark, f"{algorithm}-vs-|S|", size, runner,
+                  queries=40, dataset=DATASET)
+
+
+@pytest.mark.benchmark(group="complexity-query-size")
+@pytest.mark.parametrize("bucket", [0, 1, 2], ids=["small", "medium", "large"])
+@pytest.mark.parametrize("algorithm", ["topdown", "bottomup"])
+def test_scale_with_query_size(benchmark, workloads, figure, bucket,
+                               algorithm):
+    workload = workloads.get(DATASET, 4000, n_queries=40)
+    workload.index.set_cache(None)
+    # Bucket the sampled queries by |q| (total node count) into terciles.
+    ranked = sorted(make_benchmark_queries(workload.records, 90, seed=1),
+                    key=lambda b: b.query.size)
+    third = len(ranked) // 3
+    chunk = ranked[bucket * third:(bucket + 1) * third]
+    mean_q = sum(b.query.size for b in chunk) / len(chunk)
+    runner = make_query_runner(workload.index, chunk, algorithm)
+    figure.record(benchmark, f"{algorithm}-vs-|q|", round(mean_q, 1),
+                  runner, queries=len(chunk), dataset=DATASET)

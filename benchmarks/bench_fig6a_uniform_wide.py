@@ -1,0 +1,21 @@
+"""Experiment 1 (Fig 6a): uniform wide synthetic, increasing DB size.
+
+Paper shape: see DESIGN.md experiment F6a and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_common import figure_params, run_figure_case
+
+DATASET = "uniform-wide"
+SIZES = [1000,2000,4000,8000]
+N_QUERIES = 50
+
+
+@pytest.mark.benchmark(group="fig6a-uniform-wide")
+@figure_params(SIZES)
+def test_fig6a(benchmark, workloads, figure, size, algorithm, policy):
+    run_figure_case(workloads, figure, benchmark, DATASET, size,
+                    algorithm, policy, n_queries=N_QUERIES)

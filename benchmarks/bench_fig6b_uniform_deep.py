@@ -1,0 +1,21 @@
+"""Experiment 1 (Fig 6b): uniform deep synthetic, increasing DB size.
+
+Paper shape: see DESIGN.md experiment F6b and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_common import figure_params, run_figure_case
+
+DATASET = "uniform-deep"
+SIZES = [250,500,1000]
+N_QUERIES = 20
+
+
+@pytest.mark.benchmark(group="fig6b-uniform-deep")
+@figure_params(SIZES)
+def test_fig6b(benchmark, workloads, figure, size, algorithm, policy):
+    run_figure_case(workloads, figure, benchmark, DATASET, size,
+                    algorithm, policy, n_queries=N_QUERIES)

@@ -1,0 +1,21 @@
+"""Experiment 2 (Fig 6c): skewed (theta=0.7) wide synthetic, increasing DB size.
+
+Paper shape: see DESIGN.md experiment F6c and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_common import figure_params, run_figure_case
+
+DATASET = "zipf-wide"
+SIZES = [1000,2000,4000,8000]
+N_QUERIES = 50
+
+
+@pytest.mark.benchmark(group="fig6c-zipf-wide")
+@figure_params(SIZES)
+def test_fig6c(benchmark, workloads, figure, size, algorithm, policy):
+    run_figure_case(workloads, figure, benchmark, DATASET, size,
+                    algorithm, policy, n_queries=N_QUERIES)

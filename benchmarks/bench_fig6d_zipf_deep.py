@@ -1,0 +1,21 @@
+"""Experiment 2 (Fig 6d): skewed (theta=0.7) deep synthetic, increasing DB size.
+
+Paper shape: see DESIGN.md experiment F6d and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_common import figure_params, run_figure_case
+
+DATASET = "zipf-deep"
+SIZES = [250,500,1000]
+N_QUERIES = 20
+
+
+@pytest.mark.benchmark(group="fig6d-zipf-deep")
+@figure_params(SIZES)
+def test_fig6d(benchmark, workloads, figure, size, algorithm, policy):
+    run_figure_case(workloads, figure, benchmark, DATASET, size,
+                    algorithm, policy, n_queries=N_QUERIES)

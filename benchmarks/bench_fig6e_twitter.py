@@ -1,0 +1,21 @@
+"""Experiment 3 (Fig 6e): Twitter collection, increasing DB size.
+
+Paper shape: see DESIGN.md experiment F6e and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_common import figure_params, run_figure_case
+
+DATASET = "twitter"
+SIZES = [500,1000,2000,4000]
+N_QUERIES = 30
+
+
+@pytest.mark.benchmark(group="fig6e-twitter")
+@figure_params(SIZES)
+def test_fig6e(benchmark, workloads, figure, size, algorithm, policy):
+    run_figure_case(workloads, figure, benchmark, DATASET, size,
+                    algorithm, policy, n_queries=N_QUERIES)

@@ -1,0 +1,21 @@
+"""Experiment 3 (Fig 6f): DBLP collection, increasing DB size.
+
+Paper shape: see DESIGN.md experiment F6f and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_common import figure_params, run_figure_case
+
+DATASET = "dblp"
+SIZES = [500,1000,2000,4000]
+N_QUERIES = 30
+
+
+@pytest.mark.benchmark(group="fig6f-dblp")
+@figure_params(SIZES)
+def test_fig6f(benchmark, workloads, figure, size, algorithm, policy):
+    run_figure_case(workloads, figure, benchmark, DATASET, size,
+                    algorithm, policy, n_queries=N_QUERIES)

@@ -1,0 +1,35 @@
+"""Experiment X1: the set-based join extensions (Section 4.1).
+
+Runs the same sampled workload under the subset (Equation 2), equality,
+superset, and epsilon-overlap joins on both algorithms.  Expected shape:
+equality is cheapest (leaf-count filtering shrinks candidates), subset
+close to it, superset and overlap cost more (multiset-union candidate
+generation touches every atom's list).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_query_runner
+
+DATASET = "zipf-wide"
+SIZE = 2000
+N_QUERIES = 30
+
+JOINS = [("subset", 1), ("equality", 1), ("superset", 1),
+         ("overlap", 1), ("overlap", 2)]
+JOIN_IDS = ["subset", "equality", "superset", "overlap-e1", "overlap-e2"]
+
+
+@pytest.mark.benchmark(group="join-types")
+@pytest.mark.parametrize("join,epsilon", JOINS, ids=JOIN_IDS)
+@pytest.mark.parametrize("algorithm", ["topdown", "bottomup"])
+def test_join_types(benchmark, workloads, figure, join, epsilon, algorithm):
+    workload = workloads.get(DATASET, SIZE, n_queries=N_QUERIES)
+    workload.index.set_cache("frequency")
+    runner = make_query_runner(workload.index, workload.queries, algorithm,
+                               join=join, epsilon=epsilon)
+    join_id = join if join != "overlap" else f"overlap-e{epsilon}"
+    figure.record(benchmark, algorithm, join_id, runner,
+                  queries=N_QUERIES, dataset=f"{DATASET}@{SIZE}")

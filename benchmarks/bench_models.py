@@ -1,0 +1,87 @@
+"""Experiment M1: the data-model zoo under query load (future work 2).
+
+Costs of containment at the three abstraction levels over the same
+collection: plain set queries on the index, and bag / sequence queries
+answered by filter-verify through the set index versus a naive scan.
+Expected shape: the set index absorbs most of the richer models' cost --
+filter-verify stays within a small factor of plain set queries and far
+below the naive scans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import generate_dataset
+from repro.core.bags import NestedBag, bag_filter_verify, bag_reference_query
+from repro.core.engine import NestedSetIndex
+from repro.core.seqs import NestedSeq, seq_filter_verify, seq_reference_query
+
+SIZE = 1000
+DATASET = "zipf-wide"
+N_QUERIES = 20
+
+_STATE = None
+
+
+def _state():
+    global _STATE
+    if _STATE is None:
+        records = list(generate_dataset(DATASET, SIZE, seed=0))
+        # Bag/seq views of the same data (sets are already deduped, so
+        # multiplicities are 1 -- the *costs* are what this measures).
+        bags = {key: NestedBag.from_obj(tree) for key, tree in records}
+        seqs = {key: NestedSeq.from_obj(_linearize(tree))
+                for key, tree in records}
+        index = NestedSetIndex.build(records, cache="frequency")
+        queries = [tree for _key, tree in records[:N_QUERIES]]
+        _STATE = (records, bags, seqs, index, queries)
+    return _STATE
+
+
+def _linearize(tree):
+    members = sorted(tree.atoms, key=str)
+    members += [_linearize(c) for c in
+                sorted(tree.children, key=lambda c: c.to_text())]
+    return members
+
+
+@pytest.mark.benchmark(group="data-models")
+@pytest.mark.parametrize("mode", [
+    "set-index", "bag-filter-verify", "bag-naive",
+    "seq-filter-verify", "seq-naive",
+])
+def test_models(benchmark, figure, mode):
+    records, bags, seqs, index, queries = _state()
+
+    if mode == "set-index":
+        def run() -> int:
+            return sum(len(index.query(query)) for query in queries)
+    elif mode == "bag-filter-verify":
+        bag_queries = [NestedBag.from_obj(q) for q in queries]
+
+        def run() -> int:
+            return sum(len(bag_filter_verify(index, bags, query))
+                       for query in bag_queries)
+    elif mode == "bag-naive":
+        bag_queries = [NestedBag.from_obj(q) for q in queries]
+
+        def run() -> int:
+            return sum(len(bag_reference_query(bags.items(), query))
+                       for query in bag_queries)
+    elif mode == "seq-filter-verify":
+        seq_queries = [NestedSeq.from_obj(_linearize(q)) for q in queries]
+
+        def run() -> int:
+            return sum(len(seq_filter_verify(index, seqs, query))
+                       for query in seq_queries)
+    else:
+        seq_queries = [NestedSeq.from_obj(_linearize(q)) for q in queries]
+
+        def run() -> int:
+            return sum(len(seq_reference_query(seqs.items(), query))
+                       for query in seq_queries)
+
+    rounds = 3 if "naive" in mode else 5
+    figure.record(benchmark, "containment", mode, run, rounds=rounds,
+                  queries=N_QUERIES, dataset=f"{DATASET}@{SIZE}")

@@ -1,0 +1,30 @@
+"""Experiment N1: naive per-record scan vs the index algorithms.
+
+Section 3, remark (1): applying an off-the-shelf subtree homomorphism
+check to every (q, s) pair "would be substantially more expensive than
+processing S in bulk".  Expected shape: naive is orders of magnitude
+slower than either inverted-file algorithm, and the gap widens with
+database size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_query_runner
+
+DATASET = "zipf-wide"
+SIZES = [500, 2000]
+N_QUERIES = 10
+
+
+@pytest.mark.benchmark(group="naive-baseline")
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("algorithm", ["naive", "topdown", "bottomup"])
+def test_naive_vs_index(benchmark, workloads, figure, size, algorithm):
+    workload = workloads.get(DATASET, size, n_queries=N_QUERIES)
+    workload.index.set_cache(None)
+    runner = make_query_runner(workload.index, workload.queries, algorithm)
+    rounds = 3 if algorithm == "naive" else 5
+    figure.record(benchmark, algorithm, size, runner, rounds=rounds,
+                  queries=N_QUERIES, dataset=DATASET)

@@ -1,0 +1,56 @@
+"""Experiment P1: evaluation-order planning ablation (future work 1/5).
+
+The strict top-down algorithm prunes later siblings by the survivors of
+earlier ones, so sibling order matters when a query has several internal
+children of very different selectivity.  Two workloads:
+
+* the paper's sampled-record workload (few siblings -- ordering barely
+  matters; kept as the control), and
+* wide conjunctive *branching* queries (an atom-free root over ``branch``
+  record-sampled subtrees -- the planning regime).
+
+Expected shape: on branching queries ``selective-first`` < ``text`` <
+``bulky-first``; on the sampled workload all three coincide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import Planner
+from repro.core.topdown import topdown_match_nodes
+from repro.data.queries import make_branching_queries
+
+SIZE = 4000
+THETA = 0.9
+DATASET = "zipf-wide"
+
+
+def _run_workload(queries, ifile, order) -> int:
+    total = 0
+    for query in queries:
+        total += len(topdown_match_nodes(query, ifile, child_order=order))
+    return total
+
+
+@pytest.mark.benchmark(group="planner")
+@pytest.mark.parametrize("workload_kind", ["sampled", "branching"])
+@pytest.mark.parametrize("strategy",
+                         ["selective-first", "text", "bulky-first"])
+def test_planner(benchmark, workloads, figure, workload_kind, strategy):
+    workload = workloads.get(DATASET, SIZE, n_queries=40, theta=THETA)
+    workload.index.set_cache("frequency")
+    ifile = workload.index.inverted_file
+    planner = Planner(workload.index.collection_stats(), strategy)
+    order = planner.as_child_order()
+    if workload_kind == "sampled":
+        queries = [bench.query for bench in workload.queries]
+    else:
+        queries = make_branching_queries(workload.records, 40, seed=1,
+                                         branch=4)
+
+    def run() -> int:
+        return _run_workload(queries, ifile, order)
+
+    figure.record(benchmark, workload_kind, strategy, run,
+                  queries=len(queries), dataset=f"{DATASET}@{SIZE}")

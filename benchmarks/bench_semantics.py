@@ -1,0 +1,30 @@
+"""Experiment X2: alternate embedding semantics (Section 4.2).
+
+The same workload evaluated under homomorphic, isomorphic, and
+homeomorphic containment.  Expected shape: hom is the baseline; iso pays
+for per-node injective matching; homeo pays for interval-based descendant
+joins (the paper argues the homeo adaptation "does not introduce any
+additional complexity" -- constant-factor overhead only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_query_runner
+
+DATASET = "zipf-wide"
+SIZE = 2000
+N_QUERIES = 30
+
+
+@pytest.mark.benchmark(group="semantics")
+@pytest.mark.parametrize("semantics", ["hom", "iso", "homeo"])
+@pytest.mark.parametrize("algorithm", ["topdown", "bottomup"])
+def test_semantics(benchmark, workloads, figure, semantics, algorithm):
+    workload = workloads.get(DATASET, SIZE, n_queries=N_QUERIES)
+    workload.index.set_cache("frequency")
+    runner = make_query_runner(workload.index, workload.queries, algorithm,
+                               semantics=semantics)
+    figure.record(benchmark, algorithm, semantics, runner,
+                  queries=N_QUERIES, dataset=f"{DATASET}@{SIZE}")

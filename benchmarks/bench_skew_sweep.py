@@ -1,0 +1,34 @@
+"""Experiment S1: effect of the Zipf skew factor theta (Section 5.1).
+
+The paper generates skewed data with theta in {0.5, 0.7, 0.9} (the body
+reports theta=0.7; the full version carries the rest).  Expected shape:
+query cost grows with theta -- hotter atoms mean longer posting lists --
+and the caching win grows with it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_query_runner
+
+DATASET = "zipf-wide"
+SIZE = 4000
+N_QUERIES = 40
+THETAS = [0.5, 0.7, 0.9]
+
+
+@pytest.mark.benchmark(group="skew-sweep")
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("algorithm,policy", [
+    ("topdown", None), ("topdown", "frequency"),
+    ("bottomup", None), ("bottomup", "frequency"),
+], ids=["topdown", "topdown+cache", "bottomup", "bottomup+cache"])
+def test_skew(benchmark, workloads, figure, theta, algorithm, policy):
+    workload = workloads.get(DATASET, SIZE, n_queries=N_QUERIES,
+                             theta=theta)
+    workload.index.set_cache(policy)
+    runner = make_query_runner(workload.index, workload.queries, algorithm)
+    label = algorithm + ("+cache" if policy else "")
+    figure.record(benchmark, label, theta, runner,
+                  queries=N_QUERIES, dataset=f"{DATASET}@{SIZE}")

@@ -1,0 +1,72 @@
+"""Experiment U1: incremental maintenance throughput.
+
+Measures single-record insert cost against full rebuild cost (the offline
+alternative the paper uses), tombstone-delete cost, and query cost on an
+index carrying tombstones vs after compaction.  Expected shape: an insert
+costs orders of magnitude less than a rebuild; deletes are near-free;
+tombstones add only mild query overhead that compaction removes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench.workloads import generate_dataset, make_query_runner
+from repro.core.engine import NestedSetIndex
+from repro.data.queries import make_benchmark_queries
+
+SIZE = 2000
+DATASET = "zipf-wide"
+
+_FRESH = itertools.count()
+
+
+@pytest.mark.benchmark(group="updates-write")
+@pytest.mark.parametrize("operation", ["insert", "delete", "rebuild"])
+def test_write_path(benchmark, figure, operation):
+    records = list(generate_dataset(DATASET, SIZE, seed=0))
+    index = NestedSetIndex.build(records)
+    extra = list(generate_dataset(DATASET, 400, seed=99))
+
+    if operation == "insert":
+        source = iter(extra)
+
+        def run() -> None:
+            _key, tree = next(source)
+            index.insert(f"fresh{next(_FRESH)}", tree)
+
+        rounds = 50
+    elif operation == "delete":
+        victims = iter([key for key, _tree in records])
+
+        def run() -> None:
+            index.delete(next(victims))
+
+        rounds = 50
+    else:
+        def run() -> None:
+            NestedSetIndex.build(records).close()
+
+        rounds = 3
+    figure.record(benchmark, "write-op", operation, run, rounds=rounds,
+                  dataset=f"{DATASET}@{SIZE}")
+
+
+@pytest.mark.benchmark(group="updates-read")
+@pytest.mark.parametrize("state", ["clean", "tombstoned", "compacted"])
+def test_query_with_tombstones(benchmark, figure, state):
+    records = list(generate_dataset(DATASET, SIZE, seed=0))
+    index = NestedSetIndex.build(records)
+    queries = make_benchmark_queries(records, 30, seed=0)
+    if state in ("tombstoned", "compacted"):
+        for key, _tree in records[:SIZE // 4]:
+            index.delete(key)
+    if state == "compacted":
+        index.compact()
+    live = {key for _o, key, _r, _t in index.inverted_file.iter_records()}
+    queries = [b for b in queries if b.source_key in live or not b.positive]
+    runner = make_query_runner(index, queries, "topdown")
+    figure.record(benchmark, "query", state, runner, rounds=5,
+                  queries=len(queries), dataset=f"{DATASET}@{SIZE}")

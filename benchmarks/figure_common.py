@@ -1,0 +1,58 @@
+"""Shared driver for the Figure 6 family of benchmarks (Experiments 1-3).
+
+Each figure plots the elapsed time for the benchmark query workload
+against database size, with four series: top-down and bottom-up, each
+with and without the inverted-list cache (Section 3.3, budget 250).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    WorkloadCache,
+    make_query_runner,
+    run_benchmark_queries,
+)
+
+#: The four series of every Figure 6 plot: (algorithm, cache policy).
+SERIES = [
+    ("topdown", None),
+    ("topdown", "frequency"),
+    ("bottomup", None),
+    ("bottomup", "frequency"),
+]
+
+SERIES_IDS = ["topdown", "topdown+cache", "bottomup", "bottomup+cache"]
+
+
+def series_label(algorithm: str, policy: str | None) -> str:
+    return algorithm + ("+cache" if policy else "")
+
+
+def run_figure_case(workloads: WorkloadCache, figure, benchmark,
+                    dataset: str, size: int, algorithm: str,
+                    policy: str | None, *, n_queries: int,
+                    theta: float = 0.7, seed: int = 0) -> None:
+    """One (size, series) cell of a Figure 6 plot."""
+    workload = workloads.get(dataset, size, n_queries=n_queries,
+                             seed=seed, theta=theta)
+    workload.index.set_cache(policy)
+    if algorithm == "topdown" and policy is None:
+        # Validate the protocol invariants once per (dataset, size):
+        # positives hit their source record, negatives return nothing.
+        run_benchmark_queries(workload.index, workload.queries,
+                              algorithm, check=True)
+    runner = make_query_runner(workload.index, workload.queries, algorithm)
+    figure.record(benchmark, series_label(algorithm, policy), size, runner,
+                  queries=n_queries, dataset=dataset)
+
+
+def figure_params(sizes: list[int]):
+    """Decorator stack shared by the six figure modules."""
+    def wrap(fn):
+        fn = pytest.mark.parametrize(
+            "algorithm,policy", SERIES, ids=SERIES_IDS)(fn)
+        fn = pytest.mark.parametrize("size", sizes)(fn)
+        return fn
+    return wrap

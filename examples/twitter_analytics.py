@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Twitter analytics: JSON containment queries a la Postgres ``jsonb @>``.
+
+Mirrors the paper's first real-data experiment: a skewed stream of nested
+JSON tweets is mapped into nested sets and indexed; JSON *fragments* then
+work directly as containment queries -- "find documents containing this
+sub-document".  Also demonstrates the caching optimization on skewed
+data (the paper reports a ~100x improvement on this collection).
+
+Run:  python examples/twitter_analytics.py
+"""
+
+import time
+
+from repro import NestedSetIndex
+from repro.bench.protocol import measure
+from repro.data.json_adapter import json_query
+from repro.data.queries import make_benchmark_queries
+from repro.data.twitter import generate_tweets
+
+
+def main() -> None:
+    print("Generating 8,000 synthetic tweets about a pop idol...")
+    records = list(generate_tweets(8_000, seed=42))
+    index = NestedSetIndex.build(records)
+    print(f"Indexed {index.n_records} tweets, {index.n_nodes} nodes, "
+          f"{len(index.inverted_file.frequencies())} distinct atoms\n")
+
+    # -- JSON fragments as queries ------------------------------------------
+    def ask(question: str, fragment: dict) -> None:
+        query = json_query(fragment)
+        start = time.perf_counter()
+        result = index.query(query)
+        elapsed = (time.perf_counter() - start) * 1000
+        print(f"{question}\n  fragment {fragment}"
+              f"\n  -> {len(result)} tweets in {elapsed:.2f} ms\n")
+
+    ask("Verified users tweeting in English?",
+        {"lang": "en", "user": {"verified": True}})
+
+    ask("Tweets by the most active user mentioning 'bieber'?",
+        {"text_tokens": ["bieber"], "user": {"screen_name": "user0"}})
+
+    ask("Tweets with a #justin hashtag linking to youtu.be?",
+        {"entities": {"hashtags": [{"text": "justin"}],
+                      "urls": [{"display_url": "youtu.be"}]}})
+
+    ask("Mega-followers (1m class) retweeted posts?",
+        {"retweeted": True, "user": {"followers_class": "1m"}})
+
+    # -- the caching experiment on skewed data --------------------------------
+    # The paper's protocol: 100 queries sampled from the collection (half
+    # distorted into negatives), timed with and without the budget-250
+    # frequency cache.  Sampled tweets carry the Zipf-hot atoms (idol
+    # terms, popular users, en/es language tags), so the cache keeps their
+    # long posting lists decoded in memory.
+    workload = make_benchmark_queries(records, 100, seed=1)
+
+    def run_workload() -> int:
+        return sum(len(index.query(bench.query)) for bench in workload)
+
+    index.set_cache(None)
+    uncached = measure(run_workload, repeats=5).millis
+    index.set_cache("frequency")          # the paper's budget-250 cache
+    run_workload()                        # warm the hot lists
+    cached = measure(run_workload, repeats=5).millis
+    print(f"100-query workload, no cache:        {uncached:8.1f} ms")
+    print(f"100-query workload, frequency cache: {cached:8.1f} ms")
+    print(f"Speedup from caching:                {uncached / cached:8.1f}x")
+    print("(The paper reports ~100x on its Twitter crawl with a disk-"
+          "resident store; the skew-driven effect is the same.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Print EXPERIMENTS.md-ready markdown tables from bench_results/*.json.
+
+Helper for keeping EXPERIMENTS.md in sync with the latest recorded run:
+run the benchmarks, then run this script and paste the tables it prints
+into the matching sections.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+
+def load(name: str) -> list[dict]:
+    path = os.path.join("bench_results", f"{name}.json")
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def pivot(rows: list[dict]) -> tuple[list, list, dict]:
+    xs: list = []
+    series: list[str] = []
+    for row in rows:
+        if row["x"] not in xs:
+            xs.append(row["x"])
+        if row["series"] not in series:
+            series.append(row["series"])
+    values = {(row["series"], row["x"]): row["millis"] for row in rows}
+    return xs, series, values
+
+
+def table(name: str, x_label: str = "size") -> str:
+    xs, series, values = pivot(load(name))
+    header = f"| {x_label} | " + " | ".join(series) + " |"
+    rule = "|" + "---|" * (len(series) + 1)
+    lines = [f"### {name}", header, rule]
+    for x in xs:
+        cells = []
+        for s in series:
+            value = values.get((s, x))
+            cells.append(f"{value:.1f}" if value is not None else "-")
+        lines.append(f"| {x} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    names = sys.argv[1:]
+    if not names:
+        names = sorted(os.path.splitext(fn)[0]
+                       for fn in os.listdir("bench_results")
+                       if fn.endswith(".json"))
+    for name in names:
+        print(table(name))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Benchmark harness: the paper's measurement protocol and workloads."""
+
+from .compare import (
+    Delta,
+    compare_dirs,
+    format_report,
+    improvements,
+    regressions,
+)
+from .figures import (
+    bar_chart,
+    render_results_dir,
+    render_results_file,
+    render_rows,
+    scatter_plot,
+)
+from .protocol import PAPER_REPEATS, SeriesPoint, Timing, measure, trimmed_mean
+from .reporting import (
+    RESULTS_DIR,
+    format_figure,
+    format_table,
+    save_points,
+    speedup,
+)
+from .workloads import (
+    DATASETS,
+    Workload,
+    WorkloadCache,
+    generate_dataset,
+    make_query_runner,
+    run_benchmark_queries,
+)
+
+__all__ = [
+    "DATASETS",
+    "Delta",
+    "PAPER_REPEATS",
+    "RESULTS_DIR",
+    "SeriesPoint",
+    "Timing",
+    "Workload",
+    "WorkloadCache",
+    "bar_chart",
+    "compare_dirs",
+    "format_figure",
+    "format_report",
+    "improvements",
+    "regressions",
+    "format_table",
+    "generate_dataset",
+    "make_query_runner",
+    "measure",
+    "render_results_dir",
+    "render_results_file",
+    "render_rows",
+    "scatter_plot",
+    "run_benchmark_queries",
+    "save_points",
+    "speedup",
+    "trimmed_mean",
+]

@@ -1,0 +1,123 @@
+"""Comparing two benchmark runs: regression and speedup detection.
+
+Every ``pytest benchmarks/`` run refreshes ``bench_results/``; archiving
+that directory before a change and comparing after answers "did my
+change make anything slower?" without eyeballing charts::
+
+    cp -r bench_results baseline
+    pytest benchmarks/ --benchmark-only
+    python -m repro.bench.compare baseline bench_results
+
+Rows are matched on ``(experiment, series, x)``; the report lists the
+ratio per row and flags changes beyond a noise threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable
+
+from .reporting import format_table
+
+#: Ratio beyond which a row counts as a change (benchmarks are noisy).
+DEFAULT_THRESHOLD = 1.25
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One matched row across the two runs."""
+
+    experiment: str
+    series: str
+    x: object
+    before_ms: float
+    after_ms: float
+
+    @property
+    def ratio(self) -> float:
+        """after / before: > 1 slower, < 1 faster."""
+        if self.before_ms <= 0:
+            return float("inf")
+        return self.after_ms / self.before_ms
+
+
+def _load_rows(directory: str) -> dict[tuple, float]:
+    rows: dict[tuple, float] = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        experiment = name[:-5]
+        with open(os.path.join(directory, name)) as handle:
+            for row in json.load(handle):
+                key = (experiment, row["series"], str(row["x"]))
+                rows[key] = float(row["millis"])
+    return rows
+
+
+def compare_dirs(before_dir: str, after_dir: str) -> list[Delta]:
+    """Match rows across two result directories (unmatched rows dropped)."""
+    before = _load_rows(before_dir)
+    after = _load_rows(after_dir)
+    deltas = []
+    for key in sorted(before.keys() & after.keys()):
+        experiment, series, x = key
+        deltas.append(Delta(experiment, series, x,
+                            before[key], after[key]))
+    return deltas
+
+
+def regressions(deltas: Iterable[Delta],
+                threshold: float = DEFAULT_THRESHOLD) -> list[Delta]:
+    """Rows slower than ``threshold`` times the baseline."""
+    return [delta for delta in deltas if delta.ratio > threshold]
+
+
+def improvements(deltas: Iterable[Delta],
+                 threshold: float = DEFAULT_THRESHOLD) -> list[Delta]:
+    """Rows faster than ``1/threshold`` times the baseline."""
+    return [delta for delta in deltas if delta.ratio < 1.0 / threshold]
+
+
+def format_report(deltas: list[Delta],
+                  threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human-readable comparison: changed rows first, then a summary."""
+    if not deltas:
+        return "(no matching rows between the two runs)"
+    changed = [delta for delta in deltas
+               if delta.ratio > threshold or delta.ratio < 1.0 / threshold]
+    lines = []
+    if changed:
+        rows = [[delta.experiment, delta.series, str(delta.x),
+                 delta.before_ms, delta.after_ms,
+                 f"{delta.ratio:.2f}x"] for delta
+                in sorted(changed, key=lambda d: -d.ratio)]
+        lines.append(format_table(
+            ["experiment", "series", "x", "before(ms)", "after(ms)",
+             "ratio"], rows))
+    else:
+        lines.append(f"no changes beyond {threshold:.2f}x")
+    slower = len(regressions(deltas, threshold))
+    faster = len(improvements(deltas, threshold))
+    lines.append(f"\n{len(deltas)} rows compared: {slower} slower, "
+                 f"{faster} faster (threshold {threshold:.2f}x)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        description="compare two bench_results directories")
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD)
+    args = parser.parse_args(argv)
+    deltas = compare_dirs(args.before, args.after)
+    print(format_report(deltas, args.threshold))
+    return 1 if regressions(deltas, args.threshold) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

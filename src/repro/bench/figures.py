@@ -1,0 +1,148 @@
+"""Terminal rendering of experiment results: scatter plots and bar charts.
+
+The paper presents Figures 6a-6f as line plots of query time against
+database size.  ``pytest benchmarks/`` saves every experiment's raw rows
+under ``bench_results/``; this module turns those rows back into figures
+a terminal can show (``nestcontain report``), so the reproduction can be
+eyeballed against the paper without any plotting dependency.
+
+Numeric x-axes render as scatter plots (one marker per series, linear or
+log y); categorical x-axes (join type, cache policy, storage engine)
+render as grouped horizontal bar charts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def _is_numeric_axis(rows: Sequence[dict]) -> bool:
+    return all(isinstance(row["x"], (int, float)) for row in rows)
+
+
+def _series_order(rows: Sequence[dict]) -> list[str]:
+    order: list[str] = []
+    for row in rows:
+        if row["series"] not in order:
+            order.append(row["series"])
+    return order
+
+
+def scatter_plot(rows: Sequence[dict], *, width: int = 64,
+                 height: int = 16, log_y: bool = False,
+                 y_label: str = "ms") -> str:
+    """Scatter plot of ``millis`` against a numeric ``x`` per series."""
+    if not rows:
+        return "(no data)"
+    xs = [float(row["x"]) for row in rows]
+    ys = [float(row["millis"]) for row in rows]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y:
+        if y_lo <= 0:
+            raise ValueError("log scale needs positive values")
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    series = _series_order(rows)
+    for row in rows:
+        marker = _MARKERS[series.index(row["series"]) % len(_MARKERS)]
+        x_val = float(row["x"])
+        y_val = float(row["millis"])
+        if log_y:
+            y_val = math.log10(y_val)
+        col = round((x_val - x_lo) / x_span * (width - 1))
+        line = round((y_val - y_lo) / y_span * (height - 1))
+        grid[height - 1 - line][col] = marker
+    top = f"{(10 ** y_hi if log_y else y_hi):.6g}"
+    bottom = f"{(10 ** y_lo if log_y else y_lo):.6g}"
+    gutter = max(len(top), len(bottom), len(y_label)) + 1
+    lines = []
+    for line_no, cells in enumerate(grid):
+        if line_no == 0:
+            label = top
+        elif line_no == height - 1:
+            label = bottom
+        elif line_no == height // 2:
+            label = y_label + (" (log)" if log_y else "")
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(cells))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_left = f"{x_lo:.6g}"
+    x_right = f"{x_hi:.6g}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (gutter + 2) + x_left + " " * max(pad, 1) + x_right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series))
+    lines.append(f"{'':>{gutter}}  {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(rows: Sequence[dict], *, width: int = 48) -> str:
+    """Grouped horizontal bars of ``millis`` for a categorical x-axis."""
+    if not rows:
+        return "(no data)"
+    peak = max(float(row["millis"]) for row in rows) or 1.0
+    categories: list[str] = []
+    for row in rows:
+        label = str(row["x"])
+        if label not in categories:
+            categories.append(label)
+    series = _series_order(rows)
+    by_key = {(row["series"], str(row["x"])): float(row["millis"])
+              for row in rows}
+    label_width = max(len(c) for c in categories)
+    series_width = max(len(s) for s in series)
+    lines = []
+    for category in categories:
+        for index, name in enumerate(series):
+            value = by_key.get((name, category))
+            if value is None:
+                continue
+            bar = "#" * max(1, round(value / peak * width))
+            category_cell = category if index == 0 else ""
+            lines.append(f"{category_cell:>{label_width}}  "
+                         f"{name:<{series_width}}  "
+                         f"{bar} {value:.3g} ms")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_rows(rows: Sequence[dict], title: str = "", *,
+                log_y: bool = False) -> str:
+    """Pick the right chart for the rows' x-axis type."""
+    if _is_numeric_axis(rows):
+        ys = [float(row["millis"]) for row in rows]
+        spread = (max(ys) / max(min(ys), 1e-9)) if ys else 1.0
+        body = scatter_plot(rows, log_y=log_y or spread > 50)
+    else:
+        body = bar_chart(rows)
+    return f"{title}\n{body}" if title else body
+
+
+def render_results_file(path: str, *, log_y: bool = False) -> str:
+    """Render one saved experiment (a bench_results JSON file)."""
+    with open(path) as handle:
+        rows = json.load(handle)
+    name = os.path.splitext(os.path.basename(path))[0]
+    return render_rows(rows, title=f"== {name} ==", log_y=log_y)
+
+
+def render_results_dir(directory: str, *, log_y: bool = False) -> str:
+    """Render every experiment saved under ``directory``."""
+    names = sorted(name for name in os.listdir(directory)
+                   if name.endswith(".json"))
+    if not names:
+        return f"(no results under {directory})"
+    parts = [render_results_file(os.path.join(directory, name),
+                                 log_y=log_y)
+             for name in names]
+    return "\n\n".join(parts)

@@ -1,0 +1,91 @@
+"""The paper's measurement protocol (Section 5.2).
+
+"Unless stated otherwise, the unit of performance measurement in our
+experiments is the elapsed time of sequentially executing all 100
+benchmark queries.  For each measurement, we repeat this ten times,
+exclude the minimum and maximum timings, and report the average of the
+middle eight executions."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+#: The paper's repeat count.
+PAPER_REPEATS = 10
+
+
+def trimmed_mean(times: Sequence[float]) -> float:
+    """Drop one minimum and one maximum, average the rest.
+
+    With fewer than three samples there is nothing sensible to trim, so
+    the plain mean is returned.
+    """
+    if not times:
+        raise ValueError("trimmed_mean of no samples")
+    if len(times) < 3:
+        return sum(times) / len(times)
+    ordered = sorted(times)
+    middle = ordered[1:-1]
+    return sum(middle) / len(middle)
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Result of one measurement: repeated elapsed times plus summaries."""
+
+    times: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """The paper's middle-eight (trimmed) mean, in seconds."""
+        return trimmed_mean(self.times)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.times)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.times)
+
+    @property
+    def millis(self) -> float:
+        """Trimmed mean in milliseconds (the paper's plotted unit)."""
+        return self.mean * 1000.0
+
+
+def measure(run: Callable[[], object],
+            repeats: int = PAPER_REPEATS) -> Timing:
+    """Time ``run()`` ``repeats`` times with a monotonic clock."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        times.append(time.perf_counter() - start)
+    return Timing(tuple(times))
+
+
+@dataclass
+class SeriesPoint:
+    """One plotted point: series label, x value, timing, extras."""
+
+    series: str
+    x: float
+    timing: Timing
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "series": self.series,
+            "x": self.x,
+            "millis": round(self.timing.millis, 3),
+            "min_ms": round(self.timing.minimum * 1000.0, 3),
+            "max_ms": round(self.timing.maximum * 1000.0, 3),
+        }
+        row.update(self.extra)
+        return row

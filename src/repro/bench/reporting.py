@@ -1,0 +1,95 @@
+"""Reporting helpers: paper-style figure/table output plus JSON capture.
+
+Every benchmark prints the series the corresponding paper figure plots
+(x = database size, y = trimmed-mean milliseconds for the 100-query
+workload, one line per algorithm × cache configuration) and appends the
+raw rows to ``bench_results/<experiment>.json`` so EXPERIMENTS.md can be
+refreshed from actual runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from .protocol import SeriesPoint
+
+#: Where raw benchmark rows are appended (relative to the repo root / cwd).
+RESULTS_DIR = "bench_results"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Plain monospace table with right-aligned numeric columns."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index])
+                  for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_figure(title: str, points: Sequence[SeriesPoint],
+                  x_label: str = "database size",
+                  y_label: str = "avg 100-query time (ms)") -> str:
+    """Render one paper figure as a series × x table."""
+    xs = sorted({point.x for point in points})
+    series_names = []
+    for point in points:
+        if point.series not in series_names:
+            series_names.append(point.series)
+    by_key = {(point.series, point.x): point for point in points}
+    headers = [f"{x_label}"] + series_names
+    rows = []
+    for x in xs:
+        row: list[object] = [_format_x(x)]
+        for name in series_names:
+            point = by_key.get((name, x))
+            row.append(round(point.timing.millis, 3) if point else "-")
+        rows.append(row)
+    body = format_table(headers, rows)
+    return f"{title}\n{y_label}\n{body}"
+
+
+def _format_x(x: object) -> str:
+    if not isinstance(x, (int, float)):
+        return str(x)  # categorical axis (join type, policy, engine, ...)
+    if float(x).is_integer():
+        value = int(x)
+        if value >= 1000 and value % 1000 == 0:
+            return f"{value // 1000}K"
+        return str(value)
+    return f"{x:g}"
+
+
+def save_points(experiment: str, points: Sequence[SeriesPoint],
+                directory: str = RESULTS_DIR) -> str:
+    """Write the raw rows of one experiment to a JSON file; returns path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{experiment}.json")
+    payload = [point.as_row() for point in points]
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def speedup(baseline_ms: float, improved_ms: float) -> float:
+    """Factor by which ``improved`` beats ``baseline`` (>1 = faster)."""
+    if improved_ms <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline_ms / improved_ms

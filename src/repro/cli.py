@@ -1,0 +1,343 @@
+"""Command-line interface: generate, index, query, inspect, benchmark.
+
+::
+
+    nestcontain generate --dataset zipf-wide --size 10000 -o data.nsets
+    nestcontain index data.nsets --storage diskhash -o data.idx
+    nestcontain query data.idx "{USA, {UK, {A, motorbike}}}" --algorithm topdown
+    nestcontain info data.idx
+    nestcontain bench --dataset twitter --sizes 1000,2000 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from .bench.protocol import measure
+from .bench.reporting import format_figure
+from .bench.protocol import SeriesPoint
+from .bench.workloads import (
+    DATASETS,
+    WorkloadCache,
+    generate_dataset,
+    make_query_runner,
+)
+from .core.engine import ALGORITHMS, NestedSetIndex
+from .core.matchspec import JOINS, MODES, SEMANTICS
+from .data.io import load_collection_file, save_collection_file
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    records = generate_dataset(args.dataset, args.size, seed=args.seed,
+                               theta=args.theta)
+    count = save_collection_file(records, args.output)
+    print(f"wrote {count} records of {args.dataset} to {args.output}")
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from .data.ingest import (
+        DBLP_RECORD_TAGS,
+        load_jsonl_file,
+        load_xml_file,
+    )
+    if args.format == "jsonl":
+        records = load_jsonl_file(args.source,
+                                  skip_invalid=args.skip_invalid)
+    else:
+        tags = set(args.tags.split(",")) if args.tags \
+            else set(DBLP_RECORD_TAGS)
+        records = load_xml_file(args.source, tags)
+    count = save_collection_file(records, args.output)
+    print(f"imported {count} records from {args.source} "
+          f"({args.format}) to {args.output}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    records = load_collection_file(args.collection)
+    start = time.perf_counter()
+    index = NestedSetIndex.build(records, storage=args.storage,
+                                 path=args.output)
+    elapsed = time.perf_counter() - start
+    print(f"indexed {index.n_records} records / {index.n_nodes} nodes "
+          f"in {elapsed:.2f}s ({args.storage} -> {args.output})")
+    index.close()
+    return 0
+
+
+def _open_index(args: argparse.Namespace) -> NestedSetIndex:
+    return NestedSetIndex.open(args.storage, args.index, cache=args.cache)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = _open_index(args)
+    try:
+        start = time.perf_counter()
+        result = index.query(args.query, algorithm=args.algorithm,
+                             semantics=args.semantics, join=args.join,
+                             epsilon=args.epsilon, mode=args.mode)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        for key in result:
+            print(key)
+        print(f"-- {len(result)} records in {elapsed:.3f} ms "
+              f"({args.algorithm}/{args.semantics}/{args.join})",
+              file=sys.stderr)
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core.matchspec import QuerySpec
+    from .core.trace import explain
+    index = _open_index(args)
+    try:
+        spec = QuerySpec(semantics=args.semantics, join=args.join,
+                         epsilon=args.epsilon, mode=args.mode)
+        result = explain(args.query, index.inverted_file, spec)
+        print(result.render())
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_similar(args: argparse.Namespace) -> int:
+    from .core.similarity import top_k_similar
+    index = _open_index(args)
+    try:
+        hits = top_k_similar(index.inverted_file, args.query, k=args.k,
+                             candidate_limit=args.candidates)
+        for key, score in hits:
+            print(f"{score:.4f}  {key}")
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .core.checker import check_index
+    index = _open_index(args)
+    try:
+        problems = check_index(index.inverted_file,
+                               max_atoms=args.max_atoms)
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}")
+            print(f"-- {len(problems)} problem(s) found", file=sys.stderr)
+            return 1
+        print(f"index healthy: {index.n_records} records, "
+              f"{index.n_nodes} nodes")
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    index = _open_index(args)
+    try:
+        print(f"records:        {index.n_records}")
+        print(f"internal nodes: {index.n_nodes}")
+        frequencies = index.inverted_file.frequencies()
+        print(f"distinct atoms: {len(frequencies)}")
+        print("hottest atoms:")
+        for atom, df in frequencies[:args.top]:
+            print(f"  {atom!r}: {df}")
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    from .core.join import containment_join
+    from .core.matchspec import QuerySpec
+    index = _open_index(args)
+    try:
+        queries = load_collection_file(args.queries)
+        spec = QuerySpec(semantics=args.semantics, join=args.join,
+                         epsilon=args.epsilon, mode=args.mode)
+        result = containment_join(index, queries,
+                                  strategy=args.strategy, spec=spec)
+        for qkey, skey in result.pairs:
+            print(f"{qkey}\t{skey}")
+        print(f"-- {result.n_pairs} pairs from {result.n_queries} "
+              f"queries in {result.elapsed_seconds * 1000:.1f} ms "
+              f"({result.strategy})", file=sys.stderr)
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench.figures import render_results_dir, render_results_file
+    if args.experiment:
+        path = os.path.join(args.dir, f"{args.experiment}.json")
+        print(render_results_file(path, log_y=args.log))
+    else:
+        print(render_results_dir(args.dir, log_y=args.log))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    sizes = [int(token) for token in args.sizes.split(",")]
+    cache_workloads = WorkloadCache()
+    points: list[SeriesPoint] = []
+    try:
+        for size in sizes:
+            workload = cache_workloads.get(args.dataset, size,
+                                           n_queries=args.queries,
+                                           seed=args.seed)
+            for algorithm in args.algorithms.split(","):
+                for policy in (None, "frequency"):
+                    workload.index.set_cache(policy)
+                    runner = make_query_runner(workload.index,
+                                               workload.queries, algorithm)
+                    timing = measure(runner, repeats=args.repeats)
+                    label = algorithm + ("+cache" if policy else "")
+                    points.append(SeriesPoint(label, size, timing))
+        print(format_figure(f"{args.dataset}: {args.queries} queries, "
+                            f"repeats={args.repeats}", points))
+    finally:
+        cache_workloads.clear()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nestcontain",
+        description="Containment queries on nested sets "
+                    "(Ibrahim & Fletcher, EDBT 2013 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic collection")
+    gen.add_argument("--dataset", choices=DATASETS, default="uniform-wide")
+    gen.add_argument("--size", type=int, default=10000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--theta", type=float, default=0.7,
+                     help="Zipf skew for the zipf-* datasets")
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    imp = sub.add_parser("import",
+                         help="import a JSONL or XML dump as a collection")
+    imp.add_argument("source")
+    imp.add_argument("--format", choices=("jsonl", "xml"),
+                     default="jsonl")
+    imp.add_argument("--tags", default=None,
+                     help="comma-separated XML record tags "
+                          "(default: the DBLP record tags)")
+    imp.add_argument("--skip-invalid", action="store_true")
+    imp.add_argument("-o", "--output", required=True)
+    imp.set_defaults(func=_cmd_import)
+
+    idx = sub.add_parser("index", help="build a disk index from a collection")
+    idx.add_argument("collection")
+    idx.add_argument("--storage", choices=("diskhash", "btree"),
+                     default="diskhash")
+    idx.add_argument("-o", "--output", required=True)
+    idx.set_defaults(func=_cmd_index)
+
+    query = sub.add_parser("query", help="run one containment query")
+    query.add_argument("index")
+    query.add_argument("query", help="nested set text, e.g. '{a, {b}}'")
+    query.add_argument("--storage", choices=("diskhash", "btree"),
+                       default="diskhash")
+    query.add_argument("--algorithm", choices=ALGORITHMS, default="bottomup")
+    query.add_argument("--semantics", choices=SEMANTICS, default="hom")
+    query.add_argument("--join", choices=JOINS, default="subset")
+    query.add_argument("--epsilon", type=int, default=1)
+    query.add_argument("--mode", choices=MODES, default="root")
+    query.add_argument("--cache", choices=("none", "frequency", "lru"),
+                       default="none")
+    query.set_defaults(func=_cmd_query)
+
+    exp = sub.add_parser("explain",
+                         help="trace a query's top-down evaluation")
+    exp.add_argument("index")
+    exp.add_argument("query")
+    exp.add_argument("--storage", choices=("diskhash", "btree"),
+                     default="diskhash")
+    exp.add_argument("--semantics", choices=SEMANTICS, default="hom")
+    exp.add_argument("--join", choices=JOINS, default="subset")
+    exp.add_argument("--epsilon", type=int, default=1)
+    exp.add_argument("--mode", choices=MODES, default="root")
+    exp.add_argument("--cache", default="none")
+    exp.set_defaults(func=_cmd_explain)
+
+    sim = sub.add_parser("similar",
+                         help="top-k nested-Jaccard similarity search")
+    sim.add_argument("index")
+    sim.add_argument("query")
+    sim.add_argument("--storage", choices=("diskhash", "btree"),
+                     default="diskhash")
+    sim.add_argument("-k", type=int, default=10)
+    sim.add_argument("--candidates", type=int, default=2000)
+    sim.add_argument("--cache", default="none")
+    sim.set_defaults(func=_cmd_similar)
+
+    chk = sub.add_parser("check", help="audit an index's integrity")
+    chk.add_argument("index")
+    chk.add_argument("--storage", choices=("diskhash", "btree"),
+                     default="diskhash")
+    chk.add_argument("--max-atoms", type=int, default=None,
+                     help="audit only the N hottest atoms' lists")
+    chk.add_argument("--cache", default="none")
+    chk.set_defaults(func=_cmd_check)
+
+    info = sub.add_parser("info", help="inspect an index")
+    info.add_argument("index")
+    info.add_argument("--storage", choices=("diskhash", "btree"),
+                      default="diskhash")
+    info.add_argument("--cache", default="none")
+    info.add_argument("--top", type=int, default=10)
+    info.set_defaults(func=_cmd_info)
+
+    join = sub.add_parser(
+        "join", help="full containment join: queries file x index")
+    join.add_argument("index")
+    join.add_argument("queries", help="collection file of query sets")
+    join.add_argument("--storage", choices=("diskhash", "btree"),
+                      default="diskhash")
+    join.add_argument("--strategy",
+                      choices=("per-query", "batched", "naive"),
+                      default="per-query")
+    join.add_argument("--semantics", choices=SEMANTICS, default="hom")
+    join.add_argument("--join", choices=JOINS, default="subset")
+    join.add_argument("--epsilon", type=int, default=1)
+    join.add_argument("--mode", choices=MODES, default="root")
+    join.add_argument("--cache", default="frequency")
+    join.set_defaults(func=_cmd_join)
+
+    rep = sub.add_parser("report",
+                         help="render saved benchmark results as charts")
+    rep.add_argument("--dir", default="bench_results")
+    rep.add_argument("--experiment", default=None,
+                     help="one experiment name (e.g. fig6e_twitter)")
+    rep.add_argument("--log", action="store_true",
+                     help="log-scale the y axis")
+    rep.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser("bench", help="run a figure-style experiment")
+    bench.add_argument("--dataset", choices=DATASETS, default="uniform-wide")
+    bench.add_argument("--sizes", default="1000,2000,4000")
+    bench.add_argument("--queries", type=int, default=100)
+    bench.add_argument("--repeats", type=int, default=5)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--algorithms", default="topdown,bottomup")
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``nestcontain`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Core library: the paper's contribution.
+
+Data model, inverted file, the two containment algorithms, caching, Bloom
+prefilters, and the join/semantics extension matrix.
+"""
+
+from .bags import (
+    NestedBag,
+    bag_contains,
+    bag_equal,
+    bag_filter_verify,
+    bag_reference_query,
+    json_to_nested_bag,
+)
+from .batch import BatchEvaluator, batch_query
+from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
+from .bloom import BloomFilter, BloomIndex, BreadthBloom, DepthBloom
+from .bottomup import bottomup_match_nodes, bottomup_query
+from .cache import (
+    PAPER_BUDGET,
+    FrequencyCache,
+    ListCache,
+    LRUCache,
+    NoCache,
+    make_cache,
+)
+from .candidates import node_candidates
+from .checker import assert_healthy, check_index
+from .engine import ALGORITHMS, NestedSetIndex, as_nested_set
+from .invfile import InvertedFile, InvertedFileError, NodeMeta, QueryStats
+from .join import JoinResult, containment_join, self_join
+from .matchspec import JOINS, MODES, SEMANTICS, QuerySpec, QuerySpecError
+from .model import (
+    EXAMPLE_QUERY,
+    EXAMPLE_SUE,
+    EXAMPLE_TIM,
+    Atom,
+    NestedSet,
+    NestedSetError,
+)
+from .naive import (
+    NaiveScanner,
+    naive_containment_join,
+    naive_predicate,
+    reference_query,
+)
+from .planner import STRATEGIES, Planner, make_planner
+from .resultcache import ResultCache
+from .segments import DEFAULT_SEGMENT_SIZE
+from .seqs import (
+    NestedSeq,
+    json_to_nested_seq,
+    seq_contains,
+    seq_filter_verify,
+    seq_reference_query,
+)
+from .postings import (
+    PathList,
+    PostingList,
+    intersect,
+    multiset_union,
+    nav_join,
+)
+from .similarity import SimilaritySearch, nested_jaccard, top_k_similar
+from .stats import AtomStats, CollectionStats
+from .trace import ExplainResult, NodeTrace, explain
+from .semantics import (
+    contains,
+    contains_anywhere,
+    equality_matches,
+    hom_contains,
+    homeo_contains,
+    iso_contains,
+    overlap_matches,
+    superset_matches,
+)
+from .topdown import (
+    topdown_match_nodes,
+    topdown_paper_match_nodes,
+    topdown_paper_query,
+    topdown_query,
+)
+from .updates import IndexWriter, UpdateError
+
+__all__ = [
+    "ALGORITHMS",
+    "Atom",
+    "AtomStats",
+    "BatchEvaluator",
+    "BloomFilter",
+    "BloomIndex",
+    "BreadthBloom",
+    "DepthBloom",
+    "EXAMPLE_QUERY",
+    "EXAMPLE_SUE",
+    "EXAMPLE_TIM",
+    "CollectionStats",
+    "DEFAULT_MEMORY_BUDGET",
+    "DEFAULT_SEGMENT_SIZE",
+    "ExplainResult",
+    "FrequencyCache",
+    "IndexWriter",
+    "InvertedFile",
+    "InvertedFileError",
+    "JOINS",
+    "JoinResult",
+    "LRUCache",
+    "ListCache",
+    "MODES",
+    "NaiveScanner",
+    "NestedBag",
+    "NestedSeq",
+    "NestedSet",
+    "NestedSetError",
+    "NestedSetIndex",
+    "NoCache",
+    "NodeMeta",
+    "NodeTrace",
+    "Planner",
+    "PAPER_BUDGET",
+    "ResultCache",
+    "PathList",
+    "PostingList",
+    "QuerySpec",
+    "QuerySpecError",
+    "QueryStats",
+    "SEMANTICS",
+    "STRATEGIES",
+    "SimilaritySearch",
+    "UpdateError",
+    "as_nested_set",
+    "assert_healthy",
+    "bag_contains",
+    "bag_equal",
+    "bag_filter_verify",
+    "bag_reference_query",
+    "batch_query",
+    "build_external",
+    "check_index",
+    "containment_join",
+    "bottomup_match_nodes",
+    "bottomup_query",
+    "contains",
+    "contains_anywhere",
+    "equality_matches",
+    "explain",
+    "hom_contains",
+    "homeo_contains",
+    "json_to_nested_bag",
+    "json_to_nested_seq",
+    "intersect",
+    "iso_contains",
+    "make_cache",
+    "make_planner",
+    "multiset_union",
+    "naive_containment_join",
+    "naive_predicate",
+    "nav_join",
+    "nested_jaccard",
+    "node_candidates",
+    "overlap_matches",
+    "reference_query",
+    "self_join",
+    "seq_contains",
+    "seq_filter_verify",
+    "seq_reference_query",
+    "superset_matches",
+    "top_k_similar",
+    "topdown_match_nodes",
+    "topdown_paper_match_nodes",
+    "topdown_paper_query",
+    "topdown_query",
+]

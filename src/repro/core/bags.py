@@ -1,0 +1,289 @@
+"""Nested multisets (bags): the data-model variation of future work (2).
+
+The paper's closing remarks ask about "variations to the data model
+(e.g., multi-set and list types)".  :class:`NestedBag` is the multiset
+variant: members carry multiplicities, so ``{a, a, {b}}`` is distinct
+from ``{a, {b}}``.
+
+Containment changes character under bags.  Sub-bag containment
+``q ⊑ s`` requires every member *copy* of ``q`` to be matched by a
+**distinct** member copy of ``s`` (atoms by multiplicity comparison,
+bag-valued members by recursive sub-bag containment under a capacitated
+matching).  Multiplicities therefore force injectivity -- bag containment
+generalizes the paper's ⊆_iso, not ⊆_hom.
+
+Relationship to the set model (both directions are tested):
+
+* ``q ⊑ s``  ⇒  ``q.to_set() ⊆_hom s.to_set()`` -- so the set index is a
+  *sound prefilter* for bag queries: run the deduplicated query through
+  any index algorithm, then verify candidates with :func:`bag_contains`
+  (:func:`bag_filter_verify`).
+* The converse fails exactly when multiplicities matter
+  (``{a} ⊆ {a}`` but ``{a, a} ⋢ {a}``).
+
+JSON arrays naturally carry duplicates; :func:`json_to_nested_bag`
+preserves them where the set adapter collapses them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from .model import Atom, NestedSetError, _Parser, _atom_text, _is_atom, _sort_key
+from .model import NestedSet
+
+
+class NestedBag:
+    """An immutable nested multiset.
+
+    ``atoms`` maps atom -> multiplicity; ``children`` is a tuple of
+    ``(NestedBag, multiplicity)`` pairs over *distinct* child values.
+    """
+
+    __slots__ = ("_atoms", "_children", "_hash")
+
+    def __init__(self, atoms: Iterable[Atom] = (),
+                 children: Iterable["NestedBag"] = ()) -> None:
+        atom_counts = Counter()
+        for atom in atoms:
+            if not _is_atom(atom):
+                raise NestedSetError(
+                    f"atoms must be str or int, got {type(atom).__name__}")
+            atom_counts[atom] += 1
+        child_counts: Counter = Counter()
+        for child in children:
+            if not isinstance(child, NestedBag):
+                raise NestedSetError(
+                    f"children must be NestedBag, got "
+                    f"{type(child).__name__}")
+            child_counts[child] += 1
+        self._atoms = dict(atom_counts)
+        self._children = tuple(sorted(
+            child_counts.items(), key=lambda item: item[0].to_text()))
+        self._hash = hash((frozenset(self._atoms.items()), self._children))
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def atoms(self) -> dict:
+        """Atom -> multiplicity (a fresh view each call is not needed;
+        treat as read-only)."""
+        return self._atoms
+
+    @property
+    def children(self) -> tuple:
+        """Sorted tuple of ``(child bag, multiplicity)`` pairs."""
+        return self._children
+
+    def multiplicity(self, atom: Atom) -> int:
+        """How many copies of ``atom`` this bag holds directly."""
+        return self._atoms.get(atom, 0)
+
+    @property
+    def cardinality(self) -> int:
+        """Total member copies (atoms plus bags, with multiplicity)."""
+        return sum(self._atoms.values()) + \
+            sum(count for _child, count in self._children)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._atoms and not self._children
+
+    def iter_bags(self) -> Iterator["NestedBag"]:
+        """Preorder iteration over distinct nested bags."""
+        stack = [self]
+        while stack:
+            bag = stack.pop()
+            yield bag
+            stack.extend(child for child, _count in bag._children)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_obj(cls, obj: object) -> "NestedBag":
+        """Build from nested Python containers, *keeping* duplicates.
+
+        Lists and tuples contribute every occurrence; sets cannot carry
+        duplicates to begin with.
+        """
+        if isinstance(obj, NestedBag):
+            return obj
+        if isinstance(obj, NestedSet):
+            return cls(obj.atoms, [cls.from_obj(c) for c in obj.children])
+        if not isinstance(obj, (set, frozenset, list, tuple)):
+            raise NestedSetError(
+                f"cannot build a nested bag from {type(obj).__name__}")
+        atoms: list[Atom] = []
+        children: list[NestedBag] = []
+        for member in obj:
+            if _is_atom(member):
+                atoms.append(member)
+            else:
+                children.append(cls.from_obj(member))
+        return cls(atoms, children)
+
+    @classmethod
+    def parse(cls, text: str) -> "NestedBag":
+        """Parse the shared text syntax; duplicates are preserved."""
+        parser = _Parser(text, builder=cls)
+        result = parser.parse_set()
+        parser.skip_ws()
+        if not parser.at_end():
+            raise NestedSetError(
+                f"trailing input at position {parser.pos}")
+        return result
+
+    def to_set(self) -> NestedSet:
+        """Forget multiplicities: the paper's set abstraction."""
+        return NestedSet(self._atoms.keys(),
+                         [child.to_set() for child, _count in self._children])
+
+    def to_text(self) -> str:
+        """Canonical text form; copies are written out."""
+        parts = []
+        for atom in sorted(self._atoms, key=_sort_key):
+            parts.extend([_atom_text(atom)] * self._atoms[atom])
+        for child, count in self._children:
+            parts.extend([child.to_text()] * count)
+        return "{" + ", ".join(parts) + "}"
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NestedBag):
+            return NotImplemented
+        return self._atoms == other._atoms and \
+            self._children == other._children
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        text = self.to_text()
+        if len(text) > 60:
+            text = text[:57] + "..."
+        return f"NestedBag({text})"
+
+
+def bag_contains(data: NestedBag, query: NestedBag) -> bool:
+    """Sub-bag containment ``query ⊑ data`` (injective per copy)."""
+    memo: dict[tuple[int, int], bool] = {}
+
+    def covered(qbag: NestedBag, dbag: NestedBag) -> bool:
+        key = (id(qbag), id(dbag))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        ok = all(dbag.multiplicity(atom) >= count
+                 for atom, count in qbag.atoms.items()) and \
+            _children_matchable(qbag, dbag, covered)
+        memo[key] = ok
+        return ok
+
+    return covered(query, data)
+
+
+def _children_matchable(qbag: NestedBag, dbag: NestedBag, covered) -> bool:
+    """Capacitated bipartite matching over child copies.
+
+    Copies are expanded explicitly (bag cardinalities are set-like in
+    practice); an augmenting-path matching assigns every query child copy
+    its own data child copy whose bag contains it.
+    """
+    left: list[NestedBag] = []
+    for child, count in qbag.children:
+        left.extend([child] * count)
+    if not left:
+        return True
+    right: list[NestedBag] = []
+    for child, count in dbag.children:
+        right.extend([child] * count)
+    if len(left) > len(right):
+        return False
+    match_right: dict[int, int] = {}
+
+    def assign(lindex: int, visited: set[int]) -> bool:
+        for rindex, rchild in enumerate(right):
+            if rindex in visited or not covered(left[lindex], rchild):
+                continue
+            visited.add(rindex)
+            holder = match_right.get(rindex)
+            if holder is None or assign(holder, visited):
+                match_right[rindex] = lindex
+                return True
+        return False
+
+    for lindex in range(len(left)):
+        if not assign(lindex, set()):
+            return False
+    return True
+
+
+def bag_equal(left: NestedBag, right: NestedBag) -> bool:
+    """Bag equality (structural; multiplicities included)."""
+    return left == right
+
+
+def bag_reference_query(records: Iterable[tuple[str, NestedBag]],
+                        query: NestedBag) -> list[str]:
+    """Naive scan: keys of records with ``query ⊑ record``."""
+    return sorted(key for key, bag in records if bag_contains(bag, query))
+
+
+def bag_filter_verify(index, bag_records: dict, query: NestedBag,
+                      **query_options) -> list[str]:
+    """Filter-verify bag search over a set index.
+
+    ``index`` is a :class:`~repro.core.engine.NestedSetIndex` built from
+    the *deduplicated* records; ``bag_records`` maps key -> NestedBag
+    (ground truth).  The set-homomorphic query is a sound prefilter
+    (see the module docstring); candidates are then verified exactly.
+    """
+    candidates = index.query(query.to_set(), **query_options)
+    return [key for key in candidates
+            if bag_contains(bag_records[key], query)]
+
+
+def json_to_nested_bag(value: object) -> NestedBag:
+    """JSON -> nested bag, preserving array duplicates.
+
+    Same field mapping as :func:`repro.data.json_adapter.json_to_nested`
+    (``k=v`` atoms, ``@k`` markers), but repeated array members keep
+    their multiplicity.
+    """
+    from ..data.json_adapter import scalar_atom
+    if isinstance(value, dict):
+        atoms: list[Atom] = []
+        children: list[NestedBag] = []
+        for key, member in value.items():
+            if isinstance(member, (dict, list)):
+                child = json_to_nested_bag(member)
+                children.append(NestedBag(
+                    list(_expand_atoms(child)) + [f"@{key}"],
+                    list(_expand_children(child))))
+            else:
+                atoms.append(f"{key}={scalar_atom(member)}")
+        return NestedBag(atoms, children)
+    if isinstance(value, list):
+        atoms = []
+        children = []
+        for member in value:
+            if isinstance(member, (dict, list)):
+                children.append(json_to_nested_bag(member))
+            else:
+                atoms.append(scalar_atom(member))
+        return NestedBag(atoms, children)
+    return NestedBag([scalar_atom(value)])  # type: ignore[list-item]
+
+
+def _expand_atoms(bag: NestedBag) -> Iterator[Atom]:
+    for atom, count in bag.atoms.items():
+        for _ in range(count):
+            yield atom
+
+
+def _expand_children(bag: NestedBag) -> Iterator[NestedBag]:
+    for child, count in bag.children:
+        for _ in range(count):
+            yield child

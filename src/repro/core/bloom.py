@@ -1,0 +1,339 @@
+"""Bloom-filter pruning for nested sets (Section 3.3, "Bloom filters").
+
+The paper points to hierarchical Bloom filters (Breadth and Depth Bloom
+filters of Koloniari & Pitoura [21]) as pruning devices: build a filter
+over (a subset of) the leaf values of each tree, place it at the root, and
+compare query filter against data filter bitwise before descending into
+internal structure.  A failed comparison proves non-containment.
+
+Three filter shapes are implemented:
+
+* :class:`BloomFilter` -- a flat filter over every atom of the tree,
+* :class:`BreadthBloom` -- one filter per nesting level (level-aligned
+  subsumption is sound for homomorphic containment, which preserves depth),
+* :class:`DepthBloom` -- a filter over *parent-child atom pairs*.  The
+  original Depth Bloom filter hashes label paths; nested sets have
+  unlabeled internal nodes, so we adapt it to the pairs ``(a, b)`` where a
+  set containing leaf ``a`` directly contains a set with leaf ``b`` -- a
+  relation every homomorphic embedding preserves (DESIGN.md, substitutions).
+
+:class:`BloomIndex` stores one filter per record and yields the candidate
+record ordinals for a query.  Subsumption-based pruning is *sound* for the
+``subset`` and ``equality`` joins under ``hom``/``iso`` semantics, and for
+``superset`` with the comparison reversed; for ``homeo`` and ``overlap``
+pruning is disabled (the index returns ``None`` = "no pruning").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+from ..storage.codec import fnv1a_64
+from .invfile import atom_token
+from .matchspec import QuerySpec
+from .model import Atom, NestedSet
+
+#: Default filter width in bits (power of two) and hash count.
+DEFAULT_BITS = 512
+DEFAULT_HASHES = 3
+
+
+class BloomFilter:
+    """A classic Bloom filter over atom tokens, stored as a Python int."""
+
+    __slots__ = ("n_bits", "n_hashes", "bits")
+
+    def __init__(self, n_bits: int = DEFAULT_BITS,
+                 n_hashes: int = DEFAULT_HASHES, bits: int = 0) -> None:
+        if n_bits < 8:
+            raise ValueError("n_bits must be at least 8")
+        if n_hashes < 1:
+            raise ValueError("n_hashes must be at least 1")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self.bits = bits
+
+    def _positions(self, item: str) -> Iterator[int]:
+        # Double hashing: h_i = h1 + i*h2, the standard Kirsch-Mitzenmacher
+        # construction.
+        raw = item.encode("utf-8")
+        h1 = fnv1a_64(raw)
+        h2 = fnv1a_64(raw + b"\x00") | 1
+        for index in range(self.n_hashes):
+            yield (h1 + index * h2) % self.n_bits
+
+    def add(self, item: str) -> None:
+        for position in self._positions(item):
+            self.bits |= 1 << position
+
+    def add_atom(self, atom: Atom) -> None:
+        self.add(atom_token(atom))
+
+    def __contains__(self, item: str) -> bool:
+        return all(self.bits >> position & 1
+                   for position in self._positions(item))
+
+    def might_subsume(self, other: "BloomFilter") -> bool:
+        """True unless some bit of ``self`` is missing from ``other``.
+
+        ``query.might_subsume(data)`` False proves the query's items are
+        not all present in the data -- the bitwise pre-check of Section 3.3.
+        """
+        self._check_compatible(other)
+        return self.bits & other.bits == self.bits
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        self._check_compatible(other)
+        return BloomFilter(self.n_bits, self.n_hashes,
+                           self.bits | other.bits)
+
+    def _check_compatible(self, other: "BloomFilter") -> None:
+        if (self.n_bits, self.n_hashes) != (other.n_bits, other.n_hashes):
+            raise ValueError("incompatible Bloom filter parameters")
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (a saturation diagnostic)."""
+        return bin(self.bits).count("1") / self.n_bits
+
+    def encode(self) -> bytes:
+        width = (self.n_bits + 7) // 8
+        return struct.pack("<IH", self.n_bits, self.n_hashes) + \
+            self.bits.to_bytes(width, "little")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "BloomFilter":
+        n_bits, n_hashes = struct.unpack_from("<IH", raw, 0)
+        bits = int.from_bytes(raw[6:6 + (n_bits + 7) // 8], "little")
+        return cls(n_bits, n_hashes, bits)
+
+    @classmethod
+    def for_tree(cls, tree: NestedSet, n_bits: int = DEFAULT_BITS,
+                 n_hashes: int = DEFAULT_HASHES) -> "BloomFilter":
+        """Flat filter over every atom at any nesting level."""
+        bloom = cls(n_bits, n_hashes)
+        for atom in tree.all_atoms():
+            bloom.add_atom(atom)
+        return bloom
+
+
+class BreadthBloom:
+    """One Bloom filter per nesting level (Breadth Bloom Filter of [21]).
+
+    Level 0 covers the root's atoms, level 1 its children's atoms, and so
+    on.  A homomorphic embedding maps level ``i`` of the query into level
+    ``i`` of the data, so level-wise subsumption is a sound prune.
+    """
+
+    __slots__ = ("levels", "n_bits", "n_hashes")
+
+    def __init__(self, levels: list[BloomFilter],
+                 n_bits: int = DEFAULT_BITS,
+                 n_hashes: int = DEFAULT_HASHES) -> None:
+        self.levels = levels
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+
+    @classmethod
+    def for_tree(cls, tree: NestedSet, n_bits: int = DEFAULT_BITS,
+                 n_hashes: int = DEFAULT_HASHES) -> "BreadthBloom":
+        levels: list[BloomFilter] = []
+        frontier = [tree]
+        while frontier:
+            bloom = BloomFilter(n_bits, n_hashes)
+            next_frontier: list[NestedSet] = []
+            for node in frontier:
+                for atom in node.atoms:
+                    bloom.add_atom(atom)
+                next_frontier.extend(node.children)
+            levels.append(bloom)
+            frontier = next_frontier
+        return cls(levels, n_bits, n_hashes)
+
+    def might_subsume(self, other: "BreadthBloom") -> bool:
+        """Level-aligned subsumption: query deeper than data prunes."""
+        if len(self.levels) > len(other.levels):
+            return False
+        return all(mine.might_subsume(theirs)
+                   for mine, theirs in zip(self.levels, other.levels))
+
+
+class DepthBloom:
+    """Parent-child atom-pair filter (our Depth Bloom Filter adaptation).
+
+    Adds ``a>b`` whenever a set with leaf ``a`` directly contains a set
+    with leaf ``b``.  A flat companion filter over all atoms is kept so the
+    pair filter never *loses* pruning power versus the flat filter.
+    """
+
+    __slots__ = ("pairs", "flat")
+
+    def __init__(self, pairs: BloomFilter, flat: BloomFilter) -> None:
+        self.pairs = pairs
+        self.flat = flat
+
+    @classmethod
+    def for_tree(cls, tree: NestedSet, n_bits: int = DEFAULT_BITS,
+                 n_hashes: int = DEFAULT_HASHES) -> "DepthBloom":
+        pairs = BloomFilter(n_bits, n_hashes)
+        for node in tree.iter_sets():
+            for child in node.children:
+                for parent_atom in node.atoms:
+                    for child_atom in child.atoms:
+                        pairs.add(f"{atom_token(parent_atom)}>"
+                                  f"{atom_token(child_atom)}")
+        return cls(pairs, BloomFilter.for_tree(tree, n_bits, n_hashes))
+
+    def might_subsume(self, other: "DepthBloom") -> bool:
+        return self.flat.might_subsume(other.flat) and \
+            self.pairs.might_subsume(other.pairs)
+
+
+def _encode_with_length(bloom: BloomFilter) -> bytes:
+    raw = bloom.encode()
+    return struct.pack("<I", len(raw)) + raw
+
+
+def _decode_with_length(raw: bytes, offset: int) -> tuple[BloomFilter, int]:
+    (length,) = struct.unpack_from("<I", raw, offset)
+    start = offset + 4
+    return BloomFilter.decode(raw[start:start + length]), start + length
+
+
+def encode_filter(obj: "BloomFilter | BreadthBloom | DepthBloom") -> bytes:
+    """Serialize any filter shape (kind-tagged) for index persistence."""
+    if isinstance(obj, BloomFilter):
+        return b"f" + _encode_with_length(obj)
+    if isinstance(obj, BreadthBloom):
+        out = bytearray(b"b") + struct.pack("<H", len(obj.levels))
+        for level in obj.levels:
+            out += _encode_with_length(level)
+        return bytes(out)
+    if isinstance(obj, DepthBloom):
+        return b"d" + _encode_with_length(obj.pairs) + \
+            _encode_with_length(obj.flat)
+    raise TypeError(f"not a bloom filter: {type(obj).__name__}")
+
+
+def decode_filter(raw: bytes) -> "BloomFilter | BreadthBloom | DepthBloom":
+    """Inverse of :func:`encode_filter`."""
+    tag = raw[:1]
+    if tag == b"f":
+        bloom, _pos = _decode_with_length(raw, 1)
+        return bloom
+    if tag == b"b":
+        (n_levels,) = struct.unpack_from("<H", raw, 1)
+        pos = 3
+        levels = []
+        for _ in range(n_levels):
+            level, pos = _decode_with_length(raw, pos)
+            levels.append(level)
+        n_bits = levels[0].n_bits if levels else DEFAULT_BITS
+        n_hashes = levels[0].n_hashes if levels else DEFAULT_HASHES
+        return BreadthBloom(levels, n_bits, n_hashes)
+    if tag == b"d":
+        pairs, pos = _decode_with_length(raw, 1)
+        flat, _pos = _decode_with_length(raw, pos)
+        return DepthBloom(pairs, flat)
+    raise ValueError(f"unknown bloom filter tag {tag!r}")
+
+
+#: Filter shapes accepted by :class:`BloomIndex`.
+BLOOM_KINDS = ("flat", "breadth", "depth")
+
+
+class BloomIndex:
+    """Per-record Bloom filters plus query-time candidate generation."""
+
+    def __init__(self, kind: str = "flat", n_bits: int = DEFAULT_BITS,
+                 n_hashes: int = DEFAULT_HASHES) -> None:
+        if kind not in BLOOM_KINDS:
+            raise ValueError(f"unknown bloom kind {kind!r}; "
+                             f"expected one of {BLOOM_KINDS}")
+        self.kind = kind
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._filters: list[object] = []
+
+    @classmethod
+    def build(cls, records: Iterable[tuple[str, NestedSet]],
+              kind: str = "flat", n_bits: int = DEFAULT_BITS,
+              n_hashes: int = DEFAULT_HASHES) -> "BloomIndex":
+        index = cls(kind, n_bits, n_hashes)
+        for _key, tree in records:
+            index.add_record(tree)
+        return index
+
+    def add_record(self, tree: NestedSet) -> None:
+        self._filters.append(self._make(tree))
+
+    def _make(self, tree: NestedSet) -> object:
+        if self.kind == "flat":
+            return BloomFilter.for_tree(tree, self.n_bits, self.n_hashes)
+        if self.kind == "breadth":
+            return BreadthBloom.for_tree(tree, self.n_bits, self.n_hashes)
+        return DepthBloom.for_tree(tree, self.n_bits, self.n_hashes)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, store) -> None:
+        """Persist every filter (plus configuration) into a KVStore.
+
+        Keys: ``B:cfg`` for the configuration, ``B:<ordinal>`` per
+        record; shares the index's store, so the filters travel with it.
+        """
+        store.put(b"B:cfg",
+                  f"{self.kind}:{self.n_bits}:{self.n_hashes}:"
+                  f"{len(self._filters)}".encode())
+        for ordinal, obj in enumerate(self._filters):
+            store.put(b"B:" + str(ordinal).encode(),
+                      encode_filter(obj))  # type: ignore[arg-type]
+
+    @classmethod
+    def load(cls, store) -> "BloomIndex | None":
+        """Reload a persisted index; None when the store holds none."""
+        raw = store.get(b"B:cfg")
+        if raw is None:
+            return None
+        kind, n_bits, n_hashes, count = raw.decode().split(":")
+        index = cls(kind, n_bits=int(n_bits), n_hashes=int(n_hashes))
+        for ordinal in range(int(count)):
+            blob = store.get(b"B:" + str(ordinal).encode())
+            if blob is None:
+                raise ValueError(f"missing persisted bloom filter "
+                                 f"{ordinal}")
+            index._filters.append(decode_filter(blob))
+        return index
+
+    def append_persisted(self, store, tree: NestedSet) -> None:
+        """Add one record's filter and keep the persisted copy current."""
+        self.add_record(tree)
+        ordinal = len(self._filters) - 1
+        store.put(b"B:" + str(ordinal).encode(),
+                  encode_filter(self._filters[ordinal]))  # type: ignore[arg-type]
+        store.put(b"B:cfg",
+                  f"{self.kind}:{self.n_bits}:{self.n_hashes}:"
+                  f"{len(self._filters)}".encode())
+
+    def candidates(self, query: NestedSet,
+                   spec: QuerySpec = QuerySpec()) -> list[int] | None:
+        """Ordinals surviving the bitwise pre-check, or None = no pruning.
+
+        Pruning is applied only where it is sound (module docstring).
+        """
+        if spec.semantics == "homeo" or spec.join == "overlap":
+            return None
+        if spec.join == "superset" and self.kind != "flat":
+            return None  # hierarchical shapes are built for the ⊆ direction
+        if spec.mode == "anywhere" and self.kind == "breadth":
+            return None  # level alignment breaks when embedding below root
+        qfilter = self._make(query)
+        if spec.join == "superset":
+            return [ordinal for ordinal, sfilter in enumerate(self._filters)
+                    if sfilter.might_subsume(qfilter)]  # type: ignore[attr-defined]
+        return [ordinal for ordinal, sfilter in enumerate(self._filters)
+                if qfilter.might_subsume(sfilter)]  # type: ignore[attr-defined]

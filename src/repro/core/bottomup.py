@@ -1,0 +1,72 @@
+"""The bottom-up containment algorithm (Section 3.2, Algorithms 3-4).
+
+Processing descends the query depth-first, pushing a marker onto an
+explicit stack per internal node; on the way back up, each node pops the
+match sets of its children (the ``Lists`` of Algorithm 4), evaluates its
+own candidates, and pushes the set of candidate heads that cover every
+child -- the ``H(·)`` operator.  The final pop yields the data nodes at
+which the whole query embeds.
+
+Unlike the top-down algorithm, candidates are computed for *every* query
+node regardless of parent context (there is no downward pruning), which is
+exactly the trade-off the paper's experiments probe.  Worst-case running
+time is ``O(|q| · |S|)`` (Section 3.2, Analysis).
+
+The implementation is iterative, mirroring the paper's explicit stack and
+making the algorithm safe for arbitrarily deep queries.
+"""
+
+from __future__ import annotations
+
+from .candidates import node_candidates
+from .invfile import InvertedFile
+from .matchspec import QuerySpec
+from .model import NestedSet
+from .structural import filter_candidates
+
+#: Stack marker ('$' in the paper's Figure 5).
+_MARK = object()
+
+
+def bottomup_match_nodes(query: NestedSet, ifile: InvertedFile,
+                         spec: QuerySpec = QuerySpec()) -> set[int]:
+    """Return the set of data node ids at which ``query`` embeds."""
+    stack: list[object] = []
+    work: list[tuple[NestedSet, bool]] = [(query, False)]
+    while work:
+        node, expanded = work.pop()
+        if not expanded:
+            # Descend: push the marker, schedule this node's own
+            # evaluation after its children (Algorithm 4 lines 1-4).
+            stack.append(_MARK)
+            work.append((node, True))
+            for child in node.children:
+                work.append((child, False))
+            continue
+        # Collect the children's results down to the marker
+        # (Algorithm 4 lines 5-9).
+        child_sets: list[set[int]] = []
+        while stack[-1] is not _MARK:
+            child_sets.append(stack.pop())  # type: ignore[arg-type]
+        stack.pop()
+        if spec.join != "superset" and any(not hits for hits in child_sets):
+            # Some subquery is unsatisfiable anywhere; signal the parent
+            # without touching the index (Algorithm 4 lines 14-15).  The
+            # superset join is exempt: there a query child that matches
+            # nothing is harmless -- data children only need to be covered
+            # by *some* query child.
+            stack.append(frozenset())
+            continue
+        cand = node_candidates(node, ifile, spec)  # line 11
+        matched = filter_candidates(cand, child_sets, ifile, spec)  # line 12
+        stack.append(matched.heads())  # line 13
+    result = stack.pop()
+    assert not stack, "bottom-up stack must be empty at the end"
+    return set(result)  # type: ignore[arg-type]
+
+
+def bottomup_query(query: NestedSet, ifile: InvertedFile,
+                   spec: QuerySpec = QuerySpec()) -> list[str]:
+    """Evaluate ``query ⋉ S`` and return the matching record keys."""
+    heads = bottomup_match_nodes(query, ifile, spec)
+    return ifile.heads_to_keys(heads, mode=spec.mode)

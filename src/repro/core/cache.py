@@ -1,0 +1,179 @@
+"""Inverted-list caching (Section 3.3, "Caching").
+
+Every occurrence of a leaf value in a query costs a retrieval of its
+inverted list from the storage engine plus a decode.  The paper's
+optimization buffers the lists of the most frequent atoms of ``S`` in main
+memory, subject to a budget (250 lists in the paper's experiments).
+
+Three policies are provided:
+
+* :class:`NoCache`        -- the uncached baseline,
+* :class:`FrequencyCache` -- the paper's policy: pin the top-K most
+  frequent atoms (static, computed from collection statistics at open time),
+* :class:`LRUCache`       -- the workload-adaptive policy the paper lists
+  as future work item (6); included for the C1 ablation benchmark.
+
+Caches store *decoded* :class:`~repro.core.postings.PostingList` objects,
+so a hit skips both the store access and the codec work.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from .postings import PostingList
+
+#: The budget used throughout the paper's experiments.
+PAPER_BUDGET = 250
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for a list cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.insertions = self.evictions = 0
+
+
+class ListCache(ABC):
+    """Interface consumed by :class:`~repro.core.invfile.InvertedFile`."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def get(self, key: Hashable) -> PostingList | None:
+        """Return the cached list or None (a miss)."""
+
+    @abstractmethod
+    def admit(self, key: Hashable, plist: PostingList) -> None:
+        """Offer a freshly decoded list to the cache (may be rejected)."""
+
+    def clear(self) -> None:
+        """Drop all cached entries (stats are kept)."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class NoCache(ListCache):
+    """The uncached configuration of the paper's experiments."""
+
+    def get(self, key: Hashable) -> PostingList | None:
+        self.stats.misses += 1
+        return None
+
+    def admit(self, key: Hashable, plist: PostingList) -> None:
+        pass
+
+
+class FrequencyCache(ListCache):
+    """Pin the posting lists of the ``budget`` most frequent atoms.
+
+    Membership in the hot set is decided once from collection frequencies
+    (document frequency of each atom), exactly as in Section 3.3; lists are
+    materialized lazily on first access and never evicted.
+    """
+
+    def __init__(self, hot_atoms: Iterable[Hashable],
+                 budget: int = PAPER_BUDGET) -> None:
+        super().__init__()
+        self.budget = budget
+        self._hot = set(hot_atoms)
+        if len(self._hot) > budget:
+            raise ValueError(
+                f"hot set of {len(self._hot)} atoms exceeds budget {budget}")
+        self._lists: dict[Hashable, PostingList] = {}
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Iterable[tuple[Hashable, int]],
+                         budget: int = PAPER_BUDGET) -> "FrequencyCache":
+        """Build the hot set from ``(atom, document-frequency)`` pairs."""
+        ranked = sorted(frequencies, key=lambda item: (-item[1], str(item[0])))
+        return cls([atom for atom, _df in ranked[:budget]], budget=budget)
+
+    def get(self, key: Hashable) -> PostingList | None:
+        plist = self._lists.get(key)
+        if plist is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return plist
+
+    def admit(self, key: Hashable, plist: PostingList) -> None:
+        if key in self._hot and key not in self._lists:
+            self._lists[key] = plist
+            self.stats.insertions += 1
+
+    def clear(self) -> None:
+        self._lists.clear()
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+
+class LRUCache(ListCache):
+    """Least-recently-used cache of at most ``budget`` posting lists."""
+
+    def __init__(self, budget: int = PAPER_BUDGET) -> None:
+        super().__init__()
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+        self._lists: OrderedDict[Hashable, PostingList] = OrderedDict()
+
+    def get(self, key: Hashable) -> PostingList | None:
+        plist = self._lists.get(key)
+        if plist is None:
+            self.stats.misses += 1
+            return None
+        self._lists.move_to_end(key)
+        self.stats.hits += 1
+        return plist
+
+    def admit(self, key: Hashable, plist: PostingList) -> None:
+        if key in self._lists:
+            self._lists.move_to_end(key)
+            return
+        self._lists[key] = plist
+        self.stats.insertions += 1
+        if len(self._lists) > self.budget:
+            self._lists.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._lists.clear()
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+
+def make_cache(policy: str | None, *,
+               frequencies: Iterable[tuple[Hashable, int]] = (),
+               budget: int = PAPER_BUDGET) -> ListCache:
+    """Factory used by the engine: ``None``/"none", "frequency", "lru"."""
+    if policy in (None, "none"):
+        return NoCache()
+    if policy == "frequency":
+        return FrequencyCache.from_frequencies(frequencies, budget=budget)
+    if policy == "lru":
+        return LRUCache(budget=budget)
+    raise ValueError(f"unknown cache policy {policy!r}; "
+                     "expected None, 'none', 'frequency' or 'lru'")

@@ -1,0 +1,61 @@
+"""Candidate generation for a query node, per join type (Section 4.1).
+
+Both algorithms evaluate, for every internal query node ``n``, a set of
+candidate data nodes.  The paper's join-type extensions differ exactly in
+how this set is produced from the inverted lists of ``n``'s leaf atoms:
+
+* ``subset``   -- intersection over the atoms' lists (Algorithm 2 line 8 /
+  Algorithm 4 line 11): candidates contain *all* of ``n``'s leaves;
+* ``equality`` -- as subset, then drop candidates whose leaf count differs
+  from ``|ℓ(n)|``;
+* ``superset`` -- multiset union over the atoms' lists, keeping candidates
+  whose multiplicity equals their leaf count (all of the candidate's leaves
+  lie inside ``ℓ(n)``), plus every node with no leaves at all;
+* ``overlap``  -- multiset union keeping candidates with multiplicity at
+  least ``ε``.
+
+Query nodes with no leaf atoms fall back to the ``ALL`` / ``ZERO`` lists
+maintained by the index (the empty-set extension the paper sketches at the
+end of Section 3).
+"""
+
+from __future__ import annotations
+
+from .invfile import InvertedFile
+from .matchspec import QuerySpec
+from .model import NestedSet
+from .postings import PostingList, multiset_union
+
+
+def node_candidates(qnode: NestedSet, ifile: InvertedFile,
+                    spec: QuerySpec) -> PostingList:
+    """Candidate data nodes at which ``qnode`` may embed, per ``spec.join``."""
+    atoms = list(qnode.atoms)
+    if spec.join == "subset":
+        if not atoms:
+            return ifile.all_nodes()
+        return ifile.intersect_atoms(atoms)
+    if spec.join == "equality":
+        if not atoms:
+            return ifile.zero_leaf_nodes()
+        base = ifile.intersect_atoms(atoms)
+        want = len(atoms)
+        return PostingList([(p, children) for p, children in base
+                            if ifile.leaf_count(p) == want])
+    if spec.join == "superset":
+        entries: list[tuple[int, tuple[int, ...]]] = []
+        if atoms:
+            union = multiset_union([ifile.postings(atom) for atom in atoms])
+            entries = [(p, children) for p, children, count in union
+                       if count == ifile.leaf_count(p)]
+        # Nodes without leaf children never occur in any atom list but
+        # trivially satisfy ℓ(p) ⊆ ℓ(n); merge them in (id-disjoint sets).
+        merged = sorted(entries + list(ifile.zero_leaf_nodes().entries))
+        return PostingList(merged)
+    if spec.join == "overlap":
+        if not atoms:
+            return PostingList()
+        union = multiset_union([ifile.postings(atom) for atom in atoms])
+        return PostingList([(p, children) for p, children, count in union
+                            if count >= spec.epsilon])
+    raise ValueError(f"unknown join {spec.join!r}")

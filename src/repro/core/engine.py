@@ -1,0 +1,378 @@
+"""Public facade: build, open, and query a nested-set containment index.
+
+:class:`NestedSetIndex` wires together the inverted file, the list cache
+(Section 3.3), the Bloom prefilters (Section 3.3), the two containment
+algorithms (Section 3) and their extensions (Section 4) behind a small
+surface::
+
+    from repro import NestedSetIndex
+
+    index = NestedSetIndex.build(records)           # in-memory
+    index.query("{USA, {UK, {A, motorbike}}}")      # -> ['tim']
+    index.query(q, algorithm="topdown", semantics="homeo")
+    index.query(q, join="overlap", epsilon=2)
+
+Disk-resident indexes (``storage="diskhash"`` or ``"btree"``) persist and
+reopen via :meth:`NestedSetIndex.open`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .bloom import BloomIndex
+from .bottomup import bottomup_match_nodes
+from .cache import PAPER_BUDGET, make_cache
+from .invfile import InvertedFile
+from .matchspec import QuerySpec
+from .model import NestedSet
+from .naive import NaiveScanner
+from .planner import make_planner
+from .resultcache import ResultCache, make_key
+from .stats import CollectionStats
+from .updates import IndexWriter
+from .topdown import topdown_match_nodes, topdown_paper_match_nodes
+
+#: Algorithm names accepted by :meth:`NestedSetIndex.query`.
+ALGORITHMS = ("bottomup", "topdown", "topdown-paper", "naive")
+
+_MATCHERS = {
+    "bottomup": bottomup_match_nodes,
+    "topdown": topdown_match_nodes,
+    "topdown-paper": topdown_paper_match_nodes,
+}
+
+
+def as_nested_set(query: object) -> NestedSet:
+    """Coerce a query given as text, Python nest, or NestedSet."""
+    if isinstance(query, NestedSet):
+        return query
+    if isinstance(query, str):
+        return NestedSet.parse(query)
+    return NestedSet.from_obj(query)
+
+
+class NestedSetIndex:
+    """A queryable containment index over a collection of nested sets."""
+
+    def __init__(self, ifile: InvertedFile,
+                 bloom_index: BloomIndex | None = None) -> None:
+        self._ifile = ifile
+        self._bloom = bloom_index
+        self._stats: CollectionStats | None = None
+        self._writer: IndexWriter | None = None
+        self._result_cache: ResultCache | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, records: Iterable[tuple[str, object]], *,
+              storage: str = "memory", path: str | None = None,
+              cache: str | None = None, cache_budget: int = PAPER_BUDGET,
+              bloom: str | None = None, bloom_bits: int = 512,
+              segment_size: int = 0,
+              **store_options: object) -> "NestedSetIndex":
+        """Index ``(key, nested-set)`` records.
+
+        ``cache``: None/"none", "frequency" (the paper's policy) or "lru".
+        ``bloom``: None, "flat", "breadth" or "depth" -- builds per-record
+        prefilters consumed by the naive algorithm.
+        ``segment_size``: > 0 stores long posting lists as range-tagged
+        segments and enables segment-skipping intersections.
+        """
+        prepared = ((key, as_nested_set(value)) for key, value in records)
+        ifile = InvertedFile.build(prepared, storage=storage, path=path,
+                                   segment_size=segment_size,
+                                   **store_options)
+        ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
+                                 budget=cache_budget)
+        bloom_index = None
+        if bloom is not None:
+            bloom_index = BloomIndex(bloom, n_bits=bloom_bits)
+            for _ordinal, _key, _root, tree in ifile.iter_records():
+                bloom_index.add_record(tree)
+            bloom_index.save(ifile.store)
+        return cls(ifile, bloom_index)
+
+    @classmethod
+    def build_external(cls, records, *,
+                       storage: str = "memory", path: str | None = None,
+                       memory_budget: int | None = None,
+                       cache: str | None = None,
+                       cache_budget: int = PAPER_BUDGET,
+                       segment_size: int = 0,
+                       **store_options: object) -> "NestedSetIndex":
+        """Bulk-load with a bounded posting buffer (run-merge build).
+
+        Use for collections whose posting lists don't fit in memory; see
+        :mod:`repro.core.bulkload`.  ``memory_budget`` counts buffered
+        postings (default 500k entries).
+        """
+        from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
+        prepared = ((key, as_nested_set(value)) for key, value in records)
+        ifile = build_external(
+            prepared, storage=storage, path=path,
+            memory_budget=(memory_budget if memory_budget is not None
+                           else DEFAULT_MEMORY_BUDGET),
+            segment_size=segment_size, **store_options)
+        ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
+                                 budget=cache_budget)
+        return cls(ifile)
+
+    @classmethod
+    def open(cls, storage: str, path: str, *,
+             cache: str | None = None, cache_budget: int = PAPER_BUDGET,
+             bloom: str | None = None, bloom_bits: int = 512,
+             **store_options: object) -> "NestedSetIndex":
+        """Reopen a disk-resident index built earlier.
+
+        Bloom filters persisted at build time reload directly when their
+        kind matches; otherwise they are rebuilt from the record table
+        (one sequential scan).
+        """
+        ifile = InvertedFile.open(storage, path, **store_options)
+        ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
+                                 budget=cache_budget)
+        bloom_index = None
+        if bloom is not None:
+            stored = BloomIndex.load(ifile.store)
+            if stored is not None and stored.kind == bloom and \
+                    stored.n_bits == bloom_bits:
+                bloom_index = stored
+            else:
+                bloom_index = BloomIndex(bloom, n_bits=bloom_bits)
+                for _ordinal, _key, _root, tree in ifile.iter_records():
+                    bloom_index.add_record(tree)
+                bloom_index.save(ifile.store)
+        return cls(ifile, bloom_index)
+
+    # -- querying -----------------------------------------------------------
+
+    def query(self, query: object, *, algorithm: str = "bottomup",
+              semantics: str = "hom", join: str = "subset",
+              epsilon: int = 1, mode: str = "root",
+              use_bloom: bool = False,
+              planner: str | None = None) -> list[str]:
+        """Evaluate ``query ⋉ S``; returns sorted matching record keys.
+
+        ``planner`` ("selective-first" / "bulky-first" / "text") installs
+        a sibling-ordering strategy for the top-down algorithm; see
+        :mod:`repro.core.planner`.
+        """
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        tree = as_nested_set(query)
+        cache_key = None
+        if self._result_cache is not None and not use_bloom \
+                and planner is None:
+            cache_key = make_key(tree, algorithm, semantics, join,
+                                 epsilon, mode)
+            cached = self._result_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if algorithm == "naive":
+            bloom = self._bloom if use_bloom else None
+            scanner = NaiveScanner(self._ifile, bloom_index=bloom)
+            result = scanner.query(tree, spec)
+        else:
+            if use_bloom:
+                raise ValueError("Bloom prefiltering applies to the naive "
+                                 "algorithm only")
+            heads = self.match_nodes(tree, algorithm=algorithm, spec=spec,
+                                     planner=planner)
+            result = self._ifile.heads_to_keys(heads, mode=spec.mode)
+        if cache_key is not None:
+            self._result_cache.put(cache_key, result)
+        return result
+
+    def enable_result_cache(self, capacity: int = 1024) -> ResultCache:
+        """Cache whole query results (invalidated on any index mutation).
+
+        Returns the cache so callers can read its hit statistics; call
+        :meth:`disable_result_cache` to turn it off.
+        """
+        self._result_cache = ResultCache(capacity)
+        return self._result_cache
+
+    def disable_result_cache(self) -> None:
+        self._result_cache = None
+
+    def match_nodes(self, query: object, *, algorithm: str = "bottomup",
+                    spec: QuerySpec = QuerySpec(),
+                    planner: str | None = None) -> set[int]:
+        """Raw node-level result: ids at which the query embeds."""
+        matcher = _MATCHERS.get(algorithm)
+        if matcher is None:
+            raise ValueError(f"unknown algorithm {algorithm!r}; "
+                             f"expected one of {ALGORITHMS}")
+        if planner is not None:
+            if algorithm != "topdown":
+                raise ValueError("evaluation-order planning applies to "
+                                 "the strict top-down algorithm only")
+            plan = make_planner(planner, self.collection_stats())
+            return topdown_match_nodes(as_nested_set(query), self._ifile,
+                                       spec,
+                                       child_order=plan.as_child_order())
+        return matcher(as_nested_set(query), self._ifile, spec)
+
+    def collection_stats(self) -> CollectionStats:
+        """Frequency statistics over the indexed collection (memoized)."""
+        if self._stats is None:
+            self._flush_writer()
+            self._stats = CollectionStats.from_inverted_file(self._ifile)
+        return self._stats
+
+    # -- updates ----------------------------------------------------------------
+
+    def _index_writer(self) -> IndexWriter:
+        if self._writer is None:
+            self._writer = IndexWriter(self._ifile)
+        return self._writer
+
+    def _flush_writer(self) -> None:
+        """Persist deferred statistics before anything reads them."""
+        if self._writer is not None:
+            self._writer.flush()
+
+    def insert(self, key: str, value: object) -> int:
+        """Add one record to the live index; returns its ordinal.
+
+        The document-frequency table is updated lazily (flushed before
+        statistics reads, cache swaps, compaction, and close) so a burst
+        of inserts does not rewrite it per record.
+        """
+        ordinal = self._index_writer().insert(key, value)
+        self._stats = None
+        if self._result_cache is not None:
+            self._result_cache.invalidate_all()
+        if self._bloom is not None:
+            self._bloom.append_persisted(self._ifile.store,
+                                         as_nested_set(value))
+        return ordinal
+
+    def delete(self, key: str) -> bool:
+        """Tombstone the record with ``key``; see repro.core.updates."""
+        deleted = self._index_writer().delete(key)
+        if deleted and self._result_cache is not None:
+            self._result_cache.invalidate_all()
+        return deleted
+
+    def compact(self, *, storage: str = "memory",
+                path: str | None = None) -> None:
+        """Rebuild the index from live records, dropping tombstones.
+
+        The engine swaps to the fresh index in place; disk targets need a
+        new ``path`` (a store cannot be rebuilt into its own open file).
+        """
+        fresh = self._index_writer().compact(storage=storage, path=path)
+        self._writer = None
+        if self._result_cache is not None:
+            self._result_cache.invalidate_all()
+        old_bloom_kind = self._bloom.kind if self._bloom else None
+        self._ifile.close()
+        self._ifile = fresh
+        self._stats = None
+        if old_bloom_kind is not None:
+            self._bloom = BloomIndex(old_bloom_kind)
+            for _ordinal, _key, _root, tree in fresh.iter_records():
+                self._bloom.add_record(tree)
+            self._bloom.save(fresh.store)
+
+    def query_batch(self, queries: Sequence[object],
+                    **options: object) -> list[list[str]]:
+        """Evaluate a workload of queries (the paper times 100 at a time)."""
+        return [self.query(query, **options) for query in queries]
+
+    def containment_join(self, queries: Iterable[tuple[str, object]],
+                         **options: object) -> list[tuple[str, str]]:
+        """Equation 1: all pairs ``(q.key, s.key)`` with ``q ⊆ s``."""
+        pairs: list[tuple[str, str]] = []
+        for qkey, query in queries:
+            for skey in self.query(query, **options):
+                pairs.append((qkey, skey))
+        return pairs
+
+    def self_check(self, query: object, *, semantics: str = "hom",
+                   join: str = "subset", epsilon: int = 1,
+                   mode: str = "root") -> dict[str, list[str]]:
+        """Run every applicable algorithm on one query (diagnostics)."""
+        out: dict[str, list[str]] = {}
+        for algorithm in ALGORITHMS:
+            if algorithm == "topdown-paper" and (
+                    semantics == "iso" or join == "superset"):
+                continue
+            out[algorithm] = self.query(
+                query, algorithm=algorithm, semantics=semantics,
+                join=join, epsilon=epsilon, mode=mode)
+        return out
+
+    def set_cache(self, policy: str | None,
+                  budget: int = PAPER_BUDGET) -> None:
+        """Swap the inverted-list cache policy in place.
+
+        The experiment harness runs each configuration with and without
+        caching on the *same* built index; swapping the cache (rather than
+        rebuilding) is what makes that cheap.
+        """
+        self._flush_writer()
+        self._ifile.cache = make_cache(
+            policy, frequencies=self._ifile.frequencies(), budget=budget)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return self._ifile.n_records
+
+    @property
+    def n_nodes(self) -> int:
+        return self._ifile.n_nodes
+
+    @property
+    def inverted_file(self) -> InvertedFile:
+        return self._ifile
+
+    @property
+    def bloom_index(self) -> BloomIndex | None:
+        return self._bloom
+
+    def records(self) -> Iterable[tuple[str, NestedSet]]:
+        """Iterate ``(key, tree)`` over the indexed collection."""
+        for _ordinal, key, _root, tree in self._ifile.iter_records():
+            yield key, tree
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        """Index / cache / store counters, for reports and experiments."""
+        return {
+            "index": {
+                "records": self.n_records,
+                "nodes": self.n_nodes,
+                "postings_requests": self._ifile.stats.postings_requests,
+                "cache_hits": self._ifile.stats.cache_hits,
+                "lists_decoded": self._ifile.stats.lists_decoded,
+                "meta_block_reads": self._ifile.stats.meta_block_reads,
+            },
+            "cache": {
+                "policy": self._ifile.cache.name,
+                "hits": self._ifile.cache.stats.hits,
+                "misses": self._ifile.cache.stats.misses,
+                "hit_rate": self._ifile.cache.stats.hit_rate,
+            },
+            "store": self._ifile.store.stats.snapshot(),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero all query-time counters (between experiment runs)."""
+        self._ifile.reset_stats()
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._flush_writer()
+        self._ifile.close()
+
+    def __enter__(self) -> "NestedSetIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,549 @@
+"""The inverted file for nested sets (Section 2, Table 2).
+
+The key space is the set of all atomic values occurring in the collection
+``S``.  Every internal node of every indexed tree receives a globally unique
+integer id, assigned in *preorder* -- a deliberate choice that makes the id
+itself the preorder rank, so the ancestor test needed by homeomorphic
+containment (Section 4.2) is the constant-time interval check
+``anc < desc <= max_desc(anc)``.
+
+Per atom ``a``, the store holds the posting list ``S_IF(a)`` of pairs
+``(p, C)`` (owner node, sorted internal children).  Beyond the paper's
+Table 2 we persist:
+
+* a node-metadata table (record ordinal, leaf count, subtree end, root
+  flag), blocked 512 entries per store value -- leaf counts power the
+  equality/superset joins of Section 4.1, subtree ends power homeomorphism;
+* the record table (key, root id, and the tree itself in canonical text
+  form) so queries can be sampled and results verified;
+* an ``ALL`` list (every internal node) and a ``ZERO`` list (nodes with no
+  leaf children) enabling empty-set query nodes and the superset join;
+* the atom document-frequency ranking that seeds the frequency cache.
+
+Everything lives in one :class:`~repro.storage.kvstore.KVStore` under key
+prefixes, so the index persists on the disk engines and reopens cheaply.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, NamedTuple
+
+from ..storage import KVStore, open_store
+from ..storage.codec import (
+    decode_str,
+    decode_uint_list,
+    decode_varint,
+    encode_str,
+    encode_varint,
+)
+from .cache import ListCache, NoCache
+from .model import Atom, NestedSet
+from .postings import PostingList, intersect
+from .segments import (
+    FORMAT_PLAIN,
+    FORMAT_SEGMENTED,
+    decode_header,
+    decode_plain,
+    encode_plain,
+    encode_segmented,
+    overlapping_segments,
+    total_of,
+    value_format,
+)
+
+_ATOM_PREFIX = b"A:"
+_META_PREFIX = b"N:"
+_RECORD_PREFIX = b"R:"
+_ALL_PREFIX = b"L:all:"
+_ZERO_PREFIX = b"L:zero:"
+_CONFIG_KEY = b"M:config"
+_FREQ_KEY = b"M:freq"
+_DELETED_KEY = b"M:deleted"
+_KEYMAP_PREFIX = b"K:"
+_SEGMENT_PREFIX = b"G:"
+
+_META_ENTRY = struct.Struct("<IIQB")
+#: Node-metadata entries per store value.
+META_BLOCK = 512
+#: Postings per block of the ALL / ZERO lists.
+LIST_BLOCK = 4096
+_FLAG_ROOT = 1
+
+
+class InvertedFileError(Exception):
+    """Raised for malformed or inconsistent index contents."""
+
+
+class NodeMeta(NamedTuple):
+    """Per-internal-node bookkeeping."""
+
+    record: int      # ordinal of the owning record
+    leaf_count: int  # number of leaf (atom) children
+    max_desc: int    # last preorder id in this node's subtree
+    is_root: bool    # True when the node is a record root
+
+
+@dataclass
+class QueryStats:
+    """Counters for index accesses made on behalf of queries."""
+
+    postings_requests: int = 0
+    cache_hits: int = 0
+    lists_decoded: int = 0
+    meta_block_reads: int = 0
+    segments_read: int = 0
+    segments_skipped: int = 0
+
+    def reset(self) -> None:
+        self.postings_requests = 0
+        self.cache_hits = 0
+        self.lists_decoded = 0
+        self.meta_block_reads = 0
+        self.segments_read = 0
+        self.segments_skipped = 0
+
+
+def atom_token(atom: Atom) -> str:
+    """Type-tagged text form of an atom (ints and strings must not clash)."""
+    if isinstance(atom, bool):
+        raise TypeError("bool is not an atom")
+    if isinstance(atom, int):
+        return f"i:{atom}"
+    return f"s:{atom}"
+
+
+def atom_from_token(token: str) -> Atom:
+    """Inverse of :func:`atom_token`."""
+    tag, _, body = token.partition(":")
+    if tag == "i":
+        return int(body)
+    if tag == "s":
+        return body
+    raise InvertedFileError(f"bad atom token {token!r}")
+
+
+def _atom_store_key(atom: Atom) -> bytes:
+    return _ATOM_PREFIX + atom_token(atom).encode("utf-8")
+
+
+class InvertedFile:
+    """The nested-set inverted file over a key-value store."""
+
+    def __init__(self, store: KVStore, cache: ListCache | None = None) -> None:
+        self._store = store
+        self.cache = cache if cache is not None else NoCache()
+        self.stats = QueryStats()
+        self._meta_cache: dict[int, bytes] = {}
+        self._meta_cache_cap = 256
+        self._key_cache: dict[int, str] = {}
+        self._all_nodes: PostingList | None = None
+        self._zero_leaf: PostingList | None = None
+        raw = store.get(_CONFIG_KEY)
+        if raw is None:
+            raise InvertedFileError("store holds no inverted-file configuration")
+        self.n_records, pos = decode_varint(raw, 0)
+        self.n_nodes, pos = decode_varint(raw, pos)
+        self._n_all_blocks, pos = decode_varint(raw, pos)
+        self._n_zero_blocks, pos = decode_varint(raw, pos)
+        self.segment_size = 0
+        if pos < len(raw):
+            self.segment_size, pos = decode_varint(raw, pos)
+        self.deleted: set[int] = set()
+        deleted_raw = store.get(_DELETED_KEY)
+        if deleted_raw is not None:
+            ordinals, _pos = decode_uint_list(deleted_raw)
+            self.deleted = set(ordinals)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, records: Iterable[tuple[str, NestedSet]], *,
+              storage: str = "memory", path: str | None = None,
+              cache: ListCache | None = None, segment_size: int = 0,
+              **store_options: object) -> "InvertedFile":
+        """Index a collection of ``(key, nested-set)`` records.
+
+        ``storage`` selects the engine (``memory``/``diskhash``/``btree``);
+        disk engines need a ``path``.  ``segment_size > 0`` stores posting
+        lists longer than that many entries as range-tagged segments
+        (:mod:`repro.core.segments`), enabling segment-skipping
+        intersections and bounding store value sizes.  The whole posting
+        accumulation is in-memory (index construction is an offline step
+        in the paper's setting); the finished lists are then written to
+        the store.
+        """
+        store = open_store(storage, path, create=True, **store_options)
+        postings: dict[Atom, list[tuple[int, tuple[int, ...]]]] = {}
+        all_nodes: list[tuple[int, tuple[int, ...]]] = []
+        zero_leaf: list[tuple[int, tuple[int, ...]]] = []
+        meta_entries: list[bytes] = []
+        next_id = 0
+        n_records = 0
+
+        def walk(node: NestedSet, ordinal: int, is_root: bool) -> int:
+            nonlocal next_id
+            node_id = next_id
+            next_id += 1
+            meta_entries.append(b"")  # reserve slot; filled after subtree
+            # Children are visited in canonical text order for determinism;
+            # ids are handed out sequentially during the visit, so the
+            # resulting child-id tuple is ascending, as postings require.
+            child_ids = tuple(walk(child, ordinal, False)
+                              for child in sorted(node.children,
+                                                  key=lambda c: c.to_text()))
+            max_desc = next_id - 1
+            entry = _META_ENTRY.pack(ordinal, len(node.atoms), max_desc,
+                                     _FLAG_ROOT if is_root else 0)
+            meta_entries[node_id] = entry
+            posting = (node_id, child_ids)
+            for atom in node.atoms:
+                postings.setdefault(atom, []).append(posting)
+            all_nodes.append(posting)
+            if not node.atoms:
+                zero_leaf.append(posting)
+            return node_id
+
+        record_blobs: list[bytes] = []
+        for key, value in records:
+            tree = value if isinstance(value, NestedSet) \
+                else NestedSet.from_obj(value)
+            ordinal = n_records
+            n_records += 1
+            root_id = walk(tree, ordinal, True)
+            blob = encode_str(key) + encode_varint(root_id) + \
+                encode_str(tree.to_text())
+            record_blobs.append(blob)
+
+        # walk() appends postings post-order (a node's posting lands after
+        # its descendants'), so every list must be re-sorted on head id
+        # before the delta encoder sees it.
+        for atom, plist in postings.items():
+            entries = sorted(plist)
+            if segment_size and len(entries) > segment_size:
+                header, blobs = encode_segmented(entries, segment_size)
+                store.put(_atom_store_key(atom), header)
+                token = atom_token(atom).encode("utf-8")
+                for seg_no, blob in enumerate(blobs):
+                    store.put(_SEGMENT_PREFIX + token + b":" +
+                              encode_varint(seg_no), blob)
+            else:
+                store.put(_atom_store_key(atom), encode_plain(entries))
+        n_all_blocks = _write_blocks(store, _ALL_PREFIX, sorted(all_nodes))
+        n_zero_blocks = _write_blocks(store, _ZERO_PREFIX, sorted(zero_leaf))
+        for block_start in range(0, len(meta_entries), META_BLOCK):
+            block_no = block_start // META_BLOCK
+            chunk = b"".join(meta_entries[block_start:block_start + META_BLOCK])
+            store.put(_META_PREFIX + encode_varint(block_no), chunk)
+        for ordinal, blob in enumerate(record_blobs):
+            store.put(_RECORD_PREFIX + encode_varint(ordinal), blob)
+            key, _pos = decode_str(blob, 0)
+            store.put(_KEYMAP_PREFIX + key.encode("utf-8"),
+                      encode_varint(ordinal))
+        freq_blob = bytearray(encode_varint(len(postings)))
+        for atom, plist in sorted(postings.items(),
+                                  key=lambda item: (-len(item[1]),
+                                                    atom_token(item[0]))):
+            freq_blob += encode_str(atom_token(atom))
+            freq_blob += encode_varint(len(plist))
+        store.put(_FREQ_KEY, bytes(freq_blob))
+        config = encode_varint(n_records) + encode_varint(next_id) + \
+            encode_varint(n_all_blocks) + encode_varint(n_zero_blocks) + \
+            encode_varint(segment_size)
+        store.put(_CONFIG_KEY, config)
+        store.sync()
+        return cls(store, cache=cache)
+
+    @classmethod
+    def open(cls, storage: str, path: str,
+             cache: ListCache | None = None,
+             **store_options: object) -> "InvertedFile":
+        """Reopen a previously built disk-resident index."""
+        store = open_store(storage, path, create=False, **store_options)
+        return cls(store, cache=cache)
+
+    # -- posting access -----------------------------------------------------
+
+    def postings(self, atom: Atom) -> PostingList:
+        """Retrieve ``S_IF(atom)`` through the list cache."""
+        self.stats.postings_requests += 1
+        cached = self.cache.get(atom)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        raw = self._store.get(_atom_store_key(atom))
+        if raw is None:
+            plist = PostingList()
+        else:
+            plist = self._decode_atom_value(atom, raw)
+            self.stats.lists_decoded += 1
+        self.cache.admit(atom, plist)
+        return plist
+
+    def _decode_atom_value(self, atom: Atom, raw: bytes) -> PostingList:
+        """Materialize an atom value of either physical format."""
+        fmt = value_format(raw)
+        if fmt == FORMAT_PLAIN:
+            return PostingList(decode_plain(raw))
+        if fmt != FORMAT_SEGMENTED:
+            raise InvertedFileError(
+                f"atom {atom!r}: unknown value format {fmt} "
+                "(index built by an incompatible version?)")
+        header = decode_header(raw)
+        entries: list[tuple[int, tuple[int, ...]]] = []
+        token = atom_token(atom).encode("utf-8")
+        for seg_no in range(len(header.segments)):
+            blob = self._store.get(_SEGMENT_PREFIX + token + b":" +
+                                   encode_varint(seg_no))
+            if blob is None:
+                raise InvertedFileError(
+                    f"missing segment {seg_no} of atom {atom!r}")
+            entries.extend(PostingList.decode(blob).entries)
+            self.stats.segments_read += 1
+        return PostingList(entries)
+
+    def postings_overlapping(self, atom: Atom, lo: int, hi: int
+                             ) -> PostingList:
+        """Postings of ``atom`` from segments overlapping ``[lo, hi]``.
+
+        A superset of the postings with heads in the range (whole
+        overlapping segments are returned) -- sufficient for membership
+        probing during intersection.  Falls back to the full list for
+        plain values and cache hits.
+        """
+        self.stats.postings_requests += 1
+        cached = self.cache.get(atom)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        raw = self._store.get(_atom_store_key(atom))
+        if raw is None:
+            return PostingList()
+        if value_format(raw) == FORMAT_PLAIN:
+            plist = PostingList(decode_plain(raw))
+            self.stats.lists_decoded += 1
+            self.cache.admit(atom, plist)
+            return plist
+        header = decode_header(raw)
+        wanted = overlapping_segments(header, lo, hi)
+        self.stats.segments_skipped += len(header.segments) - len(wanted)
+        token = atom_token(atom).encode("utf-8")
+        entries: list[tuple[int, tuple[int, ...]]] = []
+        for seg_no in wanted:
+            blob = self._store.get(_SEGMENT_PREFIX + token + b":" +
+                                   encode_varint(seg_no))
+            if blob is None:
+                raise InvertedFileError(
+                    f"missing segment {seg_no} of atom {atom!r}")
+            entries.extend(PostingList.decode(blob).entries)
+            self.stats.segments_read += 1
+        # Partial lists must never poison the full-list cache.
+        return PostingList(entries)
+
+    def list_length(self, atom: Atom) -> int:
+        """Posting count of ``atom`` in O(1) (header peek, no decode)."""
+        cached = self.cache.get(atom)
+        if cached is not None:
+            return len(cached)
+        raw = self._store.get(_atom_store_key(atom))
+        return total_of(raw) if raw is not None else 0
+
+    def intersect_atoms(self, atoms: list[Atom]) -> PostingList:
+        """Candidate generation with rarest-first segment skipping.
+
+        Fetches the rarest atom's full list, bounds the feasible head
+        range, and decodes only the overlapping segments of the other
+        atoms.  Identical results to intersecting the full lists; on
+        segmented skewed data most hot-list segments stay on the store.
+        """
+        if not atoms:
+            raise ValueError("intersect_atoms() needs at least one atom")
+        if len(atoms) == 1:
+            return self.postings(atoms[0])
+        ranked = sorted(atoms, key=self.list_length)
+        base = self.postings(ranked[0])
+        if not base:
+            return base
+        lo = base.entries[0][0]
+        hi = base.entries[-1][0]
+        lists = [base]
+        for atom in ranked[1:]:
+            other = self.postings_overlapping(atom, lo, hi)
+            if not other:
+                return PostingList()
+            lists.append(other)
+        return intersect(lists)
+
+    def all_nodes(self) -> PostingList:
+        """Every internal node of the collection (memoized after first load)."""
+        if self._all_nodes is None:
+            self._all_nodes = self._read_blocks(_ALL_PREFIX, self._n_all_blocks)
+        return self._all_nodes
+
+    def zero_leaf_nodes(self) -> PostingList:
+        """Internal nodes with no leaf children (memoized)."""
+        if self._zero_leaf is None:
+            self._zero_leaf = self._read_blocks(_ZERO_PREFIX,
+                                                self._n_zero_blocks)
+        return self._zero_leaf
+
+    def _read_blocks(self, prefix: bytes, n_blocks: int) -> PostingList:
+        entries: list[tuple[int, tuple[int, ...]]] = []
+        for block_no in range(n_blocks):
+            raw = self._store.get(prefix + encode_varint(block_no))
+            if raw is None:
+                raise InvertedFileError(f"missing list block {block_no} "
+                                  f"under {prefix!r}")
+            entries.extend(PostingList.decode(raw).entries)
+        return PostingList(entries)
+
+    # -- node metadata ----------------------------------------------------------
+
+    def meta(self, node_id: int) -> NodeMeta:
+        """Look up a node's metadata (through a small block cache)."""
+        if node_id < 0 or node_id >= self.n_nodes:
+            raise InvertedFileError(f"node id {node_id} out of range "
+                              f"[0, {self.n_nodes})")
+        block_no, offset = divmod(node_id, META_BLOCK)
+        block = self._meta_cache.get(block_no)
+        if block is None:
+            raw = self._store.get(_META_PREFIX + encode_varint(block_no))
+            if raw is None:
+                raise InvertedFileError(f"missing node metadata block {block_no}")
+            self.stats.meta_block_reads += 1
+            if len(self._meta_cache) >= self._meta_cache_cap:
+                self._meta_cache.pop(next(iter(self._meta_cache)))
+            self._meta_cache[block_no] = raw
+            block = raw
+        record, leaf_count, max_desc, flags = _META_ENTRY.unpack_from(
+            block, offset * _META_ENTRY.size)
+        return NodeMeta(record, leaf_count, max_desc, bool(flags & _FLAG_ROOT))
+
+    def max_desc(self, node_id: int) -> int:
+        """End of the preorder interval of ``node_id`` (for homeo joins)."""
+        return self.meta(node_id).max_desc
+
+    def leaf_count(self, node_id: int) -> int:
+        """Number of leaf children of ``node_id`` (for §4.1 joins)."""
+        return self.meta(node_id).leaf_count
+
+    # -- records -------------------------------------------------------------------
+
+    def record(self, ordinal: int) -> tuple[str, int, NestedSet]:
+        """Fetch ``(key, root node id, tree)`` for a record ordinal."""
+        raw = self._store.get(_RECORD_PREFIX + encode_varint(ordinal))
+        if raw is None:
+            raise InvertedFileError(f"no record with ordinal {ordinal}")
+        key, pos = decode_str(raw, 0)
+        root_id, pos = decode_varint(raw, pos)
+        text, _pos = decode_str(raw, pos)
+        return key, root_id, NestedSet.parse(text)
+
+    def record_key(self, ordinal: int) -> str:
+        """Fetch just the key of a record (memoized -- keys are immutable
+        and tiny, and result mapping touches them on every query)."""
+        key = self._key_cache.get(ordinal)
+        if key is not None:
+            return key
+        raw = self._store.get(_RECORD_PREFIX + encode_varint(ordinal))
+        if raw is None:
+            raise InvertedFileError(f"no record with ordinal {ordinal}")
+        key, _pos = decode_str(raw, 0)
+        self._key_cache[ordinal] = key
+        return key
+
+    def iter_records(self) -> Iterator[tuple[int, str, int, NestedSet]]:
+        """Yield ``(ordinal, key, root id, tree)`` for every live record."""
+        for ordinal in range(self.n_records):
+            if ordinal in self.deleted:
+                continue
+            key, root_id, tree = self.record(ordinal)
+            yield ordinal, key, root_id, tree
+
+    @property
+    def n_live_records(self) -> int:
+        """Records not tombstoned by :mod:`repro.core.updates`."""
+        return self.n_records - len(self.deleted)
+
+    def ordinal_of_key(self, key: str) -> int | None:
+        """Reverse lookup: record key -> ordinal (None when absent)."""
+        raw = self._store.get(_KEYMAP_PREFIX + key.encode("utf-8"))
+        if raw is None:
+            return None
+        ordinal, _pos = decode_varint(raw, 0)
+        return ordinal if ordinal not in self.deleted else None
+
+    # -- result mapping ----------------------------------------------------------------
+
+    def heads_to_ordinals(self, heads: Iterable[int],
+                          mode: str = "root") -> list[int]:
+        """Map matched node ids to record ordinals under the match mode."""
+        ordinals: set[int] = set()
+        for head in heads:
+            meta = self.meta(head)
+            if mode == "root" and not meta.is_root:
+                continue
+            if meta.record in self.deleted:
+                continue
+            ordinals.add(meta.record)
+        return sorted(ordinals)
+
+    def heads_to_keys(self, heads: Iterable[int],
+                      mode: str = "root") -> list[str]:
+        """Map matched node ids to lexicographically sorted record keys."""
+        return sorted(self.record_key(ordinal)
+                      for ordinal in self.heads_to_ordinals(heads, mode))
+
+    # -- statistics --------------------------------------------------------------------
+
+    def frequencies(self) -> list[tuple[Atom, int]]:
+        """Atom document frequencies, descending (seeds FrequencyCache)."""
+        raw = self._store.get(_FREQ_KEY)
+        if raw is None:
+            raise InvertedFileError("index holds no frequency table")
+        count, pos = decode_varint(raw, 0)
+        out: list[tuple[Atom, int]] = []
+        for _ in range(count):
+            token, pos = decode_str(raw, pos)
+            df, pos = decode_varint(raw, pos)
+            out.append((atom_from_token(token), df))
+        return out
+
+    def iter_atoms(self) -> Iterator[Atom]:
+        """Iterate over the key space (every distinct atom in S)."""
+        for atom, _df in self.frequencies():
+            yield atom
+
+    @property
+    def store(self) -> KVStore:
+        """The underlying key-value store (for stats and tests)."""
+        return self._store
+
+    def reset_stats(self) -> None:
+        """Zero query-time counters on the index, cache and store."""
+        self.stats.reset()
+        self.cache.stats.reset()
+        self._store.stats.reset()
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "InvertedFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _write_blocks(store: KVStore, prefix: bytes,
+                  entries: list[tuple[int, tuple[int, ...]]]) -> int:
+    """Write a long posting list as fixed-size blocks; returns block count."""
+    n_blocks = 0
+    for start in range(0, len(entries), LIST_BLOCK):
+        chunk = PostingList(entries[start:start + LIST_BLOCK]).encode()
+        store.put(prefix + encode_varint(n_blocks), chunk)
+        n_blocks += 1
+    return n_blocks

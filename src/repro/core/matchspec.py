@@ -1,0 +1,60 @@
+"""Query specification: embedding semantics × join type × match mode.
+
+The two index algorithms (Sections 3.1-3.2) are parameterized by the same
+small strategy surface, so the extension machinery of Section 4 lives here:
+
+* **semantics** (Section 4.2): ``hom`` (default), ``iso``, ``homeo``;
+* **join** (Section 4.1): ``subset`` (default, Equation 2), ``equality``,
+  ``superset``, ``overlap`` (with its ``epsilon``);
+* **mode**: ``root`` (Equation 2 -- the query must embed at the record
+  root) or ``anywhere`` (the query may embed at any internal node of the
+  record -- the raw relation the algorithms naturally compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SEMANTICS = ("hom", "iso", "homeo")
+JOINS = ("subset", "equality", "superset", "overlap")
+MODES = ("root", "anywhere")
+
+
+class QuerySpecError(ValueError):
+    """Raised for inconsistent query specification combinations."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Validated bundle of query-evaluation options."""
+
+    semantics: str = "hom"
+    join: str = "subset"
+    epsilon: int = 1
+    mode: str = "root"
+
+    def __post_init__(self) -> None:
+        if self.semantics not in SEMANTICS:
+            raise QuerySpecError(
+                f"unknown semantics {self.semantics!r}; expected {SEMANTICS}")
+        if self.join not in JOINS:
+            raise QuerySpecError(
+                f"unknown join {self.join!r}; expected {JOINS}")
+        if self.mode not in MODES:
+            raise QuerySpecError(
+                f"unknown mode {self.mode!r}; expected {MODES}")
+        if self.epsilon < 1:
+            raise QuerySpecError("epsilon must be >= 1")
+        if self.epsilon != 1 and self.join != "overlap":
+            raise QuerySpecError(
+                "epsilon is only meaningful for the overlap join")
+        if self.join != "subset" and self.semantics != "hom":
+            raise QuerySpecError(
+                f"the {self.join} join is defined for homomorphic semantics "
+                f"only (got semantics={self.semantics!r})")
+
+    @property
+    def is_default(self) -> bool:
+        """True for the plain containment join of Equation 2."""
+        return (self.semantics, self.join, self.mode) == \
+            ("hom", "subset", "root")

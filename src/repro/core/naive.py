@@ -1,0 +1,131 @@
+"""The naive baseline: per-record subtree embedding (Section 3, remark 1).
+
+"A naive solution to computing containment of q in S is to apply an
+off-the-shelf subtree homomorphism algorithm to each pairing (q, s), for
+s ∈ S" -- requiring every object to be retrieved from the database.  The
+paper reports (and our N1 benchmark confirms) that this is substantially
+more expensive than bulk processing via the inverted file.
+
+:class:`NaiveScanner` walks the record table of an index (or an in-memory
+record list) and applies the reference checkers of
+:mod:`repro.core.semantics` pair by pair.  It optionally consults a
+:class:`~repro.core.bloom.BloomIndex` prefilter first, which is how the
+Bloom-filter optimization of Section 3.3 is evaluated (benchmark B1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .invfile import InvertedFile
+from .matchspec import QuerySpec
+from .model import NestedSet
+from .semantics import (
+    contains,
+    equality_matches,
+    hom_contains,
+    overlap_matches,
+    superset_matches,
+)
+
+
+def naive_predicate(data: NestedSet, query: NestedSet,
+                    spec: QuerySpec = QuerySpec()) -> bool:
+    """Decide the join predicate for one ``(query, data)`` pair."""
+    if spec.mode == "anywhere":
+        root_spec = QuerySpec(semantics=spec.semantics, join=spec.join,
+                              epsilon=spec.epsilon, mode="root")
+        return any(naive_predicate(node, query, root_spec)
+                   for node in data.iter_sets())
+    if spec.join == "subset":
+        return contains(data, query, spec.semantics)
+    if spec.join == "equality":
+        return equality_matches(data, query)
+    if spec.join == "superset":
+        return superset_matches(data, query)
+    if spec.join == "overlap":
+        return overlap_matches(data, query, spec.epsilon)
+    raise ValueError(f"unknown join {spec.join!r}")
+
+
+class NaiveScanner:
+    """Full-scan evaluator over a record collection or an index."""
+
+    def __init__(self, source: InvertedFile | Sequence[tuple[str, NestedSet]],
+                 bloom_index: "object | None" = None) -> None:
+        self._source = source
+        self._bloom = bloom_index
+        self.records_tested = 0
+        self.records_skipped = 0
+
+    def _iter_records(self, ordinals: Iterable[int] | None
+                      ) -> Iterable[tuple[str, NestedSet]]:
+        if isinstance(self._source, InvertedFile):
+            if ordinals is None:
+                for _ordinal, key, _root, tree in self._source.iter_records():
+                    yield key, tree
+            else:
+                for ordinal in ordinals:
+                    if ordinal in self._source.deleted:
+                        continue
+                    key, _root, tree = self._source.record(ordinal)
+                    yield key, tree
+        else:
+            if ordinals is None:
+                yield from self._source
+            else:
+                for ordinal in ordinals:
+                    yield self._source[ordinal]
+
+    def query(self, query: NestedSet,
+              spec: QuerySpec = QuerySpec()) -> list[str]:
+        """Scan every record (modulo the Bloom prefilter) and test it."""
+        ordinals: Iterable[int] | None = None
+        total = self._total_records()
+        if self._bloom is not None:
+            candidates = self._bloom.candidates(query, spec)
+            if candidates is not None:
+                ordinals = candidates
+                self.records_skipped += total - len(candidates)
+        matches = []
+        for key, tree in self._iter_records(ordinals):
+            self.records_tested += 1
+            if naive_predicate(tree, query, spec):
+                matches.append(key)
+        return sorted(matches)
+
+    def _total_records(self) -> int:
+        if isinstance(self._source, InvertedFile):
+            return self._source.n_live_records
+        return len(self._source)
+
+
+def naive_containment_join(queries: Iterable[tuple[str, NestedSet]],
+                           records: Sequence[tuple[str, NestedSet]],
+                           spec: QuerySpec = QuerySpec()
+                           ) -> list[tuple[str, str]]:
+    """The full join ``Q ⋈ S`` of Equation 1, naive nested loops."""
+    scanner = NaiveScanner(records)
+    pairs: list[tuple[str, str]] = []
+    for qkey, query in queries:
+        for skey in scanner.query(query, spec):
+            pairs.append((qkey, skey))
+    return pairs
+
+
+def reference_query(records: Iterable[tuple[str, NestedSet]],
+                    query: NestedSet,
+                    spec: QuerySpec = QuerySpec()) -> list[str]:
+    """One-shot oracle used pervasively by the test suite."""
+    return sorted(key for key, tree in records
+                  if naive_predicate(tree, query, spec))
+
+
+def hom_join_pairs(queries: Sequence[tuple[str, NestedSet]],
+                   records: Sequence[tuple[str, NestedSet]]
+                   ) -> list[tuple[str, str]]:
+    """Equation 1 under the default homomorphic subset semantics."""
+    return [(qkey, skey)
+            for qkey, query in queries
+            for skey, tree in records
+            if hom_contains(tree, query)]

@@ -1,0 +1,231 @@
+"""Posting lists and the inverted-list operations of Section 2.
+
+A posting is a pair ``(p, C)``: ``p`` is the integer id of an internal node
+that owns a leaf with the list's atom, and ``C`` is the sorted tuple of
+``p``'s internal-node children.  :class:`PostingList` wraps a list of
+postings sorted on ``p`` and provides
+
+* k-way **intersection** on heads (candidate generation, Algorithm 1 line 1,
+  Algorithm 2 line 8, Algorithm 4 line 11),
+* **multiset union** with multiplicities (superset and ε-overlap joins of
+  Section 4.1),
+* the **navigation join** ``L ▷ L'`` used by the top-down algorithm to step
+  one nesting level down while remembering the original head of each path.
+
+:class:`PathList` is the navigation-state companion: entries ``(head, C)``
+where ``head`` is the original candidate for the query root and ``C`` the
+current frontier of children ids (possibly several entries per head).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, Sequence
+
+from ..storage.codec import Posting, decode_postings, encode_postings
+
+
+class PostingList:
+    """An immutable posting list sorted on head ids (unique heads)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Sequence[Posting] = ()) -> None:
+        self.entries: tuple[Posting, ...] = tuple(entries)
+
+    @classmethod
+    def from_unsorted(cls, entries: Iterable[Posting]) -> "PostingList":
+        """Build from postings in arbitrary order (sorts on head)."""
+        return cls(sorted(entries))
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "PostingList":
+        """Decode the on-disk representation."""
+        return cls(decode_postings(raw))
+
+    def encode(self) -> bytes:
+        """Encode to the on-disk representation."""
+        return encode_postings(self.entries)
+
+    def heads(self) -> set[int]:
+        """The set of head ids ``p``."""
+        return {p for p, _ in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+    def __repr__(self) -> str:
+        return f"PostingList({list(self.entries)!r})"
+
+
+def intersect(lists: Sequence[PostingList]) -> PostingList:
+    """Intersect posting lists on their heads.
+
+    This is the candidate-generation primitive: a node is a candidate match
+    for query node ``n`` exactly when it appears in the list of *every*
+    leaf atom of ``n``.  The intersection probes the smallest list against
+    hash sets of the others, keeping each surviving ``(p, C)``.
+    """
+    if not lists:
+        raise ValueError("intersect() needs at least one posting list")
+    if len(lists) == 1:
+        return lists[0]
+    smallest = min(lists, key=len)
+    if not smallest:
+        return PostingList()
+    other_heads = [plist.heads() for plist in lists if plist is not smallest]
+    entries = [(p, children) for p, children in smallest.entries
+               if all(p in heads for heads in other_heads)]
+    return PostingList(entries)
+
+
+def multiset_union(lists: Sequence[PostingList]) -> list[tuple[int, tuple[int, ...], int]]:
+    """Multiset union on heads: ``(p, C, multiplicity)`` per distinct head.
+
+    The multiplicity counts in how many of the input lists ``p`` occurs,
+    i.e. how many of the query node's leaf atoms also occur as leaves of
+    ``p`` -- the quantity the superset and ε-overlap joins of Section 4.1
+    filter on.
+    """
+    counts: dict[int, int] = {}
+    children_of: dict[int, tuple[int, ...]] = {}
+    for plist in lists:
+        for p, children in plist.entries:
+            counts[p] = counts.get(p, 0) + 1
+            if p not in children_of:
+                children_of[p] = children
+    return [(p, children_of[p], counts[p]) for p in sorted(counts)]
+
+
+class PathList:
+    """Navigation paths of the top-down algorithm: ``(head, frontier)``.
+
+    ``head`` is the candidate node for the *query root*; ``frontier`` the
+    children ids reachable at the current nesting level via some chain of
+    successful ``▷``-joins from ``head``.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Sequence[tuple[int, tuple[int, ...]]] = ()) -> None:
+        self.entries: tuple[tuple[int, tuple[int, ...]], ...] = tuple(entries)
+
+    @classmethod
+    def from_postings(cls, plist: PostingList) -> "PathList":
+        """Initial paths: every root candidate heads its own path."""
+        return cls(plist.entries)
+
+    def heads(self) -> set[int]:
+        """Set of original root candidates still alive on some path."""
+        return {head for head, _ in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return f"PathList({list(self.entries)!r})"
+
+
+def nav_join(paths: PathList, candidates: PostingList) -> PathList:
+    """The inverted-list join ``L ▷ L'`` of Section 2.
+
+    Keeps, for every path ``(head, C)`` and candidate ``(p', C')`` with
+    ``p' ∈ C``, the extended path ``(head, C')``.  Several paths may share a
+    head; duplicates ``(head, C')`` are collapsed.
+    """
+    if not paths or not candidates:
+        return PathList()
+    heads_by_child: dict[int, set[int]] = {}
+    for head, frontier in paths.entries:
+        for child in frontier:
+            heads_by_child.setdefault(child, set()).add(head)
+    out: list[tuple[int, tuple[int, ...]]] = []
+    for p, children in candidates.entries:
+        for head in heads_by_child.get(p, ()):
+            out.append((head, children))
+    return PathList(out)
+
+
+def nav_join_descendant(paths: Sequence[tuple[int, int, int]],
+                        candidates: PostingList
+                        ) -> list[tuple[int, int, int]]:
+    """Descendant-axis variant of ``▷`` for homeomorphic containment.
+
+    ``paths`` entries are ``(head, node_id, max_desc)``: the query node is
+    currently matched at ``node_id`` whose preorder subtree interval is
+    ``(node_id, max_desc]``.  A candidate ``(p', C')`` qualifies for a path
+    when ``node_id < p' <= max_desc`` (the constant-time interval test of
+    Section 4.2).  Returns extended paths ``(head, p', max_desc')`` --
+    ``max_desc'`` must be filled by the caller from node metadata, so here
+    we return ``(head, p', -1)`` placeholders resolved upstream.
+    """
+    if not paths or not candidates:
+        return []
+    cand_ids = [p for p, _ in candidates.entries]
+    out: list[tuple[int, int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for head, node_id, max_desc in paths:
+        lo = bisect_right(cand_ids, node_id)
+        hi = bisect_right(cand_ids, max_desc, lo=lo)
+        for index in range(lo, hi):
+            key = (head, cand_ids[index])
+            if key not in seen:
+                seen.add(key)
+                out.append((head, cand_ids[index], -1))
+    return out
+
+
+def heads_with_child_in(candidates: PostingList,
+                        required: Sequence[set[int]]) -> PostingList:
+    """The ``H(·)`` operator of the bottom-up algorithm (Algorithm 4 line 12).
+
+    Keeps candidates having at least one child in *each* of the ``required``
+    head sets.
+    """
+    if not required:
+        return candidates
+    entries = [(p, children) for p, children in candidates.entries
+               if all(any(c in h for c in children) for h in required)]
+    return PostingList(entries)
+
+
+def heads_with_descendant_in(candidates: PostingList,
+                             required_sorted: Sequence[Sequence[int]],
+                             max_desc_of) -> PostingList:
+    """Homeomorphic ``H(·)``: candidates must have a *descendant* in each
+    required set.  ``required_sorted`` holds sorted id lists; ``max_desc_of``
+    maps a node id to the end of its preorder interval."""
+    if not required_sorted:
+        return candidates
+    entries = []
+    for p, children in candidates.entries:
+        end = max_desc_of(p)
+        if all(_has_in_interval(ids, p, end) for ids in required_sorted):
+            entries.append((p, children))
+    return PostingList(entries)
+
+
+def _has_in_interval(sorted_ids: Sequence[int], start: int, end: int) -> bool:
+    """True when some id in ``sorted_ids`` lies in ``(start, end]``."""
+    index = bisect_left(sorted_ids, start + 1)
+    return index < len(sorted_ids) and sorted_ids[index] <= end

@@ -1,0 +1,79 @@
+"""Whole-query result caching with update invalidation.
+
+The paper's Section 3.3 cache operates on posting lists; the future-work
+list (6) suggests caching "with respect to an evolving query workload".
+:class:`ResultCache` is the coarsest point on that spectrum: an LRU map
+from ``(query, evaluation options)`` to the final key list.  It pays off
+when a workload repeats whole queries (dashboards, polling agents) and
+is trivially correct because nested sets are immutable values -- the only
+invalidation events are index mutations, which the engine signals via
+:meth:`invalidate_all`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .model import NestedSet
+
+
+@dataclass
+class ResultCacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+#: Cache key: the query value plus every option that affects the answer.
+CacheKey = tuple
+
+
+def make_key(query: NestedSet, algorithm: str, semantics: str, join: str,
+             epsilon: int, mode: str) -> CacheKey:
+    """Options are part of the key; different algorithms return equal
+    results but are kept distinct so stats reflect what actually ran."""
+    return (query, algorithm, semantics, join, epsilon, mode)
+
+
+class ResultCache:
+    """LRU cache of complete query results."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = ResultCacheStats()
+        self._entries: OrderedDict[CacheKey, list[str]] = OrderedDict()
+
+    def get(self, key: CacheKey) -> list[str] | None:
+        cached = self._entries.get(key)
+        if cached is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return list(cached)  # defensive copy: callers may mutate
+
+    def put(self, key: CacheKey, result: list[str]) -> None:
+        self._entries[key] = list(result)
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        """Drop everything (any index mutation may change any answer)."""
+        if self._entries:
+            self.stats.invalidations += 1
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,237 @@
+"""Nested sequences (lists): the ordered variation of future work (2).
+
+Where :class:`~repro.core.model.NestedSet` forgets order and duplicates
+and :class:`~repro.core.bags.NestedBag` keeps duplicates, a
+:class:`NestedSeq` keeps *both*: a record is an ordered list of atoms and
+sub-lists.  Text syntax uses brackets: ``[a, [b, c], a]``.
+
+Containment becomes subsequence embedding: ``q ⊑ s`` when ``q``'s
+members appear in ``s`` *in order* (not necessarily contiguously), atoms
+matching equal atoms and sub-sequences matching sub-sequences that
+recursively contain them.  Leftmost-greedy matching decides this exactly
+(standard exchange argument: positions are totally ordered, so any valid
+embedding can be pushed left match by match).
+
+Relationship to the coarser models (tested):
+
+* ``q ⊑seq s`` ⇒ ``q.to_bag() ⊑bag s.to_bag()`` ⇒
+  ``q.to_set() ⊆_hom s.to_set()`` -- each abstraction forgets structure,
+  so containment only gets easier; the set index therefore prefilters
+  sequence queries soundly (:func:`seq_filter_verify`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from .bags import NestedBag
+from .model import Atom, NestedSetError, _Parser, _atom_text, _is_atom
+from .model import NestedSet
+
+SeqMember = Union[Atom, "NestedSeq"]
+
+
+class NestedSeq:
+    """An immutable nested sequence (ordered, duplicates kept)."""
+
+    __slots__ = ("_members", "_hash")
+
+    def __init__(self, members: "tuple[SeqMember, ...] | list" = ()) -> None:
+        checked = []
+        for member in members:
+            if _is_atom(member) or isinstance(member, NestedSeq):
+                checked.append(member)
+            else:
+                raise NestedSetError(
+                    f"sequence members must be atoms or NestedSeq, got "
+                    f"{type(member).__name__}")
+        self._members = tuple(checked)
+        self._hash = hash(self._members)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def members(self) -> tuple:
+        """The ordered members (atoms and sub-sequences)."""
+        return self._members
+
+    @property
+    def atoms(self) -> tuple:
+        """Atom members only, in order."""
+        return tuple(m for m in self._members if _is_atom(m))
+
+    @property
+    def children(self) -> tuple:
+        """Sub-sequence members only, in order."""
+        return tuple(m for m in self._members
+                     if isinstance(m, NestedSeq))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[SeqMember]:
+        return iter(self._members)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._members
+
+    def iter_seqs(self) -> Iterator["NestedSeq"]:
+        """Preorder iteration over this sequence and nested ones."""
+        stack = [self]
+        while stack:
+            seq = stack.pop()
+            yield seq
+            stack.extend(member for member in seq._members
+                         if isinstance(member, NestedSeq))
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_obj(cls, obj: object) -> "NestedSeq":
+        """Build from nested lists/tuples, keeping order and duplicates."""
+        if isinstance(obj, NestedSeq):
+            return obj
+        if not isinstance(obj, (list, tuple)):
+            raise NestedSetError(
+                f"cannot build a nested sequence from "
+                f"{type(obj).__name__} (order requires list/tuple)")
+        members: list[SeqMember] = []
+        for member in obj:
+            if _is_atom(member):
+                members.append(member)
+            else:
+                members.append(cls.from_obj(member))
+        return cls(members)
+
+    @classmethod
+    def parse(cls, text: str) -> "NestedSeq":
+        """Parse the bracketed text syntax ``[a, [b], a]``."""
+        parser = _SeqParser(text)
+        result = parser.parse_set()
+        parser.skip_ws()
+        if not parser.at_end():
+            raise NestedSetError(
+                f"trailing input at position {parser.pos}")
+        return result
+
+    def to_text(self) -> str:
+        parts = [member.to_text() if isinstance(member, NestedSeq)
+                 else _atom_text(member) for member in self._members]
+        return "[" + ", ".join(parts) + "]"
+
+    def to_bag(self) -> NestedBag:
+        """Forget order, keep multiplicities."""
+        return NestedBag(self.atoms,
+                         [child.to_bag() for child in self.children])
+
+    def to_set(self) -> NestedSet:
+        """Forget order and multiplicities: the paper's abstraction."""
+        return NestedSet(self.atoms,
+                         [child.to_set() for child in self.children])
+
+    # -- dunder -------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NestedSeq):
+            return NotImplemented
+        return self._members == other._members
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        text = self.to_text()
+        if len(text) > 60:
+            text = text[:57] + "..."
+        return f"NestedSeq({text})"
+
+
+class _SeqParser(_Parser):
+    """The shared parser with bracket delimiters and ordered members."""
+
+    OPEN = "["
+    CLOSE = "]"
+
+    def __init__(self, text: str) -> None:
+        super().__init__(text, builder=None)
+
+    def _finish(self, members: list) -> NestedSeq:
+        return NestedSeq(members)
+
+
+def seq_contains(data: NestedSeq, query: NestedSeq) -> bool:
+    """Subsequence containment ``query ⊑ data`` (leftmost-greedy)."""
+    memo: dict[tuple[int, int], bool] = {}
+
+    def covered(qseq: NestedSeq, dseq: NestedSeq) -> bool:
+        key = (id(qseq), id(dseq))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        position = 0
+        data_members = dseq.members
+        ok = True
+        for member in qseq.members:
+            while position < len(data_members):
+                candidate = data_members[position]
+                position += 1
+                if _is_atom(member):
+                    if candidate == member:
+                        break
+                elif isinstance(candidate, NestedSeq) and \
+                        covered(member, candidate):
+                    break
+            else:
+                ok = False
+                break
+        memo[key] = ok
+        return ok
+
+    return covered(query, data)
+
+
+def seq_reference_query(records, query: NestedSeq) -> list[str]:
+    """Naive scan: keys of records with ``query ⊑ record``."""
+    return sorted(key for key, seq in records if seq_contains(seq, query))
+
+
+def seq_filter_verify(index, seq_records: dict, query: NestedSeq,
+                      **query_options) -> list[str]:
+    """Filter-verify sequence search over a set index.
+
+    ``index`` is built from the ``to_set()`` projections; the set query
+    is a sound prefilter (module docstring), candidates are verified with
+    :func:`seq_contains`.
+    """
+    candidates = index.query(query.to_set(), **query_options)
+    return [key for key in candidates
+            if seq_contains(seq_records[key], query)]
+
+
+def json_to_nested_seq(value: object) -> NestedSeq:
+    """JSON -> nested sequence; array order and duplicates preserved.
+
+    Objects map their fields in key order (sorted, for determinism) with
+    the same ``k=v`` / ``@k`` scheme as the set adapter.
+    """
+    from ..data.json_adapter import scalar_atom
+    if isinstance(value, dict):
+        members: list = []
+        for key in sorted(value):
+            member = value[key]
+            if isinstance(member, (dict, list)):
+                child = json_to_nested_seq(member)
+                members.append(NestedSeq((f"@{key}",) + child.members))
+            else:
+                members.append(f"{key}={scalar_atom(member)}")
+        return NestedSeq(members)
+    if isinstance(value, list):
+        members = []
+        for member in value:
+            if isinstance(member, (dict, list)):
+                members.append(json_to_nested_seq(member))
+            else:
+                members.append(scalar_atom(member))
+        return NestedSeq(members)
+    return NestedSeq([scalar_atom(value)])  # type: ignore[list-item]

@@ -1,0 +1,162 @@
+"""Structural match conditions shared by the two algorithms.
+
+Given the candidate postings for a query node and the already-computed
+match sets of its internal children, decide which candidates actually cover
+the node.  This is the ``H(·)`` operator of the bottom-up algorithm
+(Algorithm 4 line 12) generalized over the paper's extension matrix:
+
+===========  =====================================================
+semantics    edge condition between a candidate and a child match
+===========  =====================================================
+``hom``      some *child* of the candidate lies in every child set
+``homeo``    some *descendant* (preorder interval test, Section 4.2)
+``iso``      an *injective* assignment children -> candidate children
+===========  =====================================================
+
+===========  =====================================================
+join         additional condition (Section 4.1)
+===========  =====================================================
+``subset``   none
+``overlap``  none (the leaf relaxation lives in candidate generation)
+``equality`` candidate child count equals query child count
+``superset`` every candidate child is covered by *some* query child
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .invfile import InvertedFile
+from .matchspec import QuerySpec
+from .postings import (
+    PostingList,
+    _has_in_interval,
+    heads_with_child_in,
+    heads_with_descendant_in,
+)
+
+
+def filter_candidates(cand: PostingList, child_sets: Sequence[set[int]],
+                      ifile: InvertedFile, spec: QuerySpec) -> PostingList:
+    """Keep the candidates that structurally cover the query node.
+
+    ``child_sets`` holds, for each internal child of the query node, the
+    set of data node ids at which that child's subtree embeds.
+    """
+    if spec.join == "superset":
+        allowed: set[int] = set().union(*child_sets) if child_sets else set()
+        return PostingList([(p, children) for p, children in cand
+                            if all(c in allowed for c in children)])
+    if spec.join == "equality":
+        want = len(child_sets)
+        # Children of distinct query subtrees have disjoint equality-match
+        # sets, so "every child set hit + equal counts" forces a bijection.
+        return PostingList([
+            (p, children) for p, children in cand
+            if len(children) == want
+            and all(any(c in hits for c in children) for hits in child_sets)])
+    # subset / overlap
+    if not child_sets:
+        return cand
+    if spec.semantics == "hom":
+        return heads_with_child_in(cand, child_sets)
+    if spec.semantics == "homeo":
+        sorted_sets = [sorted(hits) for hits in child_sets]
+        return heads_with_descendant_in(cand, sorted_sets, ifile.max_desc)
+    if spec.semantics == "iso":
+        return PostingList([(p, children) for p, children in cand
+                            if injective_cover(child_sets, children)])
+    raise ValueError(f"unknown semantics {spec.semantics!r}")
+
+
+def injective_cover(child_sets: Sequence[set[int]],
+                    children: Sequence[int]) -> bool:
+    """Bipartite matching: can every query child claim a *distinct*
+    candidate child lying in its match set?  (Isomorphic semantics.)"""
+    match_right: dict[int, int] = {}
+
+    def assign(index: int, visited: set[int]) -> bool:
+        hits = child_sets[index]
+        for c in children:
+            if c in visited or c not in hits:
+                continue
+            visited.add(c)
+            holder = match_right.get(c)
+            if holder is None or assign(holder, visited):
+                match_right[c] = index
+                return True
+        return False
+
+    for index in range(len(child_sets)):
+        if not assign(index, set()):
+            return False
+    return True
+
+
+def prefilter_survivors(survivors: PostingList, ok_set: set[int],
+                        ifile: InvertedFile, spec: QuerySpec) -> PostingList:
+    """Drop survivors with no edge into ``ok_set`` (one query child).
+
+    Used by the strict top-down algorithm after each child recursion.  For
+    ``iso`` this is a necessary-but-not-sufficient prefilter; the final
+    injective check runs via :func:`filter_candidates`.
+    """
+    if spec.semantics == "homeo":
+        sorted_ok = sorted(ok_set)
+        return PostingList([
+            (p, children) for p, children in survivors
+            if _has_in_interval(sorted_ok, p, ifile.max_desc(p))])
+    return PostingList([(p, children) for p, children in survivors
+                        if any(c in ok_set for c in children)])
+
+
+def frontier_of(survivors: PostingList, ifile: InvertedFile,
+                spec: QuerySpec) -> "Frontier":
+    """The set of data nodes reachable one query level below ``survivors``."""
+    if spec.semantics == "homeo":
+        intervals = _merge_intervals(
+            [(p, ifile.max_desc(p)) for p, _ in survivors])
+        return Frontier(intervals=intervals)
+    ids: set[int] = set()
+    for _p, children in survivors:
+        ids.update(children)
+    return Frontier(ids=ids)
+
+
+class Frontier:
+    """Either an id set (child axis) or merged intervals (descendant axis)."""
+
+    __slots__ = ("ids", "intervals")
+
+    def __init__(self, ids: set[int] | None = None,
+                 intervals: list[tuple[int, int]] | None = None) -> None:
+        self.ids = ids
+        self.intervals = intervals
+
+    def restrict(self, plist: PostingList) -> PostingList:
+        """Keep only postings whose head lies in the frontier."""
+        if self.ids is not None:
+            return PostingList([(p, children) for p, children in plist
+                                if p in self.ids])
+        assert self.intervals is not None
+        out = []
+        index = 0
+        intervals = self.intervals
+        for p, children in plist:
+            while index < len(intervals) and intervals[index][1] < p:
+                index += 1
+            if index < len(intervals) and intervals[index][0] < p:
+                out.append((p, children))
+        return PostingList(out)
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge half-open preorder intervals ``(start, end]`` (laminar family)."""
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged

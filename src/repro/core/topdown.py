@@ -1,0 +1,191 @@
+"""The top-down containment algorithm (Section 3.1, Algorithms 1-2).
+
+Two variants are provided.
+
+**Strict variant** (:func:`topdown_match_nodes`, the default everywhere).
+Starts at the query root, generates candidates for each node, and -- the
+top-down advantage -- restricts every child's candidate list to the
+*frontier* reachable from the surviving parents before recurring.  After
+each child returns, parents without an edge into the child's match set are
+dropped, so later siblings see an ever-smaller frontier.  The survivors of
+a node are exactly the data nodes at which its subtree embeds, which makes
+the variant a sound and complete decision procedure for homomorphic
+containment.
+
+**Paper-literal variant** (:func:`topdown_paper_match_nodes`).  A faithful
+transcription of Algorithms 1-2: navigation state is the set of paths
+``(head, frontier)`` produced by the ``▷``-join, and the per-level result
+is the intersection of surviving *root* candidates across sibling
+subqueries.  Because the paths remember only the original head -- not which
+intermediate node matched -- two sibling subqueries may be satisfied
+through *different* children of the same head, so on branching queries the
+literal algorithm computes a slightly weaker relation ("path-consistent
+containment") and can return supersets of the homomorphic result.  On the
+paper's benchmark workloads (queries sampled from the collection, negatives
+distorted with an alien leaf) the two relations coincide; DESIGN.md
+discusses the discrepancy.  The literal variant supports ``hom``/``homeo``
+semantics with the ``subset``/``equality``/``overlap`` joins.
+
+Both variants run in ``O(|q| · |S|)`` worst case (Section 3.1, Analysis).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from .candidates import node_candidates
+from .invfile import InvertedFile
+from .matchspec import QuerySpec, QuerySpecError
+from .model import NestedSet
+from .postings import PathList, PostingList, nav_join
+from .structural import filter_candidates, frontier_of, prefilter_survivors
+
+
+# -- strict variant ----------------------------------------------------------
+
+
+def topdown_match_nodes(query: NestedSet, ifile: InvertedFile,
+                        spec: QuerySpec = QuerySpec(), *,
+                        child_order=None) -> set[int]:
+    """Return the set of data node ids at which ``query`` embeds.
+
+    ``child_order`` is an optional hook ``(children, spec) -> ordered
+    list`` (see :mod:`repro.core.planner`): sibling subqueries are
+    evaluated in the returned order, which controls how fast the
+    surviving-parent frontier shrinks.
+    """
+    cand = node_candidates(query, ifile, spec)
+    return _match(query, cand, ifile, spec, child_order)
+
+
+def topdown_query(query: NestedSet, ifile: InvertedFile,
+                  spec: QuerySpec = QuerySpec()) -> list[str]:
+    """Evaluate ``query ⋉ S`` and return the matching record keys."""
+    heads = topdown_match_nodes(query, ifile, spec)
+    return ifile.heads_to_keys(heads, mode=spec.mode)
+
+
+def _match(qnode: NestedSet, cand: PostingList, ifile: InvertedFile,
+           spec: QuerySpec, child_order=None) -> set[int]:
+    """Survivors of ``cand`` whose subtrees cover ``qnode``'s children."""
+    if not cand:
+        return set()
+    if child_order is not None:
+        children = child_order(list(qnode.children), spec)
+    else:
+        children = sorted(qnode.children, key=lambda c: c.to_text())
+    if not children:
+        return filter_candidates(cand, [], ifile, spec).heads()
+    if spec.join == "superset":
+        # The superset condition quantifies over *data* children, so the
+        # per-child sequential pruning below would be unsound; recur on
+        # every query child first, then apply the coverage filter.
+        frontier = frontier_of(cand, ifile, spec)
+        child_sets = []
+        for child in children:
+            child_cand = frontier.restrict(
+                node_candidates(child, ifile, spec))
+            child_sets.append(_match(child, child_cand, ifile, spec,
+                                     child_order))
+        return filter_candidates(cand, child_sets, ifile, spec).heads()
+    if spec.join == "equality":
+        want = len(children)
+        cand = PostingList([(p, c) for p, c in cand if len(c) == want])
+    survivors = cand
+    child_sets: list[set[int]] = []
+    for child in children:
+        if not survivors:
+            return set()
+        frontier = frontier_of(survivors, ifile, spec)
+        child_cand = frontier.restrict(node_candidates(child, ifile, spec))
+        ok = _match(child, child_cand, ifile, spec, child_order)
+        child_sets.append(ok)
+        survivors = prefilter_survivors(survivors, ok, ifile, spec)
+    if spec.semantics == "iso" and survivors:
+        # The sequential prefilter is only necessary for iso; finish with
+        # the injective matching over all children at once.
+        survivors = filter_candidates(survivors, child_sets, ifile, spec)
+    return survivors.heads()
+
+
+# -- paper-literal variant ------------------------------------------------------
+
+
+def topdown_paper_match_nodes(query: NestedSet, ifile: InvertedFile,
+                              spec: QuerySpec = QuerySpec()) -> set[int]:
+    """Algorithms 1-2 verbatim; see the module docstring for semantics."""
+    if spec.semantics == "iso":
+        raise QuerySpecError(
+            "the paper-literal top-down variant does not implement the "
+            "isomorphic backtracking extension; use the strict variant")
+    if spec.join == "superset":
+        raise QuerySpecError(
+            "the paper-literal top-down variant does not support the "
+            "superset join; use the strict variant")
+    if spec.semantics == "homeo":
+        paths = [(p, p, ifile.max_desc(p))
+                 for p, _ in node_candidates(query, ifile, spec)]
+        return _interior_desc(sorted(query.children, key=lambda c: c.to_text()),
+                              paths, ifile, spec)
+    paths = PathList.from_postings(node_candidates(query, ifile, spec))
+    return _interior(sorted(query.children, key=lambda c: c.to_text()),
+                     paths, ifile, spec)
+
+
+def topdown_paper_query(query: NestedSet, ifile: InvertedFile,
+                        spec: QuerySpec = QuerySpec()) -> list[str]:
+    """Paper-literal evaluation returning record keys."""
+    heads = topdown_paper_match_nodes(query, ifile, spec)
+    return ifile.heads_to_keys(heads, mode=spec.mode)
+
+
+def _interior(siblings: list[NestedSet], paths: PathList,
+              ifile: InvertedFile, spec: QuerySpec) -> set[int]:
+    """Top-down-interior (Algorithm 2), child axis."""
+    if not siblings:                       # lines 1-2
+        return paths.heads()
+    if not paths:                          # lines 3-4
+        return set()
+    roots = paths.heads()                  # line 6
+    for node in siblings:                  # lines 7-12
+        cand = node_candidates(node, ifile, spec)          # line 8
+        extended = nav_join(paths, cand)                   # line 9
+        deeper = _interior(sorted(node.children, key=lambda c: c.to_text()),
+                           extended, ifile, spec)          # line 10
+        roots &= deeper                                    # line 11
+    return roots                           # line 13
+
+
+def _interior_desc(siblings: list[NestedSet],
+                   paths: list[tuple[int, int, int]],
+                   ifile: InvertedFile, spec: QuerySpec) -> set[int]:
+    """Algorithm 2 with the ancestor-descendant join of Section 4.2.
+
+    Path entries are ``(head, matched node, matched node's max_desc)``; the
+    ``▷``-join condition becomes the constant-time interval test.
+    """
+    if not siblings:
+        return {head for head, _node, _end in paths}
+    if not paths:
+        return set()
+    roots = {head for head, _node, _end in paths}
+    for node in siblings:
+        cand = node_candidates(node, ifile, spec)
+        cand_entries = cand.entries
+        cand_ids = [p for p, _ in cand_entries]
+        extended: list[tuple[int, int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for head, _matched, end in paths:
+            lo = bisect_right(cand_ids, _matched)
+            hi = bisect_right(cand_ids, end, lo)
+            for index in range(lo, hi):
+                key = (head, cand_ids[index])
+                if key not in seen:
+                    seen.add(key)
+                    extended.append((head, cand_ids[index],
+                                     ifile.max_desc(cand_ids[index])))
+        deeper = _interior_desc(
+            sorted(node.children, key=lambda c: c.to_text()),
+            extended, ifile, spec)
+        roots &= deeper
+    return roots

@@ -1,0 +1,309 @@
+"""Incremental index maintenance: insert, delete, compact.
+
+The paper builds its inverted files offline; a library a downstream user
+adopts also needs online updates.  The design:
+
+* **insert** -- new internal nodes receive the next preorder ids (so the
+  global preorder/interval invariants keep holding: a fresh record's
+  interval lies entirely after every existing one).  Affected posting
+  lists are read-modified-appended (new ids sort last, so appends keep
+  lists sorted); the partial tail blocks of the node-metadata and
+  ALL/ZERO lists are extended in place.
+* **delete** -- a tombstone: the record ordinal joins the persisted
+  deleted set and every result-mapping path filters it.  Posting lists
+  keep the dead entries until compaction (the classic deferred-delete
+  trade: O(1) deletes, slight read amplification).
+* **compact** -- rebuilds a fresh index from the live records, dropping
+  tombstoned postings and restoring exact statistics.
+
+Statistics drift: after deletes, document frequencies still count dead
+postings (they are refreshed on compact); after inserts they are exact
+because :meth:`IndexWriter.flush` rewrites the frequency table.
+"""
+
+from __future__ import annotations
+
+from ..storage.codec import (
+    encode_str,
+    encode_uint_list,
+    encode_varint,
+)
+from .invfile import (
+    InvertedFile,
+    InvertedFileError,
+    LIST_BLOCK,
+    META_BLOCK,
+    atom_token,
+)
+from .model import Atom, NestedSet
+from .postings import PostingList
+from .segments import (
+    FORMAT_PLAIN,
+    SegmentInfo,
+    decode_header,
+    decode_plain,
+    encode_header,
+    encode_plain,
+    encode_segmented,
+    value_format,
+)
+
+# Private layout constants shared with invfile (same store, same keys).
+from .invfile import (  # noqa: E402  (grouped for clarity)
+    _ALL_PREFIX,
+    _ATOM_PREFIX,
+    _CONFIG_KEY,
+    _DELETED_KEY,
+    _FLAG_ROOT,
+    _FREQ_KEY,
+    _KEYMAP_PREFIX,
+    _META_ENTRY,
+    _META_PREFIX,
+    _RECORD_PREFIX,
+    _ZERO_PREFIX,
+)
+
+
+class UpdateError(Exception):
+    """Raised for invalid update operations (duplicate key, missing key)."""
+
+
+class IndexWriter:
+    """Applies record-level updates to an open :class:`InvertedFile`."""
+
+    def __init__(self, ifile: InvertedFile) -> None:
+        self._ifile = ifile
+        self._store = ifile.store
+        self._freq_dirty = False
+        self._df_delta: dict[Atom, int] = {}
+
+    # -- insert -----------------------------------------------------------
+
+    def insert(self, key: str, value: object) -> int:
+        """Add one record; returns its ordinal.
+
+        Raises :class:`UpdateError` when a live record already uses the
+        key.
+        """
+        from .engine import as_nested_set
+        ifile = self._ifile
+        tree = as_nested_set(value)
+        if ifile.ordinal_of_key(key) is not None:
+            raise UpdateError(f"a live record with key {key!r} exists")
+        ordinal = ifile.n_records
+        first_id = ifile.n_nodes
+
+        postings: dict[Atom, list[tuple[int, tuple[int, ...]]]] = {}
+        all_nodes: list[tuple[int, tuple[int, ...]]] = []
+        zero_leaf: list[tuple[int, tuple[int, ...]]] = []
+        meta_entries: list[bytes] = []
+        next_id = first_id
+
+        def build(node: NestedSet, is_root: bool) -> int:
+            nonlocal next_id
+            node_id = next_id
+            next_id += 1
+            meta_entries.append(b"")
+            child_ids = tuple(
+                build(child, False)
+                for child in sorted(node.children,
+                                    key=lambda c: c.to_text()))
+            max_desc = next_id - 1
+            meta_entries[node_id - first_id] = _META_ENTRY.pack(
+                ordinal, len(node.atoms), max_desc,
+                _FLAG_ROOT if is_root else 0)
+            posting = (node_id, child_ids)
+            for atom in node.atoms:
+                postings.setdefault(atom, []).append(posting)
+            all_nodes.append(posting)
+            if not node.atoms:
+                zero_leaf.append(posting)
+            return node_id
+
+        root_id = build(tree, True)
+
+        # 1. posting lists: new ids exceed all existing ids, so sorted
+        #    append preserves order (both physical formats).
+        for atom, entries in postings.items():
+            entries.sort()
+            self._append_postings(atom, entries)
+            self._df_delta[atom] = self._df_delta.get(atom, 0) \
+                + len(entries)
+            self._freq_dirty = True
+
+        # 2. ALL / ZERO blocks: extend the tail block, then add new ones.
+        ifile._n_all_blocks = _append_blocks(
+            self._store, _ALL_PREFIX, ifile._n_all_blocks,
+            sorted(all_nodes))
+        ifile._n_zero_blocks = _append_blocks(
+            self._store, _ZERO_PREFIX, ifile._n_zero_blocks,
+            sorted(zero_leaf))
+
+        # 3. node metadata: fill the partial tail block.
+        _append_meta(self._store, ifile.n_nodes, meta_entries)
+
+        # 4. record table + key map.
+        blob = encode_str(key) + encode_varint(root_id) + \
+            encode_str(tree.to_text())
+        self._store.put(_RECORD_PREFIX + encode_varint(ordinal), blob)
+        self._store.put(_KEYMAP_PREFIX + key.encode("utf-8"),
+                        encode_varint(ordinal))
+
+        # 5. config + in-memory state invalidation.
+        ifile.n_records += 1
+        ifile.n_nodes = next_id
+        self._write_config()
+        self._invalidate(postings)
+        return ordinal
+
+    def _append_postings(self, atom: Atom,
+                         entries: list[tuple[int, tuple[int, ...]]]) -> None:
+        """Extend one atom's list, honoring its physical format."""
+        ifile = self._ifile
+        token = atom_token(atom).encode("utf-8")
+        store_key = _ATOM_PREFIX + token
+        raw = self._store.get(store_key)
+        segment_size = ifile.segment_size
+
+        def segment_key(seg_no: int) -> bytes:
+            return b"G:" + token + b":" + encode_varint(seg_no)
+
+        if raw is None or value_format(raw) == FORMAT_PLAIN:
+            existing = decode_plain(raw) if raw is not None else []
+            merged = existing + entries
+            if segment_size and len(merged) > segment_size:
+                header, blobs = encode_segmented(merged, segment_size)
+                self._store.put(store_key, header)
+                for seg_no, blob in enumerate(blobs):
+                    self._store.put(segment_key(seg_no), blob)
+            else:
+                self._store.put(store_key, encode_plain(merged))
+            return
+        # Segmented: top up the tail segment, then spill into new ones.
+        header = decode_header(raw)
+        last = len(header.segments) - 1
+        tail_raw = self._store.get(segment_key(last))
+        if tail_raw is None:
+            raise InvertedFileError(
+                f"missing tail segment of atom {atom!r}")
+        tail = list(PostingList.decode(tail_raw).entries) + entries
+        chunks = [tail[start:start + segment_size]
+                  for start in range(0, len(tail), segment_size)]
+        infos = list(header.segments[:last])
+        for offset, chunk in enumerate(chunks):
+            infos.append(SegmentInfo(chunk[0][0], chunk[-1][0]))
+            self._store.put(segment_key(last + offset),
+                            PostingList(chunk).encode())
+        self._store.put(store_key,
+                        encode_header(header.total + len(entries), infos))
+
+    def insert_many(self, records) -> list[int]:
+        """Insert several records; returns their ordinals."""
+        return [self.insert(key, value) for key, value in records]
+
+    # -- delete --------------------------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        """Tombstone the live record with ``key``; False when absent."""
+        ifile = self._ifile
+        ordinal = ifile.ordinal_of_key(key)
+        if ordinal is None:
+            return False
+        ifile.deleted.add(ordinal)
+        self._store.put(_DELETED_KEY,
+                        encode_uint_list(sorted(ifile.deleted)))
+        self._store.delete(_KEYMAP_PREFIX + key.encode("utf-8"))
+        ifile._key_cache.pop(ordinal, None)
+        return True
+
+    # -- compact ----------------------------------------------------------------
+
+    def compact(self, *, storage: str = "memory",
+                path: str | None = None) -> InvertedFile:
+        """Rebuild a fresh index from the live records.
+
+        Returns the new :class:`InvertedFile`; the old one stays open and
+        untouched (swap at the engine level).
+        """
+        self.flush()
+        live = ((key, tree) for _ordinal, key, _root, tree
+                in self._ifile.iter_records())
+        return InvertedFile.build(live, storage=storage, path=path)
+
+    # -- statistics maintenance ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist the updated document-frequency table."""
+        if not self._freq_dirty:
+            return
+        df = dict(self._ifile.frequencies())
+        for atom, delta in self._df_delta.items():
+            df[atom] = df.get(atom, 0) + delta
+        blob = bytearray(encode_varint(len(df)))
+        for atom, count in sorted(df.items(),
+                                  key=lambda item: (-item[1],
+                                                    atom_token(item[0]))):
+            blob += encode_str(atom_token(atom))
+            blob += encode_varint(count)
+        self._store.put(_FREQ_KEY, bytes(blob))
+        self._df_delta.clear()
+        self._freq_dirty = False
+
+    def _write_config(self) -> None:
+        ifile = self._ifile
+        config = encode_varint(ifile.n_records) + \
+            encode_varint(ifile.n_nodes) + \
+            encode_varint(ifile._n_all_blocks) + \
+            encode_varint(ifile._n_zero_blocks)
+        self._store.put(_CONFIG_KEY, config)
+
+    def _invalidate(self, touched_postings: dict) -> None:
+        ifile = self._ifile
+        ifile._all_nodes = None
+        ifile._zero_leaf = None
+        ifile._meta_cache.clear()
+        ifile.cache.clear()
+
+
+def _append_blocks(store, prefix: bytes, n_blocks: int,
+                   entries: list[tuple[int, tuple[int, ...]]]) -> int:
+    """Extend a blocked posting list; returns the new block count."""
+    if not entries:
+        return n_blocks
+    pending = list(entries)
+    if n_blocks:
+        tail_key = prefix + encode_varint(n_blocks - 1)
+        raw = store.get(tail_key)
+        if raw is None:
+            raise InvertedFileError(f"missing tail block under {prefix!r}")
+        tail = list(PostingList.decode(raw).entries)
+        room = LIST_BLOCK - len(tail)
+        if room > 0:
+            tail.extend(pending[:room])
+            pending = pending[room:]
+            store.put(tail_key, PostingList(tail).encode())
+    while pending:
+        chunk, pending = pending[:LIST_BLOCK], pending[LIST_BLOCK:]
+        store.put(prefix + encode_varint(n_blocks),
+                  PostingList(chunk).encode())
+        n_blocks += 1
+    return n_blocks
+
+
+def _append_meta(store, first_id: int, entries: list[bytes]) -> None:
+    """Append node-metadata entries starting at node id ``first_id``."""
+    index = 0
+    while index < len(entries):
+        node_id = first_id + index
+        block_no, offset = divmod(node_id, META_BLOCK)
+        block_key = _META_PREFIX + encode_varint(block_no)
+        raw = store.get(block_key) or b""
+        expected = offset * _META_ENTRY.size
+        if len(raw) != expected:
+            raise InvertedFileError(
+                f"metadata block {block_no} has {len(raw)} bytes, "
+                f"expected {expected} before append")
+        take = min(len(entries) - index, META_BLOCK - offset)
+        raw += b"".join(entries[index:index + take])
+        store.put(block_key, raw)
+        index += take

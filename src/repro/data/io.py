@@ -1,0 +1,60 @@
+"""Reading and writing nested-set collections as flat text files.
+
+Format: one record per line, ``key<TAB>nested-set-text`` with the
+canonical text syntax of :meth:`repro.core.model.NestedSet.to_text`.
+Lines starting with ``#`` and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from ..core.model import NestedSet
+
+
+class CollectionFormatError(ValueError):
+    """Raised for malformed collection files."""
+
+
+def dump_collection(records: Iterable[tuple[str, NestedSet]],
+                    handle: TextIO) -> int:
+    """Write records; returns the number written."""
+    count = 0
+    for key, tree in records:
+        if "\t" in key or "\n" in key:
+            raise CollectionFormatError(
+                f"record key {key!r} contains a tab or newline")
+        handle.write(f"{key}\t{tree.to_text()}\n")
+        count += 1
+    return count
+
+
+def load_collection(handle: TextIO) -> Iterator[tuple[str, NestedSet]]:
+    """Yield ``(key, tree)`` records from a collection file."""
+    for line_no, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        key, sep, text = stripped.partition("\t")
+        if not sep:
+            raise CollectionFormatError(
+                f"line {line_no}: expected 'key<TAB>set', got {stripped!r}")
+        try:
+            tree = NestedSet.parse(text)
+        except ValueError as exc:
+            raise CollectionFormatError(
+                f"line {line_no}: bad nested set: {exc}") from exc
+        yield key, tree
+
+
+def save_collection_file(records: Iterable[tuple[str, NestedSet]],
+                         path: str) -> int:
+    """Write records to ``path``; returns the number written."""
+    with open(path, "w") as handle:
+        return dump_collection(records, handle)
+
+
+def load_collection_file(path: str) -> list[tuple[str, NestedSet]]:
+    """Read all records of a collection file."""
+    with open(path) as handle:
+        return list(load_collection(handle))

@@ -1,0 +1,166 @@
+"""Synthetic nested-set generators (Section 5.1, Table 3).
+
+The paper's generation process, quoted:
+
+    "starting at the root, (1) randomly choose a number of leaf nodes for
+    the current node; (2) after assigning labels to the leaf children of
+    the current node, stop extending this node with some probability;
+    (3) if we do not stop, then randomly choose some number of internal
+    children, and recur on each of them, starting at step (1)."
+
+Table 3 parameters:
+
+    ===============================  =====  =====
+    parameter                        wide   deep
+    ===============================  =====  =====
+    max # of leaves per node          12     2
+    max # of non-leaves per node       6     3
+    stopping probability              0.8   0.2
+    ===============================  =====  =====
+
+Leaf values come from a fixed label domain (10,000,000 labels in the
+paper; default 100,000 here -- laptop scale, see DESIGN.md substitutions),
+drawn uniformly or Zipfian (θ ∈ {0.5, 0.7, 0.9}).
+
+One necessary guard the paper leaves implicit: with the deep parameters
+the branching process is supercritical (continue with p=0.8 and 1-3
+children ⇒ expected ≈2 children ⇒ infinite trees with positive
+probability), so a ``max_depth`` cap forces termination; at the cap the
+node always stops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.model import NestedSet
+from .zipf import UniformSampler, ZipfSampler
+
+#: Paper default label-domain size (Section 5.1).
+PAPER_DOMAIN = 10_000_000
+#: Scaled default for laptop-size experiments.
+DEFAULT_DOMAIN = 100_000
+
+
+@dataclass(frozen=True)
+class ShapeParams:
+    """Tree-shape parameters of Table 3 plus the termination guard."""
+
+    max_leaves: int
+    max_internal: int
+    stop_probability: float
+    max_depth: int
+
+    def __post_init__(self) -> None:
+        if self.max_leaves < 1:
+            raise ValueError("max_leaves must be >= 1 (non-empty sets)")
+        if self.max_internal < 1:
+            raise ValueError("max_internal must be >= 1")
+        if not 0.0 < self.stop_probability <= 1.0:
+            raise ValueError("stop_probability must be in (0, 1]")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+
+
+#: Table 3, "wide sets" column.
+WIDE = ShapeParams(max_leaves=12, max_internal=6, stop_probability=0.8,
+                   max_depth=8)
+#: Table 3, "deep sets" column.  The depth cap matters here: the deep
+#: branching process is supercritical (expected ≈1.6 internal children per
+#: continuing node), so expected tree size grows geometrically with the
+#: cap.  Depth 10 yields ~100-300 nodes per record -- deep *and*
+#: laptop-sized; see DESIGN.md.
+DEEP = ShapeParams(max_leaves=2, max_internal=3, stop_probability=0.2,
+                   max_depth=10)
+
+SHAPES = {"wide": WIDE, "deep": DEEP}
+DISTRIBUTIONS = ("uniform", "zipf")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Full recipe for one synthetic collection."""
+
+    shape: str = "wide"
+    distribution: str = "uniform"
+    theta: float = 0.7
+    domain_size: int = DEFAULT_DOMAIN
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"unknown shape {self.shape!r}; "
+                             f"expected one of {tuple(SHAPES)}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(f"unknown distribution {self.distribution!r}; "
+                             f"expected one of {DISTRIBUTIONS}")
+        if self.domain_size < 1:
+            raise ValueError("domain_size must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """Identifier like ``uniform-wide`` or ``zipf0.7-deep``."""
+        if self.distribution == "uniform":
+            return f"uniform-{self.shape}"
+        return f"zipf{self.theta}-{self.shape}"
+
+
+def _label_sampler(spec: DatasetSpec, rng: random.Random):
+    if spec.distribution == "uniform":
+        return UniformSampler(spec.domain_size, rng)
+    return ZipfSampler(spec.domain_size, spec.theta, rng)
+
+
+def generate_nested_set(rng: random.Random, sampler,
+                        params: ShapeParams) -> NestedSet:
+    """Generate one nested set by the paper's recursive process."""
+
+    def gen(depth: int) -> NestedSet:
+        n_leaves = rng.randint(1, params.max_leaves)
+        atoms = {f"v{sampler.sample()}" for _ in range(n_leaves)}
+        children: list[NestedSet] = []
+        stop = depth >= params.max_depth or \
+            rng.random() < params.stop_probability
+        if not stop:
+            n_internal = rng.randint(1, params.max_internal)
+            children = [gen(depth + 1) for _ in range(n_internal)]
+        return NestedSet(atoms, children)
+
+    return gen(1)
+
+
+def generate_collection(n_records: int, spec: DatasetSpec = DatasetSpec(),
+                        seed: int = 0) -> Iterator[tuple[str, NestedSet]]:
+    """Yield ``(key, nested set)`` records for a collection of size ``n``.
+
+    Deterministic in ``(n_records, spec, seed)``; keys are ``s000001``-style
+    so result lists sort stably.
+    """
+    rng = random.Random((seed, spec.name, n_records).__repr__())
+    sampler = _label_sampler(spec, rng)
+    params = SHAPES[spec.shape]
+    width = max(6, len(str(n_records)))
+    for index in range(n_records):
+        yield f"s{index:0{width}d}", generate_nested_set(rng, sampler, params)
+
+
+def collection_profile(records: list[tuple[str, NestedSet]]) -> dict[str, float]:
+    """Shape diagnostics used by tests and EXPERIMENTS.md."""
+    if not records:
+        return {"records": 0, "avg_depth": 0.0, "avg_leaves": 0.0,
+                "avg_internal": 0.0, "distinct_atoms": 0}
+    total_depth = sum(tree.depth for _key, tree in records)
+    total_leaves = sum(tree.leaf_count for _key, tree in records)
+    total_internal = sum(tree.internal_count for _key, tree in records)
+    atoms: set = set()
+    for _key, tree in records:
+        atoms |= tree.all_atoms()
+    n = len(records)
+    return {
+        "records": n,
+        "avg_depth": total_depth / n,
+        "avg_leaves": total_leaves / n,
+        "avg_internal": total_internal / n,
+        "distinct_atoms": len(atoms),
+    }

@@ -1,0 +1,92 @@
+"""Simulated Twitter collection (Section 5.1, first real data set).
+
+The paper indexes a crawl of tweets about a pop idol ("Justin Bieber")
+collected through the Twitter Search API; we cannot ship that crawl, so
+this module generates a synthetic stream with the same two properties that
+drive the paper's observations (see DESIGN.md, substitutions):
+
+1. the **nested JSON shape** of Search-API tweets (user object, entities
+   with hashtags / urls / mentions), mapped through
+   :mod:`repro.data.json_adapter`;
+2. the **heavy skew** of values: "popular users dominate the Twitter
+   discussion of the pop idol" -- users, terms, hashtags and languages are
+   all Zipf-distributed, with idol-related terms pinned to the hottest
+   ranks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..core.model import NestedSet
+from .json_adapter import json_to_nested
+from .zipf import ZipfSampler
+
+#: Idol-related terms pinned to the most popular vocabulary ranks.
+IDOL_TERMS = (
+    "justin", "bieber", "belieber", "music", "concert", "tour",
+    "album", "love", "omg", "tickets",
+)
+_LANGS = ("en", "es", "pt", "id", "tr", "fr", "de", "nl")
+_DOMAINS = ("t.co", "youtu.be", "bit.ly", "instagr.am", "twitpic.com")
+
+#: Default vocabulary size behind the idol terms.
+VOCAB_SIZE = 5000
+
+
+def _word(rank: int) -> str:
+    if rank < len(IDOL_TERMS):
+        return IDOL_TERMS[rank]
+    return f"w{rank}"
+
+
+def generate_tweet(index: int, rng: random.Random, users: ZipfSampler,
+                   words: ZipfSampler, langs: ZipfSampler,
+                   domains: ZipfSampler, days: int = 30) -> dict:
+    """One synthetic Search-API-shaped tweet as a JSON-like dict."""
+    n_words = rng.randint(4, 12)
+    text_tokens = sorted({_word(words.sample()) for _ in range(n_words)})
+    hashtags = [{"text": _word(words.sample())}
+                for _ in range(rng.randint(0, 3))]
+    urls = [{"display_url": _DOMAINS[domains.sample()]}
+            for _ in range(rng.randint(0, 2))]
+    mentions = [{"screen_name": f"user{users.sample()}"}
+                for _ in range(rng.randint(0, 2))]
+    followers = rng.choice(("1k", "10k", "100k", "1m"))
+    return {
+        "id_str": str(10 ** 17 + index),
+        "text_tokens": text_tokens,
+        "lang": _LANGS[langs.sample()],
+        "created_at": f"2012-03-{1 + rng.randrange(days):02d}",
+        "retweeted": rng.random() < 0.3,
+        "user": {
+            "screen_name": f"user{users.sample()}",
+            "lang": _LANGS[langs.sample()],
+            "followers_class": followers,
+            "verified": rng.random() < 0.05,
+        },
+        "entities": {
+            "hashtags": hashtags,
+            "urls": urls,
+            "user_mentions": mentions,
+        },
+    }
+
+
+def generate_tweets(n_records: int, seed: int = 0,
+                    n_users: int | None = None,
+                    vocab_size: int = VOCAB_SIZE
+                    ) -> Iterator[tuple[str, NestedSet]]:
+    """Yield ``(key, nested set)`` tweet records, deterministically."""
+    rng = random.Random(("twitter", seed, n_records).__repr__())
+    if n_users is None:
+        n_users = max(50, n_records // 20)
+    users = ZipfSampler(n_users, 0.9, rng)
+    words = ZipfSampler(vocab_size, 0.8, rng)
+    langs = ZipfSampler(len(_LANGS), 0.9, rng)
+    domains = ZipfSampler(len(_DOMAINS), 0.9, rng)
+    width = max(6, len(str(n_records)))
+    for index in range(n_records):
+        tweet = generate_tweet(index, rng, users, words, langs, domains)
+        yield f"t{index:0{width}d}", json_to_nested(tweet)

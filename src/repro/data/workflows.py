@@ -1,0 +1,96 @@
+"""Simulated scientific-workflow provenance (the paper's §1 motivation).
+
+The introduction motivates nested sets with "business and scientific
+workflow management": a workflow run is naturally a nested structure --
+the run contains stages, stages contain task invocations, invocations
+carry parameters, consumed datasets, and produced artifacts.  Containment
+queries then express provenance questions: *which runs executed an
+alignment task on the hg38 reference with quality filtering enabled?*
+
+The generator emits runs over a library of pipeline templates with
+Zipf-skewed tool popularity, realistic parameter jitter, and shared
+upstream datasets -- the workload shapes (repeated hot sub-structures,
+deep nesting) that drive the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..core.model import NestedSet
+from .zipf import ZipfSampler
+
+#: Tool library: (tool name, parameter domains).
+TOOLS = (
+    ("align", {"ref": ("hg38", "hg19", "mm10"),
+               "mode": ("fast", "sensitive")}),
+    ("filter", {"quality": ("q20", "q30"), "dedup": ("on", "off")}),
+    ("assemble", {"kmer": ("k21", "k33", "k55")}),
+    ("annotate", {"db": ("refseq", "ensembl")}),
+    ("normalize", {"method": ("tmm", "deseq")}),
+    ("cluster", {"algo": ("kmeans", "hdbscan"), "k": ("k5", "k10")}),
+    ("plot", {"kind": ("heatmap", "volcano")}),
+    ("export", {"format": ("csv", "parquet")}),
+)
+
+_STATUSES = ("ok", "ok", "ok", "failed", "retried")
+_USERS = 40
+_DATASETS = 200
+
+
+def _invocation(rng: random.Random, tools: ZipfSampler,
+                datasets: ZipfSampler) -> NestedSet:
+    """One task invocation: tool, parameters, inputs, outputs."""
+    tool, params = TOOLS[tools.sample()]
+    atoms = [f"tool={tool}", f"status={rng.choice(_STATUSES)}"]
+    chosen = {name: rng.choice(values) for name, values in params.items()
+              if rng.random() < 0.8}
+    children = [NestedSet([f"{name}={value}" for name, value
+                           in chosen.items()] or ["defaults"])]
+    inputs = {f"ds{datasets.sample()}" for _ in range(rng.randint(1, 3))}
+    children.append(NestedSet(inputs).with_atom("inputs"))
+    if rng.random() < 0.7:
+        children.append(NestedSet(
+            [f"artifact{rng.randrange(10_000)}"], ()).with_atom("outputs"))
+    return NestedSet(atoms, children)
+
+
+def generate_run(index: int, rng: random.Random, tools: ZipfSampler,
+                 datasets: ZipfSampler, users: ZipfSampler) -> NestedSet:
+    """One workflow run: metadata plus 1-4 stages of 1-4 invocations."""
+    atoms = [
+        f"user=u{users.sample()}",
+        f"day=2013-{1 + rng.randrange(12):02d}-{1 + rng.randrange(28):02d}",
+        rng.choice(("env=cluster", "env=laptop", "env=cloud")),
+    ]
+    stages = []
+    for stage_no in range(rng.randint(1, 4)):
+        invocations = [_invocation(rng, tools, datasets)
+                       for _ in range(rng.randint(1, 4))]
+        stages.append(NestedSet([f"stage{stage_no}"], invocations))
+    return NestedSet(atoms, stages)
+
+
+def generate_workflows(n_records: int, seed: int = 0
+                       ) -> Iterator[tuple[str, NestedSet]]:
+    """Yield ``(key, nested set)`` workflow runs, deterministically."""
+    rng = random.Random(("workflows", seed, n_records).__repr__())
+    tools = ZipfSampler(len(TOOLS), 0.9, rng)
+    datasets = ZipfSampler(_DATASETS, 0.9, rng)
+    users = ZipfSampler(_USERS, 0.8, rng)
+    width = max(6, len(str(n_records)))
+    for index in range(n_records):
+        yield f"run{index:0{width}d}", generate_run(index, rng, tools,
+                                                    datasets, users)
+
+
+def provenance_query(tool: str, **params: str) -> NestedSet:
+    """Build the containment query for 'runs that invoked *tool* with
+    these parameter settings', e.g. ``provenance_query("align",
+    ref="hg38")``."""
+    param_set = NestedSet([f"{name}={value}"
+                           for name, value in params.items()])
+    invocation = NestedSet([f"tool={tool}"],
+                           [param_set] if params else ())
+    return NestedSet((), [NestedSet((), [invocation])])

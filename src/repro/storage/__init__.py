@@ -1,0 +1,85 @@
+"""Storage substrate: Tokyo-Cabinet-style key-value engines.
+
+Exports the :class:`KVStore` interface, its three implementations, and the
+:func:`open_store` factory used by the index layer.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .btree import BPlusTree
+from .codec import (
+    Posting,
+    decode_postings,
+    decode_str,
+    decode_uint_list,
+    decode_varint,
+    encode_postings,
+    encode_str,
+    encode_uint_list,
+    encode_varint,
+)
+from .diskhash import DiskHashTable
+from .errors import (
+    CorruptionError,
+    KeyTooLargeError,
+    PageBoundsError,
+    StorageError,
+    StoreClosedError,
+)
+from .kvstore import AccessStats, KVStore, MemoryKVStore
+from .pager import Pager
+
+#: Storage engine names accepted by :func:`open_store`.
+STORAGE_KINDS = ("memory", "diskhash", "btree")
+
+
+def open_store(kind: str, path: str | None = None, *,
+               create: bool = False, **options: object) -> KVStore:
+    """Open (or create) a key-value store of the given ``kind``.
+
+    ``path`` is required for the disk-backed kinds.  Extra options are
+    forwarded to the store constructor (e.g. ``n_buckets`` for the hash
+    table, ``page_size`` for either disk store).
+    """
+    if kind == "memory":
+        return MemoryKVStore()
+    if path is None:
+        raise StorageError(f"storage kind {kind!r} requires a path")
+    if kind == "diskhash":
+        if create and os.path.exists(path):
+            os.remove(path)
+        return DiskHashTable(path, create=create, **options)  # type: ignore[arg-type]
+    if kind == "btree":
+        if create and os.path.exists(path):
+            os.remove(path)
+        return BPlusTree(path, create=create, **options)  # type: ignore[arg-type]
+    raise StorageError(f"unknown storage kind {kind!r}; "
+                       f"expected one of {STORAGE_KINDS}")
+
+
+__all__ = [
+    "AccessStats",
+    "BPlusTree",
+    "CorruptionError",
+    "DiskHashTable",
+    "KVStore",
+    "KeyTooLargeError",
+    "MemoryKVStore",
+    "Pager",
+    "PageBoundsError",
+    "Posting",
+    "STORAGE_KINDS",
+    "StorageError",
+    "StoreClosedError",
+    "decode_postings",
+    "decode_str",
+    "decode_uint_list",
+    "decode_varint",
+    "encode_postings",
+    "encode_str",
+    "encode_uint_list",
+    "encode_varint",
+    "open_store",
+]

@@ -1,0 +1,160 @@
+"""Binary codecs for the physical representation of inverted-file payloads.
+
+The inverted file of Section 2 of the paper stores, per atom, a posting list
+
+    S_IF(a) = <(p_1, C_1), ..., (p_n, C_n)>
+
+sorted on the ``p_i`` (internal node identifiers), where each ``C_i`` is the
+sorted tuple of internal-node children of ``p_i``.  This module provides the
+compact on-disk encoding for those lists: unsigned LEB128 varints with
+delta-encoding of the sorted id sequences.
+
+All encoders return :class:`bytes`; all decoders consume a :class:`bytes`
+buffer (plus offset) and are written to be allocation-light since posting
+list decoding sits on the hot path of every query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .errors import CorruptionError
+
+#: A posting pairs an internal node id with the sorted tuple of its
+#: internal-node children ids (the ``(p, C)`` of the paper).
+Posting = tuple[int, tuple[int, ...]]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError("varints encode non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``buf`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    try:
+        while True:
+            byte = buf[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result, pos
+            shift += 7
+    except IndexError:
+        raise CorruptionError("truncated varint") from None
+
+
+def encode_uint_list(values: Sequence[int]) -> bytes:
+    """Encode a *sorted* list of non-negative ints with delta compression."""
+    out = bytearray()
+    out += encode_varint(len(values))
+    prev = 0
+    for value in values:
+        delta = value - prev
+        if delta < 0:
+            raise ValueError("encode_uint_list requires a sorted sequence")
+        out += encode_varint(delta)
+        prev = value
+    return bytes(out)
+
+
+def decode_uint_list(buf: bytes, offset: int = 0) -> tuple[list[int], int]:
+    """Decode a delta-compressed sorted int list; returns (list, next_offset)."""
+    count, pos = decode_varint(buf, offset)
+    values: list[int] = []
+    current = 0
+    for _ in range(count):
+        delta, pos = decode_varint(buf, pos)
+        current += delta
+        values.append(current)
+    return values, pos
+
+
+def encode_postings(postings: Iterable[Posting]) -> bytes:
+    """Encode a posting list sorted on the head ids ``p``.
+
+    Layout: ``count, then per posting: delta(p), len(C), delta-encoded C``.
+    """
+    items = list(postings)
+    out = bytearray()
+    out += encode_varint(len(items))
+    prev_p = 0
+    for p, children in items:
+        delta = p - prev_p
+        if delta < 0:
+            raise ValueError("postings must be sorted on head id")
+        out += encode_varint(delta)
+        prev_p = p
+        out += encode_varint(len(children))
+        prev_c = 0
+        for child in children:
+            cdelta = child - prev_c
+            if cdelta < 0:
+                raise ValueError("posting children must be sorted")
+            out += encode_varint(cdelta)
+            prev_c = child
+    return bytes(out)
+
+
+def decode_postings(buf: bytes, offset: int = 0) -> list[Posting]:
+    """Decode a posting list previously produced by :func:`encode_postings`."""
+    count, pos = decode_varint(buf, offset)
+    postings: list[Posting] = []
+    p = 0
+    for _ in range(count):
+        delta, pos = decode_varint(buf, pos)
+        p += delta
+        n_children, pos = decode_varint(buf, pos)
+        children = []
+        c = 0
+        for _ in range(n_children):
+            cdelta, pos = decode_varint(buf, pos)
+            c += cdelta
+            children.append(c)
+        postings.append((p, tuple(children)))
+    return postings
+
+
+def encode_str(text: str) -> bytes:
+    """Length-prefixed UTF-8 string encoding."""
+    raw = text.encode("utf-8")
+    return encode_varint(len(raw)) + raw
+
+
+def decode_str(buf: bytes, offset: int = 0) -> tuple[str, int]:
+    """Decode a length-prefixed UTF-8 string; returns (text, next_offset)."""
+    length, pos = decode_varint(buf, offset)
+    end = pos + length
+    if end > len(buf):
+        raise CorruptionError("truncated string payload")
+    return buf[pos:end].decode("utf-8"), end
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash, used by the disk hash table for bucketing.
+
+    Chosen over Python's built-in ``hash`` because it is stable across
+    processes (``PYTHONHASHSEED`` would otherwise scramble bucket layouts
+    between the process that wrote a store and the one that reads it).
+    """
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h

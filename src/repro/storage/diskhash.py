@@ -1,0 +1,259 @@
+"""External-memory hash table over the paged file.
+
+This is the stand-in for Tokyo Cabinet's disk hash table, which the paper
+used as the inverted-file storage engine with caching disabled
+(Section 5.1).  Design:
+
+* a fixed bucket directory (``n_buckets`` chosen at creation) stored in
+  dedicated directory pages right after the header,
+* each bucket heads a chain of record pages,
+* records are appended into chain pages; replaced/deleted records are
+  tombstoned in place,
+* values larger than the in-page threshold spill into overflow chains.
+
+Record page layout::
+
+    [next u64][used u16][records ...]
+
+Record layout::
+
+    [flag u8][klen varint][vlen varint][key][value-or-overflow-ref]
+
+``flag``: 0 = live inline, 1 = tombstone, 2 = live with overflow value
+(the in-page value is then ``[head u64][length u32]``).
+
+Durability: buffered writes are flushed on :meth:`sync`/:meth:`close`; the
+store does not implement crash recovery (out of scope for the paper's
+experiments, which build indexes offline).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from .codec import decode_varint, encode_varint, fnv1a_64
+from .errors import CorruptionError, KeyTooLargeError
+from .kvstore import KVStore
+from .pager import DEFAULT_PAGE_SIZE, Pager
+
+_PAGE_HEADER = struct.Struct("<QH")
+_OVERFLOW_REF = struct.Struct("<QI")
+_META = struct.Struct("<IQIQ")  # n_buckets, dir_first, n_dir_pages, count
+
+_FLAG_LIVE = 0
+_FLAG_DEAD = 1
+_FLAG_OVERFLOW = 2
+
+DEFAULT_BUCKETS = 1024
+
+
+class DiskHashTable(KVStore):
+    """Disk-backed hash table implementing the :class:`KVStore` interface."""
+
+    def __init__(self, path: str, *, create: bool = False,
+                 n_buckets: int = DEFAULT_BUCKETS,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        super().__init__()
+        if create:
+            self._pager = Pager(path, page_size=page_size, create=True)
+            self._n_buckets = n_buckets
+            per_page = self._pager.page_size // 8
+            self._n_dir_pages = (n_buckets + per_page - 1) // per_page
+            self._dir_pages = [self._pager.allocate()
+                               for _ in range(self._n_dir_pages)]
+            self._directory = [0] * n_buckets
+            self._count = 0
+            self._flush_directory()
+            self._write_meta()
+        else:
+            self._pager = Pager(path)
+            meta = self._pager.meta
+            if len(meta) < _META.size:
+                raise CorruptionError("hash table metadata missing")
+            n_buckets, dir_first, n_dir_pages, count = _META.unpack(
+                meta[:_META.size])
+            self._n_buckets = n_buckets
+            self._n_dir_pages = n_dir_pages
+            self._dir_pages = list(range(dir_first, dir_first + n_dir_pages))
+            self._count = count
+            self._directory = self._load_directory()
+        self._payload = self._pager.page_size - _PAGE_HEADER.size
+        self._max_key = self._payload // 4
+        self._overflow_threshold = self._payload // 2
+
+    # -- metadata / directory ---------------------------------------------
+
+    def _write_meta(self) -> None:
+        self._pager.set_meta(_META.pack(
+            self._n_buckets, self._dir_pages[0], self._n_dir_pages,
+            self._count))
+
+    def _flush_directory(self) -> None:
+        per_page = self._pager.page_size // 8
+        for index, page_id in enumerate(self._dir_pages):
+            chunk = self._directory[index * per_page:(index + 1) * per_page]
+            raw = struct.pack(f"<{len(chunk)}Q", *chunk)
+            self._pager.write(page_id, raw)
+
+    def _load_directory(self) -> list[int]:
+        per_page = self._pager.page_size // 8
+        directory: list[int] = []
+        for page_id in self._dir_pages:
+            raw = self._pager.read(page_id)
+            directory.extend(struct.unpack_from(f"<{per_page}Q", raw, 0))
+        return directory[:self._n_buckets]
+
+    def _set_bucket(self, bucket: int, page_id: int) -> None:
+        self._directory[bucket] = page_id
+        per_page = self._pager.page_size // 8
+        dir_page = self._dir_pages[bucket // per_page]
+        raw = bytearray(self._pager.read(dir_page))
+        struct.pack_into("<Q", raw, (bucket % per_page) * 8, page_id)
+        self._pager.write(dir_page, bytes(raw))
+
+    def _bucket_of(self, key: bytes) -> int:
+        return fnv1a_64(key) % self._n_buckets
+
+    # -- record scanning -----------------------------------------------------
+
+    def _scan_page(self, raw: bytes) -> Iterator[tuple[int, int, bytes, bytes, int]]:
+        """Yield ``(offset, flag, key, stored_value, record_end)`` per record."""
+        next_page, used = _PAGE_HEADER.unpack_from(raw, 0)
+        del next_page
+        pos = _PAGE_HEADER.size
+        end = _PAGE_HEADER.size + used
+        while pos < end:
+            start = pos
+            flag = raw[pos]
+            pos += 1
+            klen, pos = decode_varint(raw, pos)
+            vlen, pos = decode_varint(raw, pos)
+            key = raw[pos:pos + klen]
+            pos += klen
+            value = raw[pos:pos + vlen]
+            pos += vlen
+            yield start, flag, key, value, pos
+
+    def _resolve_value(self, flag: int, stored: bytes) -> bytes:
+        if flag == _FLAG_OVERFLOW:
+            head, length = _OVERFLOW_REF.unpack(stored)
+            data = self._pager.read_overflow(head, length)
+            self.stats.page_reads += 1
+            return data
+        return stored
+
+    # -- KVStore API -----------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        self.stats.gets += 1
+        if len(key) > self._max_key:
+            raise KeyTooLargeError(f"key of {len(key)} bytes too large")
+        page_id = self._directory[self._bucket_of(key)]
+        while page_id:
+            raw = self._pager.read(page_id)
+            self.stats.page_reads += 1
+            for _offset, flag, rec_key, stored, _end in self._scan_page(raw):
+                if flag != _FLAG_DEAD and rec_key == key:
+                    value = self._resolve_value(flag, stored)
+                    self.stats.hits += 1
+                    self.stats.bytes_read += len(value)
+                    return value
+            page_id = _PAGE_HEADER.unpack_from(raw, 0)[0]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self.stats.puts += 1
+        self.stats.bytes_written += len(value)
+        if len(key) > self._max_key:
+            raise KeyTooLargeError(f"key of {len(key)} bytes too large")
+        self.delete(key, _internal=True)  # tombstone any previous version
+        record = self._build_record(key, value)
+        bucket = self._bucket_of(key)
+        page_id = self._directory[bucket]
+        while page_id:
+            raw = self._pager.read(page_id)
+            next_page, used = _PAGE_HEADER.unpack_from(raw, 0)
+            if used + len(record) <= self._payload:
+                patched = bytearray(raw)
+                start = _PAGE_HEADER.size + used
+                patched[start:start + len(record)] = record
+                _PAGE_HEADER.pack_into(patched, 0, next_page,
+                                       used + len(record))
+                self._pager.write(page_id, bytes(patched))
+                self.stats.page_writes += 1
+                self._count += 1
+                return
+            page_id = next_page
+        # No room anywhere in the chain: new page becomes the bucket head.
+        new_page = self._pager.allocate()
+        old_head = self._directory[bucket]
+        header = _PAGE_HEADER.pack(old_head, len(record))
+        self._pager.write(new_page, header + record)
+        self.stats.page_writes += 1
+        self._set_bucket(bucket, new_page)
+        self._count += 1
+
+    def _build_record(self, key: bytes, value: bytes) -> bytes:
+        if len(value) > self._overflow_threshold:
+            head = self._pager.write_overflow(value)
+            stored = _OVERFLOW_REF.pack(head, len(value))
+            flag = _FLAG_OVERFLOW
+        else:
+            stored = value
+            flag = _FLAG_LIVE
+        record = bytes([flag]) + encode_varint(len(key)) + \
+            encode_varint(len(stored)) + key + stored
+        if len(record) > self._payload:
+            raise KeyTooLargeError("record exceeds page payload")
+        return record
+
+    def delete(self, key: bytes, _internal: bool = False) -> bool:
+        self._check_open()
+        if not _internal:
+            self.stats.deletes += 1
+        page_id = self._directory[self._bucket_of(key)]
+        while page_id:
+            raw = self._pager.read(page_id)
+            for offset, flag, rec_key, stored, _end in self._scan_page(raw):
+                if flag != _FLAG_DEAD and rec_key == key:
+                    if flag == _FLAG_OVERFLOW:
+                        head, length = _OVERFLOW_REF.unpack(stored)
+                        self._pager.free_overflow(head, length)
+                    patched = bytearray(raw)
+                    patched[offset] = _FLAG_DEAD
+                    self._pager.write(page_id, bytes(patched))
+                    self.stats.page_writes += 1
+                    self._count -= 1
+                    return True
+            page_id = _PAGE_HEADER.unpack_from(raw, 0)[0]
+        return False
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        self._check_open()
+        for head in self._directory:
+            page_id = head
+            while page_id:
+                raw = self._pager.read(page_id)
+                for _offset, flag, key, stored, _end in self._scan_page(raw):
+                    if flag != _FLAG_DEAD:
+                        yield bytes(key), self._resolve_value(flag, stored)
+                page_id = _PAGE_HEADER.unpack_from(raw, 0)[0]
+
+    def __len__(self) -> int:
+        self._check_open()
+        return self._count
+
+    def sync(self) -> None:
+        self._check_open()
+        self._write_meta()
+        self._pager.sync()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._write_meta()
+            self._pager.close()
+        super().close()

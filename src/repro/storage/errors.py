@@ -1,0 +1,28 @@
+"""Exception hierarchy for the storage substrate.
+
+The storage layer replaces the Tokyo Cabinet key-value engine used in the
+paper's experimental setup (Section 5.1).  All storage failures are rooted at
+:class:`StorageError` so callers can catch a single exception type.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for all storage-layer failures."""
+
+
+class StoreClosedError(StorageError):
+    """An operation was attempted on a store that has been closed."""
+
+
+class CorruptionError(StorageError):
+    """On-disk data failed an integrity check (bad magic, bad page, ...)."""
+
+
+class KeyTooLargeError(StorageError):
+    """A key exceeds the maximum size supported by the store."""
+
+
+class PageBoundsError(StorageError):
+    """A page id was outside the allocated range of the paged file."""

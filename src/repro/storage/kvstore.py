@@ -1,0 +1,172 @@
+"""The key-value store interface and the in-memory reference implementation.
+
+The paper's implementation uses Tokyo Cabinet's external-memory hash table as
+the storage engine for the inverted file (Section 5.1), with the engine's own
+caching explicitly disabled.  We reproduce that design point with a small
+family of interchangeable stores:
+
+* :class:`MemoryKVStore` -- a dict-backed store (values still pass through
+  the byte codecs, so the access pattern matches the disk stores),
+* :class:`~repro.storage.diskhash.DiskHashTable` -- external hash table,
+* :class:`~repro.storage.btree.BPlusTree` -- external B+tree.
+
+All stores map ``bytes`` keys to ``bytes`` values and expose the same
+mapping-flavored API, plus :class:`AccessStats` counters that the caching
+experiments (Section 3.3 / Experiments 1-3) read.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .errors import StoreClosedError
+
+
+@dataclass
+class AccessStats:
+    """Operation counters maintained by every store.
+
+    ``bytes_read``/``bytes_written`` count value payload traffic, which is
+    the quantity the inverted-list cache of Section 3.3 avoids.
+    """
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    deletes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dict (for reports)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+class KVStore(ABC):
+    """Abstract byte-oriented key-value store.
+
+    Concrete stores must implement the five primitive operations; the
+    convenience dunder methods are derived.  Stores are context managers and
+    close their underlying resources on exit.
+    """
+
+    def __init__(self) -> None:
+        self.stats = AccessStats()
+        self._closed = False
+
+    # -- primitives -------------------------------------------------------
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value for ``key`` or ``None`` when absent."""
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or replace the value for ``key``."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True when a record was removed."""
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate over all ``(key, value)`` pairs (unspecified order)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live records."""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release resources; subsequent operations raise StoreClosedError."""
+        self._closed = True
+
+    def sync(self) -> None:
+        """Flush buffered writes to durable storage (no-op by default)."""
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("store is closed")
+
+    # -- derived conveniences ----------------------------------------------
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __getitem__(self, key: bytes) -> bytes:
+        value = self.get(key)
+        if value is None:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self.put(key, value)
+
+    def __delitem__(self, key: bytes) -> None:
+        if not self.delete(key):
+            raise KeyError(key)
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _ in self.items():
+            yield key
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class MemoryKVStore(KVStore):
+    """Dict-backed store.
+
+    Values are stored as the raw bytes handed in, so the cost profile seen
+    by the index layer (encode on write, decode on read) is identical to the
+    disk stores minus the I/O -- which makes the caching optimization
+    measurable on a level playing field.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: dict[bytes, bytes] = {}
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        self.stats.gets += 1
+        value = self._data.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+            self.stats.bytes_read += len(value)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self.stats.puts += 1
+        self.stats.bytes_written += len(value)
+        self._data[bytes(key)] = bytes(value)
+
+    def delete(self, key: bytes) -> bool:
+        self._check_open()
+        self.stats.deletes += 1
+        return self._data.pop(key, None) is not None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        self._check_open()
+        yield from list(self._data.items())
+
+    def __len__(self) -> int:
+        self._check_open()
+        return len(self._data)

@@ -1,0 +1,194 @@
+"""Paged-file manager underlying the disk-resident stores.
+
+Provides fixed-size page allocation over a single file, a free list for
+recycling pages, a small client metadata area in the header, and overflow
+chains for values larger than a page.  Both the external hash table and the
+B+tree are built on top of this class, mirroring the role Tokyo Cabinet's
+low-level file layer played in the paper's implementation.
+
+File layout::
+
+    page 0:  header  [magic 4B][version u16][page_size u32][n_pages u64]
+                     [free_head u64][meta_len u16][meta bytes ...]
+    page 1+: client pages / free pages / overflow pages
+
+Free pages store the id of the next free page in their first 8 bytes.
+Overflow pages store ``[next u64][chunk...]``.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from .errors import CorruptionError, PageBoundsError, StorageError
+
+MAGIC = b"NCPG"
+VERSION = 1
+DEFAULT_PAGE_SIZE = 4096
+_HEADER_FMT = "<4sHIQQH"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+#: Maximum client metadata stored in the header page.
+MAX_META = 1024
+
+
+class Pager:
+    """Fixed-size page manager over one file descriptor."""
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
+                 create: bool = False) -> None:
+        self.path = path
+        if create:
+            self._file = open(path, "w+b")
+            self.page_size = page_size
+            self.n_pages = 1
+            self._free_head = 0
+            self._meta = b""
+            self._write_header()
+        else:
+            if not os.path.exists(path):
+                raise StorageError(f"no such store file: {path}")
+            self._file = open(path, "r+b")
+            self._read_header()
+        self.page_reads = 0
+        self.page_writes = 0
+
+    # -- header -------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = struct.pack(
+            _HEADER_FMT, MAGIC, VERSION, self.page_size, self.n_pages,
+            self._free_head, len(self._meta),
+        ) + self._meta
+        if len(header) > max(self.page_size, _HEADER_SIZE + MAX_META):
+            raise StorageError("header metadata too large")
+        self._file.seek(0)
+        self._file.write(header.ljust(self.page_size, b"\x00"))
+
+    def _read_header(self) -> None:
+        self._file.seek(0)
+        prefix = self._file.read(_HEADER_SIZE)
+        if len(prefix) < _HEADER_SIZE:
+            raise CorruptionError("store file too small for header")
+        magic, version, page_size, n_pages, free_head, meta_len = struct.unpack(
+            _HEADER_FMT, prefix)
+        if magic != MAGIC:
+            raise CorruptionError(f"bad magic in {self.path!r}")
+        if version != VERSION:
+            raise CorruptionError(f"unsupported store version {version}")
+        self.page_size = page_size
+        self.n_pages = n_pages
+        self._free_head = free_head
+        self._meta = self._file.read(meta_len)
+
+    @property
+    def meta(self) -> bytes:
+        """Client metadata blob stored in the header page."""
+        return self._meta
+
+    def set_meta(self, meta: bytes) -> None:
+        """Persist up to :data:`MAX_META` bytes of client metadata."""
+        if len(meta) > MAX_META:
+            raise StorageError(f"metadata larger than {MAX_META} bytes")
+        self._meta = bytes(meta)
+        self._write_header()
+
+    # -- page primitives ------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Return the id of a fresh zeroed page (recycled when possible)."""
+        if self._free_head:
+            page_id = self._free_head
+            raw = self.read(page_id)
+            self._free_head = struct.unpack_from("<Q", raw, 0)[0]
+            self.write(page_id, b"")
+            self._write_header()
+            return page_id
+        page_id = self.n_pages
+        self.n_pages += 1
+        self.write(page_id, b"")
+        self._write_header()
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        self._check_bounds(page_id)
+        self.write(page_id, struct.pack("<Q", self._free_head))
+        self._free_head = page_id
+        self._write_header()
+
+    def read(self, page_id: int) -> bytes:
+        """Read a full page; short files are padded with zero bytes."""
+        self._check_bounds(page_id)
+        self.page_reads += 1
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write ``data`` (padded/truncated to one page) at ``page_id``."""
+        self._check_bounds(page_id)
+        if len(data) > self.page_size:
+            raise StorageError("page write larger than page size")
+        self.page_writes += 1
+        self._file.seek(page_id * self.page_size)
+        self._file.write(data.ljust(self.page_size, b"\x00"))
+
+    def _check_bounds(self, page_id: int) -> None:
+        if page_id < 1 or page_id > self.n_pages:
+            raise PageBoundsError(
+                f"page {page_id} outside [1, {self.n_pages}]")
+
+    # -- overflow chains ------------------------------------------------------
+
+    def write_overflow(self, data: bytes) -> int:
+        """Store ``data`` across a chain of overflow pages; returns head id."""
+        chunk_size = self.page_size - 8
+        chunks = [data[i:i + chunk_size] for i in range(0, len(data), chunk_size)]
+        if not chunks:
+            chunks = [b""]
+        page_ids = [self.allocate() for _ in chunks]
+        for index, chunk in enumerate(chunks):
+            next_id = page_ids[index + 1] if index + 1 < len(page_ids) else 0
+            self.write(page_ids[index], struct.pack("<Q", next_id) + chunk)
+        return page_ids[0]
+
+    def read_overflow(self, head_page: int, length: int) -> bytes:
+        """Read ``length`` bytes back from an overflow chain."""
+        out = bytearray()
+        page_id = head_page
+        while len(out) < length:
+            if page_id == 0:
+                raise CorruptionError("overflow chain ended early")
+            raw = self.read(page_id)
+            page_id = struct.unpack_from("<Q", raw, 0)[0]
+            out += raw[8:8 + min(self.page_size - 8, length - len(out))]
+        return bytes(out)
+
+    def free_overflow(self, head_page: int, length: int) -> None:
+        """Release every page of an overflow chain back to the free list."""
+        chunk_size = self.page_size - 8
+        remaining = max(length, 1)
+        page_id = head_page
+        while remaining > 0 and page_id:
+            raw = self.read(page_id)
+            next_id = struct.unpack_from("<Q", raw, 0)[0]
+            self.free(page_id)
+            page_id = next_id
+            remaining -= chunk_size
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def sync(self) -> None:
+        """fsync the underlying file."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Flush the header and close the file."""
+        if not self._file.closed:
+            self._write_header()
+            self._file.flush()
+            self._file.close()

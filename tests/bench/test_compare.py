@@ -1,0 +1,88 @@
+"""Tests for benchmark-run comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    Delta,
+    compare_dirs,
+    format_report,
+    improvements,
+    main,
+    regressions,
+)
+
+
+def write_results(directory, experiment: str, rows: list[dict]) -> None:
+    (directory / f"{experiment}.json").write_text(json.dumps(rows))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    before = tmp_path / "before"
+    after = tmp_path / "after"
+    before.mkdir()
+    after.mkdir()
+    write_results(before, "exp", [
+        {"series": "td", "x": 1000, "millis": 10.0},
+        {"series": "td", "x": 2000, "millis": 20.0},
+        {"series": "bu", "x": 1000, "millis": 8.0},
+    ])
+    write_results(after, "exp", [
+        {"series": "td", "x": 1000, "millis": 30.0},   # 3x slower
+        {"series": "td", "x": 2000, "millis": 21.0},   # noise
+        {"series": "bu", "x": 1000, "millis": 2.0},    # 4x faster
+    ])
+    return str(before), str(after)
+
+
+class TestCompare:
+    def test_matching(self, dirs) -> None:
+        deltas = compare_dirs(*dirs)
+        assert len(deltas) == 3
+        by_key = {(d.series, d.x): d for d in deltas}
+        assert by_key[("td", "1000")].ratio == pytest.approx(3.0)
+
+    def test_regressions_and_improvements(self, dirs) -> None:
+        deltas = compare_dirs(*dirs)
+        slow = regressions(deltas)
+        fast = improvements(deltas)
+        assert [(d.series, d.x) for d in slow] == [("td", "1000")]
+        assert [(d.series, d.x) for d in fast] == [("bu", "1000")]
+
+    def test_unmatched_rows_dropped(self, tmp_path, dirs) -> None:
+        before, after = dirs
+        write_results(tmp_path / "after", "newexp",
+                      [{"series": "s", "x": 1, "millis": 1.0}])
+        assert len(compare_dirs(before, after)) == 3
+
+    def test_report_contents(self, dirs) -> None:
+        report = format_report(compare_dirs(*dirs))
+        assert "3.00x" in report
+        assert "1 slower" in report
+        assert "1 faster" in report
+
+    def test_report_no_changes(self, dirs) -> None:
+        before, _after = dirs
+        report = format_report(compare_dirs(before, before))
+        assert "no changes" in report
+
+    def test_empty(self, tmp_path) -> None:
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        assert format_report(compare_dirs(
+            str(tmp_path / "a"), str(tmp_path / "b"))) == \
+            "(no matching rows between the two runs)"
+
+    def test_main_exit_codes(self, dirs, capsys) -> None:
+        before, after = dirs
+        assert main([before, after]) == 1          # has regressions
+        assert main([before, before]) == 0
+        assert "rows compared" in capsys.readouterr().out
+
+    def test_delta_zero_baseline(self) -> None:
+        delta = Delta("e", "s", 1, 0.0, 5.0)
+        assert delta.ratio == float("inf")

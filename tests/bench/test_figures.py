@@ -1,0 +1,101 @@
+"""Tests for the terminal figure rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.figures import (
+    bar_chart,
+    render_results_dir,
+    render_results_file,
+    render_rows,
+    scatter_plot,
+)
+
+
+def rows_numeric() -> list[dict]:
+    return [
+        {"series": "topdown", "x": 1000, "millis": 5.0},
+        {"series": "topdown", "x": 2000, "millis": 9.0},
+        {"series": "bottomup", "x": 1000, "millis": 7.0},
+        {"series": "bottomup", "x": 2000, "millis": 13.0},
+    ]
+
+
+def rows_categorical() -> list[dict]:
+    return [
+        {"series": "topdown", "x": "subset", "millis": 1.2},
+        {"series": "topdown", "x": "superset", "millis": 6.6},
+        {"series": "bottomup", "x": "subset", "millis": 2.4},
+    ]
+
+
+class TestScatter:
+    def test_axes_and_legend(self) -> None:
+        plot = scatter_plot(rows_numeric())
+        assert "1000" in plot and "2000" in plot
+        assert "13" in plot and "5" in plot
+        assert "o topdown" in plot
+        assert "x bottomup" in plot
+
+    def test_markers_plotted(self) -> None:
+        plot = scatter_plot(rows_numeric())
+        body = plot.split("+--")[0]
+        assert body.count("o") >= 2
+        assert body.count("x") >= 2
+
+    def test_log_scale(self) -> None:
+        rows = [{"series": "s", "x": 1, "millis": 1.0},
+                {"series": "s", "x": 2, "millis": 1000.0}]
+        plot = scatter_plot(rows, log_y=True)
+        assert "(log)" in plot
+
+    def test_log_rejects_nonpositive(self) -> None:
+        rows = [{"series": "s", "x": 1, "millis": 0.0}]
+        with pytest.raises(ValueError):
+            scatter_plot(rows, log_y=True)
+
+    def test_single_point(self) -> None:
+        rows = [{"series": "s", "x": 5, "millis": 2.0}]
+        assert "s" in scatter_plot(rows)
+
+    def test_empty(self) -> None:
+        assert scatter_plot([]) == "(no data)"
+
+
+class TestBars:
+    def test_grouped_bars(self) -> None:
+        chart = bar_chart(rows_categorical())
+        assert "subset" in chart and "superset" in chart
+        assert "#" in chart
+        assert "6.6 ms" in chart
+
+    def test_bar_lengths_scale(self) -> None:
+        chart = bar_chart(rows_categorical())
+        lines = {line.strip() for line in chart.splitlines() if "#" in line}
+        longest = max(lines, key=lambda line: line.count("#"))
+        assert "superset" in longest or "6.6" in longest
+
+
+class TestDispatchAndFiles:
+    def test_render_rows_picks_chart(self) -> None:
+        assert "|" in render_rows(rows_numeric())          # scatter frame
+        assert "#" in render_rows(rows_categorical())      # bars
+
+    def test_render_rows_auto_log(self) -> None:
+        rows = [{"series": "s", "x": 1, "millis": 1.0},
+                {"series": "s", "x": 2, "millis": 500.0}]
+        assert "(log)" in render_rows(rows)  # spread > 50 flips to log
+
+    def test_results_file_and_dir(self, tmp_path) -> None:
+        path = tmp_path / "exp1.json"
+        path.write_text(json.dumps(rows_numeric()))
+        rendered = render_results_file(str(path))
+        assert "== exp1 ==" in rendered
+        all_rendered = render_results_dir(str(tmp_path))
+        assert "== exp1 ==" in all_rendered
+
+    def test_empty_dir(self, tmp_path) -> None:
+        assert "no results" in render_results_dir(str(tmp_path))

@@ -1,0 +1,69 @@
+"""Tests for the Section 5.2 measurement protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.protocol import (
+    PAPER_REPEATS,
+    SeriesPoint,
+    Timing,
+    measure,
+    trimmed_mean,
+)
+
+
+class TestTrimmedMean:
+    def test_drops_min_and_max(self) -> None:
+        # 10 samples with outliers at both ends, as in the paper.
+        times = [100.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 0.001]
+        assert trimmed_mean(times) == pytest.approx(
+            (1.0 + 2.0 * 7) / 8)
+
+    def test_small_samples_plain_mean(self) -> None:
+        assert trimmed_mean([4.0]) == 4.0
+        assert trimmed_mean([2.0, 4.0]) == 3.0
+
+    def test_three_samples(self) -> None:
+        assert trimmed_mean([1.0, 5.0, 100.0]) == 5.0
+
+    def test_empty_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+
+class TestMeasure:
+    def test_runs_requested_times(self) -> None:
+        calls = []
+        timing = measure(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+        assert len(timing.times) == 4
+
+    def test_default_is_paper_protocol(self) -> None:
+        timing = measure(lambda: None)
+        assert len(timing.times) == PAPER_REPEATS == 10
+
+    def test_positive_times(self) -> None:
+        timing = measure(lambda: sum(range(1000)), repeats=3)
+        assert all(t > 0 for t in timing.times)
+        assert timing.minimum <= timing.mean <= timing.maximum
+
+    def test_repeats_validated(self) -> None:
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestTimingAndPoints:
+    def test_millis(self) -> None:
+        timing = Timing((0.001, 0.002, 0.003))
+        assert timing.millis == pytest.approx(2.0)
+
+    def test_series_point_row(self) -> None:
+        point = SeriesPoint("topdown+cache", 1000,
+                            Timing((0.01, 0.02, 0.03)),
+                            extra={"queries": 100})
+        row = point.as_row()
+        assert row["series"] == "topdown+cache"
+        assert row["x"] == 1000
+        assert row["millis"] == pytest.approx(20.0)
+        assert row["queries"] == 100

@@ -1,0 +1,64 @@
+"""Tests for benchmark reporting output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.protocol import SeriesPoint, Timing
+from repro.bench.reporting import (
+    format_figure,
+    format_table,
+    save_points,
+    speedup,
+)
+
+
+def point(series: str, x: float, ms: float) -> SeriesPoint:
+    return SeriesPoint(series, x, Timing((ms / 1000.0,) * 3))
+
+
+class TestFormatTable:
+    def test_alignment(self) -> None:
+        table = format_table(["name", "ms"], [["a", 1.5], ["bbbb", 22.25]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "1.500" in lines[2]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestFormatFigure:
+    def test_series_columns(self) -> None:
+        points = [point("td", 1000, 5.0), point("bu", 1000, 7.0),
+                  point("td", 2000, 9.0), point("bu", 2000, 13.0)]
+        figure = format_figure("Fig 6a", points)
+        assert "Fig 6a" in figure
+        assert "td" in figure and "bu" in figure
+        assert "1K" in figure and "2K" in figure
+        assert "13.000" in figure
+
+    def test_missing_cell(self) -> None:
+        figure = format_figure("t", [point("td", 1000, 5.0),
+                                     point("bu", 2000, 7.0)])
+        assert "-" in figure
+
+
+class TestSavePoints:
+    def test_json_written(self, tmp_path) -> None:
+        points = [point("td", 1000, 5.0)]
+        path = save_points("exp_test", points, directory=str(tmp_path))
+        with open(path) as handle:
+            rows = json.load(handle)
+        assert rows[0]["series"] == "td"
+        assert rows[0]["millis"] == pytest.approx(5.0)
+
+
+class TestSpeedup:
+    def test_factor(self) -> None:
+        assert speedup(100.0, 10.0) == pytest.approx(10.0)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)

@@ -1,0 +1,81 @@
+"""Tests for workload preparation and the timed query unit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    DATASETS,
+    WorkloadCache,
+    generate_dataset,
+    make_query_runner,
+    run_benchmark_queries,
+)
+from repro.data.queries import BenchmarkQuery
+from repro.core.model import NestedSet
+
+
+class TestGenerateDataset:
+    @pytest.mark.parametrize("name", DATASETS)
+    def test_every_dataset_generates(self, name: str) -> None:
+        records = list(generate_dataset(name, 20, seed=1))
+        assert len(records) == 20
+        assert all(isinstance(tree, NestedSet) for _k, tree in records)
+
+    def test_theta_forwarded(self) -> None:
+        mild = list(generate_dataset("zipf-wide", 100, theta=0.5))
+        harsh = list(generate_dataset("zipf-wide", 100, theta=0.9))
+        assert mild != harsh
+
+    def test_unknown_dataset(self) -> None:
+        with pytest.raises(ValueError):
+            list(generate_dataset("mongodb", 10))
+        with pytest.raises(ValueError):
+            list(generate_dataset("gaussian-wide", 10))
+
+
+class TestWorkloadCache:
+    def test_build_once(self) -> None:
+        cache = WorkloadCache()
+        first = cache.get("dblp", 50, n_queries=10)
+        second = cache.get("dblp", 50, n_queries=10)
+        assert first is second
+        different = cache.get("dblp", 60, n_queries=10)
+        assert different is not first
+        cache.clear()
+
+    def test_workload_contents(self) -> None:
+        cache = WorkloadCache()
+        workload = cache.get("uniform-wide", 40, n_queries=12)
+        assert workload.index.n_records == 40
+        assert len(workload.queries) == 12
+        assert len(workload.records) == 40
+        cache.clear()
+
+
+class TestRunBenchmarkQueries:
+    @pytest.fixture
+    def workload(self):
+        cache = WorkloadCache()
+        yield cache.get("zipf-wide", 60, n_queries=16, seed=2)
+        cache.clear()
+
+    @pytest.mark.parametrize("algorithm",
+                             ["topdown", "bottomup", "topdown-paper"])
+    def test_checked_run(self, workload, algorithm: str) -> None:
+        total = run_benchmark_queries(workload.index, workload.queries,
+                                      algorithm, check=True)
+        assert total >= sum(1 for b in workload.queries if b.positive)
+
+    def test_check_catches_misses(self, workload) -> None:
+        poisoned = [BenchmarkQuery(key="qx",
+                                   query=NestedSet(["__nope__"]),
+                                   positive=True, source_key="s000000")]
+        with pytest.raises(AssertionError):
+            run_benchmark_queries(workload.index, poisoned, "bottomup",
+                                  check=True)
+
+    def test_runner_closure(self, workload) -> None:
+        runner = make_query_runner(workload.index, workload.queries,
+                                   "bottomup")
+        assert runner() == runner()  # deterministic result count

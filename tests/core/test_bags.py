@@ -1,0 +1,184 @@
+"""Tests for the nested multiset (bag) data model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bags import (
+    NestedBag,
+    bag_contains,
+    bag_equal,
+    bag_filter_verify,
+    bag_reference_query,
+    json_to_nested_bag,
+)
+from repro.core.engine import NestedSetIndex
+from repro.core.model import NestedSet
+from repro.core.semantics import hom_contains
+
+B = NestedBag
+N = NestedSet
+
+
+def small_bags():
+    atoms = st.sampled_from(["a", "b", "c"])
+    return st.recursive(
+        st.builds(lambda a: B(a), st.lists(atoms, max_size=4)),
+        lambda kids: st.builds(lambda a, c: B(a, c),
+                               st.lists(atoms, max_size=3),
+                               st.lists(kids, max_size=3)),
+        max_leaves=10)
+
+
+class TestModel:
+    def test_multiplicities_kept(self) -> None:
+        bag = B(["a", "a", "b"])
+        assert bag.multiplicity("a") == 2
+        assert bag.multiplicity("b") == 1
+        assert bag.multiplicity("zz") == 0
+        assert bag.cardinality == 3
+
+    def test_distinct_from_set_semantics(self) -> None:
+        assert B(["a", "a"]) != B(["a"])
+        assert N.from_obj(["a", "a"]) == N.from_obj(["a"])
+
+    def test_child_multiplicities(self) -> None:
+        bag = B([], [B(["x"]), B(["x"]), B(["y"])])
+        counts = dict((child.to_text(), count)
+                      for child, count in bag.children)
+        assert counts == {"{x}": 2, "{y}": 1}
+
+    def test_equality_and_hash(self) -> None:
+        left = B(["a", "a"], [B(["b"]), B(["b"])])
+        right = B(["a", "a"], [B(["b"]), B(["b"])])
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != B(["a", "a"], [B(["b"])])
+
+    def test_from_obj_preserves_duplicates(self) -> None:
+        bag = B.from_obj(["a", "a", ["b"], ["b"]])
+        assert bag.multiplicity("a") == 2
+        assert bag.children[0][1] == 2
+
+    def test_from_nested_set(self) -> None:
+        tree = N(["a"], [N(["b"])])
+        bag = B.from_obj(tree)
+        assert bag.to_set() == tree
+
+    def test_parse_keeps_duplicates(self) -> None:
+        bag = B.parse("{a, a, {b}, {b}}")
+        assert bag.multiplicity("a") == 2
+        assert bag.children[0][1] == 2
+
+    def test_text_roundtrip(self) -> None:
+        bag = B(["a", "a", 5], [B(["b"]), B(["b"]), B()])
+        assert B.parse(bag.to_text()) == bag
+
+    @settings(max_examples=100)
+    @given(small_bags())
+    def test_text_roundtrip_property(self, bag: NestedBag) -> None:
+        assert B.parse(bag.to_text()) == bag
+
+    def test_to_set_collapses(self) -> None:
+        bag = B(["a", "a"], [B(["b"]), B(["b"])])
+        assert bag.to_set() == N(["a"], [N(["b"])])
+
+    def test_type_validation(self) -> None:
+        from repro.core.model import NestedSetError
+        with pytest.raises(NestedSetError):
+            B([3.5])
+        with pytest.raises(NestedSetError):
+            B([], ["not a bag"])  # type: ignore[list-item]
+        with pytest.raises(NestedSetError):
+            B.from_obj(42)
+
+
+class TestBagContainment:
+    def test_multiplicity_enforced(self) -> None:
+        assert bag_contains(B(["a", "a"]), B(["a"]))
+        assert bag_contains(B(["a", "a"]), B(["a", "a"]))
+        assert not bag_contains(B(["a"]), B(["a", "a"]))
+
+    def test_child_copies_need_distinct_witnesses(self) -> None:
+        two_copies = B([], [B(["x"]), B(["x"])])
+        one_copy = B([], [B(["x"])])
+        assert bag_contains(two_copies, one_copy)
+        assert not bag_contains(one_copy, two_copies)
+
+    def test_recursive_containment(self) -> None:
+        data = B(["t"], [B(["a", "a", "b"]), B(["c"])])
+        assert bag_contains(data, B([], [B(["a", "a"])]))
+        assert not bag_contains(data, B([], [B(["a", "a", "a"])]))
+
+    def test_matching_reroutes(self) -> None:
+        # q child {a} fits either data child; q child {a,b} fits only one.
+        data = B([], [B(["a", "b"]), B(["a"])])
+        query = B([], [B(["a"]), B(["a", "b"])])
+        assert bag_contains(data, query)
+
+    def test_empty_query(self) -> None:
+        assert bag_contains(B(["a"]), B())
+        assert bag_contains(B(), B())
+
+    @settings(max_examples=120)
+    @given(small_bags())
+    def test_reflexive(self, bag: NestedBag) -> None:
+        assert bag_contains(bag, bag)
+        assert bag_equal(bag, bag)
+
+    @settings(max_examples=120)
+    @given(small_bags(), small_bags())
+    def test_bag_containment_implies_set_hom(self, data, query) -> None:
+        if bag_contains(data, query):
+            assert hom_contains(data.to_set(), query.to_set())
+
+    def test_set_hom_does_not_imply_bag(self) -> None:
+        data, query = B(["a"]), B(["a", "a"])
+        assert hom_contains(data.to_set(), query.to_set())
+        assert not bag_contains(data, query)
+
+
+class TestFilterVerify:
+    def test_equals_reference_scan(self) -> None:
+        rng = random.Random(3)
+        atoms = ["a", "b", "c", "d"]
+
+        def rand_bag(depth: int = 0) -> NestedBag:
+            bag_atoms = [rng.choice(atoms)
+                         for _ in range(rng.randint(1, 4))]
+            kids = [rand_bag(depth + 1)
+                    for _ in range(rng.randint(0, 2))] if depth < 2 else []
+            return B(bag_atoms, kids)
+
+        bag_records = {f"r{i:02d}": rand_bag() for i in range(40)}
+        index = NestedSetIndex.build(
+            (key, bag.to_set()) for key, bag in bag_records.items())
+        for _ in range(40):
+            query = rand_bag()
+            expect = bag_reference_query(bag_records.items(), query)
+            got = sorted(bag_filter_verify(index, bag_records, query))
+            assert got == expect
+
+
+class TestJsonBags:
+    def test_array_duplicates_preserved(self) -> None:
+        bag = json_to_nested_bag({"tags": ["x", "x", "y"]})
+        (child, _count), = bag.children
+        assert child.multiplicity("x") == 2
+
+    def test_duplicate_objects_preserved(self) -> None:
+        bag = json_to_nested_bag([{"a": 1}, {"a": 1}])
+        assert bag.children[0][1] == 2
+
+    def test_scalar_document(self) -> None:
+        assert json_to_nested_bag(5) == B([5])
+
+    def test_agrees_with_set_adapter_after_dedupe(self) -> None:
+        from repro.data.json_adapter import json_to_nested
+        document = {"user": {"name": "sue"}, "tags": ["x", "x", "y"],
+                    "n": 3}
+        assert json_to_nested_bag(document).to_set() == \
+            json_to_nested(document)

@@ -1,0 +1,83 @@
+"""Tests for batch evaluation with shared-subquery memoization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.batch import BatchEvaluator, batch_query
+from repro.core.bottomup import bottomup_match_nodes
+from repro.core.invfile import InvertedFile
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from tests.conftest import random_tree
+
+N = NestedSet
+
+
+@pytest.fixture
+def index(small_corpus) -> InvertedFile:
+    return InvertedFile.build(small_corpus)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("spec", [
+        QuerySpec(),
+        QuerySpec(semantics="iso"),
+        QuerySpec(semantics="homeo"),
+        QuerySpec(join="equality"),
+        QuerySpec(join="superset"),
+        QuerySpec(join="overlap", epsilon=2),
+    ], ids=lambda s: f"{s.semantics}-{s.join}")
+    def test_equals_plain_bottomup(self, small_corpus, index, spec) -> None:
+        evaluator = BatchEvaluator(index, spec)
+        rng = random.Random(str(spec) + "batch")
+        atoms = [f"a{i}" for i in range(12)]
+        for _ in range(40):
+            query = random_tree(rng, atoms)
+            expected = set(bottomup_match_nodes(query, index, spec))
+            assert set(evaluator.match_nodes(query)) == expected
+
+    def test_batch_query_helper(self, small_corpus, index) -> None:
+        queries = [tree for _key, tree in small_corpus[:8]]
+        results = batch_query(index, queries)
+        for (key, _tree), result in zip(small_corpus[:8], results):
+            assert key in result
+
+
+class TestSharing:
+    def test_shared_subtrees_evaluated_once(self, index) -> None:
+        shared = N(["a1", "a2"])
+        queries = [N(["a3"], [shared]), N(["a4"], [shared]),
+                   N(["a5"], [shared, N(["a6"])])]
+        evaluator = BatchEvaluator(index)
+        evaluator.query_all(queries)
+        # shared appears in 3 queries but only one evaluation.
+        assert evaluator.subqueries_reused >= 2
+        assert evaluator.memo_size == evaluator.subqueries_evaluated
+
+    def test_identical_queries_fully_reused(self, index,
+                                            small_corpus) -> None:
+        query = small_corpus[0][1]
+        evaluator = BatchEvaluator(index)
+        first = evaluator.query(query)
+        evaluated = evaluator.subqueries_evaluated
+        second = evaluator.query(query)
+        assert first == second
+        assert evaluator.subqueries_evaluated == evaluated  # all memoized
+
+    def test_structural_equality_drives_sharing(self, index) -> None:
+        # Distinct objects, equal values: the memo must hit.
+        evaluator = BatchEvaluator(index)
+        evaluator.query(N(["a7"], [N(["a1", "a2"])]))
+        count = evaluator.subqueries_evaluated
+        evaluator.query(N(["a8"], [N(["a2", "a1"])]))  # same child value
+        assert evaluator.subqueries_evaluated == count + 1  # only the root
+
+    def test_clear(self, index) -> None:
+        evaluator = BatchEvaluator(index)
+        evaluator.query(N(["a1"]))
+        assert evaluator.memo_size > 0
+        evaluator.clear()
+        assert evaluator.memo_size == 0

@@ -1,0 +1,249 @@
+"""Tests for the Bloom-filter pruning structures (Section 3.3)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bloom import (
+    BloomFilter,
+    BloomIndex,
+    BreadthBloom,
+    DepthBloom,
+)
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from repro.core.semantics import hom_contains
+from tests.conftest import random_tree
+
+N = NestedSet
+
+
+class TestBloomFilter:
+    def test_membership(self) -> None:
+        bloom = BloomFilter()
+        bloom.add("hello")
+        assert "hello" in bloom
+        assert "goodbye" not in bloom
+
+    def test_no_false_negatives(self) -> None:
+        bloom = BloomFilter(n_bits=256)
+        items = [f"item{i}" for i in range(50)]
+        for item in items:
+            bloom.add(item)
+        assert all(item in bloom for item in items)
+
+    def test_subsume_reflexive_and_monotone(self) -> None:
+        small = BloomFilter()
+        small.add("a")
+        big = BloomFilter()
+        big.add("a")
+        big.add("b")
+        assert small.might_subsume(big)
+        assert small.might_subsume(small)
+        assert not big.might_subsume(small)
+
+    def test_incompatible_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            BloomFilter(n_bits=128).might_subsume(BloomFilter(n_bits=256))
+
+    def test_union(self) -> None:
+        left = BloomFilter()
+        left.add("a")
+        right = BloomFilter()
+        right.add("b")
+        both = left.union(right)
+        assert "a" in both and "b" in both
+
+    def test_encode_decode(self) -> None:
+        bloom = BloomFilter(n_bits=128, n_hashes=2)
+        bloom.add("x")
+        decoded = BloomFilter.decode(bloom.encode())
+        assert decoded.bits == bloom.bits
+        assert decoded.n_bits == 128
+        assert decoded.n_hashes == 2
+
+    def test_fill_ratio(self) -> None:
+        bloom = BloomFilter(n_bits=64, n_hashes=1)
+        assert bloom.fill_ratio == 0.0
+        bloom.add("a")
+        assert 0 < bloom.fill_ratio <= 1 / 64 + 1e-9
+
+    def test_parameter_validation(self) -> None:
+        with pytest.raises(ValueError):
+            BloomFilter(n_bits=4)
+        with pytest.raises(ValueError):
+            BloomFilter(n_hashes=0)
+
+    def test_for_tree_covers_all_levels(self) -> None:
+        tree = N(["a"], [N(["b"], [N([42])])])
+        bloom = BloomFilter.for_tree(tree)
+        for token in ("s:a", "s:b", "i:42"):
+            assert token in bloom
+
+
+class TestSoundness:
+    """A Bloom prune must never discard a true containment."""
+
+    @settings(max_examples=150)
+    @given(st.integers(0, 10 ** 6))
+    def test_flat_soundness(self, seed: int) -> None:
+        rng = random.Random(seed)
+        atoms = [f"a{i}" for i in range(8)]
+        data = random_tree(rng, atoms)
+        query = random_tree(rng, atoms)
+        if hom_contains(data, query):
+            qf = BloomFilter.for_tree(query)
+            sf = BloomFilter.for_tree(data)
+            assert qf.might_subsume(sf)
+
+    @settings(max_examples=150)
+    @given(st.integers(0, 10 ** 6))
+    def test_breadth_soundness(self, seed: int) -> None:
+        rng = random.Random(seed)
+        atoms = [f"a{i}" for i in range(8)]
+        data = random_tree(rng, atoms)
+        query = random_tree(rng, atoms)
+        if hom_contains(data, query):
+            assert BreadthBloom.for_tree(query).might_subsume(
+                BreadthBloom.for_tree(data))
+
+    @settings(max_examples=150)
+    @given(st.integers(0, 10 ** 6))
+    def test_depth_soundness(self, seed: int) -> None:
+        rng = random.Random(seed)
+        atoms = [f"a{i}" for i in range(8)]
+        data = random_tree(rng, atoms)
+        query = random_tree(rng, atoms)
+        if hom_contains(data, query):
+            assert DepthBloom.for_tree(query).might_subsume(
+                DepthBloom.for_tree(data))
+
+
+class TestPruningPower:
+    def test_breadth_prunes_deeper_queries(self) -> None:
+        data = N(["a"])                      # depth 1
+        query = N(["a"], [N(["a"])])         # depth 2
+        assert not BreadthBloom.for_tree(query).might_subsume(
+            BreadthBloom.for_tree(data))
+
+    def test_depth_prunes_wrong_nesting(self) -> None:
+        # Same atoms, different parent-child pairs: flat cannot prune,
+        # the depth (pair) filter can.
+        data = N(["a"], [N(["b"])])
+        query = N(["b"], [N(["a"])])
+        assert BloomFilter.for_tree(query).might_subsume(
+            BloomFilter.for_tree(data))
+        assert not DepthBloom.for_tree(query).might_subsume(
+            DepthBloom.for_tree(data))
+
+
+class TestBloomIndex:
+    @pytest.fixture
+    def records(self) -> list[tuple[str, NestedSet]]:
+        rng = random.Random(8)
+        atoms = [f"a{i}" for i in range(10)]
+        return [(f"r{i}", random_tree(rng, atoms)) for i in range(30)]
+
+    @pytest.mark.parametrize("kind", ["flat", "breadth", "depth"])
+    def test_candidates_sound(self, kind: str, records) -> None:
+        index = BloomIndex.build(records, kind=kind)
+        rng = random.Random(9)
+        atoms = [f"a{i}" for i in range(10)]
+        for _ in range(40):
+            query = random_tree(rng, atoms)
+            candidates = index.candidates(query)
+            assert candidates is not None
+            survivors = {records[o][0] for o in candidates}
+            for key, tree in records:
+                if hom_contains(tree, query):
+                    assert key in survivors
+
+    def test_pruning_disabled_when_unsound(self, records) -> None:
+        index = BloomIndex.build(records, kind="breadth")
+        query = N(["a1"])
+        assert index.candidates(query,
+                                QuerySpec(semantics="homeo")) is None
+        assert index.candidates(query,
+                                QuerySpec(join="overlap")) is None
+        assert index.candidates(query, QuerySpec(mode="anywhere")) is None
+        flat = BloomIndex.build(records, kind="flat")
+        assert flat.candidates(query, QuerySpec(mode="anywhere")) is not None
+
+    def test_superset_direction_reversed(self, records) -> None:
+        index = BloomIndex.build(records, kind="flat")
+        rng = random.Random(11)
+        atoms = [f"a{i}" for i in range(10)]
+        query = random_tree(rng, atoms)
+        candidates = index.candidates(query, QuerySpec(join="superset"))
+        assert candidates is not None
+        survivors = {records[o][0] for o in candidates}
+        for key, tree in records:
+            if hom_contains(query, tree):   # s ⊆ q
+                assert key in survivors
+
+    def test_unknown_kind(self) -> None:
+        with pytest.raises(ValueError):
+            BloomIndex(kind="quantum")
+
+    def test_len(self, records) -> None:
+        index = BloomIndex.build(records)
+        assert len(index) == len(records)
+
+
+class TestPersistence:
+    def test_filter_codecs_roundtrip(self) -> None:
+        from repro.core.bloom import decode_filter, encode_filter
+        tree = N(["a"], [N(["b"], [N(["c"])])])
+        for obj in (BloomFilter.for_tree(tree),
+                    BreadthBloom.for_tree(tree),
+                    DepthBloom.for_tree(tree)):
+            decoded = decode_filter(encode_filter(obj))
+            assert type(decoded) is type(obj)
+            if isinstance(obj, BloomFilter):
+                assert decoded.bits == obj.bits
+            elif isinstance(obj, BreadthBloom):
+                assert [l.bits for l in decoded.levels] == \
+                    [l.bits for l in obj.levels]
+            else:
+                assert decoded.pairs.bits == obj.pairs.bits
+                assert decoded.flat.bits == obj.flat.bits
+
+    def test_encode_filter_rejects_other_types(self) -> None:
+        from repro.core.bloom import decode_filter, encode_filter
+        with pytest.raises(TypeError):
+            encode_filter("not a filter")  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            decode_filter(b"x???")
+
+    @pytest.mark.parametrize("kind", ["flat", "breadth", "depth"])
+    def test_save_load_store(self, kind: str) -> None:
+        from repro.storage import MemoryKVStore
+        rng = random.Random(31)
+        atoms = [f"a{i}" for i in range(8)]
+        records = [(f"r{i}", random_tree(rng, atoms)) for i in range(15)]
+        index = BloomIndex.build(records, kind=kind)
+        store = MemoryKVStore()
+        index.save(store)
+        loaded = BloomIndex.load(store)
+        assert loaded is not None
+        assert loaded.kind == kind
+        assert len(loaded) == len(records)
+        query = records[0][1]
+        assert loaded.candidates(query) == index.candidates(query)
+
+    def test_load_absent(self) -> None:
+        from repro.storage import MemoryKVStore
+        assert BloomIndex.load(MemoryKVStore()) is None
+
+    def test_append_persisted(self) -> None:
+        from repro.storage import MemoryKVStore
+        store = MemoryKVStore()
+        index = BloomIndex(kind="flat")
+        index.save(store)
+        index.append_persisted(store, N(["x"]))
+        reloaded = BloomIndex.load(store)
+        assert len(reloaded) == 1
+        assert reloaded.candidates(N(["x"])) == [0]

@@ -1,0 +1,134 @@
+"""Tests for the inverted-list cache policies (Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import (
+    PAPER_BUDGET,
+    FrequencyCache,
+    LRUCache,
+    NoCache,
+    make_cache,
+)
+from repro.core.postings import PostingList
+
+PL = PostingList([(1, ())])
+
+
+class TestNoCache:
+    def test_always_misses(self) -> None:
+        cache = NoCache()
+        cache.admit("a", PL)
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+
+class TestFrequencyCache:
+    def test_admits_hot_atoms_only(self) -> None:
+        cache = FrequencyCache(["hot"], budget=2)
+        cache.admit("hot", PL)
+        cache.admit("cold", PL)
+        assert cache.get("hot") == PL
+        assert cache.get("cold") is None
+        assert len(cache) == 1
+
+    def test_from_frequencies_takes_top_k(self) -> None:
+        freqs = [("a", 10), ("b", 5), ("c", 1)]
+        cache = FrequencyCache.from_frequencies(freqs, budget=2)
+        cache.admit("a", PL)
+        cache.admit("b", PL)
+        cache.admit("c", PL)
+        assert cache.get("a") == PL
+        assert cache.get("b") == PL
+        assert cache.get("c") is None
+
+    def test_tie_break_is_deterministic(self) -> None:
+        freqs = [("b", 5), ("a", 5), ("c", 5)]
+        cache = FrequencyCache.from_frequencies(freqs, budget=2)
+        cache.admit("a", PL)
+        cache.admit("b", PL)
+        cache.admit("c", PL)
+        assert cache.get("a") is not None
+        assert cache.get("b") is not None
+        assert cache.get("c") is None
+
+    def test_hot_set_must_fit_budget(self) -> None:
+        with pytest.raises(ValueError):
+            FrequencyCache(["a", "b", "c"], budget=2)
+
+    def test_paper_budget_default(self) -> None:
+        assert PAPER_BUDGET == 250
+        cache = FrequencyCache.from_frequencies(
+            [(f"a{i}", i) for i in range(1000)])
+        assert cache.budget == 250
+
+    def test_no_eviction(self) -> None:
+        cache = FrequencyCache(["a"], budget=1)
+        cache.admit("a", PL)
+        for _ in range(10):
+            assert cache.get("a") == PL
+        assert cache.stats.evictions == 0
+
+    def test_clear(self) -> None:
+        cache = FrequencyCache(["a"])
+        cache.admit("a", PL)
+        cache.clear()
+        assert cache.get("a") is None
+
+
+class TestLRUCache:
+    def test_basic(self) -> None:
+        cache = LRUCache(budget=2)
+        cache.admit("a", PL)
+        assert cache.get("a") == PL
+        assert cache.stats.hits == 1
+
+    def test_eviction_order(self) -> None:
+        cache = LRUCache(budget=2)
+        other = PostingList([(9, ())])
+        cache.admit("a", PL)
+        cache.admit("b", PL)
+        cache.get("a")          # refresh a; b is now least recent
+        cache.admit("c", other)
+        assert cache.get("b") is None
+        assert cache.get("a") == PL
+        assert cache.get("c") == other
+        assert cache.stats.evictions == 1
+
+    def test_budget_validation(self) -> None:
+        with pytest.raises(ValueError):
+            LRUCache(budget=0)
+
+    def test_readmit_refreshes(self) -> None:
+        cache = LRUCache(budget=2)
+        cache.admit("a", PL)
+        cache.admit("b", PL)
+        cache.admit("a", PL)    # touch a
+        cache.admit("c", PL)    # evicts b
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+
+class TestFactory:
+    def test_policies(self) -> None:
+        assert isinstance(make_cache(None), NoCache)
+        assert isinstance(make_cache("none"), NoCache)
+        assert isinstance(make_cache("lru"), LRUCache)
+        cache = make_cache("frequency", frequencies=[("a", 3)], budget=10)
+        assert isinstance(cache, FrequencyCache)
+
+    def test_unknown_policy(self) -> None:
+        with pytest.raises(ValueError):
+            make_cache("belady")
+
+    def test_hit_rate(self) -> None:
+        cache = LRUCache(budget=4)
+        cache.admit("a", PL)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == 0.5
+        cache.stats.reset()
+        assert cache.stats.requests == 0
+        assert cache.stats.hit_rate == 0.0

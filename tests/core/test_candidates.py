@@ -1,0 +1,97 @@
+"""Tests for per-join-type candidate generation (Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import node_candidates
+from repro.core.invfile import InvertedFile
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+
+N = NestedSet
+
+
+@pytest.fixture
+def index() -> InvertedFile:
+    # One record with distinctive leaf-count structure:
+    #   root {a, b}            (id 0, 2 leaves)
+    #     child {a}            (1 leaf)
+    #     child {a, b, c}      (3 leaves)
+    #     child {}             (0 leaves)
+    return InvertedFile.build([
+        ("r", N(["a", "b"],
+                [N(["a"]), N(["a", "b", "c"]), N([], [N(["z"])])])),
+    ])
+
+
+def heads_by_leafcount(index: InvertedFile, heads: set[int]) -> set[int]:
+    return {index.leaf_count(h) for h in heads}
+
+
+class TestSubset:
+    def test_intersection(self, index: InvertedFile) -> None:
+        cand = node_candidates(N(["a", "b"]), index, QuerySpec())
+        # nodes containing both a and b: the root and the {a,b,c} child
+        assert heads_by_leafcount(index, cand.heads()) == {2, 3}
+
+    def test_empty_atoms_all_nodes(self, index: InvertedFile) -> None:
+        cand = node_candidates(N(), index, QuerySpec())
+        assert len(cand) == index.n_nodes
+
+    def test_absent_atom(self, index: InvertedFile) -> None:
+        cand = node_candidates(N(["nope"]), index, QuerySpec())
+        assert not cand
+
+
+class TestEquality:
+    def test_leaf_count_filter(self, index: InvertedFile) -> None:
+        spec = QuerySpec(join="equality")
+        cand = node_candidates(N(["a", "b"]), index, spec)
+        assert heads_by_leafcount(index, cand.heads()) == {2}
+
+    def test_empty_atoms_zero_leaf_nodes(self, index: InvertedFile) -> None:
+        spec = QuerySpec(join="equality")
+        cand = node_candidates(N(), index, spec)
+        assert heads_by_leafcount(index, cand.heads()) == {0}
+
+
+class TestSuperset:
+    def test_multiplicity_equals_leafcount(self, index: InvertedFile) -> None:
+        spec = QuerySpec(join="superset")
+        # Query leaves {a, b}: candidates must have ALL their leaves
+        # inside {a, b} -> the {a} child (1 of 1), the root (2 of 2),
+        # and the zero-leaf child; NOT the {a,b,c} child (2 of 3).
+        cand = node_candidates(N(["a", "b"]), index, spec)
+        assert heads_by_leafcount(index, cand.heads()) == {0, 1, 2}
+
+    def test_zero_leaf_nodes_always_candidates(self, index) -> None:
+        spec = QuerySpec(join="superset")
+        cand = node_candidates(N(["zzz"]), index, spec)
+        assert heads_by_leafcount(index, cand.heads()) == {0}
+
+    def test_empty_query_node(self, index: InvertedFile) -> None:
+        spec = QuerySpec(join="superset")
+        cand = node_candidates(N(), index, spec)
+        assert heads_by_leafcount(index, cand.heads()) == {0}
+
+
+class TestOverlap:
+    def test_epsilon_threshold(self, index: InvertedFile) -> None:
+        cand1 = node_candidates(N(["a", "b", "q"]), index,
+                                QuerySpec(join="overlap", epsilon=1))
+        cand2 = node_candidates(N(["a", "b", "q"]), index,
+                                QuerySpec(join="overlap", epsilon=2))
+        # epsilon=1: every node sharing a or b; epsilon=2: nodes sharing two
+        assert heads_by_leafcount(index, cand1.heads()) == {1, 2, 3}
+        assert heads_by_leafcount(index, cand2.heads()) == {2, 3}
+
+    def test_no_atoms_no_candidates(self, index: InvertedFile) -> None:
+        cand = node_candidates(N(), index, QuerySpec(join="overlap"))
+        assert not cand
+
+    def test_results_sorted(self, index: InvertedFile) -> None:
+        cand = node_candidates(N(["a"]), index,
+                               QuerySpec(join="overlap", epsilon=1))
+        heads = [p for p, _ in cand]
+        assert heads == sorted(heads)

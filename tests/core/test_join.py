@@ -1,0 +1,80 @@
+"""Tests for the full-join executor (Equation 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import NestedSetIndex
+from repro.core.join import JoinResult, containment_join, self_join
+from repro.core.matchspec import QuerySpec
+from repro.core.naive import naive_containment_join
+
+
+@pytest.fixture
+def index(small_corpus) -> NestedSetIndex:
+    return NestedSetIndex.build(small_corpus, bloom="flat")
+
+
+@pytest.fixture
+def queries(small_corpus):
+    return [(f"q{i}", tree) for i, (_key, tree)
+            in enumerate(small_corpus[:10])]
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["per-query", "batched", "naive"])
+    def test_all_strategies_agree(self, small_corpus, index, queries,
+                                  strategy: str) -> None:
+        expect = sorted(naive_containment_join(queries, small_corpus))
+        result = containment_join(index, queries, strategy=strategy)
+        assert sorted(result.pairs) == expect
+        assert result.strategy == strategy
+        assert result.n_queries == len(queries)
+        assert result.elapsed_seconds >= 0
+
+    def test_bloom_prefiltered_naive(self, small_corpus, index,
+                                     queries) -> None:
+        expect = sorted(naive_containment_join(queries, small_corpus))
+        result = containment_join(index, queries, strategy="naive",
+                                  use_bloom=True)
+        assert sorted(result.pairs) == expect
+        assert result.extra["records_skipped"] > 0
+
+    def test_batched_reports_sharing(self, index, queries) -> None:
+        doubled = queries + [(f"{qkey}b", tree) for qkey, tree in queries]
+        result = containment_join(index, doubled, strategy="batched")
+        assert result.extra["subqueries_reused"] > 0
+
+    def test_nondefault_spec(self, small_corpus, index, queries) -> None:
+        spec = QuerySpec(join="superset")
+        expect = sorted(naive_containment_join(queries, small_corpus,
+                                               spec))
+        result = containment_join(index, queries, strategy="per-query",
+                                  spec=spec)
+        assert sorted(result.pairs) == expect
+
+    def test_unknown_strategy(self, index, queries) -> None:
+        with pytest.raises(ValueError):
+            containment_join(index, queries, strategy="quantum")
+
+
+class TestResultObject:
+    def test_grouped(self) -> None:
+        result = JoinResult(pairs=[("q1", "a"), ("q1", "b"), ("q2", "a")],
+                            strategy="per-query", n_queries=2,
+                            elapsed_seconds=0.1)
+        assert result.grouped() == {"q1": ["a", "b"], "q2": ["a"]}
+        assert result.n_pairs == 3
+
+
+class TestSelfJoin:
+    def test_every_record_matches_itself(self, small_corpus, index) -> None:
+        result = self_join(index)
+        reflexive = {(key, key) for key, _tree in small_corpus}
+        assert reflexive <= set(result.pairs)
+        assert result.n_queries == len(small_corpus)
+
+    def test_self_join_equals_naive(self, small_corpus, index) -> None:
+        queries = list(small_corpus)
+        expect = sorted(naive_containment_join(queries, small_corpus))
+        assert sorted(self_join(index).pairs) == expect

@@ -1,0 +1,45 @@
+"""Tests for QuerySpec validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matchspec import QuerySpec, QuerySpecError
+
+
+class TestValidation:
+    def test_defaults(self) -> None:
+        spec = QuerySpec()
+        assert spec.semantics == "hom"
+        assert spec.join == "subset"
+        assert spec.epsilon == 1
+        assert spec.mode == "root"
+        assert spec.is_default
+
+    def test_valid_combinations(self) -> None:
+        QuerySpec(semantics="iso")
+        QuerySpec(semantics="homeo", mode="anywhere")
+        QuerySpec(join="overlap", epsilon=3)
+        QuerySpec(join="superset")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"semantics": "psychic"},
+        {"join": "antijoin"},
+        {"mode": "everywhere"},
+        {"epsilon": 0},
+        {"epsilon": 2},                          # epsilon without overlap
+        {"join": "superset", "semantics": "iso"},
+        {"join": "equality", "semantics": "homeo"},
+    ])
+    def test_invalid(self, kwargs: dict) -> None:
+        with pytest.raises(QuerySpecError):
+            QuerySpec(**kwargs)
+
+    def test_frozen(self) -> None:
+        spec = QuerySpec()
+        with pytest.raises(AttributeError):
+            spec.join = "equality"  # type: ignore[misc]
+
+    def test_non_default(self) -> None:
+        assert not QuerySpec(mode="anywhere").is_default
+        assert not QuerySpec(join="equality").is_default

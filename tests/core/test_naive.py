@@ -1,0 +1,97 @@
+"""Tests for the naive baseline scanner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bloom import BloomIndex
+from repro.core.invfile import InvertedFile
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from repro.core.naive import (
+    NaiveScanner,
+    hom_join_pairs,
+    naive_containment_join,
+    naive_predicate,
+    reference_query,
+)
+from tests.conftest import random_tree
+
+N = NestedSet
+
+
+class TestPredicate:
+    def test_dispatch(self, tim, paper_query) -> None:
+        assert naive_predicate(tim, paper_query)
+        assert naive_predicate(tim, paper_query,
+                               QuerySpec(semantics="homeo"))
+        assert naive_predicate(tim, tim, QuerySpec(join="equality"))
+        assert not naive_predicate(tim, paper_query,
+                                   QuerySpec(join="equality"))
+
+    def test_anywhere_mode(self) -> None:
+        data = N(["top"], [N(["a"], [N(["b"])])])
+        query = N(["a"], [N(["b"])])
+        assert not naive_predicate(data, query)
+        assert naive_predicate(data, query, QuerySpec(mode="anywhere"))
+
+    def test_unknown_join_rejected(self, tim) -> None:
+        spec = QuerySpec()
+        object.__setattr__(spec, "join", "bogus")
+        with pytest.raises(ValueError):
+            naive_predicate(tim, tim, spec)
+
+
+class TestScanner:
+    def test_over_records(self, paper_records, paper_query) -> None:
+        scanner = NaiveScanner(paper_records)
+        assert scanner.query(paper_query) == ["tim"]
+        assert scanner.records_tested == 2
+
+    def test_over_inverted_file(self, paper_records, paper_query) -> None:
+        index = InvertedFile.build(paper_records)
+        scanner = NaiveScanner(index)
+        assert scanner.query(paper_query) == ["tim"]
+
+    def test_bloom_prefilter_same_results(self, small_corpus) -> None:
+        bloom = BloomIndex.build(small_corpus, kind="flat")
+        plain = NaiveScanner(small_corpus)
+        filtered = NaiveScanner(small_corpus, bloom_index=bloom)
+        rng = random.Random(17)
+        atoms = [f"a{i}" for i in range(12)]
+        for _ in range(30):
+            query = random_tree(rng, atoms)
+            assert filtered.query(query) == plain.query(query)
+        assert filtered.records_tested <= plain.records_tested
+        assert filtered.records_skipped > 0
+
+    def test_bloom_prefilter_counts(self, small_corpus) -> None:
+        bloom = BloomIndex.build(small_corpus, kind="flat")
+        scanner = NaiveScanner(small_corpus, bloom_index=bloom)
+        # an absent atom lets the filter skip every record
+        scanner.query(N(["__nowhere__"]))
+        assert scanner.records_skipped == len(small_corpus)
+        assert scanner.records_tested == 0
+
+
+class TestJoinHelpers:
+    def test_reference_query(self, paper_records, paper_query) -> None:
+        assert reference_query(paper_records, paper_query) == ["tim"]
+
+    def test_naive_containment_join(self, paper_records) -> None:
+        queries = [("q1", N(["USA"])), ("q2", N(["UK"]))]
+        pairs = naive_containment_join(queries, paper_records)
+        assert ("q1", "tim") in pairs
+        assert ("q2", "sue") in pairs
+        assert ("q1", "sue") not in pairs
+
+    def test_hom_join_pairs_equals_scanner(self, small_corpus) -> None:
+        queries = [(f"q{i}", tree) for i, (_k, tree)
+                   in enumerate(small_corpus[:5])]
+        pairs = set(hom_join_pairs(queries, small_corpus))
+        expect = {(qkey, skey)
+                  for qkey, query in queries
+                  for skey in NaiveScanner(small_corpus).query(query)}
+        assert pairs == expect

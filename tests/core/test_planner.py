@@ -1,0 +1,95 @@
+"""Tests for selectivity-driven evaluation ordering."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import NestedSetIndex
+from repro.core.invfile import InvertedFile
+from repro.core.model import NestedSet
+from repro.core.planner import Planner, make_planner
+from repro.core.stats import CollectionStats
+from repro.core.topdown import topdown_match_nodes
+from tests.conftest import random_tree
+
+N = NestedSet
+
+
+@pytest.fixture
+def corpus_index(small_corpus) -> InvertedFile:
+    return InvertedFile.build(small_corpus)
+
+
+@pytest.fixture
+def stats(corpus_index) -> CollectionStats:
+    return CollectionStats.from_inverted_file(corpus_index)
+
+
+class TestOrdering:
+    def test_selective_first_order(self, paper_records) -> None:
+        index = InvertedFile.build(paper_records)
+        stats = CollectionStats.from_inverted_file(index)
+        planner = Planner(stats)
+        rare = N(["London"])    # df 1
+        common = N(["UK"])      # df 4
+        ordered = planner.order_children([common, rare])
+        assert ordered == [rare, common]
+
+    def test_bulky_first_reverses(self, paper_records) -> None:
+        index = InvertedFile.build(paper_records)
+        stats = CollectionStats.from_inverted_file(index)
+        rare, common = N(["London"]), N(["UK"])
+        ordered = Planner(stats, "bulky-first").order_children(
+            [rare, common])
+        assert ordered == [common, rare]
+
+    def test_text_strategy_is_canonical(self, stats) -> None:
+        planner = Planner(stats, "text")
+        children = [N(["zz"]), N(["aa"])]
+        assert [c.to_text() for c in planner.order_children(children)] == \
+            ["{aa}", "{zz}"]
+
+    def test_subtree_estimate_uses_tightest_node(self, paper_records) -> None:
+        index = InvertedFile.build(paper_records)
+        planner = Planner(CollectionStats.from_inverted_file(index))
+        # Subtree containing London (df 1) bounds the whole subtree at 1.
+        subtree = N(["UK"], [N(["London"])])
+        assert planner.estimate_subtree_matches(subtree) == 1
+
+    def test_unknown_strategy(self, stats) -> None:
+        with pytest.raises(ValueError):
+            Planner(stats, "oracle")
+
+    def test_factory(self, stats) -> None:
+        assert make_planner(None, stats) is None
+        assert isinstance(make_planner("selective-first", stats), Planner)
+
+
+class TestPlannedEvaluationCorrectness:
+    """Ordering must never change results, only their cost."""
+
+    @pytest.mark.parametrize("strategy",
+                             ["selective-first", "bulky-first", "text"])
+    def test_results_invariant(self, small_corpus, corpus_index, stats,
+                               strategy: str) -> None:
+        planner = Planner(stats, strategy)
+        rng = random.Random(strategy)
+        atoms = [f"a{i}" for i in range(12)]
+        for _ in range(40):
+            query = random_tree(rng, atoms)
+            baseline = topdown_match_nodes(query, corpus_index)
+            planned = topdown_match_nodes(
+                query, corpus_index, child_order=planner.as_child_order())
+            assert planned == baseline
+
+    def test_engine_integration(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        query = small_corpus[0][1]
+        baseline = index.query(query, algorithm="topdown")
+        assert index.query(query, algorithm="topdown",
+                           planner="selective-first") == baseline
+        with pytest.raises(ValueError):
+            index.query(query, algorithm="bottomup",
+                        planner="selective-first")

@@ -1,0 +1,132 @@
+"""Tests for posting lists and the inverted-list operations of Section 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.postings import (
+    PathList,
+    PostingList,
+    heads_with_child_in,
+    intersect,
+    multiset_union,
+    nav_join,
+    nav_join_descendant,
+)
+
+
+class TestPostingList:
+    def test_from_unsorted(self) -> None:
+        plist = PostingList.from_unsorted([(5, ()), (1, (2,))])
+        assert plist.entries == ((1, (2,)), (5, ()))
+
+    def test_heads(self) -> None:
+        plist = PostingList([(1, (2,)), (7, ())])
+        assert plist.heads() == {1, 7}
+
+    def test_encode_decode(self) -> None:
+        plist = PostingList([(1, (2, 3)), (9, ())])
+        assert PostingList.decode(plist.encode()) == plist
+
+    def test_truthiness_and_len(self) -> None:
+        assert not PostingList()
+        assert len(PostingList([(1, ())])) == 1
+
+
+class TestIntersect:
+    def test_requires_input(self) -> None:
+        with pytest.raises(ValueError):
+            intersect([])
+
+    def test_single_list_identity(self) -> None:
+        plist = PostingList([(1, ())])
+        assert intersect([plist]) is plist
+
+    def test_intersection_on_heads(self) -> None:
+        a = PostingList([(1, (2,)), (5, ()), (9, (10,))])
+        b = PostingList([(5, ()), (9, (10,))])
+        c = PostingList([(9, (10,)), (11, ())])
+        assert intersect([a, b, c]).heads() == {9}
+
+    def test_empty_operand_empties_result(self) -> None:
+        a = PostingList([(1, ())])
+        assert intersect([a, PostingList()]) == PostingList()
+
+    def test_paper_example(self) -> None:
+        # S_IF(A) ∩ S_IF(motorbike) on Table 2's lists (ids renamed):
+        # A appears at m2, m4, n2; motorbike at m4, n2 -> {m4, n2}.
+        a_list = PostingList([(2, ()), (4, ()), (12, ())])
+        moto_list = PostingList([(4, ()), (12, ())])
+        assert intersect([a_list, moto_list]).heads() == {4, 12}
+
+
+class TestMultisetUnion:
+    def test_counts_multiplicity(self) -> None:
+        a = PostingList([(1, ()), (2, (3,))])
+        b = PostingList([(2, (3,)), (4, ())])
+        union = multiset_union([a, b])
+        assert union == [(1, (), 1), (2, (3,), 2), (4, (), 1)]
+
+    def test_empty(self) -> None:
+        assert multiset_union([]) == []
+        assert multiset_union([PostingList()]) == []
+
+
+class TestNavJoin:
+    def test_paper_running_example(self) -> None:
+        # R0 = S_IF(USA) = <(m1,(m2)), (r_tim,(m1,m3))>, ids: m1=1, m2=2,
+        # m3=3, m4=4, r_tim=10.  S_IF(UK) = <(m3,(m4)), (n1,(n2)), ...>.
+        r0 = PathList([(1, (2,)), (10, (1, 3))])
+        uk = PostingList([(3, (4,)), (21, (22,)), (30, (21,))])
+        r1 = nav_join(r0, uk)
+        # Only m3 ∈ {m1, m3} matches: path head r_tim, frontier (m4).
+        assert list(r1) == [(10, (4,))]
+
+    def test_multiple_heads_per_candidate(self) -> None:
+        paths = PathList([(100, (7,)), (200, (7,))])
+        cand = PostingList([(7, (8,))])
+        joined = nav_join(paths, cand)
+        assert sorted(joined) == [(100, (8,)), (200, (8,))]
+
+    def test_duplicate_paths_collapse(self) -> None:
+        paths = PathList([(100, (7, 9)), (100, (7,))])
+        cand = PostingList([(7, ())])
+        assert list(nav_join(paths, cand)) == [(100, ())]
+
+    def test_empty_inputs(self) -> None:
+        assert not nav_join(PathList(), PostingList([(1, ())]))
+        assert not nav_join(PathList([(1, (2,))]), PostingList())
+
+    def test_heads_preserved_not_replaced(self) -> None:
+        # The ▷-join result keeps the ORIGINAL head p, with the new
+        # frontier C' (definition in Section 2).
+        paths = PathList([(42, (5,))])
+        cand = PostingList([(5, (6, 7))])
+        assert list(nav_join(paths, cand)) == [(42, (6, 7))]
+
+
+class TestNavJoinDescendant:
+    def test_interval_membership(self) -> None:
+        # Path matched at node 10 with subtree (10, 20].
+        paths = [(1, 10, 20)]
+        cand = PostingList([(5, ()), (15, (16,)), (25, ())])
+        out = nav_join_descendant(paths, cand)
+        assert [(head, node) for head, node, _ in out] == [(1, 15)]
+
+    def test_boundaries(self) -> None:
+        paths = [(1, 10, 20)]
+        cand = PostingList([(10, ()), (20, ()), (21, ())])
+        out = nav_join_descendant(paths, cand)
+        # 10 itself is excluded (proper descendant); 20 included; 21 not.
+        assert [node for _h, node, _e in out] == [20]
+
+
+class TestHeadsWithChildIn:
+    def test_all_sets_must_hit(self) -> None:
+        cand = PostingList([(1, (2, 3)), (5, (6,))])
+        assert heads_with_child_in(cand, [{2}, {3}]).heads() == {1}
+        assert heads_with_child_in(cand, [{2}, {6}]).heads() == set()
+
+    def test_no_requirements_keeps_all(self) -> None:
+        cand = PostingList([(1, ())])
+        assert heads_with_child_in(cand, []) is cand

@@ -1,0 +1,217 @@
+"""Tests for the reference containment checkers (the oracles)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import NestedSet
+from repro.core.semantics import (
+    contains,
+    contains_anywhere,
+    equality_matches,
+    hom_contains,
+    homeo_contains,
+    iso_contains,
+    overlap_matches,
+    superset_matches,
+)
+
+N = NestedSet  # terse tree construction in the cases below
+
+
+def small_trees() -> st.SearchStrategy[NestedSet]:
+    atoms = st.sampled_from(["a", "b", "c", "d"])
+    return st.recursive(
+        st.builds(lambda a: N(a), st.lists(atoms, max_size=3)),
+        lambda kids: st.builds(lambda a, c: N(a, c),
+                               st.lists(atoms, max_size=2),
+                               st.lists(kids, max_size=2)),
+        max_leaves=8)
+
+
+class TestHom:
+    def test_empty_query_contained_everywhere(self) -> None:
+        assert hom_contains(N(["a"]), N())
+        assert hom_contains(N(), N())
+
+    def test_leaf_subset(self) -> None:
+        assert hom_contains(N(["a", "b"]), N(["a"]))
+        assert not hom_contains(N(["a"]), N(["a", "b"]))
+
+    def test_child_edge_required(self) -> None:
+        data = N(["a"], [N(["b"])])
+        assert hom_contains(data, N([], [N(["b"])]))
+        # grandchild does not satisfy a child edge under hom
+        deep = N(["a"], [N([], [N(["b"])])])
+        assert not hom_contains(deep, N([], [N(["b"])]))
+
+    def test_two_query_children_may_share_one_data_child(self) -> None:
+        # Homomorphism is not injective: both query children map to the
+        # single data child containing {a, b}.
+        data = N([], [N(["a", "b"])])
+        query = N([], [N(["a"]), N(["b"])])
+        assert hom_contains(data, query)
+
+    def test_branching_consistency(self) -> None:
+        # The path-mixing case of DESIGN.md: no single data child covers
+        # both query grandchildren, so hom containment must fail.
+        data = N([], [N(["l"], [N(["x"])]), N(["l"], [N(["y"])])])
+        query = N([], [N(["l"], [N(["x"]), N(["y"])])])
+        assert not hom_contains(data, query)
+
+    def test_paper_running_example(self, sue: NestedSet, tim: NestedSet,
+                                   paper_query: NestedSet) -> None:
+        assert hom_contains(tim, paper_query)
+        assert not hom_contains(sue, paper_query)
+
+
+class TestIso:
+    def test_injectivity_enforced(self) -> None:
+        data = N([], [N(["a", "b"])])
+        query = N([], [N(["a"]), N(["b"])])
+        assert hom_contains(data, query)
+        assert not iso_contains(data, query)
+
+    def test_distinct_witnesses_allow_iso(self) -> None:
+        data = N([], [N(["a"]), N(["b"])])
+        query = N([], [N(["a"]), N(["b"])])
+        assert iso_contains(data, query)
+
+    def test_matching_requires_augmenting_paths(self) -> None:
+        # Child q1 fits c1 or c2; q2 only fits c1: matching must re-route.
+        c1 = N(["a", "b"])
+        c2 = N(["a"])
+        data = N([], [c1, c2])
+        query = N([], [N(["a"]), N(["b"])])
+        assert iso_contains(data, query)
+
+    def test_figure2_tb_case(self, tim: NestedSet) -> None:
+        # {UK, {A, motorbike}} is iso-contained in Tim's record.
+        query = N(["USA"], [N(["UK"], [N(["A", "motorbike"])])])
+        assert iso_contains(tim, query)
+
+
+class TestHomeo:
+    def test_descendant_edges_allowed(self) -> None:
+        deep = N(["a"], [N([], [N(["b"])])])
+        query = N([], [N(["b"])])
+        assert not hom_contains(deep, query)
+        assert homeo_contains(deep, query)
+
+    def test_leaf_edges_stay_parent_child(self) -> None:
+        # Footnote 4: leaves of a query node must be direct leaf children
+        # of the matched node.
+        deep = N([], [N([], [N(["b"])])])
+        query = N(["b"])
+        assert not homeo_contains(deep, query)
+
+    def test_figure2_tc_case(self) -> None:
+        # Query skipping one nesting level: homeo yes, hom no.
+        data = N(["x"], [N(["mid"], [N(["y"])])])
+        query = N(["x"], [N(["y"])])
+        assert homeo_contains(data, query)
+        assert not hom_contains(data, query)
+
+
+class TestJoins:
+    def test_equality_is_structural(self) -> None:
+        assert equality_matches(N(["a"], [N(["b"])]), N(["a"], [N(["b"])]))
+        assert not equality_matches(N(["a"]), N(["a", "b"]))
+
+    def test_superset_is_reversed_hom(self) -> None:
+        big = N(["a", "b"], [N(["c"])])
+        small = N(["a"], [N(["c"])])
+        assert superset_matches(data=small, query=big)
+        assert not superset_matches(data=big, query=small)
+
+    def test_overlap_epsilon(self) -> None:
+        # Every matched pair must share >= epsilon leaves: the root pair
+        # shares {a, b} but the child pair shares only {c}, so epsilon=2
+        # already fails.
+        data = N(["a", "b", "x"], [N(["c", "d", "y"])])
+        query = N(["a", "b", "q"], [N(["c", "z"])])
+        assert overlap_matches(data, query, epsilon=1)
+        assert not overlap_matches(data, query, epsilon=2)
+        flat_data = N(["a", "b", "x"])
+        flat_query = N(["a", "b", "q"])
+        assert overlap_matches(flat_data, flat_query, epsilon=2)
+        assert not overlap_matches(flat_data, flat_query, epsilon=3)
+
+    def test_overlap_needs_shared_leaf_per_level(self) -> None:
+        data = N(["a"], [N(["c"])])
+        query = N(["a"], [N(["z"])])
+        assert not overlap_matches(data, query, epsilon=1)
+
+    def test_overlap_bad_epsilon(self) -> None:
+        with pytest.raises(ValueError):
+            overlap_matches(N(["a"]), N(["a"]), epsilon=0)
+
+
+class TestDispatch:
+    def test_contains_names(self, tim: NestedSet,
+                            paper_query: NestedSet) -> None:
+        for semantics in ("hom", "iso", "homeo"):
+            assert contains(tim, paper_query, semantics)
+        with pytest.raises(ValueError):
+            contains(tim, paper_query, "telepathy")
+
+    def test_contains_anywhere(self) -> None:
+        data = N(["top"], [N(["a"], [N(["b"])])])
+        query = N(["a"], [N(["b"])])
+        assert not contains(data, query)
+        assert contains_anywhere(data, query)
+
+
+class TestInclusionChain:
+    """iso ⊆ hom ⊆ homeo (Section 2: the inclusions are strict)."""
+
+    @settings(max_examples=150)
+    @given(small_trees(), small_trees())
+    def test_semantics_inclusions(self, data: NestedSet,
+                                  query: NestedSet) -> None:
+        if iso_contains(data, query):
+            assert hom_contains(data, query)
+        if hom_contains(data, query):
+            assert homeo_contains(data, query)
+
+    @settings(max_examples=100)
+    @given(small_trees())
+    def test_reflexivity(self, tree: NestedSet) -> None:
+        assert iso_contains(tree, tree)
+        assert hom_contains(tree, tree)
+        assert homeo_contains(tree, tree)
+        assert equality_matches(tree, tree)
+
+    @settings(max_examples=100)
+    @given(small_trees(), small_trees())
+    def test_superset_subset_duality(self, data: NestedSet,
+                                     query: NestedSet) -> None:
+        assert superset_matches(data, query) == hom_contains(query, data)
+
+    @settings(max_examples=100)
+    @given(small_trees())
+    def test_alien_leaf_kills_containment(self, tree: NestedSet) -> None:
+        distorted = tree.with_atom("__absent__")
+        assert not hom_contains(tree, distorted)
+        assert not homeo_contains(tree, distorted)
+
+    def test_transitivity_spot_check(self) -> None:
+        rng = random.Random(4)
+        atoms = ["a", "b", "c", "d", "e"]
+
+        def tree(depth: int = 0) -> NestedSet:
+            node_atoms = rng.sample(atoms, rng.randint(1, 3))
+            kids = [tree(depth + 1)
+                    for _ in range(rng.randint(0, 2))] if depth < 2 else []
+            return N(node_atoms, kids)
+
+        hits = 0
+        for _ in range(300):
+            a, b, c = tree(), tree(), tree()
+            if hom_contains(b, a) and hom_contains(c, b):
+                hits += 1
+                assert hom_contains(c, a)
+        assert hits > 0  # the property was actually exercised

@@ -1,0 +1,175 @@
+"""Tests for the nested sequence (ordered list) data model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bags import bag_contains
+from repro.core.engine import NestedSetIndex
+from repro.core.model import NestedSetError
+from repro.core.semantics import hom_contains
+from repro.core.seqs import (
+    NestedSeq,
+    json_to_nested_seq,
+    seq_contains,
+    seq_filter_verify,
+    seq_reference_query,
+)
+
+S = NestedSeq
+
+
+def small_seqs():
+    atoms = st.sampled_from(["a", "b", "c"])
+    return st.recursive(
+        st.builds(S, st.lists(atoms, max_size=4)),
+        lambda kids: st.builds(
+            lambda members: S(members),
+            st.lists(st.one_of(atoms, kids), max_size=4)),
+        max_leaves=10)
+
+
+class TestModel:
+    def test_order_matters(self) -> None:
+        assert S(["a", "b"]) != S(["b", "a"])
+        assert S(["a", S(["b"]), "c"]) != S(["a", "c", S(["b"])])
+
+    def test_duplicates_kept(self) -> None:
+        seq = S(["a", "a"])
+        assert len(seq) == 2
+
+    def test_member_views(self) -> None:
+        seq = S(["a", S(["b"]), "c", S([])])
+        assert seq.atoms == ("a", "c")
+        assert len(seq.children) == 2
+        assert list(seq)[0] == "a"
+
+    def test_from_obj_requires_order(self) -> None:
+        assert S.from_obj(["a", ["b"], "a"]) == S(["a", S(["b"]), "a"])
+        with pytest.raises(NestedSetError):
+            S.from_obj({"a"})  # sets have no order
+
+    def test_member_validation(self) -> None:
+        with pytest.raises(NestedSetError):
+            S([3.5])
+
+    def test_parse_brackets(self) -> None:
+        seq = S.parse("[a, [b, c], a]")
+        assert seq == S(["a", S(["b", "c"]), "a"])
+
+    def test_parse_errors(self) -> None:
+        with pytest.raises(NestedSetError):
+            S.parse("[a")
+        with pytest.raises(NestedSetError):
+            S.parse("[a] junk")
+
+    @settings(max_examples=100)
+    @given(small_seqs())
+    def test_text_roundtrip(self, seq: NestedSeq) -> None:
+        assert S.parse(seq.to_text()) == seq
+
+    def test_projections(self) -> None:
+        seq = S(["a", "a", S(["b"]), S(["b"])])
+        bag = seq.to_bag()
+        assert bag.multiplicity("a") == 2
+        tree = seq.to_set()
+        assert tree.atoms == {"a"}
+        assert len(tree.children) == 1
+
+    def test_iter_seqs(self) -> None:
+        seq = S(["a", S(["b", S(["c"])])])
+        assert len(list(seq.iter_seqs())) == 3
+
+
+class TestSeqContainment:
+    def test_subsequence(self) -> None:
+        data = S(["a", "b", "c", "d"])
+        assert seq_contains(data, S(["a", "c"]))
+        assert seq_contains(data, S(["b", "d"]))
+        assert not seq_contains(data, S(["c", "a"]))  # order violated
+
+    def test_duplicates_need_enough_copies(self) -> None:
+        assert seq_contains(S(["a", "b", "a"]), S(["a", "a"]))
+        assert not seq_contains(S(["a", "b"]), S(["a", "a"]))
+
+    def test_nested(self) -> None:
+        data = S(["x", S(["a", "b"]), "y", S(["c"])])
+        assert seq_contains(data, S([S(["a"]), S(["c"])]))
+        assert not seq_contains(data, S([S(["c"]), S(["a"])]))
+
+    def test_greedy_is_exact(self) -> None:
+        # Greedy must not burn the only [a, b] witness on a plain [a].
+        data = S([S(["a", "b"]), S(["a"])])
+        query = S([S(["a"]), S(["a"])])
+        assert seq_contains(data, query)
+        harder = S([S(["a"]), S(["a", "b"])])
+        assert seq_contains(data, S([S(["a", "b"])]))
+        assert not seq_contains(harder, S([S(["a", "b"]), S(["a", "b"])]))
+
+    def test_empty_query(self) -> None:
+        assert seq_contains(S(["a"]), S())
+        assert seq_contains(S(), S())
+
+    @settings(max_examples=120)
+    @given(small_seqs())
+    def test_reflexive(self, seq: NestedSeq) -> None:
+        assert seq_contains(seq, seq)
+
+    @settings(max_examples=120)
+    @given(small_seqs(), small_seqs())
+    def test_abstraction_chain(self, data, query) -> None:
+        # seq containment ⇒ bag containment ⇒ set-hom containment
+        if seq_contains(data, query):
+            assert bag_contains(data.to_bag(), query.to_bag())
+            assert hom_contains(data.to_set(), query.to_set())
+
+    @settings(max_examples=100)
+    @given(small_seqs(), small_seqs())
+    def test_prefix_always_contained(self, data, extra) -> None:
+        grown = S(data.members + extra.members)
+        assert seq_contains(grown, data)
+
+
+class TestFilterVerify:
+    def test_equals_reference_scan(self) -> None:
+        rng = random.Random(13)
+        atoms = ["a", "b", "c", "d"]
+
+        def rand_seq(depth: int = 0) -> NestedSeq:
+            members: list = []
+            for _ in range(rng.randint(1, 5)):
+                if depth < 2 and rng.random() < 0.3:
+                    members.append(rand_seq(depth + 1))
+                else:
+                    members.append(rng.choice(atoms))
+            return S(members)
+
+        seq_records = {f"r{i:02d}": rand_seq() for i in range(40)}
+        index = NestedSetIndex.build(
+            (key, seq.to_set()) for key, seq in seq_records.items())
+        for _ in range(40):
+            query = rand_seq()
+            expect = seq_reference_query(seq_records.items(), query)
+            got = sorted(seq_filter_verify(index, seq_records, query))
+            assert got == expect
+
+
+class TestJsonSeq:
+    def test_array_order_preserved(self) -> None:
+        left = json_to_nested_seq({"steps": ["wash", "rinse", "repeat"]})
+        right = json_to_nested_seq({"steps": ["repeat", "rinse", "wash"]})
+        assert left != right
+        from repro.data.json_adapter import json_to_nested
+        assert json_to_nested({"steps": ["wash", "rinse", "repeat"]}) == \
+            json_to_nested({"steps": ["repeat", "rinse", "wash"]})
+
+    def test_field_markers(self) -> None:
+        seq = json_to_nested_seq({"user": {"name": "sue"}})
+        (child,) = seq.children
+        assert child.members[0] == "@user"
+
+    def test_scalar(self) -> None:
+        assert json_to_nested_seq(5) == S([5])

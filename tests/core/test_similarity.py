@@ -1,0 +1,135 @@
+"""Tests for nested-set similarity search."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.invfile import InvertedFile
+from repro.core.model import NestedSet
+from repro.core.semantics import hom_contains
+from repro.core.similarity import (
+    SimilaritySearch,
+    nested_jaccard,
+    top_k_similar,
+)
+from tests.conftest import random_tree
+
+N = NestedSet
+
+
+def small_trees():
+    atoms = st.sampled_from(["a", "b", "c", "d"])
+    return st.recursive(
+        st.builds(lambda a: N(a), st.lists(atoms, max_size=3)),
+        lambda kids: st.builds(lambda a, c: N(a, c),
+                               st.lists(atoms, max_size=2),
+                               st.lists(kids, max_size=2)),
+        max_leaves=8)
+
+
+class TestNestedJaccard:
+    def test_identity(self) -> None:
+        tree = N(["a"], [N(["b"], [N(["c"])])])
+        assert nested_jaccard(tree, tree) == 1.0
+
+    def test_both_empty(self) -> None:
+        assert nested_jaccard(N(), N()) == 1.0
+
+    def test_disjoint(self) -> None:
+        assert nested_jaccard(N(["a"]), N(["b"])) == 0.0
+
+    def test_flat_matches_plain_jaccard(self) -> None:
+        left = N(["a", "b", "c"])
+        right = N(["b", "c", "d"])
+        assert nested_jaccard(left, right) == pytest.approx(2 / 4)
+
+    def test_structure_matters(self) -> None:
+        nested = N(["a"], [N(["b"])])
+        flat = N(["a", "b"])
+        same = N(["a"], [N(["b"])])
+        assert nested_jaccard(nested, same) > nested_jaccard(nested, flat)
+
+    def test_greedy_matching_pairs_best_children(self) -> None:
+        left = N([], [N(["x", "y"]), N(["z"])])
+        right = N([], [N(["z"]), N(["x", "y"])])
+        assert nested_jaccard(left, right) == 1.0
+
+    @settings(max_examples=120)
+    @given(small_trees(), small_trees())
+    def test_symmetric_and_bounded(self, a: NestedSet, b: NestedSet) -> None:
+        forward = nested_jaccard(a, b)
+        assert forward == pytest.approx(nested_jaccard(b, a))
+        assert 0.0 <= forward <= 1.0
+
+    @settings(max_examples=120)
+    @given(small_trees())
+    def test_reflexive(self, tree: NestedSet) -> None:
+        assert nested_jaccard(tree, tree) == pytest.approx(1.0)
+
+    @settings(max_examples=100)
+    @given(small_trees(), small_trees())
+    def test_containment_implies_positive(self, data, query) -> None:
+        # Holds when every query level shares at least one atom with its
+        # match, i.e. for queries with non-empty leaf sets throughout
+        # (an atom-free subtree shares nothing, so Jaccard is rightly 0).
+        has_atoms_everywhere = all(node.atoms
+                                   for node in query.iter_sets())
+        if has_atoms_everywhere and hom_contains(data, query):
+            assert nested_jaccard(query, data) > 0.0
+
+
+class TestTopK:
+    @pytest.fixture
+    def index(self, small_corpus) -> InvertedFile:
+        return InvertedFile.build(small_corpus)
+
+    def test_self_is_top_hit(self, small_corpus, index) -> None:
+        for key, tree in small_corpus[:10]:
+            hits = top_k_similar(index, tree, k=1)
+            assert hits[0][1] == pytest.approx(1.0)
+            top_keys = {k for k, score in
+                        top_k_similar(index, tree, k=5)
+                        if score == pytest.approx(1.0)}
+            assert key in top_keys
+
+    def test_scores_descending(self, index) -> None:
+        hits = top_k_similar(index, N(["a1", "a2", "a3"]), k=10)
+        scores = [score for _key, score in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exhaustive_matches_bruteforce(self, small_corpus,
+                                           index) -> None:
+        rng = random.Random(21)
+        atoms = [f"a{i}" for i in range(12)]
+        query = random_tree(rng, atoms)
+        brute = sorted(((nested_jaccard(query, tree), key)
+                        for key, tree in small_corpus
+                        if nested_jaccard(query, tree) > 0),
+                       key=lambda item: (-item[0], item[1]))[:5]
+        hits = top_k_similar(index, query, k=5,
+                             candidate_limit=len(small_corpus))
+        assert [(key, pytest.approx(score)) for score, key in brute] == \
+            [(key, pytest.approx(score)) for key, score in hits]
+
+    def test_disjoint_query_no_hits(self, index) -> None:
+        assert top_k_similar(index, N(["__alien__"]), k=3) == []
+
+    def test_candidate_limit_respected(self, index) -> None:
+        search = SimilaritySearch(index, candidate_limit=5)
+        search.top_k(N(["a1"]), k=3)
+        assert search.candidates_scored <= 5
+
+    def test_deleted_records_excluded(self, small_corpus) -> None:
+        from repro.core.updates import IndexWriter
+        index = InvertedFile.build(small_corpus)
+        key, tree = small_corpus[0]
+        IndexWriter(index).delete(key)
+        hits = top_k_similar(index, tree, k=len(small_corpus))
+        assert key not in {k for k, _score in hits}
+
+    def test_k_validation(self, index) -> None:
+        with pytest.raises(ValueError):
+            top_k_similar(index, N(["a1"]), k=0)

@@ -1,0 +1,100 @@
+"""Stateful property test: index updates vs an in-memory model.
+
+Hypothesis drives interleaved insert / delete / compact / query
+operations against a live index, checking query results against the
+naive oracle over the model collection after every step and running the
+structural integrity checker at teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.checker import assert_healthy
+from repro.core.engine import NestedSetIndex
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from repro.core.naive import reference_query
+
+_ATOMS = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def _trees():
+    return st.recursive(
+        st.builds(lambda a: NestedSet(a),
+                  st.lists(_ATOMS, min_size=1, max_size=3)),
+        lambda kids: st.builds(lambda a, c: NestedSet(a, c),
+                               st.lists(_ATOMS, max_size=2),
+                               st.lists(kids, min_size=1, max_size=2)),
+        max_leaves=8)
+
+
+class UpdateMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.model: dict[str, NestedSet] = {}
+        self.counter = 0
+        self.index: NestedSetIndex | None = None
+
+    @initialize(seed_trees=st.lists(_trees(), min_size=1, max_size=4))
+    def setup(self, seed_trees) -> None:
+        records = [(f"seed{i}", tree)
+                   for i, tree in enumerate(seed_trees)]
+        self.model = dict(records)
+        # segment_size=4 forces the segmented update path constantly.
+        self.index = NestedSetIndex.build(records, segment_size=4)
+
+    @rule(tree=_trees())
+    def insert(self, tree: NestedSet) -> None:
+        key = f"rec{self.counter}"
+        self.counter += 1
+        self.index.insert(key, tree)
+        self.model[key] = tree
+
+    @rule(pick=st.integers(0, 10 ** 6))
+    def delete_some(self, pick: int) -> None:
+        if not self.model:
+            return
+        key = sorted(self.model)[pick % len(self.model)]
+        assert self.index.delete(key) is True
+        del self.model[key]
+
+    @rule()
+    def delete_missing(self) -> None:
+        assert self.index.delete("never-existed") is False
+
+    @rule()
+    def compact(self) -> None:
+        self.index.compact()
+
+    @rule(query=_trees())
+    def query_matches_oracle(self, query: NestedSet) -> None:
+        expected = reference_query(list(self.model.items()), query,
+                                   QuerySpec())
+        assert self.index.query(query) == expected
+        assert self.index.query(query, algorithm="topdown") == expected
+
+    @invariant()
+    def live_count_consistent(self) -> None:
+        if self.index is not None:
+            assert self.index.inverted_file.n_live_records == \
+                len(self.model)
+
+    def teardown(self) -> None:
+        if self.index is not None:
+            self.index._flush_writer()
+            assert_healthy(self.index.inverted_file)
+            self.index.close()
+
+
+UpdateMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=15, deadline=None)
+TestStatefulUpdates = UpdateMachine.TestCase

@@ -1,0 +1,137 @@
+"""Tests for the shared structural match conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.invfile import InvertedFile
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from repro.core.postings import PostingList
+from repro.core.structural import (
+    Frontier,
+    _merge_intervals,
+    filter_candidates,
+    frontier_of,
+    injective_cover,
+    prefilter_survivors,
+)
+
+N = NestedSet
+
+
+@pytest.fixture
+def index() -> InvertedFile:
+    # root {t} -> child {m} -> grandchild {b}; second child {m2}
+    tree = N(["t"], [N(["m"], [N(["b"])]), N(["m2"])])
+    return InvertedFile.build([("r", tree)])
+
+
+class TestInjectiveCover:
+    def test_simple_bijection(self) -> None:
+        assert injective_cover([{1}, {2}], (1, 2))
+
+    def test_contention_resolved_by_augmenting(self) -> None:
+        # set A fits child 1 or 2; set B only fits 1: A must take 2.
+        assert injective_cover([{1, 2}, {1}], (1, 2))
+
+    def test_impossible(self) -> None:
+        assert not injective_cover([{1}, {1}], (1, 2))
+        assert not injective_cover([{1}, {2}], (1,))
+
+    def test_empty_requirements(self) -> None:
+        assert injective_cover([], (1, 2))
+        assert injective_cover([], ())
+
+
+class TestFilterCandidates:
+    def test_subset_hom(self, index) -> None:
+        cand = PostingList([(0, (1, 3)), (1, (2,))])
+        out = filter_candidates(cand, [{1}], index, QuerySpec())
+        assert out.heads() == {0}
+
+    def test_equality_child_count(self, index) -> None:
+        cand = PostingList([(0, (1, 3)), (1, (2,))])
+        spec = QuerySpec(join="equality")
+        out = filter_candidates(cand, [{1}], index, spec)
+        assert out.heads() == set()  # node 0 has 2 children, query has 1
+        out2 = filter_candidates(cand, [{2}], index, spec)
+        assert out2.heads() == {1}
+
+    def test_superset_coverage(self, index) -> None:
+        cand = PostingList([(0, (1, 3))])
+        spec = QuerySpec(join="superset")
+        # all of node 0's children (1 and 3) must be covered
+        assert filter_candidates(cand, [{1}], index, spec).heads() == set()
+        assert filter_candidates(cand, [{1}, {3}], index,
+                                 spec).heads() == {0}
+
+    def test_superset_leafless_candidate_with_children(self, index) -> None:
+        cand = PostingList([(1, (2,))])
+        spec = QuerySpec(join="superset")
+        assert filter_candidates(cand, [], index, spec).heads() == set()
+
+    def test_homeo_uses_descendants(self, index) -> None:
+        # node 0's subtree spans ids (0, 3]; node 2 is a grandchild.
+        cand = PostingList([(0, (1, 3))])
+        spec = QuerySpec(semantics="homeo")
+        assert filter_candidates(cand, [{2}], index, spec).heads() == {0}
+        # under hom, the grandchild does not satisfy a child edge
+        assert filter_candidates(cand, [{2}], index,
+                                 QuerySpec()).heads() == set()
+
+    def test_iso_requires_injective(self, index) -> None:
+        cand = PostingList([(0, (1, 3))])
+        spec = QuerySpec(semantics="iso")
+        assert filter_candidates(cand, [{1}, {1}], index,
+                                 spec).heads() == set()
+        assert filter_candidates(cand, [{1}, {3}], index,
+                                 spec).heads() == {0}
+
+
+class TestPrefilterAndFrontier:
+    def test_prefilter_hom(self, index) -> None:
+        survivors = PostingList([(0, (1, 3)), (1, (2,))])
+        out = prefilter_survivors(survivors, {2}, index, QuerySpec())
+        assert out.heads() == {1}
+
+    def test_prefilter_homeo(self, index) -> None:
+        survivors = PostingList([(0, (1, 3))])
+        out = prefilter_survivors(survivors, {2}, index,
+                                  QuerySpec(semantics="homeo"))
+        assert out.heads() == {0}
+
+    def test_frontier_hom_restrict(self, index) -> None:
+        survivors = PostingList([(0, (1, 3))])
+        frontier = frontier_of(survivors, index, QuerySpec())
+        cand = PostingList([(1, (2,)), (2, ()), (3, ())])
+        assert frontier.restrict(cand).heads() == {1, 3}
+
+    def test_frontier_homeo_restrict(self, index) -> None:
+        survivors = PostingList([(0, (1, 3))])
+        frontier = frontier_of(survivors, index,
+                               QuerySpec(semantics="homeo"))
+        cand = PostingList([(0, ()), (1, ()), (2, ()), (3, ())])
+        # descendants of node 0: ids in (0, 3]
+        assert frontier.restrict(cand).heads() == {1, 2, 3}
+
+
+class TestMergeIntervals:
+    def test_disjoint(self) -> None:
+        assert _merge_intervals([(5, 8), (0, 3)]) == [(0, 3), (5, 8)]
+
+    def test_nested(self) -> None:
+        assert _merge_intervals([(0, 10), (2, 5)]) == [(0, 10)]
+
+    def test_adjacent_halfopen(self) -> None:
+        assert _merge_intervals([(0, 5), (5, 9)]) == [(0, 9)]
+
+    def test_empty(self) -> None:
+        assert _merge_intervals([]) == []
+
+    def test_frontier_interval_membership(self) -> None:
+        frontier = Frontier(intervals=[(0, 3), (10, 12)])
+        cand = PostingList([(0, ()), (1, ()), (3, ()), (4, ()),
+                            (11, ()), (13, ())])
+        # (start, end] semantics: start itself excluded
+        assert frontier.restrict(cand).heads() == {1, 3, 11}

@@ -1,0 +1,172 @@
+"""Tests for incremental index maintenance (insert / delete / compact)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import NestedSetIndex
+from repro.core.invfile import InvertedFile
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from repro.core.naive import reference_query
+from repro.core.updates import IndexWriter, UpdateError
+from tests.conftest import random_tree
+
+N = NestedSet
+
+
+def check_against(index: NestedSetIndex,
+                  model: list[tuple[str, NestedSet]],
+                  seed: str, trials: int = 30) -> None:
+    """Every algorithm must agree with the oracle over ``model``."""
+    rng = random.Random(seed)
+    atoms = [f"a{i}" for i in range(12)]
+    for _ in range(trials):
+        query = random_tree(rng, atoms)
+        expected = reference_query(model, query, QuerySpec())
+        assert index.query(query) == expected
+        assert index.query(query, algorithm="topdown") == expected
+        assert index.query(query, algorithm="naive") == expected
+
+
+class TestInsert:
+    def test_insert_becomes_queryable(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        tree = N(["a1", "freshatom"], [N(["a2"])])
+        ordinal = index.insert("newbie", tree)
+        assert ordinal == len(small_corpus)
+        assert "newbie" in index.query(tree)
+        assert index.query(N(["freshatom"])) == ["newbie"]
+        check_against(index, small_corpus + [("newbie", tree)], "ins")
+
+    def test_insert_several(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        rng = random.Random(3)
+        atoms = [f"a{i}" for i in range(12)]
+        added = [(f"x{i}", random_tree(rng, atoms)) for i in range(10)]
+        for key, tree in added:
+            index.insert(key, tree)
+        check_against(index, small_corpus + added, "many")
+
+    def test_duplicate_key_rejected(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        with pytest.raises(UpdateError):
+            index.insert(small_corpus[0][0], N(["a1"]))
+
+    def test_insert_updates_counts_and_stats(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        nodes_before = index.n_nodes
+        index.insert("n1", N(["a1"], [N(["a2"])]))
+        assert index.n_records == len(small_corpus) + 1
+        assert index.n_nodes == nodes_before + 2
+        # frequency table refreshed (engine flushes the writer)
+        stats = index.collection_stats()
+        df = dict(index.inverted_file.frequencies())
+        assert stats.document_frequency("a1") == df["a1"]
+
+    def test_preorder_invariants_after_insert(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        index.insert("n1", N(["a1"], [N(["a2"], [N(["a3"])])]))
+        ifile = index.inverted_file
+        ordinal = ifile.ordinal_of_key("n1")
+        _key, root_id, tree = ifile.record(ordinal)
+        meta = ifile.meta(root_id)
+        assert meta.is_root
+        assert meta.max_desc - root_id + 1 == tree.internal_count
+
+    def test_insert_into_reopened_disk_index(self, tmp_path,
+                                             small_corpus) -> None:
+        path = str(tmp_path / "u.idx")
+        NestedSetIndex.build(small_corpus, storage="diskhash",
+                             path=path).close()
+        index = NestedSetIndex.open("diskhash", path)
+        tree = N(["diskfresh"])
+        index.insert("disk1", tree)
+        index.close()
+        reopened = NestedSetIndex.open("diskhash", path)
+        assert reopened.query(tree) == ["disk1"]
+        reopened.close()
+
+
+class TestDelete:
+    def test_delete_hides_record(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        victim_key, victim_tree = small_corpus[7]
+        assert index.delete(victim_key) is True
+        assert victim_key not in index.query(victim_tree)
+        model = [r for r in small_corpus if r[0] != victim_key]
+        check_against(index, model, "del")
+
+    def test_delete_missing(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        assert index.delete("ghost") is False
+
+    def test_delete_then_reinsert_key(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        key = small_corpus[0][0]
+        index.delete(key)
+        tree = N(["reborn"])
+        index.insert(key, tree)
+        assert index.query(tree) == [key]
+
+    def test_deleted_set_persists(self, tmp_path, small_corpus) -> None:
+        path = str(tmp_path / "d.idx")
+        index = NestedSetIndex.build(small_corpus, storage="btree",
+                                     path=path)
+        index.delete(small_corpus[3][0])
+        index.close()
+        reopened = NestedSetIndex.open("btree", path)
+        assert small_corpus[3][0] not in \
+            reopened.query(small_corpus[3][1])
+        assert reopened.inverted_file.n_live_records == \
+            len(small_corpus) - 1
+        reopened.close()
+
+    def test_live_record_count(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        index.delete(small_corpus[0][0])
+        index.delete(small_corpus[1][0])
+        assert index.inverted_file.n_live_records == len(small_corpus) - 2
+
+
+class TestCompact:
+    def test_compact_drops_tombstones(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        index.delete(small_corpus[2][0])
+        index.insert("extra", N(["a1", "a9"]))
+        index.compact()
+        model = [r for r in small_corpus if r[0] != small_corpus[2][0]]
+        model.append(("extra", N(["a1", "a9"])))
+        assert index.n_records == len(model)
+        assert not index.inverted_file.deleted
+        check_against(index, model, "compact")
+
+    def test_compact_refreshes_frequencies(self, small_corpus) -> None:
+        index = NestedSetIndex.build(small_corpus)
+        before = dict(index.inverted_file.frequencies())
+        # delete every record containing a1 at the root, then compact
+        victims = index.query(N(["a1"]))
+        for key in victims:
+            index.delete(key)
+        index.compact()
+        after = dict(index.inverted_file.frequencies())
+        assert after.get("a1", 0) < before["a1"]
+
+
+class TestWriterDirect:
+    def test_writer_flush_idempotent(self, small_corpus) -> None:
+        ifile = InvertedFile.build(small_corpus)
+        writer = IndexWriter(ifile)
+        writer.insert("w1", N(["a1"]))
+        writer.flush()
+        writer.flush()  # no-op
+        assert dict(ifile.frequencies())["a1"] > 0
+
+    def test_insert_many(self, small_corpus) -> None:
+        ifile = InvertedFile.build(small_corpus)
+        writer = IndexWriter(ifile)
+        ordinals = writer.insert_many([("m1", N(["a1"])),
+                                       ("m2", N(["a2"]))])
+        assert ordinals == [len(small_corpus), len(small_corpus) + 1]

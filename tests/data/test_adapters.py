@@ -1,0 +1,115 @@
+"""Tests for the JSON and XML adapters."""
+
+from __future__ import annotations
+
+from repro.core.model import NestedSet
+from repro.core.semantics import hom_contains
+from repro.data.json_adapter import (
+    json_query,
+    json_text_to_nested,
+    json_to_nested,
+    scalar_atom,
+)
+from repro.data.xml_adapter import (
+    element_to_nested,
+    xml_query,
+    xml_text_to_nested,
+)
+
+N = NestedSet
+
+
+class TestScalarAtoms:
+    def test_mapping(self) -> None:
+        assert scalar_atom("s") == "s"
+        assert scalar_atom(5) == 5
+        assert scalar_atom(2.5) == "2.5"
+        assert scalar_atom(True) == "true"
+        assert scalar_atom(False) == "false"
+        assert scalar_atom(None) == "null"
+
+
+class TestJsonMapping:
+    def test_object_scalars(self) -> None:
+        tree = json_to_nested({"name": "sue", "age": 30})
+        assert tree.atoms == {"name=sue", "age=30"}
+        assert not tree.children
+
+    def test_nested_object_gets_field_marker(self) -> None:
+        tree = json_to_nested({"user": {"name": "tim"}})
+        (child,) = tree.children
+        assert "@user" in child.atoms
+        assert "name=tim" in child.atoms
+
+    def test_array_of_scalars(self) -> None:
+        tree = json_to_nested({"tags": ["a", "b"]})
+        (child,) = tree.children
+        assert child.atoms == {"@tags", "a", "b"}
+
+    def test_array_of_objects(self) -> None:
+        tree = json_to_nested({"items": [{"x": 1}, {"x": 2}]})
+        (items,) = tree.children
+        assert len(items.children) == 2
+
+    def test_scalar_document(self) -> None:
+        assert json_to_nested("hello") == N(["hello"])
+        assert json_to_nested(None) == N(["null"])
+
+    def test_duplicate_array_members_collapse(self) -> None:
+        tree = json_to_nested(["a", "a", {"x": 1}, {"x": 1}])
+        assert tree.atoms == {"a"}
+        assert len(tree.children) == 1
+
+    def test_text_parsing(self) -> None:
+        tree = json_text_to_nested('{"k": [1, {"m": true}]}')
+        assert len(tree.children) == 1
+
+    def test_query_fragment_contained_in_full_document(self) -> None:
+        document = {
+            "user": {"name": "tim", "city": "boston", "verified": True},
+            "tags": ["db", "sets", "xml"],
+            "lang": "en",
+        }
+        fragment = {"user": {"name": "tim"}, "tags": ["db"]}
+        assert hom_contains(json_to_nested(document), json_query(fragment))
+        wrong = {"user": {"name": "sue"}}
+        assert not hom_contains(json_to_nested(document), json_query(wrong))
+
+
+class TestXmlMapping:
+    def test_element_atoms(self) -> None:
+        tree = xml_text_to_nested('<author role="editor">A. Turing</author>')
+        assert tree.atoms == {"#author", "@role=editor",
+                              "author=A. Turing"}
+
+    def test_children(self) -> None:
+        tree = xml_text_to_nested(
+            "<article><author>X</author><year>2013</year></article>")
+        assert tree.atoms == {"#article"}
+        tags = {next(iter(a for a in c.atoms if str(a).startswith("#")))
+                for c in tree.children}
+        assert tags == {"#author", "#year"}
+
+    def test_whitespace_only_text_ignored(self) -> None:
+        tree = xml_text_to_nested("<a>\n  <b>x</b>\n</a>")
+        assert tree.atoms == {"#a"}
+
+    def test_repeated_identical_children_collapse(self) -> None:
+        tree = xml_text_to_nested("<a><b>x</b><b>x</b></a>")
+        assert len(tree.children) == 1
+
+    def test_query_fragment_contained(self) -> None:
+        document = xml_text_to_nested(
+            '<article key="k1"><author>A</author><author>B</author>'
+            "<year>2013</year><journal>EDBT</journal></article>")
+        fragment = xml_query("<article><author>A</author>"
+                             "<journal>EDBT</journal></article>")
+        assert hom_contains(document, fragment)
+        wrong = xml_query("<article><author>C</author></article>")
+        assert not hom_contains(document, wrong)
+
+    def test_element_api(self) -> None:
+        import xml.etree.ElementTree as ET
+        elem = ET.Element("x")
+        elem.text = "payload"
+        assert element_to_nested(elem).atoms == {"#x", "x=payload"}

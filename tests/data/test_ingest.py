@@ -1,0 +1,121 @@
+"""Tests for the JSONL / XML ingestion loaders."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.model import NestedSet
+from repro.core.semantics import hom_contains
+from repro.data.ingest import (
+    DBLP_RECORD_TAGS,
+    IngestError,
+    iter_jsonl,
+    iter_xml_records,
+    load_jsonl_file,
+    load_xml_file,
+)
+from repro.data.json_adapter import json_query
+
+N = NestedSet
+
+
+class TestJsonl:
+    def test_basic_stream(self) -> None:
+        text = ('{"id_str": "t1", "lang": "en"}\n'
+                '\n'
+                '{"id_str": "t2", "user": {"name": "sue"}}\n')
+        records = list(iter_jsonl(io.StringIO(text)))
+        assert [key for key, _tree in records] == ["t1", "t2"]
+        assert "lang=en" in records[0][1].atoms
+
+    def test_key_fallbacks(self) -> None:
+        text = ('{"id": 42}\n'
+                '{"key": "k7"}\n'
+                '{"payload": 1}\n'
+                '[1, 2]\n')
+        keys = [key for key, _tree in iter_jsonl(io.StringIO(text))]
+        assert keys == ["42", "k7", "doc3", "doc4"]
+
+    def test_custom_key_fn(self) -> None:
+        text = '{"user": {"name": "sue"}}\n'
+        records = list(iter_jsonl(
+            io.StringIO(text),
+            key_fn=lambda doc: doc.get("user", {}).get("name")))
+        assert records[0][0] == "sue"
+
+    def test_invalid_line_raises_with_line_number(self) -> None:
+        text = '{"ok": 1}\nnot json\n'
+        with pytest.raises(IngestError) as err:
+            list(iter_jsonl(io.StringIO(text)))
+        assert "line 2" in str(err.value)
+
+    def test_skip_invalid(self) -> None:
+        text = '{"ok": 1}\nnot json\n{"ok": 2}\n'
+        records = list(iter_jsonl(io.StringIO(text), skip_invalid=True))
+        assert len(records) == 2
+
+    def test_file_roundtrip_and_queryability(self, tmp_path) -> None:
+        path = tmp_path / "tweets.jsonl"
+        path.write_text(
+            '{"id_str": "1", "lang": "en", "user": {"verified": true}}\n'
+            '{"id_str": "2", "lang": "fr", "user": {"verified": false}}\n')
+        records = load_jsonl_file(str(path))
+        assert len(records) == 2
+        query = json_query({"user": {"verified": True}})
+        matching = [key for key, tree in records
+                    if hom_contains(tree, query)]
+        assert matching == ["1"]
+
+
+DBLP_SNIPPET = """<dblp>
+  <article key="journals/x/A1" mdate="2012-01-01">
+    <author>Alice</author><title>On Sets</title><year>2012</year>
+  </article>
+  <inproceedings key="conf/y/B2">
+    <author>Bob</author><title>On Trees</title><year>2011</year>
+  </inproceedings>
+  <www key="homepages/c"><author>Carol</author></www>
+</dblp>"""
+
+
+class TestXml:
+    def test_dblp_style_stream(self) -> None:
+        records = list(iter_xml_records(io.StringIO(DBLP_SNIPPET),
+                                        {"article", "inproceedings"}))
+        keys = [key for key, _tree in records]
+        assert keys == ["journals/x/A1", "conf/y/B2"]
+        assert "#article" in records[0][1].atoms
+        assert any("author=Alice" in child.atoms
+                   for child in records[0][1].children)
+
+    def test_all_dblp_tags(self) -> None:
+        records = list(iter_xml_records(io.StringIO(DBLP_SNIPPET),
+                                        set(DBLP_RECORD_TAGS)))
+        assert len(records) == 3
+
+    def test_key_synthesis(self) -> None:
+        xml = "<root><rec><v>1</v></rec><rec><v>2</v></rec></root>"
+        keys = [key for key, _ in iter_xml_records(io.StringIO(xml),
+                                                   {"rec"})]
+        assert keys == ["rec0", "rec1"]
+
+    def test_nested_record_tags_skipped(self) -> None:
+        xml = ("<root><rec id='outer'><rec id='inner'><v>x</v></rec>"
+               "</rec></root>")
+        records = list(iter_xml_records(io.StringIO(xml), {"rec"}))
+        assert [key for key, _ in records] == ["outer"]
+
+    def test_empty_record_tags(self) -> None:
+        with pytest.raises(IngestError):
+            list(iter_xml_records(io.StringIO("<a/>"), set()))
+
+    def test_file_loader_and_index(self, tmp_path) -> None:
+        from repro.core.engine import NestedSetIndex
+        path = tmp_path / "dblp.xml"
+        path.write_text(DBLP_SNIPPET)
+        records = load_xml_file(str(path), {"article", "inproceedings"})
+        index = NestedSetIndex.build(records)
+        assert index.query('{{#author, "author=Alice"}}') == \
+            ["journals/x/A1"]

@@ -1,0 +1,53 @@
+"""Tests for collection file I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.model import NestedSet
+from repro.data.io import (
+    CollectionFormatError,
+    dump_collection,
+    load_collection,
+    load_collection_file,
+    save_collection_file,
+)
+
+N = NestedSet
+
+
+class TestRoundtrip:
+    def test_in_memory(self) -> None:
+        records = [("a", N(["x"], [N(["y"])])), ("b", N([1, 2]))]
+        buffer = io.StringIO()
+        assert dump_collection(records, buffer) == 2
+        buffer.seek(0)
+        assert list(load_collection(buffer)) == records
+
+    def test_file_based(self, tmp_path, small_corpus) -> None:
+        path = str(tmp_path / "c.nsets")
+        count = save_collection_file(small_corpus, path)
+        assert count == len(small_corpus)
+        assert load_collection_file(path) == small_corpus
+
+    def test_comments_and_blanks_skipped(self) -> None:
+        text = "# header\n\nk\t{a}\n   \n"
+        records = list(load_collection(io.StringIO(text)))
+        assert records == [("k", N(["a"]))]
+
+
+class TestErrors:
+    def test_tab_in_key(self) -> None:
+        with pytest.raises(CollectionFormatError):
+            dump_collection([("bad\tkey", N(["a"]))], io.StringIO())
+
+    def test_missing_tab(self) -> None:
+        with pytest.raises(CollectionFormatError):
+            list(load_collection(io.StringIO("no-tab-here\n")))
+
+    def test_bad_set_text(self) -> None:
+        with pytest.raises(CollectionFormatError) as err:
+            list(load_collection(io.StringIO("k\t{unclosed\n")))
+        assert "line 1" in str(err.value)

@@ -1,0 +1,104 @@
+"""Tests for the simulated Twitter and DBLP generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.data.dblp import article_xml, generate_articles
+from repro.data.synthetic import collection_profile
+from repro.data.twitter import IDOL_TERMS, generate_tweets
+
+
+class TestTwitter:
+    def test_deterministic(self) -> None:
+        assert list(generate_tweets(30)) == list(generate_tweets(30))
+
+    def test_seed_sensitivity(self) -> None:
+        assert dict(generate_tweets(30, seed=1)) != \
+            dict(generate_tweets(30, seed=2))
+
+    def test_nested_json_shape(self) -> None:
+        records = list(generate_tweets(50))
+        profile = collection_profile(records)
+        # Tweets nest: root -> entities/user -> hashtags/urls/mentions.
+        assert profile["avg_depth"] >= 3
+        for _key, tree in records:
+            markers = {atom for node in tree.iter_sets()
+                       for atom in node.atoms
+                       if str(atom).startswith("@")}
+            assert "@user" in markers
+            assert "@entities" in markers
+
+    def test_skewed_users(self) -> None:
+        records = list(generate_tweets(400))
+        users = Counter()
+        for _key, tree in records:
+            for node in tree.iter_sets():
+                for atom in node.atoms:
+                    if str(atom).startswith("screen_name=user"):
+                        users[atom] += 1
+        counts = sorted(users.values(), reverse=True)
+        # The hottest user dwarfs the median one (Zipf skew).
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+    def test_idol_terms_dominate(self) -> None:
+        records = list(generate_tweets(300))
+        atoms = Counter()
+        for _key, tree in records:
+            for node in tree.iter_sets():
+                atoms.update(str(a) for a in node.atoms)
+        idol_total = sum(atoms[t] for t in IDOL_TERMS)
+        assert idol_total > atoms.get("w200", 0) * 5
+
+    def test_unique_ids(self) -> None:
+        records = list(generate_tweets(100))
+        ids = set()
+        for _key, tree in records:
+            for atom in tree.atoms:
+                if str(atom).startswith("id_str="):
+                    ids.add(atom)
+        assert len(ids) == 100
+
+
+class TestDblp:
+    def test_deterministic(self) -> None:
+        assert list(generate_articles(30)) == list(generate_articles(30))
+
+    def test_record_shape(self) -> None:
+        records = list(generate_articles(50))
+        for _key, tree in records:
+            assert "#article" in tree.atoms
+            child_tags = {str(a) for c in tree.children for a in c.atoms
+                          if str(a).startswith("#")}
+            assert {"#title", "#year", "#journal", "#pages"} <= child_tags
+            assert "#author" in child_tags
+
+    def test_skewed_authors(self) -> None:
+        records = list(generate_articles(500))
+        authors = Counter()
+        for _key, tree in records:
+            for child in tree.children:
+                for atom in child.atoms:
+                    if str(atom).startswith("author=Author"):
+                        authors[atom] += 1
+        counts = sorted(authors.values(), reverse=True)
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+    def test_years_recent_skewed(self) -> None:
+        records = list(generate_articles(300))
+        years = Counter()
+        for _key, tree in records:
+            for child in tree.children:
+                for atom in child.atoms:
+                    if str(atom).startswith("year="):
+                        years[int(str(atom)[5:])] += 1
+        recent = sum(c for y, c in years.items() if y >= 2005)
+        old = sum(c for y, c in years.items() if y < 1990)
+        assert recent > old
+
+    def test_article_xml_snippet_parses(self) -> None:
+        import xml.etree.ElementTree as ET
+        snippet = article_xml()
+        element = ET.fromstring(snippet)
+        assert element.tag == "article"
+        assert element.find("title") is not None

@@ -1,0 +1,119 @@
+"""Tests for the Table 3 synthetic generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.synthetic import (
+    DEEP,
+    SHAPES,
+    WIDE,
+    DatasetSpec,
+    ShapeParams,
+    collection_profile,
+    generate_collection,
+    generate_nested_set,
+)
+from repro.data.zipf import UniformSampler
+
+
+class TestTable3Parameters:
+    """The generator parameters must match Table 3 of the paper."""
+
+    def test_wide(self) -> None:
+        assert WIDE.max_leaves == 12
+        assert WIDE.max_internal == 6
+        assert WIDE.stop_probability == 0.8
+
+    def test_deep(self) -> None:
+        assert DEEP.max_leaves == 2
+        assert DEEP.max_internal == 3
+        assert DEEP.stop_probability == 0.2
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            ShapeParams(0, 1, 0.5, 4)       # empty sets forbidden
+        with pytest.raises(ValueError):
+            ShapeParams(1, 0, 0.5, 4)
+        with pytest.raises(ValueError):
+            ShapeParams(1, 1, 0.0, 4)       # would never stop
+        with pytest.raises(ValueError):
+            ShapeParams(1, 1, 0.5, 0)
+
+
+class TestGeneratedShape:
+    @pytest.mark.parametrize("shape", ["wide", "deep"])
+    def test_structure_bounds(self, shape: str) -> None:
+        params = SHAPES[shape]
+        rng = random.Random(1)
+        sampler = UniformSampler(1000, rng)
+        for _ in range(200):
+            tree = generate_nested_set(rng, sampler, params)
+            for node in tree.iter_sets():
+                assert 1 <= len(node.atoms) <= params.max_leaves
+                assert len(node.children) <= params.max_internal
+            assert tree.depth <= params.max_depth
+
+    def test_wide_flatter_than_deep(self) -> None:
+        wide = collection_profile(
+            list(generate_collection(300, DatasetSpec("wide"), seed=5)))
+        deep = collection_profile(
+            list(generate_collection(300, DatasetSpec("deep"), seed=5)))
+        assert deep["avg_depth"] > 2 * wide["avg_depth"]
+        assert wide["avg_leaves"] / wide["avg_internal"] > \
+            deep["avg_leaves"] / deep["avg_internal"]
+
+    def test_labels_from_domain(self) -> None:
+        spec = DatasetSpec("wide", domain_size=10)
+        records = list(generate_collection(50, spec, seed=2))
+        atoms: set = set()
+        for _key, tree in records:
+            atoms |= tree.all_atoms()
+        assert atoms <= {f"v{i}" for i in range(10)}
+
+
+class TestDeterminismAndSpec:
+    def test_deterministic(self) -> None:
+        spec = DatasetSpec("wide", "zipf", 0.7)
+        first = list(generate_collection(40, spec, seed=9))
+        second = list(generate_collection(40, spec, seed=9))
+        assert first == second
+
+    def test_seed_changes_data(self) -> None:
+        spec = DatasetSpec("wide")
+        a = dict(generate_collection(40, spec, seed=1))
+        b = dict(generate_collection(40, spec, seed=2))
+        assert a != b
+
+    def test_unique_sorted_keys(self) -> None:
+        records = list(generate_collection(30, DatasetSpec("wide")))
+        keys = [key for key, _ in records]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == 30
+
+    def test_spec_name(self) -> None:
+        assert DatasetSpec("wide").name == "uniform-wide"
+        assert DatasetSpec("deep", "zipf", 0.9).name == "zipf0.9-deep"
+
+    def test_spec_validation(self) -> None:
+        with pytest.raises(ValueError):
+            DatasetSpec("tall")
+        with pytest.raises(ValueError):
+            DatasetSpec("wide", "gaussian")
+        with pytest.raises(ValueError):
+            DatasetSpec("wide", domain_size=0)
+
+
+class TestSkewEffect:
+    def test_zipf_shrinks_distinct_atoms(self) -> None:
+        # With the same number of leaf draws, skewed data reuses labels.
+        uniform = collection_profile(list(generate_collection(
+            400, DatasetSpec("wide", "uniform", domain_size=50_000))))
+        skewed = collection_profile(list(generate_collection(
+            400, DatasetSpec("wide", "zipf", 0.9, domain_size=50_000))))
+        assert skewed["distinct_atoms"] < uniform["distinct_atoms"]
+
+    def test_profile_empty(self) -> None:
+        assert collection_profile([])["records"] == 0

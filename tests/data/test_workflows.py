@@ -1,0 +1,74 @@
+"""Tests for the workflow-provenance generator."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.engine import NestedSetIndex
+from repro.core.naive import reference_query
+from repro.core.matchspec import QuerySpec
+from repro.data.workflows import (
+    TOOLS,
+    generate_workflows,
+    provenance_query,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self) -> None:
+        assert list(generate_workflows(20)) == list(generate_workflows(20))
+
+    def test_run_shape(self) -> None:
+        for _key, run in generate_workflows(30):
+            meta = {str(a).split("=")[0] for a in run.atoms
+                    if "=" in str(a)}
+            assert {"user", "day"} <= meta
+            assert 1 <= len(run.children) <= 4          # stages
+            for stage in run.children:
+                assert any(str(a).startswith("stage")
+                           for a in stage.atoms)
+                for invocation in stage.children:
+                    tools = {str(a) for a in invocation.atoms
+                             if str(a).startswith("tool=")}
+                    assert len(tools) == 1
+
+    def test_tool_popularity_skewed(self) -> None:
+        counts: Counter = Counter()
+        for _key, run in generate_workflows(300):
+            for node in run.iter_sets():
+                for atom in node.atoms:
+                    if str(atom).startswith("tool="):
+                        counts[atom] += 1
+        ranked = counts.most_common()
+        assert ranked[0][1] > 3 * ranked[-1][1]
+
+    def test_depth(self) -> None:
+        runs = list(generate_workflows(50))
+        assert max(run.depth for _key, run in runs) >= 4
+
+
+class TestProvenanceQueries:
+    def test_query_shape(self) -> None:
+        query = provenance_query("align", ref="hg38")
+        invocation = next(iter(next(iter(query.children)).children))
+        assert "tool=align" in invocation.atoms
+        (params,) = invocation.children
+        assert params.atoms == {"ref=hg38"}
+
+    def test_queries_match_oracle(self) -> None:
+        records = list(generate_workflows(150))
+        index = NestedSetIndex.build(records)
+        for tool, params in (("align", {"ref": "hg38"}),
+                             ("filter", {"dedup": "on"}),
+                             ("plot", {})):
+            query = provenance_query(tool, **params)
+            expect = reference_query(records, query, QuerySpec())
+            assert index.query(query) == expect
+            assert expect, f"{tool} query should match something"
+
+    def test_all_tools_queryable(self) -> None:
+        records = list(generate_workflows(200))
+        index = NestedSetIndex.build(records)
+        hits = sum(bool(index.query(provenance_query(tool)))
+                   for tool, _params in TOOLS)
+        assert hits >= len(TOOLS) - 1   # nearly every tool appears

@@ -1,0 +1,73 @@
+"""Tests for the Zipfian and uniform samplers."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.data.zipf import UniformSampler, ZipfSampler
+
+
+class TestZipfSampler:
+    def test_range(self) -> None:
+        sampler = ZipfSampler(100, 0.7, random.Random(1))
+        ranks = sampler.sample_many(1000)
+        assert all(0 <= rank < 100 for rank in ranks)
+
+    def test_monotone_frequencies(self) -> None:
+        sampler = ZipfSampler(50, 0.9, random.Random(2))
+        counts = Counter(sampler.sample_many(30_000))
+        # Popularity must drop from the head to the tail of the ranking.
+        head = sum(counts[rank] for rank in range(5))
+        tail = sum(counts[rank] for rank in range(45, 50))
+        assert head > 5 * tail
+
+    def test_skew_increases_with_theta(self) -> None:
+        low = ZipfSampler(100, 0.5, random.Random(3))
+        high = ZipfSampler(100, 0.9, random.Random(3))
+        low_top = Counter(low.sample_many(20_000))[0]
+        high_top = Counter(high.sample_many(20_000))[0]
+        assert high_top > low_top
+
+    def test_probability_sums_to_one(self) -> None:
+        sampler = ZipfSampler(20, 0.7)
+        total = sum(sampler.probability(rank) for rank in range(20))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_probability_matches_zipf_ratio(self) -> None:
+        sampler = ZipfSampler(100, 1.0)
+        # With theta=1, p(rank 0) / p(rank 9) == 10.
+        ratio = sampler.probability(0) / sampler.probability(9)
+        assert abs(ratio - 10.0) < 1e-9
+
+    def test_probability_bounds(self) -> None:
+        sampler = ZipfSampler(10, 0.7)
+        with pytest.raises(ValueError):
+            sampler.probability(10)
+
+    def test_parameter_validation(self) -> None:
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.7)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 0.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 2.5)
+
+    def test_deterministic_with_seeded_rng(self) -> None:
+        first = ZipfSampler(100, 0.7, random.Random(42)).sample_many(50)
+        second = ZipfSampler(100, 0.7, random.Random(42)).sample_many(50)
+        assert first == second
+
+
+class TestUniformSampler:
+    def test_range_and_rough_uniformity(self) -> None:
+        sampler = UniformSampler(10, random.Random(4))
+        counts = Counter(sampler.sample_many(20_000))
+        assert set(counts) == set(range(10))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            UniformSampler(0)

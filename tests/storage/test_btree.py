@@ -1,0 +1,121 @@
+"""Tests for the external-memory B+tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.storage.btree import BPlusTree
+from repro.storage.errors import KeyTooLargeError
+
+
+@pytest.fixture
+def tree(tmp_path) -> BPlusTree:
+    t = BPlusTree(str(tmp_path / "t.bt"), create=True, page_size=512)
+    yield t
+    if not t._closed:
+        t.close()
+
+
+class TestBasicOps:
+    def test_get_missing(self, tree: BPlusTree) -> None:
+        assert tree.get(b"nope") is None
+
+    def test_put_get(self, tree: BPlusTree) -> None:
+        tree.put(b"k", b"v")
+        assert tree.get(b"k") == b"v"
+        assert len(tree) == 1
+
+    def test_replace_keeps_count(self, tree: BPlusTree) -> None:
+        tree.put(b"k", b"v1")
+        tree.put(b"k", b"v2")
+        assert tree.get(b"k") == b"v2"
+        assert len(tree) == 1
+
+    def test_delete(self, tree: BPlusTree) -> None:
+        tree.put(b"k", b"v")
+        assert tree.delete(b"k") is True
+        assert tree.get(b"k") is None
+        assert tree.delete(b"k") is False
+        assert len(tree) == 0
+
+    def test_key_too_large(self, tree: BPlusTree) -> None:
+        with pytest.raises(KeyTooLargeError):
+            tree.put(b"x" * 600, b"v")
+
+
+class TestSplitsAndOrder:
+    def test_many_sequential_keys_split_leaves(self, tree: BPlusTree) -> None:
+        # 512-byte pages force plenty of leaf and internal splits.
+        for i in range(800):
+            tree.put(f"key{i:05d}".encode(), f"value{i}".encode())
+        for i in range(800):
+            assert tree.get(f"key{i:05d}".encode()) == f"value{i}".encode()
+        assert len(tree) == 800
+
+    def test_random_insert_order(self, tree: BPlusTree) -> None:
+        keys = [f"k{i:04d}".encode() for i in range(500)]
+        rng = random.Random(5)
+        shuffled = keys[:]
+        rng.shuffle(shuffled)
+        for key in shuffled:
+            tree.put(key, key[::-1])
+        assert [key for key, _value in tree.items()] == sorted(keys)
+
+    def test_items_sorted(self, tree: BPlusTree) -> None:
+        for key in (b"mango", b"apple", b"pear", b"banana"):
+            tree.put(key, b"x")
+        assert [key for key, _ in tree.items()] == \
+            [b"apple", b"banana", b"mango", b"pear"]
+
+    def test_range_scan(self, tree: BPlusTree) -> None:
+        for i in range(100):
+            tree.put(f"{i:03d}".encode(), str(i).encode())
+        got = [key for key, _ in tree.range(b"010", b"020")]
+        assert got == [f"{i:03d}".encode() for i in range(10, 20)]
+
+    def test_range_open_ended(self, tree: BPlusTree) -> None:
+        for i in range(20):
+            tree.put(f"{i:02d}".encode(), b"v")
+        got = [key for key, _ in tree.range(b"15")]
+        assert got == [f"{i:02d}".encode() for i in range(15, 20)]
+
+
+class TestLargeValuesAndPersistence:
+    def test_overflow_value(self, tree: BPlusTree) -> None:
+        big = bytes(range(256)) * 40
+        tree.put(b"big", big)
+        assert tree.get(b"big") == big
+
+    def test_reopen(self, tmp_path) -> None:
+        path = str(tmp_path / "p.bt")
+        tree = BPlusTree(path, create=True, page_size=512)
+        for i in range(300):
+            tree.put(f"k{i:04d}".encode(), f"v{i}".encode())
+        tree.close()
+        reopened = BPlusTree(path)
+        assert len(reopened) == 300
+        assert reopened.get(b"k0123") == b"v123"
+        assert [k for k, _ in reopened.items()][:3] == \
+            [b"k0000", b"k0001", b"k0002"]
+        reopened.close()
+
+    def test_fuzz_against_dict(self, tmp_path) -> None:
+        rng = random.Random(77)
+        tree = BPlusTree(str(tmp_path / "f.bt"), create=True, page_size=512)
+        model: dict[bytes, bytes] = {}
+        keys = [f"key{i:03d}".encode() for i in range(120)]
+        for _step in range(2000):
+            key = rng.choice(keys)
+            op = rng.random()
+            if op < 0.6:
+                value = rng.randbytes(rng.choice((2, 40, 600)))
+                tree.put(key, value)
+                model[key] = value
+            elif op < 0.85:
+                assert tree.get(key) == model.get(key)
+            else:
+                assert tree.delete(key) == (model.pop(key, None) is not None)
+        assert dict(tree.items()) == model
+        tree.close()

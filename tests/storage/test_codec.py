@@ -1,0 +1,140 @@
+"""Unit and property tests for the binary codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.codec import (
+    CorruptionError,
+    decode_postings,
+    decode_str,
+    decode_uint_list,
+    decode_varint,
+    encode_postings,
+    encode_str,
+    encode_uint_list,
+    encode_varint,
+    fnv1a_64,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 32, 2 ** 63])
+    def test_roundtrip(self, value: int) -> None:
+        encoded = encode_varint(value)
+        decoded, offset = decode_varint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_single_byte_for_small_values(self) -> None:
+        assert len(encode_varint(0)) == 1
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_input(self) -> None:
+        truncated = encode_varint(300)[:-1]
+        with pytest.raises(CorruptionError):
+            decode_varint(truncated)
+
+    def test_offset_decoding(self) -> None:
+        buf = encode_varint(7) + encode_varint(1000)
+        first, pos = decode_varint(buf, 0)
+        second, end = decode_varint(buf, pos)
+        assert (first, second) == (7, 1000)
+        assert end == len(buf)
+
+    @given(st.integers(min_value=0, max_value=2 ** 64))
+    def test_roundtrip_property(self, value: int) -> None:
+        decoded, _pos = decode_varint(encode_varint(value))
+        assert decoded == value
+
+
+class TestUintList:
+    def test_roundtrip(self) -> None:
+        values = [0, 3, 3, 10, 1000]
+        decoded, _pos = decode_uint_list(encode_uint_list(values))
+        assert decoded == values
+
+    def test_empty(self) -> None:
+        decoded, pos = decode_uint_list(encode_uint_list([]))
+        assert decoded == []
+        assert pos == 1
+
+    def test_unsorted_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_uint_list([5, 3])
+
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9)))
+    def test_roundtrip_property(self, values: list[int]) -> None:
+        ordered = sorted(values)
+        decoded, _pos = decode_uint_list(encode_uint_list(ordered))
+        assert decoded == ordered
+
+    def test_delta_compression_is_compact(self) -> None:
+        # Consecutive ids encode to one byte per entry after the count.
+        values = list(range(1_000_000, 1_000_100))
+        assert len(encode_uint_list(values)) <= 3 + 4 + 100
+
+
+class TestPostings:
+    def test_roundtrip(self) -> None:
+        postings = [(1, (2, 5)), (7, ()), (9, (10,))]
+        assert decode_postings(encode_postings(postings)) == postings
+
+    def test_empty(self) -> None:
+        assert decode_postings(encode_postings([])) == []
+
+    def test_unsorted_heads_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_postings([(5, ()), (3, ())])
+
+    def test_unsorted_children_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_postings([(1, (5, 2))])
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 10 ** 6),
+                  st.lists(st.integers(0, 10 ** 6), max_size=5))))
+    def test_roundtrip_property(self, raw: list) -> None:
+        postings = sorted((p, tuple(sorted(set(children))))
+                          for p, children in
+                          {p: c for p, c in raw}.items())
+        assert decode_postings(encode_postings(postings)) == postings
+
+
+class TestStr:
+    @pytest.mark.parametrize("text", ["", "hello", "naïve ünïcode", "a" * 999])
+    def test_roundtrip(self, text: str) -> None:
+        decoded, _pos = decode_str(encode_str(text))
+        assert decoded == text
+
+    def test_truncated(self) -> None:
+        with pytest.raises(CorruptionError):
+            decode_str(encode_str("hello")[:-2])
+
+    def test_sequential_decode(self) -> None:
+        buf = encode_str("ab") + encode_str("cd")
+        first, pos = decode_str(buf, 0)
+        second, _pos = decode_str(buf, pos)
+        assert (first, second) == ("ab", "cd")
+
+
+class TestFnv:
+    def test_deterministic(self) -> None:
+        assert fnv1a_64(b"atom") == fnv1a_64(b"atom")
+
+    def test_spread(self) -> None:
+        hashes = {fnv1a_64(f"key{i}".encode()) for i in range(1000)}
+        assert len(hashes) == 1000
+
+    def test_known_vector(self) -> None:
+        # FNV-1a 64-bit of empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_64_bit_range(self) -> None:
+        assert 0 <= fnv1a_64(b"anything") < 2 ** 64

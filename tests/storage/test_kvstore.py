@@ -1,0 +1,117 @@
+"""Tests for the KVStore interface, memory store, and factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import (
+    BPlusTree,
+    DiskHashTable,
+    MemoryKVStore,
+    StorageError,
+    StoreClosedError,
+    open_store,
+)
+
+
+class TestMemoryKVStore:
+    def test_basic_roundtrip(self) -> None:
+        store = MemoryKVStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.get(b"absent") is None
+        assert len(store) == 1
+
+    def test_delete(self) -> None:
+        store = MemoryKVStore()
+        store.put(b"k", b"v")
+        assert store.delete(b"k")
+        assert not store.delete(b"k")
+        assert len(store) == 0
+
+    def test_items(self) -> None:
+        store = MemoryKVStore()
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert dict(store.items()) == {b"a": b"1", b"b": b"2"}
+
+    def test_keys(self) -> None:
+        store = MemoryKVStore()
+        store.put(b"a", b"1")
+        assert list(store.keys()) == [b"a"]
+
+    def test_values_are_copied(self) -> None:
+        store = MemoryKVStore()
+        payload = bytearray(b"mutable")
+        store.put(b"k", bytes(payload))
+        payload[0] = ord("X")
+        assert store.get(b"k") == b"mutable"
+
+    def test_context_manager_closes(self) -> None:
+        with MemoryKVStore() as store:
+            store.put(b"k", b"v")
+        with pytest.raises(StoreClosedError):
+            store.get(b"k")
+
+    def test_stats(self) -> None:
+        store = MemoryKVStore()
+        store.put(b"k", b"abc")
+        store.get(b"k")
+        store.get(b"missing")
+        snap = store.stats.snapshot()
+        assert snap["gets"] == 2
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["bytes_written"] == 3
+        store.stats.reset()
+        assert store.stats.gets == 0
+
+
+class TestOpenStore:
+    def test_memory(self) -> None:
+        assert isinstance(open_store("memory"), MemoryKVStore)
+
+    def test_diskhash(self, tmp_path) -> None:
+        store = open_store("diskhash", str(tmp_path / "x.dh"), create=True)
+        assert isinstance(store, DiskHashTable)
+        store.close()
+
+    def test_btree(self, tmp_path) -> None:
+        store = open_store("btree", str(tmp_path / "x.bt"), create=True)
+        assert isinstance(store, BPlusTree)
+        store.close()
+
+    def test_create_truncates_existing(self, tmp_path) -> None:
+        path = str(tmp_path / "x.dh")
+        store = open_store("diskhash", path, create=True)
+        store.put(b"old", b"data")
+        store.close()
+        fresh = open_store("diskhash", path, create=True)
+        assert fresh.get(b"old") is None
+        fresh.close()
+
+    def test_disk_requires_path(self) -> None:
+        with pytest.raises(StorageError):
+            open_store("diskhash")
+
+    def test_unknown_kind(self) -> None:
+        with pytest.raises(StorageError):
+            open_store("rocksdb", "/tmp/x")
+
+
+class TestInterfaceParity:
+    """The three stores must be behaviorally interchangeable."""
+
+    @pytest.mark.parametrize("kind", ["memory", "diskhash", "btree"])
+    def test_same_behaviour(self, kind: str, tmp_path) -> None:
+        path = str(tmp_path / f"s.{kind}")
+        store = open_store(kind, path, create=True)
+        operations = {f"key{i}".encode(): f"val{i}".encode() * (i + 1)
+                      for i in range(50)}
+        for key, value in operations.items():
+            store.put(key, value)
+        store.delete(b"key10")
+        del operations[b"key10"]
+        assert {k: v for k, v in store.items()} == operations
+        assert len(store) == len(operations)
+        store.close()

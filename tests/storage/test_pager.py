@@ -1,0 +1,145 @@
+"""Tests for the paged-file manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.errors import (
+    CorruptionError,
+    PageBoundsError,
+    StorageError,
+)
+from repro.storage.pager import MAX_META, Pager
+
+
+@pytest.fixture
+def pager(tmp_path) -> Pager:
+    p = Pager(str(tmp_path / "file.pg"), create=True)
+    yield p
+    p.close()
+
+
+class TestLifecycle:
+    def test_create_and_reopen(self, tmp_path) -> None:
+        path = str(tmp_path / "f.pg")
+        pager = Pager(path, page_size=1024, create=True)
+        page = pager.allocate()
+        pager.write(page, b"hello")
+        pager.close()
+        reopened = Pager(path)
+        assert reopened.page_size == 1024
+        assert reopened.read(page).startswith(b"hello")
+        reopened.close()
+
+    def test_missing_file(self, tmp_path) -> None:
+        with pytest.raises(StorageError):
+            Pager(str(tmp_path / "nope.pg"))
+
+    def test_bad_magic(self, tmp_path) -> None:
+        path = tmp_path / "bad.pg"
+        path.write_bytes(b"XXXX" + b"\x00" * 100)
+        with pytest.raises(CorruptionError):
+            Pager(str(path))
+
+    def test_truncated_header(self, tmp_path) -> None:
+        path = tmp_path / "tiny.pg"
+        path.write_bytes(b"NC")
+        with pytest.raises(CorruptionError):
+            Pager(str(path))
+
+
+class TestPages:
+    def test_allocate_sequential(self, pager: Pager) -> None:
+        first = pager.allocate()
+        second = pager.allocate()
+        assert second == first + 1
+
+    def test_write_read_roundtrip(self, pager: Pager) -> None:
+        page = pager.allocate()
+        pager.write(page, b"abc")
+        data = pager.read(page)
+        assert len(data) == pager.page_size
+        assert data.startswith(b"abc")
+        assert data[3:] == b"\x00" * (pager.page_size - 3)
+
+    def test_oversized_write_rejected(self, pager: Pager) -> None:
+        page = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write(page, b"x" * (pager.page_size + 1))
+
+    def test_bounds_checked(self, pager: Pager) -> None:
+        with pytest.raises(PageBoundsError):
+            pager.read(0)  # the header page is not client-readable
+        with pytest.raises(PageBoundsError):
+            pager.read(999)
+
+    def test_free_list_recycles(self, pager: Pager) -> None:
+        first = pager.allocate()
+        pager.allocate()
+        pager.free(first)
+        assert pager.allocate() == first
+
+    def test_freed_page_comes_back_zeroed(self, pager: Pager) -> None:
+        page = pager.allocate()
+        pager.write(page, b"junk")
+        pager.free(page)
+        recycled = pager.allocate()
+        assert recycled == page
+        assert pager.read(recycled) == b"\x00" * pager.page_size
+
+    def test_free_list_survives_reopen(self, tmp_path) -> None:
+        path = str(tmp_path / "f.pg")
+        pager = Pager(path, create=True)
+        page = pager.allocate()
+        pager.free(page)
+        pager.close()
+        reopened = Pager(path)
+        assert reopened.allocate() == page
+        reopened.close()
+
+
+class TestMeta:
+    def test_meta_roundtrip(self, tmp_path) -> None:
+        path = str(tmp_path / "f.pg")
+        pager = Pager(path, create=True)
+        pager.set_meta(b"client-config")
+        pager.close()
+        reopened = Pager(path)
+        assert reopened.meta == b"client-config"
+        reopened.close()
+
+    def test_meta_size_limit(self, pager: Pager) -> None:
+        with pytest.raises(StorageError):
+            pager.set_meta(b"x" * (MAX_META + 1))
+
+
+class TestOverflow:
+    def test_small_payload(self, pager: Pager) -> None:
+        head = pager.write_overflow(b"tiny")
+        assert pager.read_overflow(head, 4) == b"tiny"
+
+    def test_multi_page_payload(self, pager: Pager) -> None:
+        payload = bytes(range(256)) * 64  # 16 KiB over 4 KiB pages
+        head = pager.write_overflow(payload)
+        assert pager.read_overflow(head, len(payload)) == payload
+
+    def test_empty_payload(self, pager: Pager) -> None:
+        head = pager.write_overflow(b"")
+        assert pager.read_overflow(head, 0) == b""
+
+    def test_free_overflow_recycles_every_page(self, pager: Pager) -> None:
+        payload = b"z" * (pager.page_size * 3)
+        before = pager.n_pages
+        head = pager.write_overflow(payload)
+        grown = pager.n_pages - before
+        assert grown >= 3
+        pager.free_overflow(head, len(payload))
+        # Every freed page should be recycled before the file grows again.
+        recycled = {pager.allocate() for _ in range(grown)}
+        assert all(page < pager.n_pages for page in recycled)
+        assert pager.n_pages == before + grown
+
+    def test_chain_ends_early_is_corruption(self, pager: Pager) -> None:
+        head = pager.write_overflow(b"abc")
+        with pytest.raises(CorruptionError):
+            pager.read_overflow(head, 10 ** 6)

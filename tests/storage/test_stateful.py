@@ -1,0 +1,124 @@
+"""Stateful property tests: the stores must behave like a dict, always.
+
+Hypothesis drives random operation sequences (put / replace / delete /
+get / iterate / reopen) against each engine, comparing to a model dict
+after every step.  Reopen closes and reopens the disk stores mid-run,
+checking durability of every operation so far.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.storage import open_store
+
+_KEYS = st.binary(min_size=1, max_size=24)
+_VALUES = st.binary(max_size=600)
+
+
+class _StoreMachine(RuleBasedStateMachine):
+    """Shared rules; subclasses fix the engine kind."""
+
+    kind = "memory"
+
+    keys = Bundle("keys")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.model: dict[bytes, bytes] = {}
+        self.path: str | None = None
+        self.store = None
+
+    @initialize()
+    def setup(self) -> None:
+        if self.kind != "memory":
+            import tempfile
+            handle = tempfile.NamedTemporaryFile(delete=False,
+                                                 suffix=f".{self.kind}")
+            handle.close()
+            self.path = handle.name
+        self.store = open_store(self.kind, self.path, create=True,
+                                **self._options())
+
+    def _options(self) -> dict:
+        if self.kind == "diskhash":
+            return {"n_buckets": 8}          # force long chains
+        if self.kind == "btree":
+            return {"page_size": 512}        # force splits
+        return {}
+
+    @rule(target=keys, key=_KEYS)
+    def remember_key(self, key: bytes) -> bytes:
+        return key
+
+    @rule(key=keys, value=_VALUES)
+    def put(self, key: bytes, value: bytes) -> None:
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def get(self, key: bytes) -> None:
+        assert self.store.get(key) == self.model.get(key)
+
+    @rule(key=keys)
+    def delete(self, key: bytes) -> None:
+        assert self.store.delete(key) == (self.model.pop(key, None)
+                                          is not None)
+
+    @rule()
+    def reopen(self) -> None:
+        if self.kind == "memory":
+            return
+        self.store.close()
+        self.store = open_store(self.kind, self.path, create=False)
+
+    @invariant()
+    def contents_match(self) -> None:
+        if self.store is None:
+            return
+        assert len(self.store) == len(self.model)
+
+    @rule()
+    def full_scan(self) -> None:
+        assert dict(self.store.items()) == self.model
+
+    def teardown(self) -> None:
+        if self.store is not None and not self.store._closed:
+            self.store.close()
+        if self.path and os.path.exists(self.path):
+            os.remove(self.path)
+
+
+class MemoryMachine(_StoreMachine):
+    kind = "memory"
+
+
+class DiskHashMachine(_StoreMachine):
+    kind = "diskhash"
+
+
+class BTreeMachine(_StoreMachine):
+    kind = "btree"
+
+
+_settings = settings(max_examples=25, stateful_step_count=30,
+                     deadline=None)
+
+TestMemoryStateful = pytest.mark.filterwarnings("ignore")(
+    MemoryMachine.TestCase)
+TestDiskHashStateful = DiskHashMachine.TestCase
+TestBTreeStateful = BTreeMachine.TestCase
+TestMemoryStateful.settings = _settings
+TestDiskHashStateful.settings = _settings
+TestBTreeStateful.settings = _settings

@@ -1,0 +1,135 @@
+"""End-to-end tests for the nestcontain command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestGenerateIndexQuery:
+    def test_full_pipeline(self, tmp_path, capsys) -> None:
+        collection = str(tmp_path / "c.nsets")
+        index_path = str(tmp_path / "c.idx")
+
+        assert main(["generate", "--dataset", "dblp", "--size", "60",
+                     "-o", collection]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 60 records" in out
+
+        assert main(["index", collection, "-o", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 60 records" in out
+
+        assert main(["info", index_path, "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "records:        60" in out
+
+        # #article appears in every record's root set.
+        assert main(["query", index_path, "{#article}",
+                     "--algorithm", "bottomup"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 60
+        assert "60 records" in captured.err
+
+    def test_query_options(self, tmp_path, capsys) -> None:
+        collection = str(tmp_path / "c.nsets")
+        index_path = str(tmp_path / "c.idx")
+        main(["generate", "--dataset", "uniform-wide", "--size", "30",
+              "-o", collection])
+        main(["index", collection, "--storage", "btree", "-o", index_path])
+        capsys.readouterr()
+        assert main(["query", index_path, "{}", "--storage", "btree",
+                     "--semantics", "homeo", "--cache", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 30  # {} matches everything
+
+
+class TestExplainAndSimilar:
+    @pytest.fixture
+    def built_index(self, tmp_path, capsys) -> str:
+        collection = str(tmp_path / "c.nsets")
+        index_path = str(tmp_path / "c.idx")
+        main(["generate", "--dataset", "zipf-wide", "--size", "80",
+              "-o", collection])
+        main(["index", collection, "-o", index_path])
+        capsys.readouterr()
+        return index_path
+
+    def test_explain(self, built_index, capsys) -> None:
+        assert main(["explain", built_index, "{v0, {v1}}"]) == 0
+        out = capsys.readouterr().out
+        assert "matches=" in out
+        assert "candidates=" in out
+        assert out.count("node ") == 2
+
+    def test_explain_with_options(self, built_index, capsys) -> None:
+        assert main(["explain", built_index, "{v0}",
+                     "--semantics", "homeo", "--mode", "anywhere"]) == 0
+        assert "matches=" in capsys.readouterr().out
+
+    def test_similar(self, built_index, capsys) -> None:
+        assert main(["similar", built_index, "{v0, v1, v2}",
+                     "-k", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 3
+        scores = [float(line.split()[0]) for line in lines]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestBench:
+    def test_bench_prints_figure(self, capsys) -> None:
+        assert main(["bench", "--dataset", "dblp", "--sizes", "40,80",
+                     "--queries", "6", "--repeats", "2",
+                     "--algorithms", "bottomup"]) == 0
+        out = capsys.readouterr().out
+        assert "bottomup" in out
+        assert "bottomup+cache" in out
+        assert "40" in out and "80" in out
+
+
+class TestParser:
+    def test_subcommand_required(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_choices_validated(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--dataset", "oracle",
+                                       "-o", "x"])
+
+
+class TestReport:
+    def test_report_renders_saved_results(self, tmp_path, capsys) -> None:
+        import json
+        rows = [{"series": "topdown", "x": 1000, "millis": 5.0},
+                {"series": "topdown", "x": 2000, "millis": 9.0}]
+        (tmp_path / "myexp.json").write_text(json.dumps(rows))
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== myexp ==" in out
+        assert "topdown" in out
+
+    def test_report_single_experiment(self, tmp_path, capsys) -> None:
+        import json
+        rows = [{"series": "s", "x": "subset", "millis": 2.0}]
+        (tmp_path / "joins.json").write_text(json.dumps(rows))
+        assert main(["report", "--dir", str(tmp_path),
+                     "--experiment", "joins"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_report_empty_dir(self, tmp_path, capsys) -> None:
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "no results" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_healthy_index(self, tmp_path, capsys) -> None:
+        collection = str(tmp_path / "c.nsets")
+        index_path = str(tmp_path / "c.idx")
+        main(["generate", "--dataset", "dblp", "--size", "30",
+              "-o", collection])
+        main(["index", collection, "-o", index_path])
+        capsys.readouterr()
+        assert main(["check", index_path]) == 0
+        assert "healthy" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones run end to end (the
+large generators are exercised by their own module tests, so the slow
+examples are compile-checked only to keep the suite quick).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+#: Small-input examples safe to execute in the test suite.
+FAST_EXAMPLES = ("quickstart.py", "data_model_zoo.py")
+
+
+def test_examples_exist() -> None:
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {"quickstart.py", "driving_licenses.py",
+            "twitter_analytics.py", "dblp_bibliography.py",
+            "experiment_tour.py", "live_registry.py",
+            "data_model_zoo.py"} <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path: pathlib.Path) -> None:
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name: str) -> None:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

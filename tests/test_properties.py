@@ -1,0 +1,184 @@
+"""Property-based invariants spanning the whole library (hypothesis).
+
+These are the repo-wide guarantees DESIGN.md's testing strategy calls for:
+algorithm agreement, semantics inclusions, join dualities, workload
+protocol soundness, and storage/codec round-trips -- each checked over
+generated inputs rather than hand-picked cases.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bottomup import bottomup_match_nodes
+from repro.core.invfile import InvertedFile
+from repro.core.matchspec import QuerySpec
+from repro.core.model import NestedSet
+from repro.core.naive import reference_query
+from repro.core.semantics import (
+    hom_contains,
+    homeo_contains,
+    iso_contains,
+)
+from repro.core.topdown import topdown_match_nodes, topdown_paper_match_nodes
+
+ATOMS = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def trees(max_atoms: int = 3, max_children: int = 2):
+    return st.recursive(
+        st.builds(lambda a: NestedSet(a), st.lists(ATOMS, min_size=1,
+                                                   max_size=max_atoms)),
+        lambda kids: st.builds(
+            lambda a, c: NestedSet(a, c),
+            st.lists(ATOMS, max_size=max_atoms),
+            st.lists(kids, min_size=1, max_size=max_children)),
+        max_leaves=10)
+
+
+def collections():
+    return st.lists(trees(), min_size=1, max_size=8).map(
+        lambda items: [(f"r{i}", tree) for i, tree in enumerate(items)])
+
+
+class TestAlgorithmAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(collections(), trees())
+    def test_all_semantics_and_modes(self, records, query) -> None:
+        index = InvertedFile.build(records)
+        for semantics in ("hom", "iso", "homeo"):
+            for mode in ("root", "anywhere"):
+                spec = QuerySpec(semantics=semantics, mode=mode)
+                expect = reference_query(records, query, spec)
+                td = index.heads_to_keys(
+                    topdown_match_nodes(query, index, spec), mode=mode)
+                bu = index.heads_to_keys(
+                    bottomup_match_nodes(query, index, spec), mode=mode)
+                assert td == expect
+                assert bu == expect
+
+    @settings(max_examples=100, deadline=None)
+    @given(collections(), trees())
+    def test_join_types(self, records, query) -> None:
+        index = InvertedFile.build(records)
+        for join, epsilon in (("equality", 1), ("superset", 1),
+                              ("overlap", 1), ("overlap", 2)):
+            spec = QuerySpec(join=join, epsilon=epsilon)
+            expect = reference_query(records, query, spec)
+            td = index.heads_to_keys(
+                topdown_match_nodes(query, index, spec))
+            bu = index.heads_to_keys(
+                bottomup_match_nodes(query, index, spec))
+            assert td == expect
+            assert bu == expect
+
+    @settings(max_examples=100, deadline=None)
+    @given(collections(), trees())
+    def test_paper_literal_never_misses(self, records, query) -> None:
+        index = InvertedFile.build(records)
+        expect = set(reference_query(records, query, QuerySpec()))
+        got = set(index.heads_to_keys(
+            topdown_paper_match_nodes(query, index)))
+        assert got >= expect
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(collections())
+    def test_every_record_contains_itself(self, records) -> None:
+        index = InvertedFile.build(records)
+        for key, tree in records:
+            keys = index.heads_to_keys(bottomup_match_nodes(tree, index))
+            assert key in keys
+
+    @settings(max_examples=100, deadline=None)
+    @given(collections())
+    def test_distorted_record_matches_nothing(self, records) -> None:
+        index = InvertedFile.build(records)
+        query = records[0][1].with_atom("__fresh__")
+        assert bottomup_match_nodes(query, index) == set()
+        assert topdown_match_nodes(query, index) == set()
+
+    @settings(max_examples=80, deadline=None)
+    @given(collections(), trees())
+    def test_index_semantics_inclusions(self, records, query) -> None:
+        index = InvertedFile.build(records)
+        iso = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(semantics="iso"))))
+        hom = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(semantics="hom"))))
+        homeo = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(semantics="homeo"))))
+        assert iso <= hom <= homeo
+
+    @settings(max_examples=80, deadline=None)
+    @given(collections(), trees())
+    def test_equality_inside_subset_and_superset(self, records,
+                                                 query) -> None:
+        index = InvertedFile.build(records)
+        eq = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(join="equality"))))
+        sub = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(join="subset"))))
+        sup = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(join="superset"))))
+        assert eq <= sub
+        assert eq <= sup
+        # equality is exactly the intersection for identical trees
+        for key in eq:
+            tree = dict(records)[key]
+            assert tree == query
+
+    @settings(max_examples=80, deadline=None)
+    @given(collections(), trees())
+    def test_overlap_monotone_in_epsilon(self, records, query) -> None:
+        index = InvertedFile.build(records)
+        previous = None
+        for epsilon in (1, 2, 3):
+            current = set(index.heads_to_keys(bottomup_match_nodes(
+                query, index, QuerySpec(join="overlap", epsilon=epsilon))))
+            if previous is not None:
+                assert current <= previous
+            previous = current
+
+    @settings(max_examples=80, deadline=None)
+    @given(collections(), trees())
+    def test_subset_implies_overlap1(self, records, query) -> None:
+        # Non-empty leaf sets at every level make ⊆ stronger than ⋓1.
+        if any(not node.atoms for node in query.iter_sets()):
+            return
+        index = InvertedFile.build(records)
+        sub = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec())))
+        ov1 = set(index.heads_to_keys(bottomup_match_nodes(
+            query, index, QuerySpec(join="overlap", epsilon=1))))
+        assert sub <= ov1
+
+    @settings(max_examples=60, deadline=None)
+    @given(trees(), trees())
+    def test_superset_duality_via_index(self, left, right) -> None:
+        index = InvertedFile.build([("L", left)])
+        sup = index.heads_to_keys(bottomup_match_nodes(
+            right, index, QuerySpec(join="superset")))
+        assert (sup == ["L"]) == hom_contains(right, left)
+
+    @settings(max_examples=60, deadline=None)
+    @given(trees())
+    def test_reflexivity_all_semantics(self, tree) -> None:
+        assert iso_contains(tree, tree)
+        assert hom_contains(tree, tree)
+        assert homeo_contains(tree, tree)
+
+
+class TestRoundTrips:
+    @settings(max_examples=100, deadline=None)
+    @given(collections())
+    def test_index_record_store_roundtrip(self, records) -> None:
+        index = InvertedFile.build(records)
+        assert [(key, tree) for _o, key, _r, tree
+                in index.iter_records()] == records
+
+    @settings(max_examples=100, deadline=None)
+    @given(trees())
+    def test_text_roundtrip(self, tree) -> None:
+        assert NestedSet.parse(tree.to_text()) == tree
