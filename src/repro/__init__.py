@@ -23,14 +23,18 @@ from .core import (
     Atom,
     BloomFilter,
     BloomIndex,
+    ExecutionContext,
+    ExecutionPlan,
     InvertedFile,
     NaiveScanner,
     NestedSet,
     NestedSetError,
     NestedSetIndex,
+    PlanError,
     QuerySpec,
     QuerySpecError,
     as_nested_set,
+    compile_query,
     contains,
     hom_contains,
     homeo_contains,
@@ -44,15 +48,19 @@ __all__ = [
     "Atom",
     "BloomFilter",
     "BloomIndex",
+    "ExecutionContext",
+    "ExecutionPlan",
     "InvertedFile",
     "NaiveScanner",
     "NestedSet",
     "NestedSetError",
     "NestedSetIndex",
+    "PlanError",
     "QuerySpec",
     "QuerySpecError",
     "__version__",
     "as_nested_set",
+    "compile_query",
     "contains",
     "hom_contains",
     "homeo_contains",

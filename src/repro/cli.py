@@ -27,6 +27,7 @@ from .bench.workloads import (
 )
 from .core.engine import ALGORITHMS, NestedSetIndex
 from .core.matchspec import JOINS, MODES, SEMANTICS
+from .core.planner import STRATEGIES as PLANNER_STRATEGIES
 from .data.io import load_collection_file, save_collection_file
 
 
@@ -76,10 +77,17 @@ def _open_index(args: argparse.Namespace) -> NestedSetIndex:
 def _cmd_query(args: argparse.Namespace) -> int:
     index = _open_index(args)
     try:
+        if args.show_plan:
+            plan = index.compile(args.query, algorithm=args.algorithm,
+                                 semantics=args.semantics, join=args.join,
+                                 epsilon=args.epsilon, mode=args.mode,
+                                 planner=args.planner)
+            print(plan.describe(), file=sys.stderr)
         start = time.perf_counter()
         result = index.query(args.query, algorithm=args.algorithm,
                              semantics=args.semantics, join=args.join,
-                             epsilon=args.epsilon, mode=args.mode)
+                             epsilon=args.epsilon, mode=args.mode,
+                             planner=args.planner)
         elapsed = (time.perf_counter() - start) * 1000.0
         for key in result:
             print(key)
@@ -92,13 +100,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from .core.matchspec import QuerySpec
-    from .core.trace import explain
     index = _open_index(args)
     try:
-        spec = QuerySpec(semantics=args.semantics, join=args.join,
-                         epsilon=args.epsilon, mode=args.mode)
-        result = explain(args.query, index.inverted_file, spec)
+        result = index.explain(args.query, algorithm=args.algorithm,
+                               semantics=args.semantics, join=args.join,
+                               epsilon=args.epsilon, mode=args.mode,
+                               planner=args.planner)
         print(result.render())
     finally:
         index.close()
@@ -250,20 +257,30 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--join", choices=JOINS, default="subset")
     query.add_argument("--epsilon", type=int, default=1)
     query.add_argument("--mode", choices=MODES, default="root")
+    query.add_argument("--planner", choices=PLANNER_STRATEGIES,
+                       default=None,
+                       help="sibling-order strategy (topdown only)")
+    query.add_argument("--show-plan", action="store_true",
+                       help="print the compiled execution plan to stderr")
     query.add_argument("--cache", choices=("none", "frequency", "lru"),
                        default="none")
     query.set_defaults(func=_cmd_query)
 
     exp = sub.add_parser("explain",
-                         help="trace a query's top-down evaluation")
+                         help="trace a query's evaluation "
+                              "(any algorithm)")
     exp.add_argument("index")
     exp.add_argument("query")
     exp.add_argument("--storage", choices=("diskhash", "btree"),
                      default="diskhash")
+    exp.add_argument("--algorithm", choices=ALGORITHMS, default="topdown")
     exp.add_argument("--semantics", choices=SEMANTICS, default="hom")
     exp.add_argument("--join", choices=JOINS, default="subset")
     exp.add_argument("--epsilon", type=int, default=1)
     exp.add_argument("--mode", choices=MODES, default="root")
+    exp.add_argument("--planner", choices=PLANNER_STRATEGIES,
+                     default=None,
+                     help="sibling-order strategy (topdown only)")
     exp.add_argument("--cache", default="none")
     exp.set_defaults(func=_cmd_explain)
 

@@ -12,7 +12,7 @@ from .bags import (
     bag_reference_query,
     json_to_nested_bag,
 )
-from .batch import BatchEvaluator, batch_query
+from .batch import BatchEvaluator, batch_query, memoized_match_nodes
 from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
 from .bloom import BloomFilter, BloomIndex, BreadthBloom, DepthBloom
 from .bottomup import bottomup_match_nodes, bottomup_query
@@ -27,6 +27,14 @@ from .cache import (
 from .candidates import node_candidates
 from .checker import assert_healthy, check_index
 from .engine import ALGORITHMS, NestedSetIndex, as_nested_set
+from .exec import (
+    ExecCounters,
+    ExecutionContext,
+    ExecutionPlan,
+    PlanError,
+    TraceSink,
+    compile_query,
+)
 from .invfile import InvertedFile, InvertedFileError, NodeMeta, QueryStats
 from .join import JoinResult, containment_join, self_join
 from .matchspec import JOINS, MODES, SEMANTICS, QuerySpec, QuerySpecError
@@ -97,6 +105,9 @@ __all__ = [
     "CollectionStats",
     "DEFAULT_MEMORY_BUDGET",
     "DEFAULT_SEGMENT_SIZE",
+    "ExecCounters",
+    "ExecutionContext",
+    "ExecutionPlan",
     "ExplainResult",
     "FrequencyCache",
     "IndexWriter",
@@ -116,6 +127,7 @@ __all__ = [
     "NoCache",
     "NodeMeta",
     "NodeTrace",
+    "PlanError",
     "Planner",
     "PAPER_BUDGET",
     "ResultCache",
@@ -127,6 +139,7 @@ __all__ = [
     "SEMANTICS",
     "STRATEGIES",
     "SimilaritySearch",
+    "TraceSink",
     "UpdateError",
     "as_nested_set",
     "assert_healthy",
@@ -137,6 +150,7 @@ __all__ = [
     "batch_query",
     "build_external",
     "check_index",
+    "compile_query",
     "containment_join",
     "bottomup_match_nodes",
     "bottomup_query",
@@ -152,6 +166,7 @@ __all__ = [
     "iso_contains",
     "make_cache",
     "make_planner",
+    "memoized_match_nodes",
     "multiset_union",
     "naive_containment_join",
     "naive_predicate",

@@ -9,21 +9,52 @@ workload's queries share subtrees (common when queries are sampled from
 the collection, or generated from templates), every shared subtree is
 evaluated once per batch.
 
-:class:`BatchEvaluator` is a bottom-up evaluation with a cross-query
-memo table keyed by the subquery value.  It is exact: results equal the
-plain algorithms' results (tested property).  It helps when the workload
-has structural overlap and is a small constant overhead when it does not.
+:func:`memoized_match_nodes` is the core: a bottom-up evaluation over
+the *distinct* subtrees of a query, reusing any match set already in
+the memo.  It is exact: results equal the plain algorithms' results
+(tested property).  The execution layer taps into it whenever an
+:class:`~repro.core.exec.context.ExecutionContext` carries a shared
+memo dict (``NestedSetIndex.query_batch``, the batched join strategy);
+:class:`BatchEvaluator` remains the standalone convenience wrapper.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .candidates import node_candidates
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
 from .model import NestedSet
-from .structural import filter_candidates
+from .structural import evaluate_node
+
+
+def memoized_match_nodes(query: NestedSet, ifile: InvertedFile,
+                         spec: QuerySpec,
+                         memo: dict[NestedSet, frozenset[int]],
+                         counters: object | None = None) -> frozenset[int]:
+    """Node ids at which ``query`` embeds (memoized bottom-up).
+
+    ``memo`` maps subquery values to match sets and may be shared across
+    any number of queries evaluated against the same (unmutated) index.
+    ``counters``, if given, must expose ``subqueries_evaluated`` and
+    ``subqueries_reused`` int attributes (e.g.
+    :class:`~repro.core.exec.context.ExecCounters`).
+    """
+    cached = memo.get(query)
+    if cached is not None:
+        if counters is not None:
+            counters.subqueries_reused += 1
+        return cached
+    # Post-order over the distinct subtrees: children first.
+    child_sets = [set(memoized_match_nodes(child, ifile, spec, memo,
+                                           counters))
+                  for child in sorted(query.children,
+                                      key=lambda c: c.to_text())]
+    result = frozenset(evaluate_node(query, child_sets, ifile, spec))
+    memo[query] = result
+    if counters is not None:
+        counters.subqueries_evaluated += 1
+    return result
 
 
 class BatchEvaluator:
@@ -39,25 +70,8 @@ class BatchEvaluator:
 
     def match_nodes(self, query: NestedSet) -> frozenset[int]:
         """Node ids at which ``query`` embeds (memoized bottom-up)."""
-        cached = self._memo.get(query)
-        if cached is not None:
-            self.subqueries_reused += 1
-            return cached
-        # Post-order over the distinct subtrees: children first.
-        child_sets = [set(self.match_nodes(child))
-                      for child in sorted(query.children,
-                                          key=lambda c: c.to_text())]
-        if self.spec.join != "superset" and \
-                any(not hits for hits in child_sets):
-            result: frozenset[int] = frozenset()
-        else:
-            cand = node_candidates(query, self._ifile, self.spec)
-            result = frozenset(
-                filter_candidates(cand, child_sets, self._ifile,
-                                  self.spec).heads())
-        self._memo[query] = result
-        self.subqueries_evaluated += 1
-        return result
+        return memoized_match_nodes(query, self._ifile, self.spec,
+                                    self._memo, counters=self)
 
     def query(self, query: NestedSet) -> list[str]:
         """Record keys matching one query (under the batch's spec)."""

@@ -13,24 +13,29 @@ exactly the trade-off the paper's experiments probe.  Worst-case running
 time is ``O(|q| · |S|)`` (Section 3.2, Analysis).
 
 The implementation is iterative, mirroring the paper's explicit stack and
-making the algorithm safe for arbitrarily deep queries.
+making the algorithm safe for arbitrarily deep queries.  The per-node
+candidate/filter step is the shared pipeline stage
+:func:`repro.core.structural.evaluate_node`; an optional observer (see
+:mod:`repro.core.observe`) watches each node for EXPLAIN traces.
 """
 
 from __future__ import annotations
 
-from .candidates import node_candidates
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
 from .model import NestedSet
-from .structural import filter_candidates
+from .observe import NULL_OBSERVER, PlanObserver
+from .structural import evaluate_node
 
 #: Stack marker ('$' in the paper's Figure 5).
 _MARK = object()
 
 
 def bottomup_match_nodes(query: NestedSet, ifile: InvertedFile,
-                         spec: QuerySpec = QuerySpec()) -> set[int]:
+                         spec: QuerySpec = QuerySpec(), *,
+                         observer: PlanObserver | None = None) -> set[int]:
     """Return the set of data node ids at which ``query`` embeds."""
+    obs = observer if observer is not None else NULL_OBSERVER
     stack: list[object] = []
     work: list[tuple[NestedSet, bool]] = [(query, False)]
     while work:
@@ -38,28 +43,24 @@ def bottomup_match_nodes(query: NestedSet, ifile: InvertedFile,
         if not expanded:
             # Descend: push the marker, schedule this node's own
             # evaluation after its children (Algorithm 4 lines 1-4).
+            obs.enter_node(node)
             stack.append(_MARK)
             work.append((node, True))
-            for child in node.children:
+            # LIFO work stack: push reversed so children (and hence any
+            # attached trace) are visited in iteration order.
+            for child in reversed(tuple(node.children)):
                 work.append((child, False))
             continue
         # Collect the children's results down to the marker
-        # (Algorithm 4 lines 5-9).
+        # (Algorithm 4 lines 5-9), then evaluate this node's candidates
+        # against them (lines 11-15, the shared pipeline stage).
         child_sets: list[set[int]] = []
         while stack[-1] is not _MARK:
             child_sets.append(stack.pop())  # type: ignore[arg-type]
         stack.pop()
-        if spec.join != "superset" and any(not hits for hits in child_sets):
-            # Some subquery is unsatisfiable anywhere; signal the parent
-            # without touching the index (Algorithm 4 lines 14-15).  The
-            # superset join is exempt: there a query child that matches
-            # nothing is harmless -- data children only need to be covered
-            # by *some* query child.
-            stack.append(frozenset())
-            continue
-        cand = node_candidates(node, ifile, spec)  # line 11
-        matched = filter_candidates(cand, child_sets, ifile, spec)  # line 12
-        stack.append(matched.heads())  # line 13
+        matched = evaluate_node(node, child_sets, ifile, spec, obs)
+        obs.exit_node(len(matched))
+        stack.append(matched)
     result = stack.pop()
     assert not stack, "bottom-up stack must be empty at the end"
     return set(result)  # type: ignore[arg-type]

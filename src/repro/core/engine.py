@@ -21,35 +21,19 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .bloom import BloomIndex
-from .bottomup import bottomup_match_nodes
 from .cache import PAPER_BUDGET, make_cache
+from .exec.compiler import ALGORITHMS, compile_query
+from .exec.context import ExecutionContext
+from .exec.observer import ExplainResult, run_explained
+from .exec.plan import ExecutionPlan
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
-from .model import NestedSet
-from .naive import NaiveScanner
-from .planner import make_planner
-from .resultcache import ResultCache, make_key
+from .model import NestedSet, as_nested_set
+from .resultcache import ResultCache
 from .stats import CollectionStats
 from .updates import IndexWriter
-from .topdown import topdown_match_nodes, topdown_paper_match_nodes
 
-#: Algorithm names accepted by :meth:`NestedSetIndex.query`.
-ALGORITHMS = ("bottomup", "topdown", "topdown-paper", "naive")
-
-_MATCHERS = {
-    "bottomup": bottomup_match_nodes,
-    "topdown": topdown_match_nodes,
-    "topdown-paper": topdown_paper_match_nodes,
-}
-
-
-def as_nested_set(query: object) -> NestedSet:
-    """Coerce a query given as text, Python nest, or NestedSet."""
-    if isinstance(query, NestedSet):
-        return query
-    if isinstance(query, str):
-        return NestedSet.parse(query)
-    return NestedSet.from_obj(query)
+__all__ = ["ALGORITHMS", "NestedSetIndex", "as_nested_set"]
 
 
 class NestedSetIndex:
@@ -157,33 +141,60 @@ class NestedSetIndex:
 
         ``planner`` ("selective-first" / "bulky-first" / "text") installs
         a sibling-ordering strategy for the top-down algorithm; see
-        :mod:`repro.core.planner`.
+        :mod:`repro.core.planner`.  The query is compiled into an
+        :class:`~repro.core.exec.plan.ExecutionPlan` and run against
+        this index's execution context; use :meth:`compile` to inspect
+        the plan and :meth:`explain` for a full evaluation trace.
         """
         spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
                          mode=mode)
-        tree = as_nested_set(query)
-        cache_key = None
-        if self._result_cache is not None and not use_bloom \
-                and planner is None:
-            cache_key = make_key(tree, algorithm, semantics, join,
-                                 epsilon, mode)
-            cached = self._result_cache.get(cache_key)
-            if cached is not None:
-                return cached
-        if algorithm == "naive":
-            bloom = self._bloom if use_bloom else None
-            scanner = NaiveScanner(self._ifile, bloom_index=bloom)
-            result = scanner.query(tree, spec)
-        else:
-            if use_bloom:
-                raise ValueError("Bloom prefiltering applies to the naive "
-                                 "algorithm only")
-            heads = self.match_nodes(tree, algorithm=algorithm, spec=spec,
-                                     planner=planner)
-            result = self._ifile.heads_to_keys(heads, mode=spec.mode)
-        if cache_key is not None:
-            self._result_cache.put(cache_key, result)
-        return result
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom)
+        return plan.run(self.execution_context())
+
+    def compile(self, query: object, *, algorithm: str = "bottomup",
+                semantics: str = "hom", join: str = "subset",
+                epsilon: int = 1, mode: str = "root",
+                use_bloom: bool = False, planner: str | None = None,
+                cacheable: bool = True) -> ExecutionPlan:
+        """Compile a query without running it (validation + plan)."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        return compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom,
+                             cacheable=cacheable)
+
+    def execution_context(self, *, observer=None,
+                          memo: dict | None = None) -> ExecutionContext:
+        """A fresh execution context bound to this index's state.
+
+        Single queries use a throwaway context; batches and joins share
+        one so the subquery memo and counters span the workload.
+        """
+        return ExecutionContext(
+            ifile=self._ifile, bloom_index=self._bloom,
+            result_cache=self._result_cache,
+            stats_provider=self.collection_stats,
+            observer=observer, memo=memo)
+
+    def explain(self, query: object, *, algorithm: str = "bottomup",
+                semantics: str = "hom", join: str = "subset",
+                epsilon: int = 1, mode: str = "root",
+                use_bloom: bool = False,
+                planner: str | None = None) -> ExplainResult:
+        """Trace one query's evaluation (works for every algorithm).
+
+        The trace observes the real execution through the context, so
+        ``explain(...).matches`` always equals ``query(...)`` with the
+        same options; the result cache is bypassed so the trace reflects
+        a full evaluation.
+        """
+        plan = self.compile(query, algorithm=algorithm,
+                            semantics=semantics, join=join,
+                            epsilon=epsilon, mode=mode,
+                            use_bloom=use_bloom, planner=planner,
+                            cacheable=False)
+        return run_explained(plan, self.execution_context())
 
     def enable_result_cache(self, capacity: int = 1024) -> ResultCache:
         """Cache whole query results (invalidated on any index mutation).
@@ -201,19 +212,9 @@ class NestedSetIndex:
                     spec: QuerySpec = QuerySpec(),
                     planner: str | None = None) -> set[int]:
         """Raw node-level result: ids at which the query embeds."""
-        matcher = _MATCHERS.get(algorithm)
-        if matcher is None:
-            raise ValueError(f"unknown algorithm {algorithm!r}; "
-                             f"expected one of {ALGORITHMS}")
-        if planner is not None:
-            if algorithm != "topdown":
-                raise ValueError("evaluation-order planning applies to "
-                                 "the strict top-down algorithm only")
-            plan = make_planner(planner, self.collection_stats())
-            return topdown_match_nodes(as_nested_set(query), self._ifile,
-                                       spec,
-                                       child_order=plan.as_child_order())
-        return matcher(as_nested_set(query), self._ifile, spec)
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, cacheable=False)
+        return plan.match_nodes(self.execution_context())
 
     def collection_stats(self) -> CollectionStats:
         """Frequency statistics over the indexed collection (memoized)."""
@@ -278,19 +279,48 @@ class NestedSetIndex:
                 self._bloom.add_record(tree)
             self._bloom.save(fresh.store)
 
-    def query_batch(self, queries: Sequence[object],
-                    **options: object) -> list[list[str]]:
-        """Evaluate a workload of queries (the paper times 100 at a time)."""
-        return [self.query(query, **options) for query in queries]
+    def query_batch(self, queries: Sequence[object], *,
+                    share_subqueries: bool = True,
+                    algorithm: str = "bottomup", semantics: str = "hom",
+                    join: str = "subset", epsilon: int = 1,
+                    mode: str = "root", use_bloom: bool = False,
+                    planner: str | None = None) -> list[list[str]]:
+        """Evaluate a workload of queries (the paper times 100 at a time).
+
+        All plans share one execution context.  When every plan supports
+        it (the memoized evaluation is bottom-up, so ``bottomup`` only),
+        a cross-query subquery memo is attached so structurally shared
+        subtrees are evaluated once per batch; pass
+        ``share_subqueries=False`` to opt out and run a plain per-query
+        loop.  Results are identical either way (tested property).
+        """
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plans = [compile_query(query, spec, algorithm=algorithm,
+                               planner=planner, use_bloom=use_bloom)
+                 for query in queries]
+        memo: dict | None = None
+        if share_subqueries and plans and \
+                all(plan.match.memoizable for plan in plans):
+            memo = {}
+        ctx = self.execution_context(memo=memo)
+        return [plan.run(ctx) for plan in plans]
 
     def containment_join(self, queries: Iterable[tuple[str, object]],
                          **options: object) -> list[tuple[str, str]]:
-        """Equation 1: all pairs ``(q.key, s.key)`` with ``q ⊆ s``."""
-        pairs: list[tuple[str, str]] = []
-        for qkey, query in queries:
-            for skey in self.query(query, **options):
-                pairs.append((qkey, skey))
-        return pairs
+        """Equation 1: all pairs ``(q.key, s.key)`` with ``q ⊆ s``.
+
+        Accepts the same options as :meth:`query_batch` (including
+        ``share_subqueries``); the whole join runs through one compiled
+        batch.  See :func:`repro.core.join.containment_join` for the
+        strategy-level executor with counters.
+        """
+        materialized = [(qkey, query) for qkey, query in queries]
+        results = self.query_batch([query for _qkey, query in materialized],
+                                   **options)
+        return [(qkey, skey)
+                for (qkey, _query), result in zip(materialized, results)
+                for skey in result]
 
     def self_check(self, query: object, *, semantics: str = "hom",
                    join: str = "subset", epsilon: int = 1,

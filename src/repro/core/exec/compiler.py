@@ -1,0 +1,74 @@
+"""Query compilation: options in, validated execution plan out.
+
+:func:`compile_query` is the single place where query options are
+validated and turned into an explicit :class:`ExecutionPlan`.  Every
+entry point -- ``NestedSetIndex.query``, ``query_batch``,
+``containment_join``, the CLI, and ``explain`` -- compiles here, so the
+option interaction rules (Bloom is naive-only, planning is strict
+top-down-only, the paper-literal variant's spec limits, result-cache
+keying) live in one place with uniform error messages.
+"""
+
+from __future__ import annotations
+
+from ..matchspec import QuerySpec, validate_paper_variant
+from ..model import NestedSet, as_nested_set
+from ..planner import STRATEGIES
+from ..resultcache import make_key
+from .plan import (
+    CandidateStage,
+    ExecutionPlan,
+    MatchStage,
+    MaterializeStage,
+    PlanError,
+    PrefilterStage,
+)
+
+#: Algorithm names accepted by the compiler (and the engine facade).
+ALGORITHMS = ("bottomup", "topdown", "topdown-paper", "naive")
+
+
+def compile_query(query: object, spec: QuerySpec = QuerySpec(), *,
+                  algorithm: str = "bottomup",
+                  planner: str | None = None,
+                  use_bloom: bool = False,
+                  cacheable: bool = True) -> ExecutionPlan:
+    """Validate options and build the execution plan for one query.
+
+    ``cacheable=False`` omits the result-cache key, forcing a full
+    evaluation even when the context carries a cache (EXPLAIN uses this
+    so traces always reflect real execution).
+    """
+    tree = as_nested_set(query)
+    if algorithm not in ALGORITHMS:
+        raise PlanError(f"unknown algorithm {algorithm!r}; "
+                        f"expected one of {ALGORITHMS}")
+    if use_bloom and algorithm != "naive":
+        raise PlanError("Bloom prefiltering applies to the naive "
+                        "algorithm only")
+    if planner is not None:
+        if algorithm != "topdown":
+            raise PlanError("evaluation-order planning applies to "
+                            "the strict top-down algorithm only")
+        if planner not in STRATEGIES:
+            raise PlanError(f"unknown strategy {planner!r}; "
+                            f"expected one of {STRATEGIES}")
+    if algorithm == "topdown-paper":
+        validate_paper_variant(spec)
+    cache_key = None
+    if cacheable:
+        cache_key = make_key(tree, algorithm, spec.semantics, spec.join,
+                             spec.epsilon, spec.mode, planner=planner,
+                             use_bloom=use_bloom)
+    return ExecutionPlan(
+        query=tree,
+        spec=spec,
+        prefilter=PrefilterStage(cache_key=cache_key, bloom=use_bloom),
+        candidates=CandidateStage(
+            source="record-scan" if algorithm == "naive"
+            else "inverted-file",
+            join=spec.join),
+        match=MatchStage(strategy=algorithm, planner=planner,
+                         memoizable=(algorithm == "bottomup")),
+        materialize=MaterializeStage(mode=spec.mode),
+    )

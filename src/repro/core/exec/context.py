@@ -1,0 +1,74 @@
+"""Execution state threaded through every stage of a compiled plan.
+
+:class:`ExecutionContext` bundles what a plan needs at run time -- the
+inverted file, the optional Bloom prefilters, the whole-query result
+cache, collection statistics (for the planner), an optional cross-query
+subquery memo, a trace observer, and per-context counters.  One context
+per index serves single queries; batches and joins share one context so
+the memo and counters accumulate across the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..observe import PlanObserver
+
+if TYPE_CHECKING:  # typing only: keep the runtime import graph acyclic
+    from ..bloom import BloomIndex
+    from ..invfile import InvertedFile
+    from ..model import NestedSet
+    from ..resultcache import ResultCache
+    from ..stats import CollectionStats
+
+
+@dataclass
+class ExecCounters:
+    """Per-context execution counters (reset by creating a new context)."""
+
+    queries: int = 0
+    result_cache_hits: int = 0
+    subqueries_evaluated: int = 0
+    subqueries_reused: int = 0
+    records_tested: int = 0
+    records_skipped: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "result_cache_hits": self.result_cache_hits,
+            "subqueries_evaluated": self.subqueries_evaluated,
+            "subqueries_reused": self.subqueries_reused,
+            "records_tested": self.records_tested,
+            "records_skipped": self.records_skipped,
+        }
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a compiled plan touches while running."""
+
+    ifile: "InvertedFile"
+    bloom_index: "BloomIndex | None" = None
+    result_cache: "ResultCache | None" = None
+    #: Lazily invoked provider of collection statistics (the engine passes
+    #: its memoized accessor); ``None`` means compute from the inverted
+    #: file on first use.
+    stats_provider: "Callable[[], CollectionStats] | None" = None
+    #: Cross-query subquery memo: a shared dict enables the batch
+    #: evaluator's shared-subquery reuse; ``None`` disables it.
+    memo: "dict[NestedSet, frozenset[int]] | None" = None
+    observer: PlanObserver | None = None
+    counters: ExecCounters = field(default_factory=ExecCounters)
+    _stats: "CollectionStats | None" = field(default=None, repr=False)
+
+    def collection_stats(self) -> "CollectionStats":
+        """Statistics for planner-driven stages (memoized per context)."""
+        if self._stats is None:
+            if self.stats_provider is not None:
+                self._stats = self.stats_provider()
+            else:
+                from ..stats import CollectionStats
+                self._stats = CollectionStats.from_inverted_file(self.ifile)
+        return self._stats

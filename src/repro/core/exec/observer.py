@@ -1,0 +1,134 @@
+"""The EXPLAIN trace sink: a context-attached observer.
+
+Earlier revisions implemented ``explain()`` as a parallel transcription
+of the top-down algorithm; instrumentation now rides along the real
+execution instead.  :class:`TraceSink` subscribes to the observer hooks
+of :mod:`repro.core.observe` and assembles a :class:`NodeTrace` tree
+while *the algorithm itself* runs, so a trace exists for every
+algorithm and can never diverge from the uninstrumented result.
+
+Rendered, a trace looks like::
+
+    node {USA, ...}  atoms=[USA]  candidates=812 -> survivors=17  1.24ms
+      node {UK, ...}  atoms=[UK]  candidates=64 (frontier 41) -> ...
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..observe import PlanObserver
+
+if TYPE_CHECKING:
+    from ..invfile import InvertedFile
+    from ..model import NestedSet
+    from .context import ExecutionContext
+    from .plan import ExecutionPlan
+
+
+@dataclass
+class NodeTrace:
+    """Evaluation record of one query node."""
+
+    label: str                 # abbreviated node text
+    atoms: list[str]
+    list_lengths: dict[str, int]
+    candidates: int            # after leaf filtering / candidate generation
+    restricted: int | None     # after frontier restriction (None at root)
+    survivors: int             # after the structural child conditions
+    elapsed_ms: float
+    children: list["NodeTrace"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        parts = [f"{pad}node {self.label}  atoms={self.atoms}"]
+        if self.restricted is not None:
+            parts.append(f"candidates={self.candidates} "
+                         f"(frontier {self.restricted})")
+        else:
+            parts.append(f"candidates={self.candidates}")
+        parts.append(f"-> survivors={self.survivors}")
+        parts.append(f"{self.elapsed_ms:.3f}ms")
+        lines = ["  ".join(parts)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplainResult:
+    """Top-level trace plus the query outcome."""
+
+    root: NodeTrace
+    matches: list[str]
+    total_ms: float
+    lists_fetched: int
+    algorithm: str = "topdown"
+
+    def render(self) -> str:
+        header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
+                  f"  lists={self.lists_fetched}  [{self.algorithm}]")
+        return f"{header}\n{self.root.render()}"
+
+
+def _label(node: "NestedSet", limit: int = 40) -> str:
+    text = node.to_text()
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+class TraceSink(PlanObserver):
+    """Builds the NodeTrace tree from the algorithm's observer calls."""
+
+    __slots__ = ("_ifile", "_stack", "root", "lists_fetched")
+
+    def __init__(self, ifile: "InvertedFile") -> None:
+        self._ifile = ifile
+        self._stack: list[tuple[NodeTrace, float]] = []
+        self.root: NodeTrace | None = None
+        self.lists_fetched = 0
+
+    def enter_node(self, qnode: "NestedSet") -> None:
+        lengths = {}
+        for atom in qnode.atoms:
+            lengths[str(atom)] = len(self._ifile.postings(atom))
+            self.lists_fetched += 1
+        trace = NodeTrace(label=_label(qnode),
+                          atoms=sorted(str(atom) for atom in qnode.atoms),
+                          list_lengths=lengths, candidates=0,
+                          restricted=None, survivors=0, elapsed_ms=0.0)
+        if self._stack:
+            self._stack[-1][0].children.append(trace)
+        else:
+            self.root = trace
+        self._stack.append((trace, time.perf_counter()))
+
+    def record_candidates(self, candidates: int,
+                          restricted: int | None = None) -> None:
+        trace = self._stack[-1][0]
+        trace.candidates = candidates
+        trace.restricted = restricted
+
+    def exit_node(self, survivors: int) -> None:
+        trace, started = self._stack.pop()
+        trace.survivors = survivors
+        trace.elapsed_ms = (time.perf_counter() - started) * 1000
+
+
+def run_explained(plan: "ExecutionPlan",
+                  ctx: "ExecutionContext") -> ExplainResult:
+    """Run ``plan`` with a trace sink attached; return trace + matches.
+
+    The plan should be compiled with ``cacheable=False`` so a cached
+    result cannot short-circuit the instrumented evaluation.
+    """
+    sink = TraceSink(ctx.ifile)
+    ctx.observer = sink
+    start = time.perf_counter()
+    matches = plan.run(ctx)
+    total_ms = (time.perf_counter() - start) * 1000
+    assert sink.root is not None, "no node was traced"
+    return ExplainResult(root=sink.root, matches=matches, total_ms=total_ms,
+                         lists_fetched=sink.lists_fetched,
+                         algorithm=plan.algorithm)

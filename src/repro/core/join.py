@@ -12,21 +12,22 @@ one call with one strategy knob:
   (pays off when Q's members share structure, e.g. Q sampled from S);
 * ``naive``     -- the nested-loop baseline, optionally Bloom-prefiltered.
 
-Results are ``(q_key, s_key)`` pairs; :class:`JoinResult` carries the
-pairs plus execution counters for experiment write-ups.
+Every strategy compiles its queries through
+:func:`repro.core.exec.compiler.compile_query` and runs the plans on one
+shared execution context, whose counters feed the :class:`JoinResult`
+statistics.  Results are ``(q_key, s_key)`` pairs.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from .batch import BatchEvaluator
-from .engine import NestedSetIndex, as_nested_set
+from .engine import NestedSetIndex
+from .exec.compiler import compile_query
 from .matchspec import QuerySpec
-from .model import NestedSet
-from .naive import NaiveScanner
+from .model import NestedSet, as_nested_set
 
 STRATEGIES = ("per-query", "batched", "naive")
 
@@ -69,31 +70,30 @@ def containment_join(index: NestedSetIndex,
                          f"expected one of {STRATEGIES}")
     materialized = [(qkey, as_nested_set(value))
                     for qkey, value in queries]
+    if strategy == "batched":
+        plan_algorithm, memo = "bottomup", {}
+    elif strategy == "naive":
+        plan_algorithm, memo = "naive", None
+    else:
+        plan_algorithm, memo = algorithm, None
+    plans = [compile_query(query, spec, algorithm=plan_algorithm,
+                           use_bloom=use_bloom if plan_algorithm == "naive"
+                           else False)
+             for _qkey, query in materialized]
+    ctx = index.execution_context(memo=memo)
     start = time.perf_counter()
     pairs: list[tuple[str, str]] = []
+    for (qkey, _query), plan in zip(materialized, plans):
+        for skey in plan.run(ctx):
+            pairs.append((qkey, skey))
+    elapsed = time.perf_counter() - start
     extra: dict[str, object] = {}
     if strategy == "batched":
-        evaluator = BatchEvaluator(index.inverted_file, spec)
-        for qkey, query in materialized:
-            for skey in evaluator.query(query):
-                pairs.append((qkey, skey))
-        extra["subqueries_evaluated"] = evaluator.subqueries_evaluated
-        extra["subqueries_reused"] = evaluator.subqueries_reused
+        extra["subqueries_evaluated"] = ctx.counters.subqueries_evaluated
+        extra["subqueries_reused"] = ctx.counters.subqueries_reused
     elif strategy == "naive":
-        bloom = index.bloom_index if use_bloom else None
-        scanner = NaiveScanner(index.inverted_file, bloom_index=bloom)
-        for qkey, query in materialized:
-            for skey in scanner.query(query, spec):
-                pairs.append((qkey, skey))
-        extra["records_tested"] = scanner.records_tested
-        extra["records_skipped"] = scanner.records_skipped
-    else:
-        for qkey, query in materialized:
-            for skey in index.query(
-                    query, algorithm=algorithm, semantics=spec.semantics,
-                    join=spec.join, epsilon=spec.epsilon, mode=spec.mode):
-                pairs.append((qkey, skey))
-    elapsed = time.perf_counter() - start
+        extra["records_tested"] = ctx.counters.records_tested
+        extra["records_skipped"] = ctx.counters.records_skipped
     return JoinResult(pairs=pairs, strategy=strategy,
                       n_queries=len(materialized),
                       elapsed_seconds=elapsed, extra=extra)

@@ -58,3 +58,19 @@ class QuerySpec:
         """True for the plain containment join of Equation 2."""
         return (self.semantics, self.join, self.mode) == \
             ("hom", "subset", "root")
+
+
+def validate_paper_variant(spec: QuerySpec) -> None:
+    """Reject specs the paper-literal top-down variant cannot evaluate.
+
+    Shared by the algorithm itself (for direct callers) and the query
+    compiler (so the limitation is reported before execution starts).
+    """
+    if spec.semantics == "iso":
+        raise QuerySpecError(
+            "the paper-literal top-down variant does not implement the "
+            "isomorphic backtracking extension; use the strict variant")
+    if spec.join == "superset":
+        raise QuerySpecError(
+            "the paper-literal top-down variant does not support the "
+            "superset join; use the strict variant")

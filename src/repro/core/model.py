@@ -205,6 +205,15 @@ class NestedSet:
         return f"NestedSet({text})"
 
 
+def as_nested_set(query: object) -> NestedSet:
+    """Coerce a query given as text, Python nest, or NestedSet."""
+    if isinstance(query, NestedSet):
+        return query
+    if isinstance(query, str):
+        return NestedSet.parse(query)
+    return NestedSet.from_obj(query)
+
+
 def _sort_key(atom: Atom) -> tuple[int, str]:
     return (0, f"{atom:020d}") if isinstance(atom, int) else (1, atom)
 

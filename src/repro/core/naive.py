@@ -20,6 +20,7 @@ from typing import Iterable, Sequence
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
 from .model import NestedSet
+from .observe import NULL_OBSERVER, PlanObserver
 from .semantics import (
     contains,
     equality_matches,
@@ -78,20 +79,32 @@ class NaiveScanner:
                     yield self._source[ordinal]
 
     def query(self, query: NestedSet,
-              spec: QuerySpec = QuerySpec()) -> list[str]:
-        """Scan every record (modulo the Bloom prefilter) and test it."""
+              spec: QuerySpec = QuerySpec(), *,
+              observer: PlanObserver | None = None) -> list[str]:
+        """Scan every record (modulo the Bloom prefilter) and test it.
+
+        For the scan, the observer's one "node" is the whole query:
+        candidates = records in the collection, the frontier count is
+        what survives the Bloom prefilter, survivors = matches.
+        """
+        obs = observer if observer is not None else NULL_OBSERVER
         ordinals: Iterable[int] | None = None
         total = self._total_records()
+        obs.enter_node(query)
         if self._bloom is not None:
             candidates = self._bloom.candidates(query, spec)
             if candidates is not None:
                 ordinals = candidates
                 self.records_skipped += total - len(candidates)
+        obs.record_candidates(
+            total,
+            restricted=None if ordinals is None else len(ordinals))
         matches = []
         for key, tree in self._iter_records(ordinals):
             self.records_tested += 1
             if naive_predicate(tree, query, spec):
                 matches.append(key)
+        obs.exit_node(len(matches))
         return sorted(matches)
 
     def _total_records(self) -> int:

@@ -1,0 +1,34 @@
+"""Observer protocol the execution stages report progress to.
+
+Every algorithm threads an optional observer through its per-node
+evaluation: ``enter_node`` when a query node's evaluation begins,
+``record_candidates`` once its candidate list is known, ``exit_node``
+with the surviving match count.  The default :data:`NULL_OBSERVER` makes
+the hooks free when nobody is listening; the EXPLAIN trace sink
+(:mod:`repro.core.exec.observer`) subclasses this to build the rendered
+trace tree.  Keeping the base protocol here -- below the algorithm
+modules -- lets them stay import-independent of the execution layer.
+"""
+
+from __future__ import annotations
+
+
+class PlanObserver:
+    """No-op base: subclass and override what you want to see."""
+
+    __slots__ = ()
+
+    def enter_node(self, qnode) -> None:
+        """A query node's evaluation begins (pre-order)."""
+
+    def record_candidates(self, candidates: int,
+                          restricted: int | None = None) -> None:
+        """The current node's candidate count (and, for algorithms that
+        restrict candidates to a parent frontier, the restricted count)."""
+
+    def exit_node(self, survivors: int) -> None:
+        """The current node's evaluation ends with ``survivors`` matches."""
+
+
+#: Shared do-nothing observer (algorithms default to this).
+NULL_OBSERVER = PlanObserver()

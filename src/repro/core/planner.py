@@ -15,6 +15,14 @@ Strategies:
 * ``bulky-first``     -- descending (the adversarial ablation),
 * ``text``            -- canonical text order (the deterministic default
   used when no planner is installed).
+
+The execution pipeline consumes planners at the match stage: when a
+compiled plan carries ``MatchStage.planner``, the plan instantiates the
+strategy from the context's collection statistics and hands its
+``as_child_order()`` hook to the strict top-down matcher (see
+:mod:`repro.core.exec.plan`).  Ordering never changes results -- only
+how fast the frontier shrinks -- a property pinned by the planner-order
+invariance tests.
 """
 
 from __future__ import annotations

@@ -27,14 +27,37 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .candidates import node_candidates
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
+from .observe import NULL_OBSERVER, PlanObserver
 from .postings import (
     PostingList,
     _has_in_interval,
     heads_with_child_in,
     heads_with_descendant_in,
 )
+
+
+def evaluate_node(qnode, child_sets: Sequence[set[int]],
+                  ifile: InvertedFile, spec: QuerySpec,
+                  observer: PlanObserver = NULL_OBSERVER) -> set[int]:
+    """One query node of the shared pipeline: candidates, then filter.
+
+    This is the ``H(·)`` evaluation step used verbatim by the bottom-up
+    algorithm and the batch evaluator's memoized variant: generate the
+    node's candidates from the inverted lists and keep those covering
+    every child match set.  An unsatisfiable child short-circuits
+    without touching the index (harmless -- and therefore skipped --
+    under the superset join, where data children only need to be
+    covered by *some* query child).
+    """
+    if spec.join != "superset" and any(not hits for hits in child_sets):
+        observer.record_candidates(0)
+        return set()
+    cand = node_candidates(qnode, ifile, spec)
+    observer.record_candidates(len(cand))
+    return filter_candidates(cand, child_sets, ifile, spec).heads()
 
 
 def filter_candidates(cand: PostingList, child_sets: Sequence[set[int]],

@@ -27,6 +27,9 @@ discusses the discrepancy.  The literal variant supports ``hom``/``homeo``
 semantics with the ``subset``/``equality``/``overlap`` joins.
 
 Both variants run in ``O(|q| · |S|)`` worst case (Section 3.1, Analysis).
+Both accept an optional observer (:mod:`repro.core.observe`) that watches
+every node's candidate generation and survivors -- this is how EXPLAIN
+traces ride along the real evaluation instead of re-implementing it.
 """
 
 from __future__ import annotations
@@ -35,8 +38,9 @@ from bisect import bisect_right
 
 from .candidates import node_candidates
 from .invfile import InvertedFile
-from .matchspec import QuerySpec, QuerySpecError
+from .matchspec import QuerySpec, validate_paper_variant
 from .model import NestedSet
+from .observe import NULL_OBSERVER, PlanObserver
 from .postings import PathList, PostingList, nav_join
 from .structural import filter_candidates, frontier_of, prefilter_survivors
 
@@ -46,7 +50,8 @@ from .structural import filter_candidates, frontier_of, prefilter_survivors
 
 def topdown_match_nodes(query: NestedSet, ifile: InvertedFile,
                         spec: QuerySpec = QuerySpec(), *,
-                        child_order=None) -> set[int]:
+                        child_order=None,
+                        observer: PlanObserver | None = None) -> set[int]:
     """Return the set of data node ids at which ``query`` embeds.
 
     ``child_order`` is an optional hook ``(children, spec) -> ordered
@@ -54,8 +59,9 @@ def topdown_match_nodes(query: NestedSet, ifile: InvertedFile,
     evaluated in the returned order, which controls how fast the
     surviving-parent frontier shrinks.
     """
+    obs = observer if observer is not None else NULL_OBSERVER
     cand = node_candidates(query, ifile, spec)
-    return _match(query, cand, ifile, spec, child_order)
+    return _match(query, cand, ifile, spec, child_order, obs)
 
 
 def topdown_query(query: NestedSet, ifile: InvertedFile,
@@ -66,8 +72,26 @@ def topdown_query(query: NestedSet, ifile: InvertedFile,
 
 
 def _match(qnode: NestedSet, cand: PostingList, ifile: InvertedFile,
-           spec: QuerySpec, child_order=None) -> set[int]:
-    """Survivors of ``cand`` whose subtrees cover ``qnode``'s children."""
+           spec: QuerySpec, child_order, obs: PlanObserver,
+           n_unrestricted: int | None = None) -> set[int]:
+    """Survivors of ``cand`` whose subtrees cover ``qnode``'s children.
+
+    ``n_unrestricted`` is the candidate count before the parent-frontier
+    restriction (``None`` at the root, where there is no frontier).
+    """
+    obs.enter_node(qnode)
+    if n_unrestricted is None:
+        obs.record_candidates(len(cand))
+    else:
+        obs.record_candidates(n_unrestricted, restricted=len(cand))
+    heads = _match_children(qnode, cand, ifile, spec, child_order, obs)
+    obs.exit_node(len(heads))
+    return heads
+
+
+def _match_children(qnode: NestedSet, cand: PostingList,
+                    ifile: InvertedFile, spec: QuerySpec, child_order,
+                    obs: PlanObserver) -> set[int]:
     if not cand:
         return set()
     if child_order is not None:
@@ -83,10 +107,11 @@ def _match(qnode: NestedSet, cand: PostingList, ifile: InvertedFile,
         frontier = frontier_of(cand, ifile, spec)
         child_sets = []
         for child in children:
-            child_cand = frontier.restrict(
-                node_candidates(child, ifile, spec))
+            full = node_candidates(child, ifile, spec)
+            child_cand = frontier.restrict(full)
             child_sets.append(_match(child, child_cand, ifile, spec,
-                                     child_order))
+                                     child_order, obs,
+                                     n_unrestricted=len(full)))
         return filter_candidates(cand, child_sets, ifile, spec).heads()
     if spec.join == "equality":
         want = len(children)
@@ -97,8 +122,10 @@ def _match(qnode: NestedSet, cand: PostingList, ifile: InvertedFile,
         if not survivors:
             return set()
         frontier = frontier_of(survivors, ifile, spec)
-        child_cand = frontier.restrict(node_candidates(child, ifile, spec))
-        ok = _match(child, child_cand, ifile, spec, child_order)
+        full = node_candidates(child, ifile, spec)
+        child_cand = frontier.restrict(full)
+        ok = _match(child, child_cand, ifile, spec, child_order, obs,
+                    n_unrestricted=len(full))
         child_sets.append(ok)
         survivors = prefilter_survivors(survivors, ok, ifile, spec)
     if spec.semantics == "iso" and survivors:
@@ -112,24 +139,24 @@ def _match(qnode: NestedSet, cand: PostingList, ifile: InvertedFile,
 
 
 def topdown_paper_match_nodes(query: NestedSet, ifile: InvertedFile,
-                              spec: QuerySpec = QuerySpec()) -> set[int]:
+                              spec: QuerySpec = QuerySpec(), *,
+                              observer: PlanObserver | None = None
+                              ) -> set[int]:
     """Algorithms 1-2 verbatim; see the module docstring for semantics."""
-    if spec.semantics == "iso":
-        raise QuerySpecError(
-            "the paper-literal top-down variant does not implement the "
-            "isomorphic backtracking extension; use the strict variant")
-    if spec.join == "superset":
-        raise QuerySpecError(
-            "the paper-literal top-down variant does not support the "
-            "superset join; use the strict variant")
+    validate_paper_variant(spec)
+    obs = observer if observer is not None else NULL_OBSERVER
+    obs.enter_node(query)
+    cand = node_candidates(query, ifile, spec)
+    obs.record_candidates(len(cand))
+    siblings = sorted(query.children, key=lambda c: c.to_text())
     if spec.semantics == "homeo":
-        paths = [(p, p, ifile.max_desc(p))
-                 for p, _ in node_candidates(query, ifile, spec)]
-        return _interior_desc(sorted(query.children, key=lambda c: c.to_text()),
-                              paths, ifile, spec)
-    paths = PathList.from_postings(node_candidates(query, ifile, spec))
-    return _interior(sorted(query.children, key=lambda c: c.to_text()),
-                     paths, ifile, spec)
+        paths = [(p, p, ifile.max_desc(p)) for p, _ in cand]
+        result = _interior_desc(siblings, paths, ifile, spec, obs)
+    else:
+        result = _interior(siblings, PathList.from_postings(cand),
+                           ifile, spec, obs)
+    obs.exit_node(len(result))
+    return result
 
 
 def topdown_paper_query(query: NestedSet, ifile: InvertedFile,
@@ -140,7 +167,8 @@ def topdown_paper_query(query: NestedSet, ifile: InvertedFile,
 
 
 def _interior(siblings: list[NestedSet], paths: PathList,
-              ifile: InvertedFile, spec: QuerySpec) -> set[int]:
+              ifile: InvertedFile, spec: QuerySpec,
+              obs: PlanObserver) -> set[int]:
     """Top-down-interior (Algorithm 2), child axis."""
     if not siblings:                       # lines 1-2
         return paths.heads()
@@ -148,17 +176,21 @@ def _interior(siblings: list[NestedSet], paths: PathList,
         return set()
     roots = paths.heads()                  # line 6
     for node in siblings:                  # lines 7-12
+        obs.enter_node(node)
         cand = node_candidates(node, ifile, spec)          # line 8
         extended = nav_join(paths, cand)                   # line 9
+        obs.record_candidates(len(cand), restricted=len(extended))
         deeper = _interior(sorted(node.children, key=lambda c: c.to_text()),
-                           extended, ifile, spec)          # line 10
+                           extended, ifile, spec, obs)      # line 10
+        obs.exit_node(len(deeper))
         roots &= deeper                                    # line 11
     return roots                           # line 13
 
 
 def _interior_desc(siblings: list[NestedSet],
                    paths: list[tuple[int, int, int]],
-                   ifile: InvertedFile, spec: QuerySpec) -> set[int]:
+                   ifile: InvertedFile, spec: QuerySpec,
+                   obs: PlanObserver) -> set[int]:
     """Algorithm 2 with the ancestor-descendant join of Section 4.2.
 
     Path entries are ``(head, matched node, matched node's max_desc)``; the
@@ -170,6 +202,7 @@ def _interior_desc(siblings: list[NestedSet],
         return set()
     roots = {head for head, _node, _end in paths}
     for node in siblings:
+        obs.enter_node(node)
         cand = node_candidates(node, ifile, spec)
         cand_entries = cand.entries
         cand_ids = [p for p, _ in cand_entries]
@@ -184,8 +217,10 @@ def _interior_desc(siblings: list[NestedSet],
                     seen.add(key)
                     extended.append((head, cand_ids[index],
                                      ifile.max_desc(cand_ids[index])))
+        obs.record_candidates(len(cand), restricted=len(extended))
         deeper = _interior_desc(
             sorted(node.children, key=lambda c: c.to_text()),
-            extended, ifile, spec)
+            extended, ifile, spec, obs)
+        obs.exit_node(len(deeper))
         roots &= deeper
     return roots

@@ -1,148 +1,48 @@
-"""Query explanation: an instrumented top-down evaluation trace.
+"""Query explanation: an instrumented evaluation trace (any algorithm).
 
-``explain()`` runs the strict top-down algorithm while recording, per
-query node, the inverted lists touched, the candidate count before and
-after structural filtering, and elapsed time -- the information needed to
-see *why* a query is slow (hot atoms, unselective inner sets) and how the
-pruning cascade behaves.  Rendered, a trace looks like::
+``explain()`` compiles the query through the shared execution pipeline
+(:mod:`repro.core.exec`) and runs it with a trace sink attached to the
+execution context, recording per query node the inverted lists touched,
+the candidate count before and after restriction, and elapsed time --
+the information needed to see *why* a query is slow (hot atoms,
+unselective inner sets) and how the pruning cascade behaves.  Because
+the trace observes the real algorithm rather than re-implementing it,
+it exists for all four algorithms and cannot diverge from the
+uninstrumented result.  Rendered, a trace looks like::
 
     node {USA, ...}  atoms=[USA]  candidates=812 -> survivors=17  1.24ms
       node {UK, ...}  atoms=[UK]  candidates=64 (frontier 41) -> ...
 
-This is diagnostics machinery on top of the paper's algorithm, in the
-spirit of EXPLAIN in relational engines.
+This is diagnostics machinery on top of the paper's algorithms, in the
+spirit of EXPLAIN in relational engines.  :class:`NodeTrace` and
+:class:`ExplainResult` are re-exported from
+:mod:`repro.core.exec.observer`, where the sink lives.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from .candidates import node_candidates
+from .exec.compiler import compile_query
+from .exec.context import ExecutionContext
+from .exec.observer import ExplainResult, NodeTrace, run_explained
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
-from .model import NestedSet
-from .structural import filter_candidates, frontier_of, prefilter_survivors
 
-
-@dataclass
-class NodeTrace:
-    """Evaluation record of one query node."""
-
-    label: str                 # abbreviated node text
-    atoms: list[str]
-    list_lengths: dict[str, int]
-    candidates: int            # after leaf filtering / candidate generation
-    restricted: int | None     # after frontier restriction (None at root)
-    survivors: int             # after the structural child conditions
-    elapsed_ms: float
-    children: list["NodeTrace"] = field(default_factory=list)
-
-    def render(self, indent: int = 0) -> str:
-        pad = "  " * indent
-        parts = [f"{pad}node {self.label}  atoms={self.atoms}"]
-        if self.restricted is not None:
-            parts.append(f"candidates={self.candidates} "
-                         f"(frontier {self.restricted})")
-        else:
-            parts.append(f"candidates={self.candidates}")
-        parts.append(f"-> survivors={self.survivors}")
-        parts.append(f"{self.elapsed_ms:.3f}ms")
-        lines = ["  ".join(parts)]
-        for child in self.children:
-            lines.append(child.render(indent + 1))
-        return "\n".join(lines)
-
-
-@dataclass
-class ExplainResult:
-    """Top-level trace plus the query outcome."""
-
-    root: NodeTrace
-    matches: list[str]
-    total_ms: float
-    lists_fetched: int
-
-    def render(self) -> str:
-        header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
-                  f"  lists={self.lists_fetched}")
-        return f"{header}\n{self.root.render()}"
-
-
-def _label(node: NestedSet, limit: int = 40) -> str:
-    text = node.to_text()
-    return text if len(text) <= limit else text[:limit - 3] + "..."
+__all__ = ["ExplainResult", "NodeTrace", "explain"]
 
 
 def explain(query: object, ifile: InvertedFile,
-            spec: QuerySpec = QuerySpec()) -> ExplainResult:
-    """Evaluate with full instrumentation; returns trace + matches."""
-    from .engine import as_nested_set
-    tree = as_nested_set(query)
-    start = time.perf_counter()
-    fetched = [0]
+            spec: QuerySpec = QuerySpec(), *,
+            algorithm: str = "topdown",
+            planner: str | None = None,
+            bloom_index: object | None = None,
+            use_bloom: bool = False) -> ExplainResult:
+    """Evaluate with full instrumentation; returns trace + matches.
 
-    def run(node: NestedSet, cand, restricted: int | None) -> tuple:
-        node_start = time.perf_counter()
-        atoms = sorted(str(atom) for atom in node.atoms)
-        lengths = {}
-        for atom in node.atoms:
-            lengths[str(atom)] = len(ifile.postings(atom))
-            fetched[0] += 1
-        children = sorted(node.children, key=lambda c: c.to_text())
-        trace = NodeTrace(label=_label(node), atoms=atoms,
-                          list_lengths=lengths, candidates=len(cand),
-                          restricted=restricted, survivors=0,
-                          elapsed_ms=0.0)
-        if not cand:
-            trace.elapsed_ms = (time.perf_counter() - node_start) * 1000
-            return set(), trace
-        if spec.join == "superset":
-            # Mirror the strict top-down exactly: no per-child pruning of
-            # survivors (a query child matching nothing is harmless here);
-            # the coverage condition applies once at the end.
-            child_sets = []
-            for child in children:
-                frontier = frontier_of(cand, ifile, spec)
-                restricted_cand = frontier.restrict(
-                    node_candidates(child, ifile, spec))
-                ok, child_trace = run(child, restricted_cand,
-                                      len(restricted_cand))
-                trace.children.append(child_trace)
-                child_sets.append(ok)
-            heads = filter_candidates(cand, child_sets, ifile,
-                                      spec).heads()
-            trace.survivors = len(heads)
-            trace.elapsed_ms = (time.perf_counter() - node_start) * 1000
-            return heads, trace
-        if spec.join == "equality":
-            from .postings import PostingList
-            want = len(children)
-            cand = PostingList([(p, c) for p, c in cand
-                                if len(c) == want])
-        survivors = cand
-        child_sets = []
-        for child in children:
-            if not survivors:
-                break
-            frontier = frontier_of(survivors, ifile, spec)
-            full = node_candidates(child, ifile, spec)
-            restricted_cand = frontier.restrict(full)
-            ok, child_trace = run(child, restricted_cand,
-                                  len(restricted_cand))
-            trace.children.append(child_trace)
-            child_sets.append(ok)
-            survivors = prefilter_survivors(survivors, ok, ifile, spec)
-        if spec.semantics == "iso" and survivors:
-            survivors = filter_candidates(survivors, child_sets, ifile, spec)
-        heads = survivors.heads()
-        trace.survivors = len(heads)
-        trace.elapsed_ms = (time.perf_counter() - node_start) * 1000
-        return heads, trace
-
-    cand = node_candidates(tree, ifile, spec)
-    heads, root_trace = run(tree, cand, None)
-    matches = ifile.heads_to_keys(heads, mode=spec.mode)
-    total_ms = (time.perf_counter() - start) * 1000
-    return ExplainResult(root=root_trace, matches=matches,
-                         total_ms=total_ms, lists_fetched=fetched[0])
+    Works for every algorithm; ``topdown`` is the historical default of
+    this module-level helper.  ``NestedSetIndex.explain`` wraps this
+    with the engine's own inverted file, Bloom filters, and statistics.
+    """
+    plan = compile_query(query, spec, algorithm=algorithm, planner=planner,
+                         use_bloom=use_bloom, cacheable=False)
+    ctx = ExecutionContext(ifile=ifile, bloom_index=bloom_index)
+    return run_explained(plan, ctx)

@@ -1,0 +1,105 @@
+"""Cross-algorithm equivalence over randomized collections.
+
+Every algorithm implements the same containment semantics, so for each
+valid semantics x join combination the index-based algorithms and the
+naive reference scan must return identical results through the shared
+execution pipeline.  The paper-literal top-down variant over-approximates
+on branching queries (it checks path-consistent containment), so its row
+of the matrix runs on path-shaped queries, where it is exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import NestedSetIndex
+from repro.core.planner import STRATEGIES
+
+from ..conftest import random_tree
+
+#: Every semantics x join combination QuerySpec accepts (non-subset
+#: joins require hom semantics).
+VALID_COMBOS = [
+    ("hom", "subset"),
+    ("hom", "equality"),
+    ("hom", "superset"),
+    ("hom", "overlap"),
+    ("iso", "subset"),
+    ("homeo", "subset"),
+]
+
+#: The paper-literal variant rejects iso semantics and superset joins;
+#: on path queries it is exact for subset joins and a sound
+#: over-approximation for the others.
+PAPER_EXACT_COMBOS = [("hom", "subset"), ("homeo", "subset")]
+PAPER_SOUND_COMBOS = [("hom", "equality"), ("hom", "overlap")]
+
+
+def _corpus(seed: int, n: int = 40) -> list:
+    rng = random.Random(seed)
+    atoms = [f"a{i}" for i in range(10)]
+    return [(f"r{i:02d}", random_tree(rng, atoms)) for i in range(n)]
+
+
+def _queries(seed: int, n: int = 12, *, max_children: int = 2) -> list:
+    rng = random.Random(seed)
+    atoms = [f"a{i}" for i in range(10)]
+    return [random_tree(rng, atoms, max_children=max_children,
+                        allow_empty=False) for _ in range(n)]
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("semantics,join", VALID_COMBOS)
+class TestFullMatrix:
+    def test_algorithms_agree(self, seed, semantics, join) -> None:
+        index = NestedSetIndex.build(_corpus(seed))
+        for mode in ("root", "anywhere"):
+            for query in _queries(seed + 100):
+                expected = index.query(query, algorithm="naive",
+                                       semantics=semantics, join=join,
+                                       mode=mode)
+                for algorithm in ("bottomup", "topdown"):
+                    got = index.query(query, algorithm=algorithm,
+                                      semantics=semantics, join=join,
+                                      mode=mode)
+                    assert got == expected, \
+                        (algorithm, semantics, join, mode, query)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+class TestPaperVariantOnPathQueries:
+    @pytest.mark.parametrize("semantics,join", PAPER_EXACT_COMBOS)
+    def test_exact_on_paths(self, seed, semantics, join) -> None:
+        index = NestedSetIndex.build(_corpus(seed))
+        for query in _queries(seed + 200, max_children=1):
+            expected = index.query(query, algorithm="bottomup",
+                                   semantics=semantics, join=join)
+            got = index.query(query, algorithm="topdown-paper",
+                              semantics=semantics, join=join)
+            assert got == expected, (semantics, join, query)
+
+    @pytest.mark.parametrize("semantics,join", PAPER_SOUND_COMBOS)
+    def test_sound_on_paths(self, seed, semantics, join) -> None:
+        # Path-consistent containment may add false positives under
+        # equality/overlap joins but must never miss a true match.
+        index = NestedSetIndex.build(_corpus(seed))
+        for query in _queries(seed + 200, max_children=1):
+            expected = set(index.query(query, algorithm="bottomup",
+                                       semantics=semantics, join=join))
+            got = set(index.query(query, algorithm="topdown-paper",
+                                  semantics=semantics, join=join))
+            assert got >= expected, (semantics, join, query)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+class TestPlannerOrderInvariance:
+    def test_all_strategies_agree(self, seed) -> None:
+        index = NestedSetIndex.build(_corpus(seed))
+        for query in _queries(seed + 300):
+            baseline = index.query(query, algorithm="topdown")
+            for strategy in STRATEGIES:
+                planned = index.query(query, algorithm="topdown",
+                                      planner=strategy)
+                assert planned == baseline, (strategy, query)
