@@ -33,6 +33,8 @@ from .core import (
     PlanError,
     QuerySpec,
     QuerySpecError,
+    ShardError,
+    ShardedIndex,
     as_nested_set,
     compile_query,
     contains,
@@ -58,6 +60,8 @@ __all__ = [
     "PlanError",
     "QuerySpec",
     "QuerySpecError",
+    "ShardError",
+    "ShardedIndex",
     "__version__",
     "as_nested_set",
     "compile_query",

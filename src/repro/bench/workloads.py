@@ -79,13 +79,16 @@ class WorkloadCache:
     def get(self, name: str, size: int, *, n_queries: int = 100,
             seed: int = 0, theta: float = 0.7,
             storage: str = "memory", path: str | None = None,
-            domain_size: int | None = None) -> Workload:
-        key = (name, size, n_queries, seed, theta, storage, domain_size)
+            domain_size: int | None = None,
+            shards: int = 1, workers: int = 1) -> Workload:
+        key = (name, size, n_queries, seed, theta, storage, domain_size,
+               shards, workers)
         workload = self._workloads.get(key)
         if workload is None:
             records = list(generate_dataset(
                 name, size, seed=seed, theta=theta, domain_size=domain_size))
-            index = NestedSetIndex.build(records, storage=storage, path=path)
+            index = NestedSetIndex.build(records, storage=storage, path=path,
+                                         shards=shards, workers=workers)
             queries = make_benchmark_queries(records, n_queries, seed=seed)
             workload = Workload(name, size, index, queries, records)
             self._workloads[key] = workload

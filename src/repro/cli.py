@@ -27,6 +27,7 @@ from .bench.workloads import (
 )
 from .core.engine import ALGORITHMS, NestedSetIndex
 from .core.matchspec import JOINS, MODES, SEMANTICS
+from .core.shard import ShardedIndex
 from .core.planner import STRATEGIES as PLANNER_STRATEGIES
 from .data.io import load_collection_file, save_collection_file
 
@@ -62,16 +63,32 @@ def _cmd_index(args: argparse.Namespace) -> int:
     records = load_collection_file(args.collection)
     start = time.perf_counter()
     index = NestedSetIndex.build(records, storage=args.storage,
-                                 path=args.output)
+                                 path=args.output, shards=args.shards,
+                                 workers=args.workers)
     elapsed = time.perf_counter() - start
+    layout = (f"{args.shards} shards, " if args.shards > 1 else "")
     print(f"indexed {index.n_records} records / {index.n_nodes} nodes "
-          f"in {elapsed:.2f}s ({args.storage} -> {args.output})")
+          f"in {elapsed:.2f}s ({layout}{args.storage} -> {args.output})")
     index.close()
     return 0
 
 
-def _open_index(args: argparse.Namespace) -> NestedSetIndex:
-    return NestedSetIndex.open(args.storage, args.index, cache=args.cache)
+def _open_index(args: argparse.Namespace):
+    """Open the index at ``args.index``.
+
+    A store carrying a shard manifest comes back as a
+    :class:`~repro.core.shard.ShardedIndex` (with ``--workers`` sizing
+    its fan-out pool); otherwise a monolithic ``NestedSetIndex``.
+    """
+    return NestedSetIndex.open(args.storage, args.index, cache=args.cache,
+                               workers=getattr(args, "workers", 1))
+
+
+def _each_inverted_file(index):
+    """The inverted file(s) behind either index flavour."""
+    if isinstance(index, ShardedIndex):
+        return [engine.inverted_file for engine in index.shards]
+    return [index.inverted_file]
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -116,9 +133,12 @@ def _cmd_similar(args: argparse.Namespace) -> int:
     from .core.similarity import top_k_similar
     index = _open_index(args)
     try:
-        hits = top_k_similar(index.inverted_file, args.query, k=args.k,
-                             candidate_limit=args.candidates)
-        for key, score in hits:
+        hits: list[tuple[str, float]] = []
+        for ifile in _each_inverted_file(index):
+            hits.extend(top_k_similar(ifile, args.query, k=args.k,
+                                      candidate_limit=args.candidates))
+        hits.sort(key=lambda hit: (-hit[1], hit[0]))
+        for key, score in hits[:args.k]:
             print(f"{score:.4f}  {key}")
     finally:
         index.close()
@@ -129,15 +149,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .core.checker import check_index
     index = _open_index(args)
     try:
-        problems = check_index(index.inverted_file,
-                               max_atoms=args.max_atoms)
+        ifiles = _each_inverted_file(index)
+        problems = []
+        for shard_no, ifile in enumerate(ifiles):
+            prefix = f"shard {shard_no}: " if len(ifiles) > 1 else ""
+            problems.extend(prefix + problem for problem in
+                            check_index(ifile, max_atoms=args.max_atoms))
         if problems:
             for problem in problems:
                 print(f"PROBLEM: {problem}")
             print(f"-- {len(problems)} problem(s) found", file=sys.stderr)
             return 1
+        layout = (f" across {len(ifiles)} shards" if len(ifiles) > 1
+                  else "")
         print(f"index healthy: {index.n_records} records, "
-              f"{index.n_nodes} nodes")
+              f"{index.n_nodes} nodes{layout}")
     finally:
         index.close()
     return 0
@@ -148,7 +174,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
     try:
         print(f"records:        {index.n_records}")
         print(f"internal nodes: {index.n_nodes}")
-        frequencies = index.inverted_file.frequencies()
+        if isinstance(index, ShardedIndex):
+            print(f"shards:         {index.n_shards} "
+                  f"({index.policy.name} policy)")
+            frequencies = index.frequencies()
+        else:
+            frequencies = index.inverted_file.frequencies()
         print(f"distinct atoms: {len(frequencies)}")
         print("hottest atoms:")
         for atom, df in frequencies[:args.top]:
@@ -196,7 +227,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for size in sizes:
             workload = cache_workloads.get(args.dataset, size,
                                            n_queries=args.queries,
-                                           seed=args.seed)
+                                           seed=args.seed,
+                                           shards=args.shards,
+                                           workers=args.workers)
             for algorithm in args.algorithms.split(","):
                 for policy in (None, "frequency"):
                     workload.index.set_cache(policy)
@@ -244,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     idx.add_argument("collection")
     idx.add_argument("--storage", choices=("diskhash", "btree"),
                      default="diskhash")
+    idx.add_argument("--shards", type=int, default=1,
+                     help="partition the records across N inverted-file "
+                          "shards inside one store (default 1)")
+    idx.add_argument("--workers", type=int, default=1,
+                     help="query fan-out threads for a sharded index")
     idx.add_argument("-o", "--output", required=True)
     idx.set_defaults(func=_cmd_index)
 
@@ -264,6 +302,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the compiled execution plan to stderr")
     query.add_argument("--cache", choices=("none", "frequency", "lru"),
                        default="none")
+    query.add_argument("--workers", type=int, default=1,
+                       help="shard fan-out threads (sharded indexes)")
     query.set_defaults(func=_cmd_query)
 
     exp = sub.add_parser("explain",
@@ -282,6 +322,8 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="sibling-order strategy (topdown only)")
     exp.add_argument("--cache", default="none")
+    exp.add_argument("--workers", type=int, default=1,
+                     help="shard fan-out threads (sharded indexes)")
     exp.set_defaults(func=_cmd_explain)
 
     sim = sub.add_parser("similar",
@@ -344,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=5)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--algorithms", default="topdown,bottomup")
+    bench.add_argument("--shards", type=int, default=1,
+                       help="build the benchmark indexes with N shards")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="shard fan-out threads during the timed runs")
     bench.set_defaults(func=_cmd_bench)
 
     return parser

@@ -55,6 +55,15 @@ from .naive import (
 from .planner import STRATEGIES, Planner, make_planner
 from .resultcache import ResultCache
 from .segments import DEFAULT_SEGMENT_SIZE
+from .shard import (
+    HashShardPolicy,
+    RoundRobinShardPolicy,
+    ShardError,
+    ShardedIndex,
+    make_policy,
+    register_policy,
+)
+from .parallel import ShardExecutor
 from .seqs import (
     NestedSeq,
     json_to_nested_seq,
@@ -138,6 +147,13 @@ __all__ = [
     "QueryStats",
     "SEMANTICS",
     "STRATEGIES",
+    "HashShardPolicy",
+    "RoundRobinShardPolicy",
+    "ShardError",
+    "ShardedIndex",
+    "ShardExecutor",
+    "make_policy",
+    "register_policy",
     "SimilaritySearch",
     "TraceSink",
     "UpdateError",

@@ -65,11 +65,17 @@ def build_external(records: Iterable[tuple[str, NestedSet]], *,
                    storage: str = "memory", path: str | None = None,
                    memory_budget: int = DEFAULT_MEMORY_BUDGET,
                    segment_size: int = 0,
+                   store=None,
                    **store_options: object) -> InvertedFile:
-    """Bulk-load an index with a bounded posting buffer."""
+    """Bulk-load an index with a bounded posting buffer.
+
+    ``store`` accepts a pre-opened store (e.g. one shard's namespaced
+    view of a shared store); ``storage``/``path`` are ignored then.
+    """
     if memory_budget < 1:
         raise ValueError("memory_budget must be >= 1")
-    store = open_store(storage, path, create=True, **store_options)
+    if store is None:
+        store = open_store(storage, path, create=True, **store_options)
 
     buffer: dict[Atom, list[tuple[int, tuple[int, ...]]]] = {}
     buffered = 0

@@ -18,8 +18,9 @@ reopen via :meth:`NestedSetIndex.open`.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from ..storage import KVStore
 from .bloom import BloomIndex
 from .cache import PAPER_BUDGET, make_cache
 from .exec.compiler import ALGORITHMS, compile_query
@@ -32,6 +33,9 @@ from .model import NestedSet, as_nested_set
 from .resultcache import ResultCache
 from .stats import CollectionStats
 from .updates import IndexWriter
+
+if TYPE_CHECKING:
+    from .shard import ShardedIndex
 
 __all__ = ["ALGORITHMS", "NestedSetIndex", "as_nested_set"]
 
@@ -55,7 +59,9 @@ class NestedSetIndex:
               cache: str | None = None, cache_budget: int = PAPER_BUDGET,
               bloom: str | None = None, bloom_bits: int = 512,
               segment_size: int = 0,
-              **store_options: object) -> "NestedSetIndex":
+              shards: int = 1, workers: int = 1,
+              shard_policy: object = "hash",
+              **store_options: object) -> "NestedSetIndex | ShardedIndex":
         """Index ``(key, nested-set)`` records.
 
         ``cache``: None/"none", "frequency" (the paper's policy) or "lru".
@@ -63,7 +69,20 @@ class NestedSetIndex:
         prefilters consumed by the naive algorithm.
         ``segment_size``: > 0 stores long posting lists as range-tagged
         segments and enables segment-skipping intersections.
+        ``shards``: > 1 partitions the records across that many
+        independent inverted files inside one store and returns a
+        :class:`~repro.core.shard.ShardedIndex` (same query surface;
+        ``workers`` threads fan queries out, ``shard_policy`` picks the
+        partitioner).
         """
+        if shards > 1:
+            from .shard import ShardedIndex
+            return ShardedIndex.build(
+                records, shards=shards, workers=workers,
+                policy=shard_policy, storage=storage, path=path,
+                cache=cache, cache_budget=cache_budget, bloom=bloom,
+                bloom_bits=bloom_bits, segment_size=segment_size,
+                **store_options)
         prepared = ((key, as_nested_set(value)) for key, value in records)
         ifile = InvertedFile.build(prepared, storage=storage, path=path,
                                    segment_size=segment_size,
@@ -85,13 +104,26 @@ class NestedSetIndex:
                        cache: str | None = None,
                        cache_budget: int = PAPER_BUDGET,
                        segment_size: int = 0,
-                       **store_options: object) -> "NestedSetIndex":
+                       shards: int = 1, workers: int = 1,
+                       shard_policy: object = "hash",
+                       **store_options: object
+                       ) -> "NestedSetIndex | ShardedIndex":
         """Bulk-load with a bounded posting buffer (run-merge build).
 
         Use for collections whose posting lists don't fit in memory; see
         :mod:`repro.core.bulkload`.  ``memory_budget`` counts buffered
-        postings (default 500k entries).
+        postings (default 500k entries).  ``shards > 1`` splits both the
+        records and the budget across that many shard builds and returns
+        a :class:`~repro.core.shard.ShardedIndex`.
         """
+        if shards > 1:
+            from .shard import ShardedIndex
+            return ShardedIndex.build_external(
+                records, shards=shards, workers=workers,
+                policy=shard_policy, storage=storage, path=path,
+                memory_budget=memory_budget, cache=cache,
+                cache_budget=cache_budget, segment_size=segment_size,
+                **store_options)
         from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
         prepared = ((key, as_nested_set(value)) for key, value in records)
         ifile = build_external(
@@ -107,14 +139,40 @@ class NestedSetIndex:
     def open(cls, storage: str, path: str, *,
              cache: str | None = None, cache_budget: int = PAPER_BUDGET,
              bloom: str | None = None, bloom_bits: int = 512,
-             **store_options: object) -> "NestedSetIndex":
+             workers: int = 1,
+             **store_options: object) -> "NestedSetIndex | ShardedIndex":
         """Reopen a disk-resident index built earlier.
 
+        A store carrying a shard manifest reopens as a
+        :class:`~repro.core.shard.ShardedIndex` automatically (``workers``
+        sizes its fan-out pool; it is ignored for monolithic indexes).
         Bloom filters persisted at build time reload directly when their
         kind matches; otherwise they are rebuilt from the record table
         (one sequential scan).
         """
-        ifile = InvertedFile.open(storage, path, **store_options)
+        from ..storage import open_store
+        from .shard import ShardedIndex, read_manifest
+        store = open_store(storage, path, create=False, **store_options)
+        if read_manifest(store) is not None:
+            return ShardedIndex.from_base_store(
+                store, workers=workers, cache=cache,
+                cache_budget=cache_budget, bloom=bloom,
+                bloom_bits=bloom_bits)
+        return cls.from_store(store, cache=cache, cache_budget=cache_budget,
+                              bloom=bloom, bloom_bits=bloom_bits)
+
+    @classmethod
+    def from_store(cls, store: KVStore, *,
+                   cache: str | None = None,
+                   cache_budget: int = PAPER_BUDGET,
+                   bloom: str | None = None,
+                   bloom_bits: int = 512) -> "NestedSetIndex":
+        """Wrap an already-open store holding one inverted file.
+
+        The sharded index uses this to bring up each shard over its
+        namespaced view of the shared store.
+        """
+        ifile = InvertedFile(store)
         ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
                                  budget=cache_budget)
         bloom_index = None
@@ -208,6 +266,11 @@ class NestedSetIndex:
     def disable_result_cache(self) -> None:
         self._result_cache = None
 
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The active result cache, if enabled (for stats inspection)."""
+        return self._result_cache
+
     def match_nodes(self, query: object, *, algorithm: str = "bottomup",
                     spec: QuerySpec = QuerySpec(),
                     planner: str | None = None) -> set[int]:
@@ -259,13 +322,17 @@ class NestedSetIndex:
         return deleted
 
     def compact(self, *, storage: str = "memory",
-                path: str | None = None) -> None:
+                path: str | None = None,
+                store: KVStore | None = None) -> None:
         """Rebuild the index from live records, dropping tombstones.
 
         The engine swaps to the fresh index in place; disk targets need a
         new ``path`` (a store cannot be rebuilt into its own open file).
+        ``store`` accepts a pre-opened destination (used by the sharded
+        index to compact each shard into one fresh shared store).
         """
-        fresh = self._index_writer().compact(storage=storage, path=path)
+        fresh = self._index_writer().compact(storage=storage, path=path,
+                                             store=store)
         self._writer = None
         if self._result_cache is not None:
             self._result_cache.invalidate_all()
@@ -284,7 +351,8 @@ class NestedSetIndex:
                     algorithm: str = "bottomup", semantics: str = "hom",
                     join: str = "subset", epsilon: int = 1,
                     mode: str = "root", use_bloom: bool = False,
-                    planner: str | None = None) -> list[list[str]]:
+                    planner: str | None = None,
+                    workers: int | None = None) -> list[list[str]]:
         """Evaluate a workload of queries (the paper times 100 at a time).
 
         All plans share one execution context.  When every plan supports
@@ -293,7 +361,11 @@ class NestedSetIndex:
         subtrees are evaluated once per batch; pass
         ``share_subqueries=False`` to opt out and run a plain per-query
         loop.  Results are identical either way (tested property).
+        ``workers`` exists for facade symmetry with
+        :class:`~repro.core.shard.ShardedIndex`; a monolithic index has
+        a single execution context and always evaluates sequentially.
         """
+        del workers  # single index: nothing to fan out over
         spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
                          mode=mode)
         plans = [compile_query(query, spec, algorithm=algorithm,

@@ -12,7 +12,7 @@ keying) live in one place with uniform error messages.
 from __future__ import annotations
 
 from ..matchspec import QuerySpec, validate_paper_variant
-from ..model import NestedSet, as_nested_set
+from ..model import as_nested_set
 from ..planner import STRATEGIES
 from ..resultcache import make_key
 from .plan import (

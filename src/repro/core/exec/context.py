@@ -44,6 +44,29 @@ class ExecCounters:
             "records_skipped": self.records_skipped,
         }
 
+    def merge(self, other: "ExecCounters") -> None:
+        """Accumulate another context's counters into this one.
+
+        The sharded executor runs one context per shard and merges them
+        afterwards, so workload-level statistics look the same whether an
+        index is monolithic or sharded.
+        """
+        self.queries += other.queries
+        self.result_cache_hits += other.result_cache_hits
+        self.subqueries_evaluated += other.subqueries_evaluated
+        self.subqueries_reused += other.subqueries_reused
+        self.records_tested += other.records_tested
+        self.records_skipped += other.records_skipped
+
+    @classmethod
+    def merged(cls, counters: "list[ExecCounters] | tuple[ExecCounters, ...]"
+               ) -> "ExecCounters":
+        """Sum of several per-shard counter sets (order-independent)."""
+        total = cls()
+        for part in counters:
+            total.merge(part)
+        return total
+
 
 @dataclass
 class ExecutionContext:

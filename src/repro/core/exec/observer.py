@@ -73,6 +73,47 @@ class ExplainResult:
         return f"{header}\n{self.root.render()}"
 
 
+@dataclass
+class MergedExplainResult:
+    """Per-shard traces plus the merged outcome of a sharded EXPLAIN.
+
+    ``matches`` is the cross-shard union (shards partition the records,
+    so concatenation plus one sort is exact); ``total_ms`` is the wall
+    clock of the whole fan-out, while each per-shard
+    :class:`ExplainResult` keeps its own timing.
+    """
+
+    shards: list[ExplainResult]
+    matches: list[str]
+    total_ms: float
+    algorithm: str
+
+    @property
+    def lists_fetched(self) -> int:
+        return sum(result.lists_fetched for result in self.shards)
+
+    def render(self) -> str:
+        header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
+                  f"  lists={self.lists_fetched}  [{self.algorithm}"
+                  f" x {len(self.shards)} shards]")
+        sections = [header]
+        for shard_no, result in enumerate(self.shards):
+            sections.append(f"-- shard {shard_no} --")
+            sections.append(result.render())
+        return "\n".join(sections)
+
+
+def merge_explains(results: "list[ExplainResult]",
+                   total_ms: float) -> MergedExplainResult:
+    """Combine one EXPLAIN per shard into the sharded-index view."""
+    if not results:
+        raise ValueError("merge_explains() needs at least one shard result")
+    matches = sorted(key for result in results for key in result.matches)
+    return MergedExplainResult(shards=list(results), matches=matches,
+                               total_ms=total_ms,
+                               algorithm=results[0].algorithm)
+
+
 def _label(node: "NestedSet", limit: int = 40) -> str:
     text = node.to_text()
     return text if len(text) <= limit else text[:limit - 3] + "..."

@@ -61,6 +61,7 @@ _ZERO_PREFIX = b"L:zero:"
 _CONFIG_KEY = b"M:config"
 _FREQ_KEY = b"M:freq"
 _DELETED_KEY = b"M:deleted"
+_DEAD_COUNT_KEY = b"M:dead"
 _KEYMAP_PREFIX = b"K:"
 _SEGMENT_PREFIX = b"G:"
 
@@ -155,6 +156,18 @@ class InvertedFile:
         if deleted_raw is not None:
             ordinals, _pos = decode_uint_list(deleted_raw)
             self.deleted = set(ordinals)
+        #: Per-atom count of postings owned by tombstoned records.  The
+        #: document-frequency table keeps counting them until compaction;
+        #: subtracting these yields the *live* counts that selectivity
+        #: decisions (rarest-atom ordering, the planner) should use.
+        self.dead_counts: dict[Atom, int] = {}
+        dead_raw = store.get(_DEAD_COUNT_KEY)
+        if dead_raw is not None:
+            count, pos = decode_varint(dead_raw, 0)
+            for _ in range(count):
+                token, pos = decode_str(dead_raw, pos)
+                dead, pos = decode_varint(dead_raw, pos)
+                self.dead_counts[atom_from_token(token)] = dead
 
     # -- construction -----------------------------------------------------
 
@@ -162,6 +175,7 @@ class InvertedFile:
     def build(cls, records: Iterable[tuple[str, NestedSet]], *,
               storage: str = "memory", path: str | None = None,
               cache: ListCache | None = None, segment_size: int = 0,
+              store: KVStore | None = None,
               **store_options: object) -> "InvertedFile":
         """Index a collection of ``(key, nested-set)`` records.
 
@@ -169,12 +183,15 @@ class InvertedFile:
         disk engines need a ``path``.  ``segment_size > 0`` stores posting
         lists longer than that many entries as range-tagged segments
         (:mod:`repro.core.segments`), enabling segment-skipping
-        intersections and bounding store value sizes.  The whole posting
-        accumulation is in-memory (index construction is an offline step
-        in the paper's setting); the finished lists are then written to
-        the store.
+        intersections and bounding store value sizes.  ``store`` accepts a
+        pre-opened store (e.g. a namespaced view of a shared store, see
+        :mod:`repro.storage.namespace`); ``storage``/``path`` are ignored
+        then.  The whole posting accumulation is in-memory (index
+        construction is an offline step in the paper's setting); the
+        finished lists are then written to the store.
         """
-        store = open_store(storage, path, create=True, **store_options)
+        if store is None:
+            store = open_store(storage, path, create=True, **store_options)
         postings: dict[Atom, list[tuple[int, tuple[int, ...]]]] = {}
         all_nodes: list[tuple[int, tuple[int, ...]]] = []
         zero_leaf: list[tuple[int, tuple[int, ...]]] = []
@@ -349,6 +366,15 @@ class InvertedFile:
         raw = self._store.get(_atom_store_key(atom))
         return total_of(raw) if raw is not None else 0
 
+    def live_list_length(self, atom: Atom) -> int:
+        """Postings of ``atom`` owned by live (non-tombstoned) records.
+
+        ``list_length`` measures decode cost (dead postings are still
+        decoded until compaction); this measures selectivity, which is
+        what candidate-ordering decisions want on a delete-heavy index.
+        """
+        return max(0, self.list_length(atom) - self.dead_counts.get(atom, 0))
+
     def intersect_atoms(self, atoms: list[Atom]) -> PostingList:
         """Candidate generation with rarest-first segment skipping.
 
@@ -361,7 +387,9 @@ class InvertedFile:
             raise ValueError("intersect_atoms() needs at least one atom")
         if len(atoms) == 1:
             return self.postings(atoms[0])
-        ranked = sorted(atoms, key=self.list_length)
+        # Rank on live counts: dead postings inflate physical lengths
+        # between compactions and would mislead the rarest-first choice.
+        ranked = sorted(atoms, key=self.live_list_length)
         base = self.postings(ranked[0])
         if not base:
             return base
@@ -509,6 +537,22 @@ class InvertedFile:
             df, pos = decode_varint(raw, pos)
             out.append((atom_from_token(token), df))
         return out
+
+    def live_frequencies(self) -> list[tuple[Atom, int]]:
+        """Tombstone-adjusted document frequencies, descending.
+
+        Equals :meth:`frequencies` on an index without pending deletes;
+        after deletes, each atom's count excludes postings owned by
+        tombstoned records, so selectivity estimates stay honest between
+        compactions.  Atoms whose live count reaches zero are dropped.
+        """
+        live = []
+        for atom, df in self.frequencies():
+            count = df - self.dead_counts.get(atom, 0)
+            if count > 0:
+                live.append((atom, count))
+        live.sort(key=lambda item: (-item[1], atom_token(item[0])))
+        return live
 
     def iter_atoms(self) -> Iterator[Atom]:
         """Iterate over the key space (every distinct atom in S)."""

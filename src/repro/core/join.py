@@ -80,20 +80,31 @@ def containment_join(index: NestedSetIndex,
                            use_bloom=use_bloom if plan_algorithm == "naive"
                            else False)
              for _qkey, query in materialized]
-    ctx = index.execution_context(memo=memo)
+    from .shard import ShardedIndex
     start = time.perf_counter()
     pairs: list[tuple[str, str]] = []
-    for (qkey, _query), plan in zip(materialized, plans):
-        for skey in plan.run(ctx):
-            pairs.append((qkey, skey))
+    if isinstance(index, ShardedIndex):
+        # Sharded collection: one context (and memo) per shard, counters
+        # merged across the fan-out.
+        results, counters = index.run_plans(plans,
+                                            memoize=memo is not None)
+        for (qkey, _query), result in zip(materialized, results):
+            for skey in result:
+                pairs.append((qkey, skey))
+    else:
+        ctx = index.execution_context(memo=memo)
+        for (qkey, _query), plan in zip(materialized, plans):
+            for skey in plan.run(ctx):
+                pairs.append((qkey, skey))
+        counters = ctx.counters
     elapsed = time.perf_counter() - start
     extra: dict[str, object] = {}
     if strategy == "batched":
-        extra["subqueries_evaluated"] = ctx.counters.subqueries_evaluated
-        extra["subqueries_reused"] = ctx.counters.subqueries_reused
+        extra["subqueries_evaluated"] = counters.subqueries_evaluated
+        extra["subqueries_reused"] = counters.subqueries_reused
     elif strategy == "naive":
-        extra["records_tested"] = ctx.counters.records_tested
-        extra["records_skipped"] = ctx.counters.records_skipped
+        extra["records_tested"] = counters.records_tested
+        extra["records_skipped"] = counters.records_skipped
     return JoinResult(pairs=pairs, strategy=strategy,
                       n_queries=len(materialized),
                       elapsed_seconds=elapsed, extra=extra)

@@ -1,0 +1,707 @@
+"""Horizontal sharding behind the execution pipeline.
+
+:class:`ShardedIndex` partitions a record collection across N
+independent inverted files -- each a full :class:`NestedSetIndex` with
+its own list cache, Bloom filters, and result cache -- living side by
+side in **one** physical store under per-shard key namespaces
+(:class:`~repro.storage.NamespacedStore`).  Queries are compiled once
+through the shared pipeline (:func:`repro.core.exec.compiler.compile_query`)
+and the resulting :class:`~repro.core.exec.plan.ExecutionPlan` is fanned
+out to every shard -- concurrently via :class:`~repro.core.parallel.ShardExecutor`
+when ``workers > 1`` -- then the per-shard answers are merged.
+
+Merging is exact, not approximate: the partitioning policy assigns each
+record key to exactly one shard, so per-shard result lists are disjoint
+and the cross-shard answer is their sorted concatenation.  Counters
+merge by summation (:meth:`ExecCounters.merged`) and EXPLAIN traces
+keep one tree per shard under a merged header
+(:func:`~repro.core.exec.observer.merge_explains`).
+
+Why shard at all on one machine?  Two reasons the paper's monolithic
+inverted file cannot offer:
+
+* **update locality** -- an insert or delete touches one shard, so the
+  other ``N-1`` result caches (and their warmed list caches) survive the
+  mutation instead of being invalidated wholesale;
+* **bounded build memory** -- bulk loading splits the posting buffer
+  across shard builds, and each shard's run-merge works over a fraction
+  of the collection.
+
+Thread-safety contract: the fan-out schedules **one in-flight task per
+shard**; per-shard engine state is single-threaded within any one
+operation on the sharded index.  The shared base store is the only
+cross-thread surface -- disk-backed stores seek/read one file handle, so
+all namespaced views over a disk base share a lock; the in-memory store
+relies on the GIL's dict-operation atomicity and skips it.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..storage import (
+    KVStore,
+    MemoryKVStore,
+    NamespacedStore,
+    decode_varint,
+    encode_varint,
+    open_store,
+)
+from .cache import PAPER_BUDGET
+from .engine import NestedSetIndex
+from .exec.compiler import ALGORITHMS, compile_query
+from .exec.context import ExecCounters
+from .exec.observer import MergedExplainResult, merge_explains, run_explained
+from .matchspec import QuerySpec
+from .model import NestedSet, as_nested_set
+from .parallel import ShardExecutor
+from .resultcache import ResultCacheStats
+from .stats import CollectionStats
+
+__all__ = [
+    "HashShardPolicy",
+    "MANIFEST_KEY",
+    "POLICIES",
+    "RoundRobinShardPolicy",
+    "ShardError",
+    "ShardedIndex",
+    "make_policy",
+    "read_manifest",
+    "register_policy",
+    "write_manifest",
+]
+
+
+class ShardError(Exception):
+    """Sharding configuration or routing failure."""
+
+
+# -- partitioning policies --------------------------------------------------
+
+
+class HashShardPolicy:
+    """Default policy: stable hash of the record key, modulo shard count.
+
+    Uses CRC-32 rather than :func:`hash` so the record→shard assignment
+    is identical across processes (``PYTHONHASHSEED`` randomises ``hash``
+    for strings); a persisted sharded index must route a later ``delete``
+    to the same shard that ``build`` picked.
+    """
+
+    name = "hash"
+
+    def shard_of(self, key: str, n_shards: int) -> int:
+        return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+class RoundRobinShardPolicy:
+    """Balance-first policy: records go to shards in arrival order.
+
+    Gives perfectly even shard sizes but is **not** key-deterministic,
+    so routed single-record updates fall back to a key lookup across
+    shards (delete) or the hash of the key (insert).  Useful for bulk
+    workloads where balance matters more than routing.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def shard_of(self, key: str, n_shards: int) -> int:
+        shard = self._next % n_shards
+        self._next += 1
+        return shard
+
+
+#: Registered policy constructors, keyed by manifest name.
+POLICIES: dict[str, Callable[[], object]] = {
+    HashShardPolicy.name: HashShardPolicy,
+    RoundRobinShardPolicy.name: RoundRobinShardPolicy,
+}
+
+
+def register_policy(name: str, factory: Callable[[], object]) -> None:
+    """Register a custom partitioning policy under a manifest name.
+
+    The factory must build objects exposing ``shard_of(key, n_shards)``
+    and a ``name`` attribute equal to ``name`` (the manifest persists
+    the name, and :meth:`ShardedIndex.open` resolves it through this
+    registry).
+    """
+    POLICIES[name] = factory
+
+
+def make_policy(spec: object) -> object:
+    """Resolve a policy spec: a registered name or a policy object."""
+    if isinstance(spec, str):
+        try:
+            return POLICIES[spec]()
+        except KeyError:
+            raise ShardError(
+                f"unknown shard policy {spec!r}; registered: "
+                f"{sorted(POLICIES)}") from None
+    if not hasattr(spec, "shard_of") or not hasattr(spec, "name"):
+        raise ShardError("a shard policy needs shard_of(key, n_shards) "
+                         "and a name attribute")
+    return spec
+
+
+# -- manifest ----------------------------------------------------------------
+
+#: Base-store key carrying the shard layout.  ``X:`` collides with no
+#: per-shard namespace (those are ``x<i>:``) and no inverted-file prefix.
+MANIFEST_KEY = b"X:shards"
+
+
+def write_manifest(store: KVStore, n_shards: int, policy_name: str) -> None:
+    """Persist the shard layout on the *base* store."""
+    payload = encode_varint(n_shards)
+    name = policy_name.encode("utf-8")
+    payload += encode_varint(len(name)) + name
+    store.put(MANIFEST_KEY, payload)
+
+
+def read_manifest(store: KVStore) -> tuple[int, str] | None:
+    """Shard layout of a base store, or ``None`` for monolithic stores."""
+    raw = store.get(MANIFEST_KEY)
+    if raw is None:
+        return None
+    n_shards, pos = decode_varint(raw, 0)
+    name_len, pos = decode_varint(raw, pos)
+    policy_name = raw[pos:pos + name_len].decode("utf-8")
+    return n_shards, policy_name
+
+
+def _shard_prefix(shard_no: int) -> bytes:
+    # Prefix-free across shards: the digits end at the colon.
+    return b"x%d:" % shard_no
+
+
+class _SharedResultCache:
+    """Aggregate view over the per-shard result caches.
+
+    Matches the read surface of :class:`~repro.core.resultcache.ResultCache`
+    that callers use (``stats``, ``invalidate_all``, ``len``); the
+    underlying caches stay per-shard so a single-shard mutation leaves
+    the other shards' entries warm -- the sharded index's headline
+    advantage on mixed workloads.
+    """
+
+    def __init__(self, caches: Sequence[object]) -> None:
+        self._caches = list(caches)
+
+    @property
+    def stats(self) -> ResultCacheStats:
+        total = ResultCacheStats()
+        for cache in self._caches:
+            total.hits += cache.stats.hits
+            total.misses += cache.stats.misses
+            total.invalidations += cache.stats.invalidations
+        return total
+
+    def invalidate_all(self) -> None:
+        for cache in self._caches:
+            cache.invalidate_all()
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._caches)
+
+
+# -- the sharded index -------------------------------------------------------
+
+
+class ShardedIndex:
+    """N inverted-file shards in one store, one query surface.
+
+    Mirrors the :class:`~repro.core.engine.NestedSetIndex` facade --
+    ``query`` / ``query_batch`` / ``containment_join`` / ``explain`` /
+    ``insert`` / ``delete`` / ``compact`` / ``stats`` -- so callers and
+    the CLI can hold either without caring which they got.
+    """
+
+    def __init__(self, base_store: KVStore,
+                 shards: Sequence[NestedSetIndex], policy: object,
+                 *, workers: int = 1) -> None:
+        if not shards:
+            raise ShardError("a sharded index needs at least one shard")
+        self._base = base_store
+        self._shards = list(shards)
+        self._policy = policy
+        self._executor = ShardExecutor(max_workers=workers)
+        self._result_cache: _SharedResultCache | None = None
+        #: Cumulative, workload-level counters merged from every fan-out.
+        self.counters = ExecCounters()
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def _shard_views(base: KVStore, n_shards: int) -> list[NamespacedStore]:
+        """One namespaced view per shard; disk bases share one lock."""
+        import threading
+        lock = None if isinstance(base, MemoryKVStore) else threading.Lock()
+        return [NamespacedStore(base, _shard_prefix(i), lock=lock)
+                for i in range(n_shards)]
+
+    @classmethod
+    def build(cls, records: Iterable[tuple[str, object]], *,
+              shards: int, workers: int = 1, policy: object = "hash",
+              storage: str = "memory", path: str | None = None,
+              cache: str | None = None, cache_budget: int = PAPER_BUDGET,
+              bloom: str | None = None, bloom_bits: int = 512,
+              segment_size: int = 0,
+              **store_options: object) -> "ShardedIndex":
+        """Partition ``records`` and build one inverted file per shard.
+
+        Shard builds run sequentially: they write interleaved key ranges
+        into the shared base store, and the disk pagers are not safe for
+        concurrent writers.  ``workers`` only sizes the *query* fan-out.
+        """
+        if shards < 1:
+            raise ShardError("shards must be >= 1")
+        partitioner = make_policy(policy)
+        buckets: list[list[tuple[str, NestedSet]]] = [[] for _ in
+                                                      range(shards)]
+        for key, value in records:
+            buckets[partitioner.shard_of(key, shards)].append(
+                (key, as_nested_set(value)))
+        base = open_store(storage, path, create=True, **store_options)
+        write_manifest(base, shards, partitioner.name)
+        engines = []
+        budget = max(1, cache_budget // shards)
+        for view, bucket in zip(cls._shard_views(base, shards), buckets):
+            engines.append(cls._build_one(
+                bucket, view, cache=cache, cache_budget=budget,
+                bloom=bloom, bloom_bits=bloom_bits,
+                segment_size=segment_size))
+        return cls(base, engines, partitioner, workers=workers)
+
+    @staticmethod
+    def _build_one(bucket: list[tuple[str, NestedSet]],
+                   view: NamespacedStore, *, cache: str | None,
+                   cache_budget: int, bloom: str | None, bloom_bits: int,
+                   segment_size: int) -> NestedSetIndex:
+        from .bloom import BloomIndex
+        from .cache import make_cache
+        from .invfile import InvertedFile
+        ifile = InvertedFile.build(iter(bucket), store=view,
+                                   segment_size=segment_size)
+        ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
+                                 budget=cache_budget)
+        bloom_index = None
+        if bloom is not None:
+            bloom_index = BloomIndex(bloom, n_bits=bloom_bits)
+            for _ordinal, _key, _root, tree in ifile.iter_records():
+                bloom_index.add_record(tree)
+            bloom_index.save(ifile.store)
+        return NestedSetIndex(ifile, bloom_index)
+
+    @classmethod
+    def build_external(cls, records: Iterable[tuple[str, object]], *,
+                       shards: int, workers: int = 1,
+                       policy: object = "hash",
+                       storage: str = "memory", path: str | None = None,
+                       memory_budget: int | None = None,
+                       cache: str | None = None,
+                       cache_budget: int = PAPER_BUDGET,
+                       segment_size: int = 0,
+                       **store_options: object) -> "ShardedIndex":
+        """Bulk-load each shard with its slice of the posting budget."""
+        from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
+        from .cache import make_cache
+        if shards < 1:
+            raise ShardError("shards must be >= 1")
+        partitioner = make_policy(policy)
+        buckets: list[list[tuple[str, NestedSet]]] = [[] for _ in
+                                                      range(shards)]
+        for key, value in records:
+            buckets[partitioner.shard_of(key, shards)].append(
+                (key, as_nested_set(value)))
+        base = open_store(storage, path, create=True, **store_options)
+        write_manifest(base, shards, partitioner.name)
+        total_budget = (memory_budget if memory_budget is not None
+                        else DEFAULT_MEMORY_BUDGET)
+        per_shard_budget = max(1, total_budget // shards)
+        per_shard_cache = max(1, cache_budget // shards)
+        engines = []
+        for view, bucket in zip(cls._shard_views(base, shards), buckets):
+            ifile = build_external(iter(bucket), store=view,
+                                   memory_budget=per_shard_budget,
+                                   segment_size=segment_size)
+            ifile.cache = make_cache(cache,
+                                     frequencies=ifile.frequencies(),
+                                     budget=per_shard_cache)
+            engines.append(NestedSetIndex(ifile))
+        return cls(base, engines, partitioner, workers=workers)
+
+    @classmethod
+    def open(cls, storage: str, path: str, *, workers: int = 1,
+             cache: str | None = None, cache_budget: int = PAPER_BUDGET,
+             bloom: str | None = None, bloom_bits: int = 512,
+             **store_options: object) -> "ShardedIndex":
+        """Reopen a persisted sharded index from its base store."""
+        base = open_store(storage, path, create=False, **store_options)
+        return cls.from_base_store(base, workers=workers, cache=cache,
+                                   cache_budget=cache_budget, bloom=bloom,
+                                   bloom_bits=bloom_bits)
+
+    @classmethod
+    def from_base_store(cls, base: KVStore, *, workers: int = 1,
+                        cache: str | None = None,
+                        cache_budget: int = PAPER_BUDGET,
+                        bloom: str | None = None,
+                        bloom_bits: int = 512) -> "ShardedIndex":
+        """Bring up every shard over an already-open base store."""
+        manifest = read_manifest(base)
+        if manifest is None:
+            raise ShardError("store carries no shard manifest; open it "
+                             "as a monolithic NestedSetIndex instead")
+        n_shards, policy_name = manifest
+        partitioner = make_policy(policy_name)
+        budget = max(1, cache_budget // n_shards)
+        engines = [NestedSetIndex.from_store(view, cache=cache,
+                                             cache_budget=budget,
+                                             bloom=bloom,
+                                             bloom_bits=bloom_bits)
+                   for view in cls._shard_views(base, n_shards)]
+        return cls(base, engines, partitioner, workers=workers)
+
+    # -- fan-out plumbing --------------------------------------------------
+
+    def _fan_out(self, task: Callable[[NestedSetIndex], object],
+                 workers: int | None = None) -> list[object]:
+        """Run ``task`` once per shard; parallel when workers allow."""
+        if workers is None or workers == self._executor.max_workers:
+            return self._executor.map(task, self._shards)
+        with ShardExecutor(max_workers=workers) as executor:
+            return executor.map(task, self._shards)
+
+    @staticmethod
+    def _merge_sorted(per_shard: Iterable[list[str]]) -> list[str]:
+        # Shards partition the key space, so the lists are disjoint and a
+        # flat sort of the concatenation is the exact global answer.
+        merged = [key for part in per_shard for key in part]
+        merged.sort()
+        return merged
+
+    def _absorb_counters(self, counters: Iterable[ExecCounters]) -> None:
+        self.counters.merge(ExecCounters.merged(list(counters)))
+
+    # -- querying ----------------------------------------------------------
+
+    def query(self, query: object, *, algorithm: str = "bottomup",
+              semantics: str = "hom", join: str = "subset",
+              epsilon: int = 1, mode: str = "root",
+              use_bloom: bool = False, planner: str | None = None,
+              workers: int | None = None) -> list[str]:
+        """Compile once, run the plan on every shard, merge the answers."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom)
+
+        def run_shard(engine: NestedSetIndex) -> tuple[list[str],
+                                                       ExecCounters]:
+            ctx = engine.execution_context()
+            return plan.run(ctx), ctx.counters
+
+        outcomes = self._fan_out(run_shard, workers)
+        self._absorb_counters(counters for _result, counters in outcomes)
+        return self._merge_sorted(result for result, _counters in outcomes)
+
+    def run_plans(self, plans: Sequence[object], *, memoize: bool = False,
+                  workers: int | None = None
+                  ) -> tuple[list[list[str]], ExecCounters]:
+        """Run pre-compiled plans on every shard; merge results/counters.
+
+        Every shard gets its own execution context (and, with
+        ``memoize=True``, its own cross-query subquery memo -- node ids
+        are shard-local, so memos cannot be shared across shards).
+        Returns per-plan merged key lists plus this fan-out's merged
+        counters (also accumulated into :attr:`counters`).
+        """
+        def run_shard(engine: NestedSetIndex) -> tuple[list[list[str]],
+                                                       ExecCounters]:
+            ctx = engine.execution_context(memo={} if memoize else None)
+            return [plan.run(ctx) for plan in plans], ctx.counters
+
+        outcomes = self._fan_out(run_shard, workers)
+        counters = ExecCounters.merged(
+            [shard_counters for _results, shard_counters in outcomes])
+        self.counters.merge(counters)
+        merged = [self._merge_sorted(results[plan_no]
+                                     for results, _counters in outcomes)
+                  for plan_no in range(len(plans))]
+        return merged, counters
+
+    def query_batch(self, queries: Sequence[object], *,
+                    share_subqueries: bool = True,
+                    algorithm: str = "bottomup", semantics: str = "hom",
+                    join: str = "subset", epsilon: int = 1,
+                    mode: str = "root", use_bloom: bool = False,
+                    planner: str | None = None,
+                    workers: int | None = None) -> list[list[str]]:
+        """Batch evaluation: each shard runs the whole compiled workload."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plans = [compile_query(query, spec, algorithm=algorithm,
+                               planner=planner, use_bloom=use_bloom)
+                 for query in queries]
+        memoize = bool(share_subqueries and plans and
+                       all(plan.match.memoizable for plan in plans))
+        results, _counters = self.run_plans(plans, memoize=memoize,
+                                            workers=workers)
+        return results
+
+    def compile(self, query: object, *, algorithm: str = "bottomup",
+                semantics: str = "hom", join: str = "subset",
+                epsilon: int = 1, mode: str = "root",
+                use_bloom: bool = False, planner: str | None = None,
+                cacheable: bool = True):
+        """Compile without running; the plan is shard-independent."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        return compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom,
+                             cacheable=cacheable)
+
+    def containment_join(self, queries: Iterable[tuple[str, object]],
+                         **options: object) -> list[tuple[str, str]]:
+        """Same contract as the monolithic facade's join."""
+        materialized = [(qkey, query) for qkey, query in queries]
+        results = self.query_batch(
+            [query for _qkey, query in materialized], **options)
+        return [(qkey, skey)
+                for (qkey, _query), result in zip(materialized, results)
+                for skey in result]
+
+    def explain(self, query: object, *, algorithm: str = "bottomup",
+                semantics: str = "hom", join: str = "subset",
+                epsilon: int = 1, mode: str = "root",
+                use_bloom: bool = False,
+                planner: str | None = None,
+                workers: int | None = None) -> MergedExplainResult:
+        """One full trace per shard under a merged header."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom,
+                             cacheable=False)
+        started = time.perf_counter()
+        traces = self._fan_out(
+            lambda engine: run_explained(plan, engine.execution_context()),
+            workers)
+        total_ms = (time.perf_counter() - started) * 1000
+        return merge_explains(list(traces), total_ms)
+
+    def match_nodes(self, query: object, **_options: object) -> set[int]:
+        raise ShardError(
+            "match_nodes is not defined on a sharded index: node ids are "
+            "shard-local; run it on an individual shard via .shards[i]")
+
+    def self_check(self, query: object, *, semantics: str = "hom",
+                   join: str = "subset", epsilon: int = 1,
+                   mode: str = "root") -> dict[str, list[str]]:
+        """Run every applicable algorithm on one query (diagnostics)."""
+        out: dict[str, list[str]] = {}
+        for algorithm in ALGORITHMS:
+            if algorithm == "topdown-paper" and (
+                    semantics == "iso" or join == "superset"):
+                continue
+            out[algorithm] = self.query(
+                query, algorithm=algorithm, semantics=semantics,
+                join=join, epsilon=epsilon, mode=mode)
+        return out
+
+    # -- updates -----------------------------------------------------------
+
+    def _route(self, key: str) -> NestedSetIndex:
+        return self._shards[self._policy.shard_of(key, len(self._shards))]
+
+    def insert(self, key: str, value: object) -> int:
+        """Route to the owning shard; returns the *shard-local* ordinal.
+
+        Only that shard's result cache is invalidated (by the shard
+        engine itself); the other shards' caches stay warm.
+        """
+        return self._route(key).insert(key, value)
+
+    def delete(self, key: str) -> bool:
+        """Tombstone ``key`` on its owning shard.
+
+        Under a key-deterministic policy this is a single-shard
+        operation; under a non-deterministic one (round-robin) the
+        routed shard may miss, so the delete falls back to trying every
+        shard (at most one can hold the key).
+        """
+        if self._route(key).delete(key):
+            return True
+        if isinstance(self._policy, HashShardPolicy):
+            return False
+        return any(engine.delete(key) for engine in self._shards)
+
+    def compact(self, *, storage: str = "memory",
+                path: str | None = None,
+                **store_options: object) -> None:
+        """Rebuild every shard into a fresh base store, then swap.
+
+        Disk targets need a new ``path`` for the same reason the
+        monolithic engine does: a store cannot be rebuilt into its own
+        open file.
+        """
+        fresh_base = open_store(storage, path, create=True, **store_options)
+        write_manifest(fresh_base, len(self._shards), self._policy.name)
+        views = self._shard_views(fresh_base, len(self._shards))
+        for engine, view in zip(self._shards, views):
+            engine.compact(store=view)
+        self._base.close()
+        self._base = fresh_base
+        if self._result_cache is not None:
+            self._result_cache.invalidate_all()
+
+    # -- caches ------------------------------------------------------------
+
+    def enable_result_cache(self, capacity: int = 1024
+                            ) -> _SharedResultCache:
+        """Per-shard result caches behind one aggregate stats view.
+
+        Capacity is per shard: each cache serves a disjoint slice of the
+        workload's answer, and per-shard caches are what make mutation
+        invalidation partial instead of total.
+        """
+        self._result_cache = _SharedResultCache(
+            [engine.enable_result_cache(capacity)
+             for engine in self._shards])
+        return self._result_cache
+
+    def disable_result_cache(self) -> None:
+        for engine in self._shards:
+            engine.disable_result_cache()
+        self._result_cache = None
+
+    @property
+    def result_cache(self) -> _SharedResultCache | None:
+        return self._result_cache
+
+    def set_cache(self, policy: str | None,
+                  budget: int = PAPER_BUDGET) -> None:
+        """Swap every shard's inverted-list cache (budget split evenly)."""
+        per_shard = max(1, budget // len(self._shards))
+        for engine in self._shards:
+            engine.set_cache(policy, per_shard)
+
+    # -- statistics --------------------------------------------------------
+
+    def collection_stats(self) -> CollectionStats:
+        """Merged live-frequency statistics across all shards."""
+        merged: Counter = Counter()
+        n_nodes = 0
+        n_records = 0
+        for engine in self._shards:
+            shard_stats = engine.collection_stats()
+            for atom, count in engine.inverted_file.live_frequencies():
+                merged[atom] += count
+            n_nodes += shard_stats.n_nodes
+            n_records += shard_stats.n_records
+        frequencies = sorted(merged.items(),
+                             key=lambda item: (-item[1], str(item[0])))
+        return CollectionStats(frequencies, n_nodes, n_records)
+
+    def frequencies(self) -> list[tuple[object, int]]:
+        """Merged raw document frequencies (CLI ``info`` surface)."""
+        merged: Counter = Counter()
+        for engine in self._shards:
+            for atom, count in engine.inverted_file.frequencies():
+                merged[atom] += count
+        return sorted(merged.items(),
+                      key=lambda item: (-item[1], str(item[0])))
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        """Aggregated index/cache counters plus the shared-store view."""
+        per_shard = [engine.stats() for engine in self._shards]
+        index_totals = {
+            "records": self.n_records,
+            "nodes": self.n_nodes,
+        }
+        for field in ("postings_requests", "cache_hits", "lists_decoded",
+                      "meta_block_reads"):
+            index_totals[field] = sum(stats["index"][field]
+                                      for stats in per_shard)
+        cache_hits = sum(stats["cache"]["hits"] for stats in per_shard)
+        cache_misses = sum(stats["cache"]["misses"] for stats in per_shard)
+        cache_requests = cache_hits + cache_misses
+        return {
+            "index": index_totals,
+            "cache": {
+                "policy": per_shard[0]["cache"]["policy"],
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": (cache_hits / cache_requests
+                             if cache_requests else 0.0),
+            },
+            "store": self._base.stats.snapshot(),
+            "shards": {
+                "count": len(self._shards),
+                "policy": self._policy.name,
+                "workers": self._executor.max_workers,
+                "exec": self.counters.snapshot(),
+            },
+        }
+
+    def reset_stats(self) -> None:
+        for engine in self._shards:
+            engine.reset_stats()
+        self.counters = ExecCounters()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[NestedSetIndex, ...]:
+        """The per-shard engines (read-only tuple; order = shard number)."""
+        return tuple(self._shards)
+
+    @property
+    def policy(self) -> object:
+        return self._policy
+
+    @property
+    def workers(self) -> int:
+        return self._executor.max_workers
+
+    @property
+    def base_store(self) -> KVStore:
+        return self._base
+
+    @property
+    def n_records(self) -> int:
+        return sum(engine.n_records for engine in self._shards)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(engine.n_nodes for engine in self._shards)
+
+    def records(self) -> Iterator[tuple[str, NestedSet]]:
+        """All ``(key, tree)`` records, shard by shard."""
+        for engine in self._shards:
+            yield from engine.records()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        for engine in self._shards:
+            engine.close()   # flushes writers; views leave the base open
+        self._executor.shutdown()
+        self._base.close()
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -43,7 +43,14 @@ class CollectionStats:
 
     @classmethod
     def from_inverted_file(cls, ifile: InvertedFile) -> "CollectionStats":
-        return cls(ifile.frequencies(), ifile.n_nodes, ifile.n_records)
+        """Statistics over the *live* collection.
+
+        Uses the tombstone-adjusted frequencies so selectivity estimates
+        (and the planner's ordering decisions) don't drift as deletes
+        accumulate between compactions.
+        """
+        return cls(ifile.live_frequencies(), ifile.n_nodes,
+                   ifile.n_live_records)
 
     # -- per-atom ------------------------------------------------------------
 

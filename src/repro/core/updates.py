@@ -53,6 +53,7 @@ from .invfile import (  # noqa: E402  (grouped for clarity)
     _ALL_PREFIX,
     _ATOM_PREFIX,
     _CONFIG_KEY,
+    _DEAD_COUNT_KEY,
     _DELETED_KEY,
     _FLAG_ROOT,
     _FREQ_KEY,
@@ -204,31 +205,55 @@ class IndexWriter:
     # -- delete --------------------------------------------------------------
 
     def delete(self, key: str) -> bool:
-        """Tombstone the live record with ``key``; False when absent."""
+        """Tombstone the live record with ``key``; False when absent.
+
+        Beyond the tombstone itself, the record's per-atom posting counts
+        move into the persisted dead-count table, so live document
+        frequencies (:meth:`InvertedFile.live_frequencies`) and the
+        rarest-atom candidate ordering stay accurate until compaction.
+        """
         ifile = self._ifile
         ordinal = ifile.ordinal_of_key(key)
         if ordinal is None:
             return False
+        _key, _root, tree = ifile.record(ordinal)
         ifile.deleted.add(ordinal)
         self._store.put(_DELETED_KEY,
                         encode_uint_list(sorted(ifile.deleted)))
         self._store.delete(_KEYMAP_PREFIX + key.encode("utf-8"))
         ifile._key_cache.pop(ordinal, None)
+        for node in tree.iter_sets():
+            for atom in node.atoms:
+                ifile.dead_counts[atom] = ifile.dead_counts.get(atom, 0) + 1
+        self._write_dead_counts()
         return True
+
+    def _write_dead_counts(self) -> None:
+        counts = self._ifile.dead_counts
+        blob = bytearray(encode_varint(len(counts)))
+        for atom, count in sorted(counts.items(),
+                                  key=lambda item: atom_token(item[0])):
+            blob += encode_str(atom_token(atom))
+            blob += encode_varint(count)
+        self._store.put(_DEAD_COUNT_KEY, bytes(blob))
 
     # -- compact ----------------------------------------------------------------
 
     def compact(self, *, storage: str = "memory",
-                path: str | None = None) -> InvertedFile:
+                path: str | None = None,
+                store=None) -> InvertedFile:
         """Rebuild a fresh index from the live records.
 
         Returns the new :class:`InvertedFile`; the old one stays open and
-        untouched (swap at the engine level).
+        untouched (swap at the engine level).  ``store`` accepts a
+        pre-opened destination (a sharded index compacts every shard into
+        namespaced views of one fresh base store).
         """
         self.flush()
         live = ((key, tree) for _ordinal, key, _root, tree
                 in self._ifile.iter_records())
-        return InvertedFile.build(live, storage=storage, path=path)
+        return InvertedFile.build(live, storage=storage, path=path,
+                                  store=store)
 
     # -- statistics maintenance ------------------------------------------------------
 

@@ -29,6 +29,7 @@ from .errors import (
     StoreClosedError,
 )
 from .kvstore import AccessStats, KVStore, MemoryKVStore
+from .namespace import NamespacedStore
 from .pager import Pager
 
 #: Storage engine names accepted by :func:`open_store`.
@@ -67,6 +68,7 @@ __all__ = [
     "KVStore",
     "KeyTooLargeError",
     "MemoryKVStore",
+    "NamespacedStore",
     "Pager",
     "PageBoundsError",
     "Posting",

@@ -1,0 +1,105 @@
+"""Key-namespaced views over one physical store.
+
+A sharded index (:mod:`repro.core.shard`) keeps N independent inverted
+files inside a *single* physical store -- one file on disk, one
+persistence lifecycle -- by giving every shard its own key namespace.
+:class:`NamespacedStore` is that view: a :class:`KVStore` whose keys are
+transparently prefixed before they reach the base store, so the inverted
+file layer (and everything above it) runs unmodified against a slice of
+the shared key space.
+
+Closing a view never closes the base store: the owner of the base store
+(the sharded index) closes it once, after all views are done.  Prefixes
+must be prefix-free with respect to each other (the shard layer uses
+``x<i>:``, which is -- the digits end at the colon).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from typing import ContextManager, Iterator
+
+from .kvstore import KVStore
+
+
+class NamespacedStore(KVStore):
+    """A prefix-scoped view of another store.
+
+    Operation counters are maintained both here (per-namespace, what the
+    per-shard statistics report) and on the base store (aggregate
+    physical traffic).
+
+    ``lock``: when several views over one *disk* store are driven from
+    different threads (the sharded index's parallel fan-out), the views
+    must share one lock -- the paged-file stores seek and read on a
+    single file handle.  Views over the in-memory store can go without
+    (dict operations are atomic under the GIL).
+    """
+
+    def __init__(self, base: KVStore, prefix: bytes,
+                 lock: "threading.Lock | None" = None) -> None:
+        super().__init__()
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self._base = base
+        self._prefix = bytes(prefix)
+        self._lock: ContextManager[object] = (
+            lock if lock is not None else nullcontext())
+
+    @property
+    def base(self) -> KVStore:
+        """The shared underlying store."""
+        return self._base
+
+    @property
+    def prefix(self) -> bytes:
+        return self._prefix
+
+    # -- primitives -------------------------------------------------------
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        self.stats.gets += 1
+        with self._lock:
+            value = self._base.get(self._prefix + key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+            self.stats.bytes_read += len(value)
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self.stats.puts += 1
+        self.stats.bytes_written += len(value)
+        with self._lock:
+            self._base.put(self._prefix + key, value)
+
+    def delete(self, key: bytes) -> bool:
+        self._check_open()
+        self.stats.deletes += 1
+        with self._lock:
+            return self._base.delete(self._prefix + key)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        self._check_open()
+        cut = len(self._prefix)
+        for key, value in self._base.items():
+            if key.startswith(self._prefix):
+                yield key[cut:], value
+
+    def __len__(self) -> int:
+        self._check_open()
+        return sum(1 for _ in self.items())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def sync(self) -> None:
+        with self._lock:
+            self._base.sync()
+
+    def close(self) -> None:
+        """Close this view only; the base store stays open."""
+        super().close()

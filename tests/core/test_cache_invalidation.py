@@ -1,0 +1,112 @@
+"""Result-cache and batch-memo correctness across index mutations.
+
+The regression these tests pin: a query evaluated *after* a delete must
+never surface a tombstoned record from a stale cache entry, and inserts
+must become visible immediately.  For the sharded index the same
+contract holds shard-wise -- and only the mutated shard's cache drops
+its entries (partial invalidation is the sharded layout's headline
+advantage on mixed workloads).
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import NestedSetIndex
+from repro.core.shard import HashShardPolicy, ShardedIndex
+
+RECORDS = [(f"r{i}", "{hub, leaf%d}".replace("%d", str(i % 4)))
+           for i in range(16)]
+
+
+class TestMonolithicInvalidation:
+    def test_delete_never_served_from_cache(self) -> None:
+        index = NestedSetIndex.build(RECORDS)
+        cache = index.enable_result_cache()
+        assert "r3" in index.query("{hub}")
+        assert "r3" in index.query("{hub}")          # cached
+        assert cache.stats.hits == 1
+        index.delete("r3")
+        result = index.query("{hub}")
+        assert "r3" not in result                    # not from stale cache
+        assert cache.stats.invalidations == 1
+
+    def test_insert_visible_after_cached_query(self) -> None:
+        index = NestedSetIndex.build(RECORDS)
+        index.enable_result_cache()
+        index.query("{hub}")
+        index.query("{hub}")
+        index.insert("fresh", "{hub}")
+        assert "fresh" in index.query("{hub}")
+
+    def test_compact_invalidates(self) -> None:
+        index = NestedSetIndex.build(RECORDS)
+        index.enable_result_cache()
+        index.delete("r0")
+        expected = index.query("{hub}")
+        index.compact()
+        assert index.query("{hub}") == expected
+
+    def test_batch_memo_never_stale(self) -> None:
+        # The shared-subquery memo lives in a per-call execution context,
+        # so a batch after a mutation can never reuse pre-mutation node
+        # sets; this pins that property.
+        index = NestedSetIndex.build(RECORDS)
+        queries = ["{hub}", "{hub, leaf1}"]
+        index.query_batch(queries, share_subqueries=True)
+        index.delete("r1")
+        for result in index.query_batch(queries, share_subqueries=True):
+            assert "r1" not in result
+
+
+class TestShardedPartialInvalidation:
+    def test_only_owning_shard_cache_drops(self) -> None:
+        index = ShardedIndex.build(RECORDS, shards=4)
+        index.enable_result_cache()
+        index.query("{hub}")
+        index.query("{hub}")                     # warm: one entry per shard
+        per_shard_before = [len(engine.result_cache)
+                            for engine in index.shards]
+        assert all(count == 1 for count in per_shard_before)
+
+        owner = HashShardPolicy().shard_of("fresh", index.n_shards)
+        index.insert("fresh", "{hub}")
+        per_shard_after = [len(engine.result_cache)
+                           for engine in index.shards]
+        assert per_shard_after[owner] == 0       # owner invalidated
+        for shard_no, count in enumerate(per_shard_after):
+            if shard_no != owner:
+                assert count == 1                # others stay warm
+
+        result = index.query("{hub}")
+        assert "fresh" in result                 # and answers are correct
+        assert sorted(result) == result
+
+    def test_sharded_delete_never_served_from_cache(self) -> None:
+        index = ShardedIndex.build(RECORDS, shards=3)
+        cache = index.enable_result_cache()
+        assert "r5" in index.query("{hub}")
+        index.query("{hub}")
+        assert cache.stats.hits >= 1
+        index.delete("r5")
+        assert "r5" not in index.query("{hub}")
+
+    def test_aggregate_cache_view(self) -> None:
+        index = ShardedIndex.build(RECORDS, shards=3)
+        cache = index.enable_result_cache()
+        index.query("{hub}")
+        index.query("{hub}")
+        assert len(cache) == 3                   # one entry per shard
+        assert cache.stats.hits == 3             # second run all-hit
+        cache.invalidate_all()
+        assert len(cache) == 0
+        index.disable_result_cache()
+        assert index.result_cache is None
+        assert all(engine.result_cache is None for engine in index.shards)
+
+    def test_sharded_compact_with_cache(self) -> None:
+        index = ShardedIndex.build(RECORDS, shards=3)
+        index.enable_result_cache()
+        index.delete("r2")
+        expected = index.query("{hub}")
+        index.compact()
+        assert index.query("{hub}") == expected
+        assert index.query("{hub}") == expected  # cached post-compact

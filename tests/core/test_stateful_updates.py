@@ -8,7 +8,6 @@ structural integrity checker at teardown.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.engine import NestedSetIndex
 from repro.core.model import NestedSet
