@@ -64,7 +64,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     index = NestedSetIndex.build(records, storage=args.storage,
                                  path=args.output, shards=args.shards,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 block_size=args.block_size)
     elapsed = time.perf_counter() - start
     layout = (f"{args.shards} shards, " if args.shards > 1 else "")
     print(f"indexed {index.n_records} records / {index.n_nodes} nodes "
@@ -181,6 +182,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
         else:
             frequencies = index.inverted_file.frequencies()
         print(f"distinct atoms: {len(frequencies)}")
+        ifiles = _each_inverted_file(index)
+        for shard_no, ifile in enumerate(ifiles):
+            stats = ifile.block_stats()
+            if not stats["blocked_lists"]:
+                continue
+            prefix = (f"shard {shard_no} " if len(ifiles) > 1 else "")
+            print(f"{prefix}block storage:")
+            print(f"  blocked lists:    {stats['blocked_lists']} "
+                  f"of {stats['lists']} "
+                  f"(block size {stats['block_size']})")
+            print(f"  blocks:           {stats['blocks']} "
+                  f"(avg fill {stats['avg_block_fill']:.1f} postings)")
+            print(f"  compressed bytes: {stats['compressed_bytes']} "
+                  f"({stats['directory_bytes']} directory)")
+            print(f"  decoded bytes:    ~{stats['decoded_bytes']} "
+                  f"(estimated in-memory)")
         print("hottest atoms:")
         for atom, df in frequencies[:args.top]:
             print(f"  {atom!r}: {df}")
@@ -282,6 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "shards inside one store (default 1)")
     idx.add_argument("--workers", type=int, default=1,
                      help="query fan-out threads for a sharded index")
+    idx.add_argument("--block-size", type=int, default=None,
+                     help="postings per block of the block-compressed "
+                          "list format (default 128; 0 writes the "
+                          "legacy plain format)")
     idx.add_argument("-o", "--output", required=True)
     idx.set_defaults(func=_cmd_index)
 

@@ -31,7 +31,12 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..storage import open_store
-from ..storage.codec import encode_str, encode_varint
+from ..storage.codec import (
+    DEFAULT_BLOCK_SIZE,
+    encode_blocked,
+    encode_str,
+    encode_varint,
+)
 from .invfile import (
     InvertedFile,
     META_BLOCK,
@@ -65,15 +70,22 @@ def build_external(records: Iterable[tuple[str, NestedSet]], *,
                    storage: str = "memory", path: str | None = None,
                    memory_budget: int = DEFAULT_MEMORY_BUDGET,
                    segment_size: int = 0,
+                   block_size: int | None = None,
                    store=None,
                    **store_options: object) -> InvertedFile:
     """Bulk-load an index with a bounded posting buffer.
 
     ``store`` accepts a pre-opened store (e.g. one shard's namespaced
     view of a shared store); ``storage``/``path`` are ignored then.
+    ``block_size`` follows :meth:`InvertedFile.build`: blocked values by
+    default when segmentation is off, ``0`` for the legacy plain format.
     """
     if memory_budget < 1:
         raise ValueError("memory_budget must be >= 1")
+    if block_size is None:
+        block_size = 0 if segment_size else DEFAULT_BLOCK_SIZE
+    if segment_size and block_size:
+        raise ValueError("segment_size and block_size are exclusive")
     if store is None:
         store = open_store(storage, path, create=True, **store_options)
 
@@ -172,6 +184,9 @@ def build_external(records: Iterable[tuple[str, NestedSet]], *,
             for seg_no, blob in enumerate(blobs):
                 store.put(_SEGMENT_PREFIX + token + b":" +
                           encode_varint(seg_no), blob)
+        elif block_size:
+            store.put(_ATOM_PREFIX + token,
+                      encode_blocked(entries, block_size))
         else:
             store.put(_ATOM_PREFIX + token, encode_plain(entries))
 
@@ -184,7 +199,7 @@ def build_external(records: Iterable[tuple[str, NestedSet]], *,
     store.put(_FREQ_KEY, bytes(freq_blob))
     config = encode_varint(n_records) + encode_varint(next_id) + \
         encode_varint(n_all_blocks) + encode_varint(n_zero_blocks) + \
-        encode_varint(segment_size)
+        encode_varint(segment_size) + encode_varint(block_size)
     store.put(_CONFIG_KEY, config)
     store.sync()
     return InvertedFile(store)

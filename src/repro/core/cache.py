@@ -165,6 +165,74 @@ class LRUCache(ListCache):
         return len(self._lists)
 
 
+#: Default decoded-block budget: 8192 blocks of 128 postings hold up to
+#: ~1M decoded postings, roughly the footprint the old whole-list LRU
+#: reached on the paper's workloads -- but spent block-by-block, so one
+#: giant hot list can no longer monopolize the budget.
+DEFAULT_BLOCK_BUDGET = 8192
+
+#: A decoded block: the postings of one block of a blocked value.
+DecodedBlock = tuple[tuple[int, tuple[int, ...]], ...]
+
+
+class BlockCache:
+    """LRU over *decoded blocks* of block-compressed posting lists.
+
+    Replaces whole-list caching for the blocked format: lazy lists
+    (:class:`repro.core.postings.LazyPostingList`) route every block
+    decode through one shared instance, keyed by ``(atom token,
+    block number)``.  Hot *regions* of hot lists stay decoded while the
+    cold tail of the same list can be evicted -- a granularity the
+    whole-list :class:`ListCache` policies cannot express.
+    """
+
+    def __init__(self, budget: int = DEFAULT_BLOCK_BUDGET) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self.budget = budget
+        self.stats = CacheStats()
+        self._blocks: OrderedDict[tuple[Hashable, int], DecodedBlock] = \
+            OrderedDict()
+
+    def get(self, key: tuple[Hashable, int]) -> DecodedBlock | None:
+        block = self._blocks.get(key)
+        if block is None:
+            self.stats.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.stats.hits += 1
+        return block
+
+    def admit(self, key: tuple[Hashable, int], block: DecodedBlock) -> None:
+        if key in self._blocks:
+            self._blocks.move_to_end(key)
+            return
+        self._blocks[key] = block
+        self.stats.insertions += 1
+        if len(self._blocks) > self.budget:
+            self._blocks.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, list_keys: "set[Hashable]") -> None:
+        """Drop every cached block of the given lists (atom tokens).
+
+        Appends re-encode only a list's tail block, but block *numbers*
+        past the tail shift as entries spill over, so the whole list's
+        cached blocks go; blocks of untouched lists stay warm -- the
+        point of invalidating per-atom instead of wholesale on every
+        insert.
+        """
+        stale = [key for key in self._blocks if key[0] in list_keys]
+        for key in stale:
+            del self._blocks[key]
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
 def make_cache(policy: str | None, *,
                frequencies: Iterable[tuple[Hashable, int]] = (),
                budget: int = PAPER_BUDGET) -> ListCache:

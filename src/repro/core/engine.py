@@ -58,7 +58,7 @@ class NestedSetIndex:
               storage: str = "memory", path: str | None = None,
               cache: str | None = None, cache_budget: int = PAPER_BUDGET,
               bloom: str | None = None, bloom_bits: int = 512,
-              segment_size: int = 0,
+              segment_size: int = 0, block_size: int | None = None,
               shards: int = 1, workers: int = 1,
               shard_policy: object = "hash",
               **store_options: object) -> "NestedSetIndex | ShardedIndex":
@@ -69,6 +69,9 @@ class NestedSetIndex:
         prefilters consumed by the naive algorithm.
         ``segment_size``: > 0 stores long posting lists as range-tagged
         segments and enables segment-skipping intersections.
+        ``block_size``: postings per block of the block-compressed list
+        format (default when segmentation is off); ``0`` writes the
+        legacy plain format.
         ``shards``: > 1 partitions the records across that many
         independent inverted files inside one store and returns a
         :class:`~repro.core.shard.ShardedIndex` (same query surface;
@@ -82,10 +85,11 @@ class NestedSetIndex:
                 policy=shard_policy, storage=storage, path=path,
                 cache=cache, cache_budget=cache_budget, bloom=bloom,
                 bloom_bits=bloom_bits, segment_size=segment_size,
-                **store_options)
+                block_size=block_size, **store_options)
         prepared = ((key, as_nested_set(value)) for key, value in records)
         ifile = InvertedFile.build(prepared, storage=storage, path=path,
                                    segment_size=segment_size,
+                                   block_size=block_size,
                                    **store_options)
         ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
                                  budget=cache_budget)
@@ -104,6 +108,7 @@ class NestedSetIndex:
                        cache: str | None = None,
                        cache_budget: int = PAPER_BUDGET,
                        segment_size: int = 0,
+                       block_size: int | None = None,
                        shards: int = 1, workers: int = 1,
                        shard_policy: object = "hash",
                        **store_options: object
@@ -123,14 +128,15 @@ class NestedSetIndex:
                 policy=shard_policy, storage=storage, path=path,
                 memory_budget=memory_budget, cache=cache,
                 cache_budget=cache_budget, segment_size=segment_size,
-                **store_options)
+                block_size=block_size, **store_options)
         from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
         prepared = ((key, as_nested_set(value)) for key, value in records)
         ifile = build_external(
             prepared, storage=storage, path=path,
             memory_budget=(memory_budget if memory_budget is not None
                            else DEFAULT_MEMORY_BUDGET),
-            segment_size=segment_size, **store_options)
+            segment_size=segment_size, block_size=block_size,
+            **store_options)
         ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
                                  budget=cache_budget)
         return cls(ifile)
@@ -453,6 +459,9 @@ class NestedSetIndex:
                 "cache_hits": self._ifile.stats.cache_hits,
                 "lists_decoded": self._ifile.stats.lists_decoded,
                 "meta_block_reads": self._ifile.stats.meta_block_reads,
+                "blocks_read": self._ifile.stats.blocks_read,
+                "blocks_skipped": self._ifile.stats.blocks_skipped,
+                "bytes_decoded": self._ifile.stats.bytes_decoded,
             },
             "cache": {
                 "policy": self._ifile.cache.name,

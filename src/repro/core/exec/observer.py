@@ -59,17 +59,31 @@ class NodeTrace:
 
 @dataclass
 class ExplainResult:
-    """Top-level trace plus the query outcome."""
+    """Top-level trace plus the query outcome.
+
+    ``blocks_read`` / ``blocks_skipped`` / ``bytes_decoded`` account for
+    the block-compressed posting format: blocks whose payload was
+    actually decoded during this query versus blocks the galloping
+    intersection jumped over via skip headers (zero on legacy-format
+    indexes).
+    """
 
     root: NodeTrace
     matches: list[str]
     total_ms: float
     lists_fetched: int
     algorithm: str = "topdown"
+    blocks_read: int = 0
+    blocks_skipped: int = 0
+    bytes_decoded: int = 0
 
     def render(self) -> str:
         header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
                   f"  lists={self.lists_fetched}  [{self.algorithm}]")
+        if self.blocks_read or self.blocks_skipped:
+            header += (f"\nblocks_read={self.blocks_read}  "
+                       f"blocks_skipped={self.blocks_skipped}  "
+                       f"bytes_decoded={self.bytes_decoded}")
         return f"{header}\n{self.root.render()}"
 
 
@@ -92,10 +106,26 @@ class MergedExplainResult:
     def lists_fetched(self) -> int:
         return sum(result.lists_fetched for result in self.shards)
 
+    @property
+    def blocks_read(self) -> int:
+        return sum(result.blocks_read for result in self.shards)
+
+    @property
+    def blocks_skipped(self) -> int:
+        return sum(result.blocks_skipped for result in self.shards)
+
+    @property
+    def bytes_decoded(self) -> int:
+        return sum(result.bytes_decoded for result in self.shards)
+
     def render(self) -> str:
         header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
                   f"  lists={self.lists_fetched}  [{self.algorithm}"
                   f" x {len(self.shards)} shards]")
+        if self.blocks_read or self.blocks_skipped:
+            header += (f"\nblocks_read={self.blocks_read}  "
+                       f"blocks_skipped={self.blocks_skipped}  "
+                       f"bytes_decoded={self.bytes_decoded}")
         sections = [header]
         for shard_no, result in enumerate(self.shards):
             sections.append(f"-- shard {shard_no} --")
@@ -166,10 +196,18 @@ def run_explained(plan: "ExecutionPlan",
     """
     sink = TraceSink(ctx.ifile)
     ctx.observer = sink
+    stats = ctx.ifile.stats
+    blocks_read0 = stats.blocks_read
+    blocks_skipped0 = stats.blocks_skipped
+    bytes_decoded0 = stats.bytes_decoded
     start = time.perf_counter()
     matches = plan.run(ctx)
     total_ms = (time.perf_counter() - start) * 1000
     assert sink.root is not None, "no node was traced"
     return ExplainResult(root=sink.root, matches=matches, total_ms=total_ms,
                          lists_fetched=sink.lists_fetched,
-                         algorithm=plan.algorithm)
+                         algorithm=plan.algorithm,
+                         blocks_read=stats.blocks_read - blocks_read0,
+                         blocks_skipped=(stats.blocks_skipped
+                                         - blocks_skipped0),
+                         bytes_decoded=stats.bytes_decoded - bytes_decoded0)

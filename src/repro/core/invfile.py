@@ -32,16 +32,20 @@ from typing import Iterable, Iterator, NamedTuple
 
 from ..storage import KVStore, open_store
 from ..storage.codec import (
+    DEFAULT_BLOCK_SIZE,
+    decode_blocked_header,
     decode_str,
     decode_uint_list,
     decode_varint,
+    encode_blocked,
     encode_str,
     encode_varint,
 )
-from .cache import ListCache, NoCache
+from .cache import BlockCache, ListCache, NoCache
 from .model import Atom, NestedSet
-from .postings import PostingList, intersect
+from .postings import LazyPostingList, PostingList, intersect
 from .segments import (
+    FORMAT_BLOCKED,
     FORMAT_PLAIN,
     FORMAT_SEGMENTED,
     decode_header,
@@ -66,6 +70,10 @@ _KEYMAP_PREFIX = b"K:"
 _SEGMENT_PREFIX = b"G:"
 
 _META_ENTRY = struct.Struct("<IIQB")
+#: Estimated CPython footprint of one decoded posting ``(p, (c, ...))``:
+#: outer 2-tuple (56) + head int (28) + children tuple with ~1 small-int
+#: child on average (40).  Used only for the ``block_stats`` report.
+_DECODED_POSTING_BYTES = 124
 #: Node-metadata entries per store value.
 META_BLOCK = 512
 #: Postings per block of the ALL / ZERO lists.
@@ -96,6 +104,9 @@ class QueryStats:
     meta_block_reads: int = 0
     segments_read: int = 0
     segments_skipped: int = 0
+    blocks_read: int = 0
+    blocks_skipped: int = 0
+    bytes_decoded: int = 0
 
     def reset(self) -> None:
         self.postings_requests = 0
@@ -104,6 +115,9 @@ class QueryStats:
         self.meta_block_reads = 0
         self.segments_read = 0
         self.segments_skipped = 0
+        self.blocks_read = 0
+        self.blocks_skipped = 0
+        self.bytes_decoded = 0
 
 
 def atom_token(atom: Atom) -> str:
@@ -135,6 +149,7 @@ class InvertedFile:
     def __init__(self, store: KVStore, cache: ListCache | None = None) -> None:
         self._store = store
         self.cache = cache if cache is not None else NoCache()
+        self.block_cache = BlockCache()
         self.stats = QueryStats()
         self._meta_cache: dict[int, bytes] = {}
         self._meta_cache_cap = 256
@@ -148,9 +163,14 @@ class InvertedFile:
         self.n_nodes, pos = decode_varint(raw, pos)
         self._n_all_blocks, pos = decode_varint(raw, pos)
         self._n_zero_blocks, pos = decode_varint(raw, pos)
+        # Trailing config varints are version extensions: indexes written
+        # before a field existed simply end early and get the default.
         self.segment_size = 0
         if pos < len(raw):
             self.segment_size, pos = decode_varint(raw, pos)
+        self.block_size = 0
+        if pos < len(raw):
+            self.block_size, pos = decode_varint(raw, pos)
         self.deleted: set[int] = set()
         deleted_raw = store.get(_DELETED_KEY)
         if deleted_raw is not None:
@@ -175,6 +195,7 @@ class InvertedFile:
     def build(cls, records: Iterable[tuple[str, NestedSet]], *,
               storage: str = "memory", path: str | None = None,
               cache: ListCache | None = None, segment_size: int = 0,
+              block_size: int | None = None,
               store: KVStore | None = None,
               **store_options: object) -> "InvertedFile":
         """Index a collection of ``(key, nested-set)`` records.
@@ -183,13 +204,23 @@ class InvertedFile:
         disk engines need a ``path``.  ``segment_size > 0`` stores posting
         lists longer than that many entries as range-tagged segments
         (:mod:`repro.core.segments`), enabling segment-skipping
-        intersections and bounding store value sizes.  ``store`` accepts a
+        intersections and bounding store value sizes.  ``block_size``
+        controls the block-compressed single-value format
+        (:func:`repro.storage.codec.encode_blocked`): the default writes
+        blocked values of :data:`~repro.storage.codec.DEFAULT_BLOCK_SIZE`
+        postings whenever segmentation is off; ``block_size=0`` forces the
+        legacy plain format (and is implied by ``segment_size > 0`` --
+        the two list layouts are mutually exclusive).  ``store`` accepts a
         pre-opened store (e.g. a namespaced view of a shared store, see
         :mod:`repro.storage.namespace`); ``storage``/``path`` are ignored
         then.  The whole posting accumulation is in-memory (index
         construction is an offline step in the paper's setting); the
         finished lists are then written to the store.
         """
+        if block_size is None:
+            block_size = 0 if segment_size else DEFAULT_BLOCK_SIZE
+        if segment_size and block_size:
+            raise ValueError("segment_size and block_size are exclusive")
         if store is None:
             store = open_store(storage, path, create=True, **store_options)
         postings: dict[Atom, list[tuple[int, tuple[int, ...]]]] = {}
@@ -245,6 +276,9 @@ class InvertedFile:
                 for seg_no, blob in enumerate(blobs):
                     store.put(_SEGMENT_PREFIX + token + b":" +
                               encode_varint(seg_no), blob)
+            elif block_size:
+                store.put(_atom_store_key(atom),
+                          encode_blocked(entries, block_size))
             else:
                 store.put(_atom_store_key(atom), encode_plain(entries))
         n_all_blocks = _write_blocks(store, _ALL_PREFIX, sorted(all_nodes))
@@ -267,7 +301,7 @@ class InvertedFile:
         store.put(_FREQ_KEY, bytes(freq_blob))
         config = encode_varint(n_records) + encode_varint(next_id) + \
             encode_varint(n_all_blocks) + encode_varint(n_zero_blocks) + \
-            encode_varint(segment_size)
+            encode_varint(segment_size) + encode_varint(block_size)
         store.put(_CONFIG_KEY, config)
         store.sync()
         return cls(store, cache=cache)
@@ -282,8 +316,12 @@ class InvertedFile:
 
     # -- posting access -----------------------------------------------------
 
-    def postings(self, atom: Atom) -> PostingList:
-        """Retrieve ``S_IF(atom)`` through the list cache."""
+    def postings(self, atom: Atom) -> PostingList | LazyPostingList:
+        """Retrieve ``S_IF(atom)`` through the list cache.
+
+        Blocked-format values come back lazy (block payloads still
+        encoded); the legacy formats come back fully materialized.
+        """
         self.stats.postings_requests += 1
         cached = self.cache.get(atom)
         if cached is not None:
@@ -298,11 +336,22 @@ class InvertedFile:
         self.cache.admit(atom, plist)
         return plist
 
-    def _decode_atom_value(self, atom: Atom, raw: bytes) -> PostingList:
-        """Materialize an atom value of either physical format."""
+    def _decode_atom_value(self, atom: Atom, raw: bytes
+                           ) -> PostingList | LazyPostingList:
+        """Wrap an atom value of any physical format as a posting list.
+
+        Plain and segmented values materialize eagerly (the legacy
+        formats); blocked values come back as a
+        :class:`~repro.core.postings.LazyPostingList` whose blocks decode
+        on demand through the shared block cache.
+        """
         fmt = value_format(raw)
         if fmt == FORMAT_PLAIN:
             return PostingList(decode_plain(raw))
+        if fmt == FORMAT_BLOCKED:
+            return LazyPostingList(raw, cache=self.block_cache,
+                                   cache_key=atom_token(atom),
+                                   stats=self.stats)
         if fmt != FORMAT_SEGMENTED:
             raise InvertedFileError(
                 f"atom {atom!r}: unknown value format {fmt} "
@@ -321,13 +370,15 @@ class InvertedFile:
         return PostingList(entries)
 
     def postings_overlapping(self, atom: Atom, lo: int, hi: int
-                             ) -> PostingList:
-        """Postings of ``atom`` from segments overlapping ``[lo, hi]``.
+                             ) -> PostingList | LazyPostingList:
+        """Postings of ``atom`` restricted (physically) to ``[lo, hi]``.
 
-        A superset of the postings with heads in the range (whole
-        overlapping segments are returned) -- sufficient for membership
-        probing during intersection.  Falls back to the full list for
-        plain values and cache hits.
+        For segmented values, a superset of the postings with heads in
+        the range (whole overlapping segments are returned) --
+        sufficient for membership probing during intersection.  Blocked
+        values are returned lazily (the galloping intersection decodes
+        only probed blocks, which subsumes the range restriction);
+        plain values and cache hits fall back to the full list.
         """
         self.stats.postings_requests += 1
         cached = self.cache.get(atom)
@@ -337,8 +388,12 @@ class InvertedFile:
         raw = self._store.get(_atom_store_key(atom))
         if raw is None:
             return PostingList()
-        if value_format(raw) == FORMAT_PLAIN:
-            plist = PostingList(decode_plain(raw))
+        if value_format(raw) != FORMAT_SEGMENTED:
+            # Plain: nothing to skip.  Blocked: the lazy list's skip
+            # directory already restricts decoding to probed blocks, so
+            # the full (still-encoded) list is the right thing to cache
+            # and return.
+            plist = self._decode_atom_value(atom, raw)
             self.stats.lists_decoded += 1
             self.cache.admit(atom, plist)
             return plist
@@ -376,12 +431,15 @@ class InvertedFile:
         return max(0, self.list_length(atom) - self.dead_counts.get(atom, 0))
 
     def intersect_atoms(self, atoms: list[Atom]) -> PostingList:
-        """Candidate generation with rarest-first segment skipping.
+        """Candidate generation with rarest-first block/segment skipping.
 
-        Fetches the rarest atom's full list, bounds the feasible head
-        range, and decodes only the overlapping segments of the other
-        atoms.  Identical results to intersecting the full lists; on
-        segmented skewed data most hot-list segments stay on the store.
+        Fetches the rarest atom's list, bounds the feasible head range,
+        and touches only the overlapping storage units of the other
+        atoms: whole segments for the segmented format, individual
+        blocks (via the galloping kernel in
+        :func:`repro.core.postings.intersect`) for the blocked format.
+        Identical results to intersecting the full lists; on skewed data
+        most of a hot list stays encoded.
         """
         if not atoms:
             raise ValueError("intersect_atoms() needs at least one atom")
@@ -559,15 +617,55 @@ class InvertedFile:
         for atom, _df in self.frequencies():
             yield atom
 
+    def block_stats(self) -> dict[str, int | float]:
+        """Physical statistics of the block-compressed posting lists.
+
+        Scans every atom value's header (payloads stay encoded), so the
+        cost is one store read per atom -- fine for the ``info`` command,
+        not for the query path.  ``decoded_bytes`` estimates the
+        in-memory footprint of the fully materialized postings (head +
+        children as Python int/tuple objects); comparing it with
+        ``compressed_bytes`` shows what the delta-varint blocks save.
+        """
+        n_lists = n_blocked = n_blocks = n_postings = 0
+        compressed = decoded = directory = 0
+        for atom in self.iter_atoms():
+            raw = self._store.get(_atom_store_key(atom))
+            if raw is None:
+                continue
+            n_lists += 1
+            if value_format(raw) != FORMAT_BLOCKED:
+                continue
+            header = decode_blocked_header(raw)
+            n_blocked += 1
+            n_blocks += len(header.blocks)
+            n_postings += header.total
+            compressed += len(raw)
+            payload = sum(info.length for info in header.blocks)
+            directory += len(raw) - payload
+            decoded += header.total * _DECODED_POSTING_BYTES
+        return {
+            "lists": n_lists,
+            "blocked_lists": n_blocked,
+            "blocks": n_blocks,
+            "block_size": self.block_size,
+            "postings": n_postings,
+            "avg_block_fill": (n_postings / n_blocks) if n_blocks else 0.0,
+            "compressed_bytes": compressed,
+            "directory_bytes": directory,
+            "decoded_bytes": decoded,
+        }
+
     @property
     def store(self) -> KVStore:
         """The underlying key-value store (for stats and tests)."""
         return self._store
 
     def reset_stats(self) -> None:
-        """Zero query-time counters on the index, cache and store."""
+        """Zero query-time counters on the index, caches and store."""
         self.stats.reset()
         self.cache.stats.reset()
+        self.block_cache.stats.reset()
         self._store.stats.reset()
 
     # -- lifecycle -----------------------------------------------------------------------

@@ -60,14 +60,33 @@ class Planner:
         return min(self.stats.estimate_candidates(sub, spec)
                    for sub in node.iter_sets())
 
+    def estimate_subtree_blocks(self, node: NestedSet,
+                                spec: QuerySpec = QuerySpec()) -> float:
+        """Expected block decodes to evaluate the whole subtree.
+
+        Additive over nodes (each node runs one intersection); zero on
+        legacy-format indexes, where the tie-break degenerates to text
+        order.
+        """
+        return sum(self.stats.estimate_blocks(sub, spec)
+                   for sub in node.iter_sets())
+
     def order_children(self, children: Sequence[NestedSet],
                        spec: QuerySpec = QuerySpec()) -> list[NestedSet]:
-        """The hook handed to :func:`repro.core.topdown.topdown_match_nodes`."""
+        """The hook handed to :func:`repro.core.topdown.topdown_match_nodes`.
+
+        Primary key: estimated match count (selectivity -- how fast the
+        frontier shrinks).  Secondary key: estimated block decodes, so
+        among equally selective siblings the one that touches less of
+        the blocked posting storage runs first (it may empty the
+        frontier before the expensive sibling is needed at all).
+        """
         if self.strategy == "text":
             return sorted(children, key=lambda c: c.to_text())
         ranked = sorted(
             children,
             key=lambda c: (self.estimate_subtree_matches(c, spec),
+                           self.estimate_subtree_blocks(c, spec),
                            c.to_text()))
         if self.strategy == "bulky-first":
             ranked.reverse()

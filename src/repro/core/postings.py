@@ -20,9 +20,16 @@ current frontier of children ids (possibly several entries per head).
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
-from ..storage.codec import Posting, decode_postings, encode_postings
+from ..storage.codec import (
+    BlockedHeader,
+    Posting,
+    decode_block,
+    decode_blocked_header,
+    decode_postings,
+    encode_postings,
+)
 
 
 class PostingList:
@@ -72,24 +79,225 @@ class PostingList:
         return f"PostingList({list(self.entries)!r})"
 
 
-def intersect(lists: Sequence[PostingList]) -> PostingList:
+class LazyPostingList:
+    """A block-compressed posting list that decodes blocks on demand.
+
+    Wraps the raw bytes of a blocked atom value
+    (:func:`repro.storage.codec.encode_blocked`): the skip directory is
+    decoded up front, block payloads only when touched.  Length and head
+    range are O(1); :meth:`seek` resolves one head by decoding at most
+    one block; :attr:`entries` materializes everything (the structural
+    phases of the algorithms still want full lists).
+
+    Decoded blocks go through an optional shared
+    :class:`~repro.core.cache.BlockCache` (``cache`` + ``cache_key``) so
+    hot blocks survive across queries; without one, blocks decoded for
+    :attr:`entries` are memoized locally.  ``stats`` accepts the owning
+    index's :class:`~repro.core.invfile.QueryStats` and is bumped on
+    every block decode (``blocks_read``/``bytes_decoded``) and every
+    skip-directory jump (``blocks_skipped``).
+    """
+
+    __slots__ = ("raw", "header", "_cache", "_cache_key", "_stats",
+                 "_local", "_entries")
+
+    def __init__(self, raw: bytes, *, header: BlockedHeader | None = None,
+                 cache=None, cache_key: object = None,
+                 stats=None) -> None:
+        self.raw = raw
+        self.header = header if header is not None \
+            else decode_blocked_header(raw)
+        self._cache = cache
+        self._cache_key = cache_key
+        self._stats = stats
+        self._local: dict[int, tuple[Posting, ...]] | None = None
+        self._entries: tuple[Posting, ...] | None = None
+
+    # -- block access ------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.header.blocks)
+
+    def block(self, index: int) -> tuple[Posting, ...]:
+        """Decode block ``index`` (through the shared block cache)."""
+        if self._entries is not None:
+            info = self.header.blocks[index]
+            start = sum(b.count for b in self.header.blocks[:index])
+            return self._entries[start:start + info.count]
+        key = (self._cache_key, index)
+        if self._cache is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                return hit
+        elif self._local is not None and index in self._local:
+            return self._local[index]
+        info = self.header.blocks[index]
+        block = tuple(decode_block(self.raw, info))
+        if self._stats is not None:
+            self._stats.blocks_read += 1
+            self._stats.bytes_decoded += info.length
+        if self._cache is not None:
+            self._cache.admit(key, block)
+        else:
+            if self._local is None:
+                self._local = {}
+            self._local[index] = block
+        return block
+
+    @property
+    def entries(self) -> tuple[Posting, ...]:
+        """All postings, decoded and memoized on first access."""
+        if self._entries is None:
+            out: list[Posting] = []
+            for index in range(self.n_blocks):
+                out.extend(self.block(index))
+            self._entries = tuple(out)
+            self._local = None
+        return self._entries
+
+    # -- point lookup ------------------------------------------------------
+
+    def seek(self, head: int) -> Posting | None:
+        """The posting with ``head``, or None -- decodes at most one block."""
+        blocks = self.header.blocks
+        lo, hi = 0, len(blocks)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if blocks[mid].max_head < head:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(blocks) or blocks[lo].min_head > head:
+            return None
+        block = self.block(lo)
+        pos = bisect_left(block, (head,))
+        if pos < len(block) and block[pos][0] == head:
+            return block[pos]
+        return None
+
+    # -- PostingList read surface ------------------------------------------
+
+    def heads(self) -> set[int]:
+        return {p for p, _ in self.entries}
+
+    def encode(self) -> bytes:
+        """The (already encoded) on-disk representation."""
+        return self.raw
+
+    def __len__(self) -> int:
+        return self.header.total
+
+    def __bool__(self) -> bool:
+        return self.header.total > 0
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (LazyPostingList, PostingList)):
+            return self.entries == other.entries
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"LazyPostingList(total={self.header.total}, "
+                f"blocks={self.n_blocks})")
+
+
+class _BlockCursor:
+    """Monotone membership cursor over a :class:`LazyPostingList`.
+
+    ``contains`` must be probed with ascending heads (the intersection
+    drives it from a sorted rare list).  The cursor gallops through the
+    skip directory: blocks whose ``max_head`` lies before the probe are
+    jumped over without decoding (counted as ``blocks_skipped``), and a
+    probe landing in the gap between two blocks is answered from the
+    directory alone.
+    """
+
+    __slots__ = ("_list", "_max_heads", "_block_no", "_block",
+                 "_block_heads", "_stats")
+
+    def __init__(self, lazy: LazyPostingList) -> None:
+        self._list = lazy
+        self._max_heads = [info.max_head for info in lazy.header.blocks]
+        self._block_no = 0
+        self._block: tuple[Posting, ...] | None = None
+        self._block_heads: list[int] | None = None
+        self._stats = lazy._stats
+
+    def contains(self, head: int) -> bool:
+        max_heads = self._max_heads
+        n = len(max_heads)
+        at = self._block_no
+        if at >= n:
+            return False
+        if max_heads[at] < head:
+            target = bisect_left(max_heads, head, lo=at + 1)
+            skipped = target - at - (1 if self._block is not None else 0)
+            if self._stats is not None and skipped > 0:
+                self._stats.blocks_skipped += skipped
+            self._block_no = at = target
+            self._block = self._block_heads = None
+            if at >= n:
+                return False
+        info = self._list.header.blocks[at]
+        if head < info.min_head:
+            return False
+        if self._block is None:
+            self._block = self._list.block(at)
+            self._block_heads = [p for p, _ in self._block]
+        heads = self._block_heads
+        pos = bisect_left(heads, head)
+        return pos < len(heads) and heads[pos] == head
+
+
+def _membership(plist: "PostingList | LazyPostingList",
+                n_probes: int) -> Callable[[int], bool]:
+    """An ascending-probe membership test for one intersection operand.
+
+    Gallop through the skip directory only when the driving list probes
+    fewer times than the operand has blocks -- otherwise every block
+    gets decoded anyway, and the flat hash-set probe beats a per-probe
+    bisect.
+    """
+    if isinstance(plist, LazyPostingList) and plist._entries is None \
+            and n_probes < plist.n_blocks:
+        return _BlockCursor(plist).contains
+    return plist.heads().__contains__
+
+
+def intersect(lists: "Sequence[PostingList | LazyPostingList]"
+              ) -> PostingList:
     """Intersect posting lists on their heads.
 
     This is the candidate-generation primitive: a node is a candidate match
     for query node ``n`` exactly when it appears in the list of *every*
-    leaf atom of ``n``.  The intersection probes the smallest list against
-    hash sets of the others, keeping each surviving ``(p, C)``.
+    leaf atom of ``n``.  The rarest list drives: its heads (ascending) are
+    galloped through the other lists' skip directories, so for
+    block-compressed operands only blocks whose head range is actually
+    probed get decoded -- the cost is governed by the rarest list, not the
+    total postings length.  Decoded (plain) operands are probed as hash
+    sets, as before.
+
+    Any empty operand short-circuits to an empty result before the other
+    lists are decoded or their head sets materialized.
     """
     if not lists:
         raise ValueError("intersect() needs at least one posting list")
     if len(lists) == 1:
         return lists[0]
-    smallest = min(lists, key=len)
-    if not smallest:
+    if any(len(plist) == 0 for plist in lists):
         return PostingList()
-    other_heads = [plist.heads() for plist in lists if plist is not smallest]
-    entries = [(p, children) for p, children in smallest.entries
-               if all(p in heads for heads in other_heads)]
+    rare = min(lists, key=len)
+    others = sorted((plist for plist in lists if plist is not rare),
+                    key=len)
+    probes = [_membership(plist, len(rare)) for plist in others]
+    entries = [entry for entry in rare.entries
+               if all(probe(entry[0]) for probe in probes)]
     return PostingList(entries)
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import NamedTuple, Sequence
 
 from ..storage.codec import (
+    BLOCKED_FORMAT_BYTE,
     Posting,
     decode_postings,
     decode_varint,
@@ -39,6 +40,10 @@ from ..storage.codec import (
 
 FORMAT_PLAIN = 0
 FORMAT_SEGMENTED = 1
+#: Block-compressed single-value format (skip directory + lazy blocks);
+#: the codec lives in :mod:`repro.storage.codec`, the lazy reader in
+#: :class:`repro.core.postings.LazyPostingList`.
+FORMAT_BLOCKED = BLOCKED_FORMAT_BYTE
 
 #: Default postings per segment when segmentation is enabled.
 DEFAULT_SEGMENT_SIZE = 1024
@@ -137,10 +142,9 @@ def total_of(raw: bytes) -> int:
     which makes rarest-first intersection ordering cheap.
     """
     fmt = value_format(raw)
-    if fmt == FORMAT_PLAIN:
+    if fmt in (FORMAT_PLAIN, FORMAT_SEGMENTED, FORMAT_BLOCKED):
+        # All three formats lead with the posting count (blocked values
+        # put ``total`` right after the format byte for exactly this).
         count, _pos = decode_varint(raw, 1)
         return count
-    if fmt == FORMAT_SEGMENTED:
-        total, _pos = decode_varint(raw, 1)
-        return total
     raise ValueError(f"unknown atom value format {fmt}")

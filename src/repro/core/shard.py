@@ -252,7 +252,7 @@ class ShardedIndex:
               storage: str = "memory", path: str | None = None,
               cache: str | None = None, cache_budget: int = PAPER_BUDGET,
               bloom: str | None = None, bloom_bits: int = 512,
-              segment_size: int = 0,
+              segment_size: int = 0, block_size: int | None = None,
               **store_options: object) -> "ShardedIndex":
         """Partition ``records`` and build one inverted file per shard.
 
@@ -276,19 +276,21 @@ class ShardedIndex:
             engines.append(cls._build_one(
                 bucket, view, cache=cache, cache_budget=budget,
                 bloom=bloom, bloom_bits=bloom_bits,
-                segment_size=segment_size))
+                segment_size=segment_size, block_size=block_size))
         return cls(base, engines, partitioner, workers=workers)
 
     @staticmethod
     def _build_one(bucket: list[tuple[str, NestedSet]],
                    view: NamespacedStore, *, cache: str | None,
                    cache_budget: int, bloom: str | None, bloom_bits: int,
-                   segment_size: int) -> NestedSetIndex:
+                   segment_size: int,
+                   block_size: int | None = None) -> NestedSetIndex:
         from .bloom import BloomIndex
         from .cache import make_cache
         from .invfile import InvertedFile
         ifile = InvertedFile.build(iter(bucket), store=view,
-                                   segment_size=segment_size)
+                                   segment_size=segment_size,
+                                   block_size=block_size)
         ifile.cache = make_cache(cache, frequencies=ifile.frequencies(),
                                  budget=cache_budget)
         bloom_index = None
@@ -308,6 +310,7 @@ class ShardedIndex:
                        cache: str | None = None,
                        cache_budget: int = PAPER_BUDGET,
                        segment_size: int = 0,
+                       block_size: int | None = None,
                        **store_options: object) -> "ShardedIndex":
         """Bulk-load each shard with its slice of the posting budget."""
         from .bulkload import DEFAULT_MEMORY_BUDGET, build_external
@@ -330,7 +333,8 @@ class ShardedIndex:
         for view, bucket in zip(cls._shard_views(base, shards), buckets):
             ifile = build_external(iter(bucket), store=view,
                                    memory_budget=per_shard_budget,
-                                   segment_size=segment_size)
+                                   segment_size=segment_size,
+                                   block_size=block_size)
             ifile.cache = make_cache(cache,
                                      frequencies=ifile.frequencies(),
                                      budget=per_shard_cache)
@@ -627,7 +631,8 @@ class ShardedIndex:
             "nodes": self.n_nodes,
         }
         for field in ("postings_requests", "cache_hits", "lists_decoded",
-                      "meta_block_reads"):
+                      "meta_block_reads", "blocks_read", "blocks_skipped",
+                      "bytes_decoded"):
             index_totals[field] = sum(stats["index"][field]
                                       for stats in per_shard)
         cache_hits = sum(stats["cache"]["hits"] for stats in per_shard)

@@ -12,6 +12,7 @@ query nodes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .invfile import InvertedFile
@@ -34,10 +35,14 @@ class CollectionStats:
     """Frequency-derived statistics over one indexed collection."""
 
     def __init__(self, frequencies: list[tuple[Atom, int]],
-                 n_nodes: int, n_records: int) -> None:
+                 n_nodes: int, n_records: int,
+                 block_size: int = 0) -> None:
         self._df = dict(frequencies)
         self.n_nodes = n_nodes
         self.n_records = n_records
+        #: Postings per block of the index's blocked list format (0 when
+        #: the index uses a legacy format); feeds the block cost model.
+        self.block_size = block_size
         self._total_postings = sum(self._df.values())
         self._ranked = sorted(self._df.values(), reverse=True)
 
@@ -50,7 +55,7 @@ class CollectionStats:
         accumulate between compactions.
         """
         return cls(ifile.live_frequencies(), ifile.n_nodes,
-                   ifile.n_live_records)
+                   ifile.n_live_records, block_size=ifile.block_size)
 
     # -- per-atom ------------------------------------------------------------
 
@@ -89,6 +94,28 @@ class CollectionStats:
         """Work to *evaluate* a node: decode + intersect its atoms' lists."""
         return float(sum(self.document_frequency(atom)
                          for atom in qnode.atoms))
+
+    def estimate_blocks(self, qnode: NestedSet,
+                        spec: QuerySpec = QuerySpec()) -> float:
+        """Expected block decodes to intersect a node's atom lists.
+
+        Models the galloping kernel: the rarest list decodes fully
+        (``ceil(df_min / block_size)`` blocks) and every other list
+        decodes at most one block per probe and at most all its blocks
+        -- ``min(df_min, ceil(df / block_size))``.  Zero on indexes
+        without the blocked format; the planner uses this as a
+        cost tie-break, so result invariance is untouched.
+        """
+        if not self.block_size:
+            return 0.0
+        dfs = sorted(self.document_frequency(atom) for atom in qnode.atoms)
+        if not dfs:
+            return 0.0
+        rare = dfs[0]
+        blocks = math.ceil(rare / self.block_size)
+        for df in dfs[1:]:
+            blocks += min(rare, math.ceil(df / self.block_size))
+        return float(blocks)
 
     def estimate_query_cost(self, query: NestedSet,
                             spec: QuerySpec = QuerySpec()) -> float:

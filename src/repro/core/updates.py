@@ -24,6 +24,8 @@ because :meth:`IndexWriter.flush` rewrites the frequency table.
 from __future__ import annotations
 
 from ..storage.codec import (
+    append_blocked,
+    encode_blocked,
     encode_str,
     encode_uint_list,
     encode_varint,
@@ -38,6 +40,7 @@ from .invfile import (
 from .model import Atom, NestedSet
 from .postings import PostingList
 from .segments import (
+    FORMAT_BLOCKED,
     FORMAT_PLAIN,
     SegmentInfo,
     decode_header,
@@ -169,6 +172,15 @@ class IndexWriter:
         def segment_key(seg_no: int) -> bytes:
             return b"G:" + token + b":" + encode_varint(seg_no)
 
+        if raw is not None and value_format(raw) == FORMAT_BLOCKED:
+            # Blocked: new ids sort past the tail, so only the partial
+            # tail block is re-encoded; full blocks keep their bytes.
+            self._store.put(store_key, append_blocked(raw, entries))
+            return
+        if raw is None and ifile.block_size:
+            self._store.put(store_key,
+                            encode_blocked(entries, ifile.block_size))
+            return
         if raw is None or value_format(raw) == FORMAT_PLAIN:
             existing = decode_plain(raw) if raw is not None else []
             merged = existing + entries
@@ -250,10 +262,13 @@ class IndexWriter:
         namespaced views of one fresh base store).
         """
         self.flush()
+        ifile = self._ifile
         live = ((key, tree) for _ordinal, key, _root, tree
-                in self._ifile.iter_records())
+                in ifile.iter_records())
         return InvertedFile.build(live, storage=storage, path=path,
-                                  store=store)
+                                  store=store,
+                                  segment_size=ifile.segment_size,
+                                  block_size=ifile.block_size)
 
     # -- statistics maintenance ------------------------------------------------------
 
@@ -275,11 +290,16 @@ class IndexWriter:
         self._freq_dirty = False
 
     def _write_config(self) -> None:
+        # Must rewrite *every* config field: dropping the trailing
+        # segment_size/block_size varints here would silently demote a
+        # segmented or blocked index to "plain" on the next open.
         ifile = self._ifile
         config = encode_varint(ifile.n_records) + \
             encode_varint(ifile.n_nodes) + \
             encode_varint(ifile._n_all_blocks) + \
-            encode_varint(ifile._n_zero_blocks)
+            encode_varint(ifile._n_zero_blocks) + \
+            encode_varint(ifile.segment_size) + \
+            encode_varint(ifile.block_size)
         self._store.put(_CONFIG_KEY, config)
 
     def _invalidate(self, touched_postings: dict) -> None:
@@ -288,6 +308,8 @@ class IndexWriter:
         ifile._zero_leaf = None
         ifile._meta_cache.clear()
         ifile.cache.clear()
+        ifile.block_cache.invalidate(
+            {atom_token(atom) for atom in touched_postings})
 
 
 def _append_blocks(store, prefix: bytes, n_blocks: int,

@@ -1,0 +1,237 @@
+"""Property tests for the block-compressed posting format.
+
+Three layers are covered: the codec (``encode_blocked`` and friends must
+round-trip any sorted posting list and keep decoding the two older
+formats), the lazy reader (:class:`LazyPostingList` + ``BlockCache``),
+and the galloping intersection kernel, which is checked against the
+plain hash-set baseline over 500 randomized list combinations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cache import BlockCache
+from repro.core.invfile import QueryStats
+from repro.core.postings import LazyPostingList, PostingList, intersect
+from repro.storage.codec import (
+    BLOCKED_FORMAT_BYTE,
+    CorruptionError,
+    append_blocked,
+    decode_block,
+    decode_blocked,
+    decode_blocked_header,
+    decode_postings,
+    encode_blocked,
+    encode_postings,
+)
+
+
+def _random_postings(rng: random.Random, size: int,
+                     head_space: int = 10_000) -> list:
+    """A sorted posting list with unique heads and sorted children."""
+    heads = sorted(rng.sample(range(head_space), size))
+    out = []
+    for p in heads:
+        n_children = rng.randrange(0, 4)
+        children = tuple(sorted(rng.sample(range(head_space), n_children)))
+        out.append((p, children))
+    return out
+
+
+class TestCodecRoundTrip:
+    def test_round_trip_random(self) -> None:
+        rng = random.Random(7)
+        for _ in range(50):
+            size = rng.randrange(0, 400)
+            block_size = rng.choice([1, 2, 3, 7, 64, 128, 1000])
+            entries = _random_postings(rng, size)
+            raw = encode_blocked(entries, block_size)
+            assert raw[0] == BLOCKED_FORMAT_BYTE
+            assert decode_blocked(raw) == entries
+
+    def test_header_directory(self) -> None:
+        rng = random.Random(8)
+        entries = _random_postings(rng, 100)
+        raw = encode_blocked(entries, 16)
+        header = decode_blocked_header(raw)
+        assert header.total == 100
+        assert header.block_size == 16
+        assert len(header.blocks) == 7          # ceil(100 / 16)
+        assert sum(info.count for info in header.blocks) == 100
+        at = 0
+        for info in header.blocks:
+            chunk = entries[at:at + info.count]
+            assert info.min_head == chunk[0][0]
+            assert info.max_head == chunk[-1][0]
+            assert decode_block(raw, info) == chunk
+            at += info.count
+
+    def test_legacy_plain_format_still_decodes(self) -> None:
+        # Indexes written before the blocked format carry plain
+        # ``encode_postings`` values; the codec must keep decoding them.
+        rng = random.Random(9)
+        entries = _random_postings(rng, 150)
+        raw = encode_postings(entries)
+        assert decode_postings(raw) == entries
+        assert PostingList.decode(raw).entries == tuple(entries)
+
+    def test_blocked_header_rejects_plain(self) -> None:
+        raw = encode_postings([(1, ()), (2, (3,))])
+        with pytest.raises(CorruptionError):
+            decode_blocked_header(raw)
+
+    def test_truncation_detected(self) -> None:
+        rng = random.Random(10)
+        raw = encode_blocked(_random_postings(rng, 64), 8)
+        with pytest.raises(CorruptionError):
+            decode_blocked_header(raw[:len(raw) - 5])
+
+    def test_unsorted_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            encode_blocked([(5, ()), (3, ())], 1)
+
+
+class TestAppendBlocked:
+    def test_append_matches_full_reencode(self) -> None:
+        # The tail-only re-encode must be byte-identical to encoding the
+        # combined list from scratch (blocks align on size boundaries).
+        rng = random.Random(11)
+        for _ in range(25):
+            base = _random_postings(rng, rng.randrange(1, 120),
+                                    head_space=5_000)
+            extra = [(p + 5_000, c) for p, c in
+                     _random_postings(rng, rng.randrange(1, 40),
+                                      head_space=5_000)]
+            block_size = rng.choice([1, 4, 16, 128])
+            raw = encode_blocked(base, block_size)
+            appended = append_blocked(raw, extra)
+            assert appended == encode_blocked(base + extra, block_size)
+
+    def test_append_nothing_is_identity(self) -> None:
+        raw = encode_blocked([(1, ()), (9, (2,))], 4)
+        assert append_blocked(raw, []) is raw
+
+    def test_append_rejects_overlapping_heads(self) -> None:
+        raw = encode_blocked([(1, ()), (9, ())], 4)
+        with pytest.raises(ValueError):
+            append_blocked(raw, [(9, ())])
+
+
+class TestLazyPostingList:
+    def test_reads_match_eager_decode(self) -> None:
+        rng = random.Random(12)
+        entries = _random_postings(rng, 200)
+        lazy = LazyPostingList(encode_blocked(entries, 16))
+        assert len(lazy) == 200                 # O(1), no decode
+        assert list(lazy) == entries
+        assert lazy.entries == tuple(entries)
+        assert lazy.heads() == {p for p, _ in entries}
+        assert lazy == PostingList(entries)
+        assert PostingList(entries) == lazy
+
+    def test_seek_decodes_at_most_one_block(self) -> None:
+        rng = random.Random(13)
+        entries = _random_postings(rng, 160, head_space=2_000)
+        stats = QueryStats()
+        lazy = LazyPostingList(encode_blocked(entries, 16), stats=stats)
+        present = dict(entries)
+        for p, children in entries[::7]:
+            before = stats.blocks_read
+            assert lazy.seek(p) == (p, children)
+            assert stats.blocks_read - before <= 1
+        for head in range(0, 2_000, 97):
+            if head not in present:
+                assert lazy.seek(head) is None
+
+    def test_blocks_route_through_shared_cache(self) -> None:
+        rng = random.Random(14)
+        entries = _random_postings(rng, 64)
+        raw = encode_blocked(entries, 8)
+        cache = BlockCache(budget=64)
+        stats = QueryStats()
+
+        first = LazyPostingList(raw, cache=cache, cache_key="a", stats=stats)
+        assert first.entries == tuple(entries)
+        reads = stats.blocks_read
+        assert reads == 8 and len(cache) == 8
+
+        second = LazyPostingList(raw, cache=cache, cache_key="a", stats=stats)
+        assert second.entries == tuple(entries)
+        assert stats.blocks_read == reads       # all hits, no new decodes
+
+    def test_cache_invalidate_is_per_list(self) -> None:
+        cache = BlockCache(budget=16)
+        for key in ("a", "b"):
+            for block_no in range(3):
+                cache.admit((key, block_no), ((1, ()),))
+        cache.invalidate({"a"})
+        assert len(cache) == 3
+        assert cache.get(("a", 0)) is None
+        assert cache.get(("b", 0)) is not None
+
+    def test_cache_evicts_lru_within_budget(self) -> None:
+        cache = BlockCache(budget=2)
+        cache.admit(("a", 0), ((1, ()),))
+        cache.admit(("a", 1), ((2, ()),))
+        cache.get(("a", 0))                     # refresh 0; 1 becomes LRU
+        cache.admit(("a", 2), ((3, ()),))
+        assert cache.get(("a", 1)) is None
+        assert cache.get(("a", 0)) is not None
+        assert cache.stats.evictions == 1
+
+
+class TestGallopingIntersection:
+    def test_equivalence_500_random_combinations(self) -> None:
+        # The kernel must agree with the hash-set baseline on every mix
+        # of plain and blocked operands, regardless of skew or overlap.
+        rng = random.Random(15)
+        for trial in range(500):
+            n_lists = rng.randrange(2, 5)
+            head_space = rng.choice([40, 200, 1_000])
+            max_size = min(60, head_space)
+            raw_lists = [_random_postings(rng, rng.randrange(0, max_size),
+                                          head_space=head_space)
+                         for _ in range(n_lists)]
+
+            common = rng.randrange(0, len(raw_lists[0]) + 1)
+            shared = raw_lists[0][:common]
+            lists = [sorted(set(entries) | set(shared))
+                     for entries in raw_lists]
+            lists = [[(p, c) for i, (p, c) in enumerate(entries)
+                      if i == 0 or entries[i - 1][0] != p]
+                     for entries in lists]
+
+            plain = [PostingList(entries) for entries in lists]
+            expected = intersect(plain).entries
+
+            block_size = rng.choice([1, 4, 16])
+            blocked = [LazyPostingList(encode_blocked(entries, block_size))
+                       for entries in lists]
+            assert intersect(blocked).entries == expected, trial
+
+            mixed = [blocked[i] if i % 2 else plain[i]
+                     for i in range(n_lists)]
+            assert intersect(mixed).entries == expected, trial
+
+    def test_empty_operand_short_circuits_without_decoding(self) -> None:
+        rng = random.Random(16)
+        stats = QueryStats()
+        big = LazyPostingList(
+            encode_blocked(_random_postings(rng, 256), 16), stats=stats)
+        result = intersect([big, PostingList()])
+        assert result == PostingList()
+        assert stats.blocks_read == 0           # satellite (b): no decode
+
+    def test_skip_counters_move_on_skewed_probe(self) -> None:
+        stats = QueryStats()
+        hot = [(p, ()) for p in range(1_000)]
+        rare = PostingList([(0, ()), (999, ())])
+        lazy = LazyPostingList(encode_blocked(hot, 16), stats=stats)
+        got = intersect([lazy, rare])
+        assert got.entries == ((0, ()), (999, ()))
+        assert stats.blocks_read == 2           # first and last block only
+        assert stats.blocks_skipped > 0
+        assert stats.bytes_decoded > 0

@@ -94,6 +94,55 @@ class TestPaperVariantOnPathQueries:
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("semantics,join", VALID_COMBOS)
+class TestFormatEquivalence:
+    """Blocked and legacy physical layouts must be query-indistinguishable.
+
+    ``block_size=4`` forces multi-block lists even on the small corpus, so
+    the galloping/skip machinery actually runs; ``block_size=0`` is the
+    plain pre-block format.
+    """
+
+    def test_layouts_agree(self, seed, semantics, join) -> None:
+        corpus = _corpus(seed)
+        legacy = NestedSetIndex.build(corpus, block_size=0)
+        blocked = NestedSetIndex.build(corpus, block_size=4)
+        for mode in ("root", "anywhere"):
+            for query in _queries(seed + 400, n=8):
+                for algorithm in ("bottomup", "topdown"):
+                    expected = legacy.query(query, algorithm=algorithm,
+                                            semantics=semantics, join=join,
+                                            mode=mode)
+                    got = blocked.query(query, algorithm=algorithm,
+                                        semantics=semantics, join=join,
+                                        mode=mode)
+                    assert got == expected, \
+                        (algorithm, semantics, join, mode, query)
+
+
+class TestLegacyIndexCompatibility:
+    def test_legacy_disk_index_opens_without_rebuild(self, tmp_path) -> None:
+        # An index written with the pre-block codec (block_size=0) must
+        # reopen and answer queries byte-compatibly -- no rebuild step.
+        corpus = _corpus(5)
+        path = str(tmp_path / "legacy.ix")
+        built = NestedSetIndex.build(corpus, storage="diskhash", path=path,
+                                     block_size=0)
+        queries = _queries(505, n=6)
+        expected = [built.query(query) for query in queries]
+        built.close()
+
+        reopened = NestedSetIndex.open("diskhash", path)
+        assert reopened._ifile.block_size == 0
+        assert [reopened.query(query) for query in queries] == expected
+        reopened.close()
+
+    def test_new_builds_default_to_blocked(self) -> None:
+        index = NestedSetIndex.build(_corpus(6))
+        assert index._ifile.block_size > 0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
 class TestPlannerOrderInvariance:
     def test_all_strategies_agree(self, seed) -> None:
         index = NestedSetIndex.build(_corpus(seed))
