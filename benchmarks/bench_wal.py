@@ -1,0 +1,133 @@
+"""Experiment WAL1: write-ahead-log overhead on a mixed disk workload.
+
+Runs the shards-style mixed workload (repeated query batch with an
+insert and a delete interleaved per round) against a disk-backed index
+with journaling on and off.  Every mutation with the WAL enabled pays
+one extra fsync'd group write before its pages reach the main file; the
+acceptance bar is that the whole mixed workload stays within 15% of the
+unjournaled baseline.  The headline ratio is written to
+``bench_results/BENCH_wal.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.bench.protocol import measure
+from repro.bench.reporting import RESULTS_DIR
+from repro.bench.workloads import generate_dataset
+from repro.core.engine import NestedSetIndex
+from repro.data.queries import make_benchmark_queries
+
+DATASET = "zipf-wide"
+SIZE = 400
+N_QUERIES = 20
+ROUNDS_PER_MEASURE = 8
+STORAGE = "diskhash"
+
+_FRESH = itertools.count()
+
+
+def _workload():
+    records = list(generate_dataset(DATASET, SIZE, seed=0))
+    queries = [bench.query for bench in
+               make_benchmark_queries(records, N_QUERIES, seed=0)]
+    extra = list(generate_dataset(DATASET, 200, seed=99))
+    return records, queries, extra
+
+
+def _build(records, path: str, wal: bool) -> NestedSetIndex:
+    return NestedSetIndex.build(records, storage=STORAGE, path=path,
+                                wal=wal)
+
+
+def _make_runner(index, queries, extra):
+    """One run = ROUNDS x (query batch + insert + delete).
+
+    Each inserted record is deleted one round later, so the index size
+    stays flat and every round pays two journaled mutations.
+    """
+    source = itertools.cycle(extra)
+    pending: list[str] = []
+
+    def run() -> int:
+        total = 0
+        for _ in range(ROUNDS_PER_MEASURE):
+            for query in queries:
+                total += len(index.query(query))
+            _key, tree = next(source)
+            key = f"fresh{next(_FRESH)}"
+            index.insert(key, tree)
+            pending.append(key)
+            if len(pending) > 1:
+                index.delete(pending.pop(0))
+        return total
+
+    return run
+
+
+@pytest.mark.benchmark(group="wal-mixed")
+@pytest.mark.parametrize("wal", [False, True], ids=["no-wal", "wal"])
+def test_mixed_workload(benchmark, figure, tmp_path, wal):
+    records, queries, extra = _workload()
+    index = _build(records, str(tmp_path / "idx.db"), wal)
+    runner = _make_runner(index, queries, extra)
+    figure.record(benchmark, "journaled" if wal else "unjournaled",
+                  int(wal), runner, rounds=5, queries=N_QUERIES,
+                  dataset=f"{DATASET}@{SIZE}", storage=STORAGE)
+    index.close()
+
+
+def test_overhead_ratio():
+    """Record BENCH_wal.json: journaled vs unjournaled mixed workload.
+
+    Compares min-of-repeats (the least noisy estimator for a workload
+    dominated by deterministic work) and asserts the journaled run stays
+    within the 15% overhead budget.
+    """
+    records, queries, extra = _workload()
+    workdir = tempfile.mkdtemp(prefix="bench-wal-")
+    timings = {}
+    try:
+        for label, wal in [("no-wal", False), ("wal", True)]:
+            path = os.path.join(workdir, f"idx-{label}.db")
+            index = _build(records, path, wal)
+            runner = _make_runner(index, queries, extra)
+            runner()                    # warmup measurement round
+            timings[label] = measure(runner, repeats=7)
+            index.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    baseline = timings["no-wal"]
+    journaled = timings["wal"]
+    ratio = min(journaled.times) / min(baseline.times)
+    payload = {
+        "experiment": "BENCH_wal",
+        "workload": {
+            "dataset": DATASET, "size": SIZE, "queries": N_QUERIES,
+            "rounds_per_measure": ROUNDS_PER_MEASURE,
+            "storage": STORAGE,
+            "mix": "repeated query batch + 1 insert + 1 delete per "
+                   "round (2 journaled mutations)",
+        },
+        "baseline": {"layout": "wal disabled",
+                     "mean_ms": round(baseline.millis, 3),
+                     "times_s": [round(t, 6) for t in baseline.times]},
+        "journaled": {"layout": "wal enabled (fsync per mutation)",
+                      "mean_ms": round(journaled.millis, 3),
+                      "times_s": [round(t, 6) for t in journaled.times]},
+        "wal_overhead_ratio": round(ratio, 4),
+        "budget": 1.15,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_wal.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    assert ratio < 1.15, f"WAL overhead above 15% budget: {payload}"

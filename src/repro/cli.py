@@ -198,6 +198,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
                   f"({stats['directory_bytes']} directory)")
             print(f"  decoded bytes:    ~{stats['decoded_bytes']} "
                   f"(estimated in-memory)")
+        wal = index.stats().get("wal")
+        if wal is not None:
+            print("durability (write-ahead log):")
+            print(f"  wal file:        {wal['path']} "
+                  f"({wal['size_bytes']} bytes)")
+            print(f"  pending groups:  {wal['pending_groups']}")
+            print(f"  recovered:       {wal['recovered_on_open']} group(s) "
+                  f"replayed, {wal['discarded_on_open']} torn group(s) "
+                  f"discarded on open")
+            print(f"  lifetime:        {wal['commits']} commits, "
+                  f"{wal['records_logged']} page records, "
+                  f"{wal['syncs']} fsyncs, "
+                  f"{wal['checkpoints']} checkpoints")
         print("hottest atoms:")
         for atom, df in frequencies[:args.top]:
             print(f"  {atom!r}: {df}")

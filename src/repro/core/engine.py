@@ -307,24 +307,30 @@ class NestedSetIndex:
     def insert(self, key: str, value: object) -> int:
         """Add one record to the live index; returns its ordinal.
 
-        The document-frequency table is updated lazily (flushed before
-        statistics reads, cache swaps, compaction, and close) so a burst
-        of inserts does not rewrite it per record.
+        On journaled stores the whole insert -- postings, metadata,
+        record table, frequency table, and the Bloom filter append --
+        commits as one write-ahead-log group, so a crash at any point
+        leaves the index wholly pre- or post-insert.
         """
-        ordinal = self._index_writer().insert(key, value)
+        with self._ifile.store.transaction(b"insert"):
+            ordinal = self._index_writer().insert(key, value)
+            if self._bloom is not None:
+                self._bloom.append_persisted(self._ifile.store,
+                                             as_nested_set(value))
         self._stats = None
         if self._result_cache is not None:
             self._result_cache.invalidate_all()
-        if self._bloom is not None:
-            self._bloom.append_persisted(self._ifile.store,
-                                         as_nested_set(value))
         return ordinal
 
     def delete(self, key: str) -> bool:
         """Tombstone the record with ``key``; see repro.core.updates."""
         deleted = self._index_writer().delete(key)
-        if deleted and self._result_cache is not None:
-            self._result_cache.invalidate_all()
+        if deleted:
+            # Dead counts change live frequencies: the memoized
+            # collection statistics (planner input) must be recomputed.
+            self._stats = None
+            if self._result_cache is not None:
+                self._result_cache.invalidate_all()
         return deleted
 
     def compact(self, *, storage: str = "memory",
@@ -451,7 +457,7 @@ class NestedSetIndex:
 
     def stats(self) -> dict[str, dict[str, object]]:
         """Index / cache / store counters, for reports and experiments."""
-        return {
+        out: dict[str, dict[str, object]] = {
             "index": {
                 "records": self.n_records,
                 "nodes": self.n_nodes,
@@ -471,6 +477,10 @@ class NestedSetIndex:
             },
             "store": self._ifile.store.stats.snapshot(),
         }
+        wal = self._ifile.store.wal_info()
+        if wal is not None:
+            out["wal"] = wal
+        return out
 
     def reset_stats(self) -> None:
         """Zero all query-time counters (between experiment runs)."""

@@ -165,6 +165,20 @@ def write_manifest(store: KVStore, n_shards: int, policy_name: str) -> None:
     store.put(MANIFEST_KEY, payload)
 
 
+def _commit_manifest(store: KVStore, n_shards: int,
+                     policy_name: str) -> None:
+    """Durably publish the shard layout as the *last* step of a build.
+
+    The shard contents are flushed first; the manifest write itself
+    rides one WAL commit group (a no-op on non-journaled stores), so a
+    crash before this point leaves a store without a manifest -- never a
+    manifest pointing at half-built shards.
+    """
+    store.sync()
+    with store.transaction(b"manifest"):
+        write_manifest(store, n_shards, policy_name)
+
+
 def read_manifest(store: KVStore) -> tuple[int, str] | None:
     """Shard layout of a base store, or ``None`` for monolithic stores."""
     raw = store.get(MANIFEST_KEY)
@@ -269,7 +283,6 @@ class ShardedIndex:
             buckets[partitioner.shard_of(key, shards)].append(
                 (key, as_nested_set(value)))
         base = open_store(storage, path, create=True, **store_options)
-        write_manifest(base, shards, partitioner.name)
         engines = []
         budget = max(1, cache_budget // shards)
         for view, bucket in zip(cls._shard_views(base, shards), buckets):
@@ -277,6 +290,7 @@ class ShardedIndex:
                 bucket, view, cache=cache, cache_budget=budget,
                 bloom=bloom, bloom_bits=bloom_bits,
                 segment_size=segment_size, block_size=block_size))
+        _commit_manifest(base, shards, partitioner.name)
         return cls(base, engines, partitioner, workers=workers)
 
     @staticmethod
@@ -324,7 +338,6 @@ class ShardedIndex:
             buckets[partitioner.shard_of(key, shards)].append(
                 (key, as_nested_set(value)))
         base = open_store(storage, path, create=True, **store_options)
-        write_manifest(base, shards, partitioner.name)
         total_budget = (memory_budget if memory_budget is not None
                         else DEFAULT_MEMORY_BUDGET)
         per_shard_budget = max(1, total_budget // shards)
@@ -339,6 +352,7 @@ class ShardedIndex:
                                      frequencies=ifile.frequencies(),
                                      budget=per_shard_cache)
             engines.append(NestedSetIndex(ifile))
+        _commit_manifest(base, shards, partitioner.name)
         return cls(base, engines, partitioner, workers=workers)
 
     @classmethod
@@ -541,11 +555,14 @@ class ShardedIndex:
         routed shard may miss, so the delete falls back to trying every
         shard (at most one can hold the key).
         """
-        if self._route(key).delete(key):
+        routed = self._route(key)
+        if routed.delete(key):
             return True
         if isinstance(self._policy, HashShardPolicy):
             return False
-        return any(engine.delete(key) for engine in self._shards)
+        # The routed shard already missed -- sweep only the others.
+        return any(engine.delete(key) for engine in self._shards
+                   if engine is not routed)
 
     def compact(self, *, storage: str = "memory",
                 path: str | None = None,
@@ -557,10 +574,12 @@ class ShardedIndex:
         open file.
         """
         fresh_base = open_store(storage, path, create=True, **store_options)
-        write_manifest(fresh_base, len(self._shards), self._policy.name)
         views = self._shard_views(fresh_base, len(self._shards))
         for engine, view in zip(self._shards, views):
             engine.compact(store=view)
+        # Manifest swap comes last: until it lands, the fresh store is
+        # not a valid sharded index and the old store is still whole.
+        _commit_manifest(fresh_base, len(self._shards), self._policy.name)
         self._base.close()
         self._base = fresh_base
         if self._result_cache is not None:
@@ -638,7 +657,7 @@ class ShardedIndex:
         cache_hits = sum(stats["cache"]["hits"] for stats in per_shard)
         cache_misses = sum(stats["cache"]["misses"] for stats in per_shard)
         cache_requests = cache_hits + cache_misses
-        return {
+        out: dict[str, dict[str, object]] = {
             "index": index_totals,
             "cache": {
                 "policy": per_shard[0]["cache"]["policy"],
@@ -655,6 +674,10 @@ class ShardedIndex:
                 "exec": self.counters.snapshot(),
             },
         }
+        wal = self._base.wal_info()
+        if wal is not None:
+            out["wal"] = wal
+        return out
 
     def reset_stats(self) -> None:
         for engine in self._shards:

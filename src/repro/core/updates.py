@@ -126,37 +126,43 @@ class IndexWriter:
 
         root_id = build(tree, True)
 
-        # 1. posting lists: new ids exceed all existing ids, so sorted
-        #    append preserves order (both physical formats).
-        for atom, entries in postings.items():
-            entries.sort()
-            self._append_postings(atom, entries)
-            self._df_delta[atom] = self._df_delta.get(atom, 0) \
-                + len(entries)
-            self._freq_dirty = True
+        # All store writes for one logical insert form one WAL commit
+        # group: a crash leaves the index wholly pre- or post-insert.
+        with self._store.transaction(b"insert"):
+            # 1. posting lists: new ids exceed all existing ids, so
+            #    sorted append preserves order (both physical formats).
+            for atom, entries in postings.items():
+                entries.sort()
+                self._append_postings(atom, entries)
+                self._df_delta[atom] = self._df_delta.get(atom, 0) \
+                    + len(entries)
+                self._freq_dirty = True
 
-        # 2. ALL / ZERO blocks: extend the tail block, then add new ones.
-        ifile._n_all_blocks = _append_blocks(
-            self._store, _ALL_PREFIX, ifile._n_all_blocks,
-            sorted(all_nodes))
-        ifile._n_zero_blocks = _append_blocks(
-            self._store, _ZERO_PREFIX, ifile._n_zero_blocks,
-            sorted(zero_leaf))
+            # 2. ALL / ZERO blocks: extend the tail block, add new ones.
+            ifile._n_all_blocks = _append_blocks(
+                self._store, _ALL_PREFIX, ifile._n_all_blocks,
+                sorted(all_nodes))
+            ifile._n_zero_blocks = _append_blocks(
+                self._store, _ZERO_PREFIX, ifile._n_zero_blocks,
+                sorted(zero_leaf))
 
-        # 3. node metadata: fill the partial tail block.
-        _append_meta(self._store, ifile.n_nodes, meta_entries)
+            # 3. node metadata: fill the partial tail block.
+            _append_meta(self._store, ifile.n_nodes, meta_entries)
 
-        # 4. record table + key map.
-        blob = encode_str(key) + encode_varint(root_id) + \
-            encode_str(tree.to_text())
-        self._store.put(_RECORD_PREFIX + encode_varint(ordinal), blob)
-        self._store.put(_KEYMAP_PREFIX + key.encode("utf-8"),
-                        encode_varint(ordinal))
+            # 4. record table + key map.
+            blob = encode_str(key) + encode_varint(root_id) + \
+                encode_str(tree.to_text())
+            self._store.put(_RECORD_PREFIX + encode_varint(ordinal), blob)
+            self._store.put(_KEYMAP_PREFIX + key.encode("utf-8"),
+                            encode_varint(ordinal))
 
-        # 5. config + in-memory state invalidation.
-        ifile.n_records += 1
-        ifile.n_nodes = next_id
-        self._write_config()
+            # 5. config, and the frequency table *inside* the group --
+            #    deferring it would add a third on-disk state (insert
+            #    applied, stats stale) that recovery cannot name.
+            ifile.n_records += 1
+            ifile.n_nodes = next_id
+            self._write_config()
+            self.flush()
         self._invalidate(postings)
         return ordinal
 
@@ -229,15 +235,24 @@ class IndexWriter:
         if ordinal is None:
             return False
         _key, _root, tree = ifile.record(ordinal)
-        ifile.deleted.add(ordinal)
-        self._store.put(_DELETED_KEY,
-                        encode_uint_list(sorted(ifile.deleted)))
-        self._store.delete(_KEYMAP_PREFIX + key.encode("utf-8"))
-        ifile._key_cache.pop(ordinal, None)
-        for node in tree.iter_sets():
-            for atom in node.atoms:
-                ifile.dead_counts[atom] = ifile.dead_counts.get(atom, 0) + 1
-        self._write_dead_counts()
+        dead_atoms: set[Atom] = set()
+        with self._store.transaction(b"delete"):
+            ifile.deleted.add(ordinal)
+            self._store.put(_DELETED_KEY,
+                            encode_uint_list(sorted(ifile.deleted)))
+            self._store.delete(_KEYMAP_PREFIX + key.encode("utf-8"))
+            ifile._key_cache.pop(ordinal, None)
+            for node in tree.iter_sets():
+                for atom in node.atoms:
+                    dead_atoms.add(atom)
+                    ifile.dead_counts[atom] = \
+                        ifile.dead_counts.get(atom, 0) + 1
+            self._write_dead_counts()
+        # Drop the dead record's atoms from the list/block caches: their
+        # cached decodings are keyed by store bytes that survive the
+        # tombstone, but every consumer ordering candidates by live
+        # frequency must observe the new dead counts, not a snapshot.
+        self._invalidate(dict.fromkeys(dead_atoms))
         return True
 
     def _write_dead_counts(self) -> None:

@@ -28,12 +28,21 @@ from .errors import (
     StorageError,
     StoreClosedError,
 )
+from .faults import CrashError, FaultPlan, FaultyPager, FaultyStore, inject
 from .kvstore import AccessStats, KVStore, MemoryKVStore
 from .namespace import NamespacedStore
-from .pager import Pager
+from .pager import Pager, wal_path
+from .wal import WriteAheadLog
 
 #: Storage engine names accepted by :func:`open_store`.
 STORAGE_KINDS = ("memory", "diskhash", "btree")
+
+
+def _remove_stale(path: str) -> None:
+    """Drop a previous incarnation's store file *and* its WAL."""
+    for stale in (path, wal_path(path)):
+        if os.path.exists(stale):
+            os.remove(stale)
 
 
 def open_store(kind: str, path: str | None = None, *,
@@ -49,12 +58,12 @@ def open_store(kind: str, path: str | None = None, *,
     if path is None:
         raise StorageError(f"storage kind {kind!r} requires a path")
     if kind == "diskhash":
-        if create and os.path.exists(path):
-            os.remove(path)
+        if create:
+            _remove_stale(path)
         return DiskHashTable(path, create=create, **options)  # type: ignore[arg-type]
     if kind == "btree":
-        if create and os.path.exists(path):
-            os.remove(path)
+        if create:
+            _remove_stale(path)
         return BPlusTree(path, create=create, **options)  # type: ignore[arg-type]
     raise StorageError(f"unknown storage kind {kind!r}; "
                        f"expected one of {STORAGE_KINDS}")
@@ -64,7 +73,11 @@ __all__ = [
     "AccessStats",
     "BPlusTree",
     "CorruptionError",
+    "CrashError",
     "DiskHashTable",
+    "FaultPlan",
+    "FaultyPager",
+    "FaultyStore",
     "KVStore",
     "KeyTooLargeError",
     "MemoryKVStore",
@@ -75,6 +88,7 @@ __all__ = [
     "STORAGE_KINDS",
     "StorageError",
     "StoreClosedError",
+    "WriteAheadLog",
     "decode_postings",
     "decode_str",
     "decode_uint_list",
@@ -83,5 +97,7 @@ __all__ = [
     "encode_str",
     "encode_uint_list",
     "encode_varint",
+    "inject",
     "open_store",
+    "wal_path",
 ]

@@ -61,10 +61,12 @@ class BPlusTree(KVStore):
     """Disk B+tree implementing the :class:`KVStore` interface."""
 
     def __init__(self, path: str, *, create: bool = False,
-                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 wal: bool = True) -> None:
         super().__init__()
         if create:
-            self._pager = Pager(path, page_size=page_size, create=True)
+            self._pager = Pager(path, page_size=page_size, create=True,
+                                wal=wal)
             self._payload = self._pager.page_size
             self._overflow_threshold = self._pager.page_size // 4
             self._root = self._pager.allocate()
@@ -72,7 +74,7 @@ class BPlusTree(KVStore):
             self._write_leaf(self._root, _Leaf(0, []))
             self._write_meta()
         else:
-            self._pager = Pager(path)
+            self._pager = Pager(path, wal=wal)
             meta = self._pager.meta
             if len(meta) < _META.size:
                 raise CorruptionError("btree metadata missing")
@@ -334,6 +336,33 @@ class BPlusTree(KVStore):
         self._check_open()
         self._write_meta()
         self._pager.sync()
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self, label: bytes = b"") -> None:
+        self._check_open()
+        if self._pager.txn_depth == 0:
+            # Keep the header pre-image current before the snapshot (bulk
+            # loads defer meta writes to sync/close).
+            self._write_meta()
+        self._pager.begin(label)
+
+    def commit(self) -> None:
+        self._check_open()
+        if self._pager.txn_depth == 1:
+            self._write_meta()  # root/count land inside the commit group
+        self._pager.commit()
+
+    def abort(self) -> None:
+        self._check_open()
+        if self._pager.txn_depth == 0:
+            return
+        self._pager.abort()
+        self._root, self._count = _META.unpack(
+            self._pager.meta[:_META.size])
+
+    def wal_info(self) -> dict[str, object] | None:
+        return self._pager.wal_info()
 
     def close(self) -> None:
         if not self._closed:

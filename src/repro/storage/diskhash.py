@@ -8,7 +8,8 @@ used as the inverted-file storage engine with caching disabled
   dedicated directory pages right after the header,
 * each bucket heads a chain of record pages,
 * records are appended into chain pages; replaced/deleted records are
-  tombstoned in place,
+  excised in place (the page tail shifts left), so update-heavy
+  workloads reuse page space instead of growing the chain without bound,
 * values larger than the in-page threshold spill into overflow chains.
 
 Record page layout::
@@ -19,12 +20,14 @@ Record layout::
 
     [flag u8][klen varint][vlen varint][key][value-or-overflow-ref]
 
-``flag``: 0 = live inline, 1 = tombstone, 2 = live with overflow value
+``flag``: 0 = live inline, 1 = tombstone (read compatibility with files
+written before deletes excised records), 2 = live with overflow value
 (the in-page value is then ``[head u64][length u32]``).
 
-Durability: buffered writes are flushed on :meth:`sync`/:meth:`close`; the
-store does not implement crash recovery (out of scope for the paper's
-experiments, which build indexes offline).
+Durability: mutations wrapped in :meth:`~repro.storage.kvstore.KVStore.
+transaction` commit through the pager's write-ahead log and are replayed
+on reopen after a crash; unwrapped writes keep the original
+flush-on-:meth:`sync`/:meth:`close` behaviour (offline builds).
 """
 
 from __future__ import annotations
@@ -53,10 +56,12 @@ class DiskHashTable(KVStore):
 
     def __init__(self, path: str, *, create: bool = False,
                  n_buckets: int = DEFAULT_BUCKETS,
-                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 wal: bool = True) -> None:
         super().__init__()
         if create:
-            self._pager = Pager(path, page_size=page_size, create=True)
+            self._pager = Pager(path, page_size=page_size, create=True,
+                                wal=wal)
             self._n_buckets = n_buckets
             per_page = self._pager.page_size // 8
             self._n_dir_pages = (n_buckets + per_page - 1) // per_page
@@ -67,7 +72,7 @@ class DiskHashTable(KVStore):
             self._flush_directory()
             self._write_meta()
         else:
-            self._pager = Pager(path)
+            self._pager = Pager(path, wal=wal)
             meta = self._pager.meta
             if len(meta) < _META.size:
                 raise CorruptionError("hash table metadata missing")
@@ -218,18 +223,24 @@ class DiskHashTable(KVStore):
         page_id = self._directory[self._bucket_of(key)]
         while page_id:
             raw = self._pager.read(page_id)
-            for offset, flag, rec_key, stored, _end in self._scan_page(raw):
+            next_page, used = _PAGE_HEADER.unpack_from(raw, 0)
+            for offset, flag, rec_key, stored, end in self._scan_page(raw):
                 if flag != _FLAG_DEAD and rec_key == key:
                     if flag == _FLAG_OVERFLOW:
                         head, length = _OVERFLOW_REF.unpack(stored)
                         self._pager.free_overflow(head, length)
+                    # Excise the record: shift the page tail left so the
+                    # space is reusable.  (Tombstoning instead leaked
+                    # page space without bound under same-key churn.)
                     patched = bytearray(raw)
-                    patched[offset] = _FLAG_DEAD
+                    del patched[offset:end]
+                    _PAGE_HEADER.pack_into(patched, 0, next_page,
+                                           used - (end - offset))
                     self._pager.write(page_id, bytes(patched))
                     self.stats.page_writes += 1
                     self._count -= 1
                     return True
-            page_id = _PAGE_HEADER.unpack_from(raw, 0)[0]
+            page_id = next_page
         return False
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
@@ -251,6 +262,34 @@ class DiskHashTable(KVStore):
         self._check_open()
         self._write_meta()
         self._pager.sync()
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self, label: bytes = b"") -> None:
+        self._check_open()
+        if self._pager.txn_depth == 0:
+            # Meta may lag the in-memory count (bulk loads defer it to
+            # sync/close); make the pre-image current before snapshot.
+            self._write_meta()
+        self._pager.begin(label)
+
+    def commit(self) -> None:
+        self._check_open()
+        if self._pager.txn_depth == 1:
+            self._write_meta()  # count lands inside the commit group
+        self._pager.commit()
+
+    def abort(self) -> None:
+        self._check_open()
+        if self._pager.txn_depth == 0:
+            return
+        self._pager.abort()
+        meta = self._pager.meta
+        self._count = _META.unpack(meta[:_META.size])[3]
+        self._directory = self._load_directory()
+
+    def wal_info(self) -> dict[str, object] | None:
+        return self._pager.wal_info()
 
     def close(self) -> None:
         if not self._closed:

@@ -18,6 +18,7 @@ experiments (Section 3.3 / Experiments 1-3) read.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -94,6 +95,47 @@ class KVStore(ABC):
 
     def sync(self) -> None:
         """Flush buffered writes to durable storage (no-op by default)."""
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self, label: bytes = b"") -> None:
+        """Open (or nest into) an atomic write group (no-op by default).
+
+        Disk stores route the group through their write-ahead log; the
+        in-memory store has nothing to make durable, so the default
+        implementation accepts and ignores the calls -- callers can wrap
+        mutations in :meth:`transaction` against any backend.
+        """
+
+    def commit(self) -> None:
+        """Durably commit the innermost write group (no-op by default)."""
+
+    def abort(self) -> None:
+        """Discard the current write group unapplied (no-op by default)."""
+
+    @contextmanager
+    def transaction(self, label: bytes = b"") -> Iterator["KVStore"]:
+        """Run a block of mutations as one atomic, recoverable group.
+
+        Commits on normal exit, aborts if the block raises.  A failure
+        *inside commit itself* (e.g. an injected crash) is not followed
+        by an abort: the group may already be in the log, and recovery
+        on reopen -- not rollback -- decides its fate.
+        """
+        self.begin(label)
+        committed = False
+        try:
+            yield self
+            committed = True
+            self.commit()
+        except BaseException:
+            if not committed:
+                self.abort()
+            raise
+
+    def wal_info(self) -> dict[str, object] | None:
+        """Write-ahead-log state, or ``None`` for non-journaled stores."""
+        return None
 
     def _check_open(self) -> None:
         if self._closed:

@@ -94,6 +94,29 @@ class NamespacedStore(KVStore):
         self._check_open()
         return sum(1 for _ in self.items())
 
+    # -- transactions ------------------------------------------------------
+    # All views over one base store share its single write-ahead log, so
+    # a transaction begun through any view commits at the base: a sharded
+    # mutation is one atomic group no matter which shard it routed to.
+
+    def begin(self, label: bytes = b"") -> None:
+        self._check_open()
+        with self._lock:
+            self._base.begin(label)
+
+    def commit(self) -> None:
+        self._check_open()
+        with self._lock:
+            self._base.commit()
+
+    def abort(self) -> None:
+        self._check_open()
+        with self._lock:
+            self._base.abort()
+
+    def wal_info(self) -> dict[str, object] | None:
+        return self._base.wal_info()
+
     # -- lifecycle ---------------------------------------------------------
 
     def sync(self) -> None:

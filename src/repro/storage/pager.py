@@ -14,6 +14,18 @@ File layout::
 
 Free pages store the id of the next free page in their first 8 bytes.
 Overflow pages store ``[next u64][chunk...]``.
+
+Durability: when opened with ``wal=True`` (the default) a
+:class:`~repro.storage.wal.WriteAheadLog` lives beside the store file at
+``<path>-wal`` and the pager exposes page-level transactions
+(:meth:`begin` / :meth:`commit` / :meth:`abort`).  Inside a transaction
+every page write -- including the header, tracked as page 0 -- is
+buffered in memory; :meth:`commit` logs the post-image of each dirty
+page as one fsynced WAL group *before* any of them reaches the main
+file.  :meth:`__init__` replays committed groups left by a crash and
+discards a torn tail, so the store is always observed either wholly
+pre- or wholly post-mutation.  Writes outside a transaction bypass the
+log (bulk builds keep their unjournaled speed).
 """
 
 from __future__ import annotations
@@ -22,6 +34,8 @@ import os
 import struct
 
 from .errors import CorruptionError, PageBoundsError, StorageError
+from .faults import wrap_file
+from .wal import DEFAULT_CHECKPOINT_BYTES, WriteAheadLog, fsync_file
 
 MAGIC = b"NCPG"
 VERSION = 1
@@ -30,16 +44,32 @@ _HEADER_FMT = "<4sHIQQH"
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 #: Maximum client metadata stored in the header page.
 MAX_META = 1024
+#: Dirty-map key for the header page inside a transaction.
+_HEADER_PAGE = 0
+
+
+def wal_path(path: str) -> str:
+    """The write-ahead-log path paired with a store file path."""
+    return path + "-wal"
 
 
 class Pager:
     """Fixed-size page manager over one file descriptor."""
 
     def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
-                 create: bool = False) -> None:
+                 create: bool = False, *, wal: bool = True) -> None:
         self.path = path
+        self._wal: WriteAheadLog | None = None
+        self._txn_depth = 0
+        self._txn_label = b""
+        self._dirty: dict[int, bytes] = {}
+        self._txn_snapshot: tuple[int, int, bytes] | None = None
+        self.recovered_groups = 0
+        self.discarded_groups = 0
         if create:
-            self._file = open(path, "w+b")
+            self._file = wrap_file(open(path, "w+b"), role="pager")
+            if wal:
+                self._wal = WriteAheadLog(wal_path(path), create=True)
             self.page_size = page_size
             self.n_pages = 1
             self._free_head = 0
@@ -48,22 +78,32 @@ class Pager:
         else:
             if not os.path.exists(path):
                 raise StorageError(f"no such store file: {path}")
-            self._file = open(path, "r+b")
+            self._file = wrap_file(open(path, "r+b"), role="pager")
+            if wal:
+                self._wal = WriteAheadLog(wal_path(path))
+                self._recover()
             self._read_header()
         self.page_reads = 0
         self.page_writes = 0
 
     # -- header -------------------------------------------------------------
 
-    def _write_header(self) -> None:
+    def _header_bytes(self) -> bytes:
         header = struct.pack(
             _HEADER_FMT, MAGIC, VERSION, self.page_size, self.n_pages,
             self._free_head, len(self._meta),
         ) + self._meta
         if len(header) > max(self.page_size, _HEADER_SIZE + MAX_META):
             raise StorageError("header metadata too large")
+        return header.ljust(self.page_size, b"\x00")
+
+    def _write_header(self) -> None:
+        data = self._header_bytes()
+        if self._txn_depth:
+            self._dirty[_HEADER_PAGE] = data
+            return
         self._file.seek(0)
-        self._file.write(header.ljust(self.page_size, b"\x00"))
+        self._file.write(data)
 
     def _read_header(self) -> None:
         self._file.seek(0)
@@ -93,6 +133,109 @@ class Pager:
         self._meta = bytes(meta)
         self._write_header()
 
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def txn_depth(self) -> int:
+        """Current transaction nesting depth (0 = autocommit)."""
+        return self._txn_depth
+
+    def begin(self, label: bytes = b"") -> None:
+        """Open (or nest into) a page transaction.
+
+        Without a WAL this is a no-op: writes stay direct and unjournaled.
+        """
+        if self._wal is None:
+            return
+        if self._txn_depth == 0:
+            self._txn_label = bytes(label)
+            self._dirty = {}
+            self._txn_snapshot = (self.n_pages, self._free_head, self._meta)
+        self._txn_depth += 1
+
+    def commit(self) -> None:
+        """Close one nesting level; the outermost commit is the real one.
+
+        The group of dirty post-image pages is appended to the WAL with a
+        single write + fsync (the commit point), *then* applied to the
+        main file.  Transaction state is cleared before the apply phase:
+        a crash mid-apply must be redone from the log on reopen, never
+        rolled back.
+        """
+        if self._wal is None:
+            return
+        if self._txn_depth == 0:
+            raise StorageError("commit outside a transaction")
+        if self._txn_depth > 1:
+            self._txn_depth -= 1
+            return
+        dirty, label = self._dirty, self._txn_label
+        self._txn_depth = 0
+        self._dirty = {}
+        self._txn_snapshot = None
+        if not dirty:
+            return
+        records = [struct.pack("<Q", page_id) + data
+                   for page_id, data in sorted(dirty.items())]
+        self._wal.commit(label, records)
+        for page_id, data in sorted(dirty.items()):
+            self._file.seek(page_id * self.page_size)
+            self._file.write(data)
+        if self._wal.size > DEFAULT_CHECKPOINT_BYTES:
+            self._checkpoint()
+
+    def abort(self) -> None:
+        """Discard the whole transaction (all nesting levels) unapplied."""
+        if self._wal is None or self._txn_depth == 0:
+            return
+        n_pages, free_head, meta = self._txn_snapshot  # type: ignore[misc]
+        self.n_pages = n_pages
+        self._free_head = free_head
+        self._meta = meta
+        self._txn_depth = 0
+        self._dirty = {}
+        self._txn_snapshot = None
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay committed WAL groups into the main file, drop torn tail."""
+        assert self._wal is not None
+        replayed, discarded = self._wal.recover(self._apply_group)
+        if replayed:
+            fsync_file(self._file)
+        if replayed or discarded or self._wal.pending_groups:
+            self._wal.checkpoint()
+        self.recovered_groups = replayed
+        self.discarded_groups = discarded
+
+    def _apply_group(self, label: bytes, records: list[bytes]) -> None:
+        for record in records:
+            if len(record) <= 8:
+                raise CorruptionError("undersized WAL page record")
+            page_id = struct.unpack_from("<Q", record, 0)[0]
+            data = record[8:]
+            # The page size is self-describing; the header may not have
+            # been read yet (recovery runs before ``_read_header``).
+            self._file.seek(page_id * len(data))
+            self._file.write(data)
+
+    def _checkpoint(self) -> None:
+        """Make the main file durable, then truncate the log."""
+        if self._wal is None:
+            return
+        fsync_file(self._file)
+        self._wal.checkpoint()
+
+    def wal_info(self) -> dict[str, object] | None:
+        """WAL description plus this open's recovery counts, or ``None``."""
+        if self._wal is None:
+            return None
+        info = self._wal.describe()
+        info["recovered_on_open"] = self.recovered_groups
+        info["discarded_on_open"] = self.discarded_groups
+        return info
+
     # -- page primitives ------------------------------------------------------
 
     def allocate(self) -> int:
@@ -121,6 +264,8 @@ class Pager:
         """Read a full page; short files are padded with zero bytes."""
         self._check_bounds(page_id)
         self.page_reads += 1
+        if self._txn_depth and page_id in self._dirty:
+            return self._dirty[page_id]
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         if len(data) < self.page_size:
@@ -133,8 +278,12 @@ class Pager:
         if len(data) > self.page_size:
             raise StorageError("page write larger than page size")
         self.page_writes += 1
+        padded = data.ljust(self.page_size, b"\x00")
+        if self._txn_depth:
+            self._dirty[page_id] = padded
+            return
         self._file.seek(page_id * self.page_size)
-        self._file.write(data.ljust(self.page_size, b"\x00"))
+        self._file.write(padded)
 
     def _check_bounds(self, page_id: int) -> None:
         if page_id < 1 or page_id > self.n_pages:
@@ -182,13 +331,21 @@ class Pager:
     # -- lifecycle -------------------------------------------------------------
 
     def sync(self) -> None:
-        """fsync the underlying file."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        """fsync the underlying file (and checkpoint the WAL when idle)."""
+        fsync_file(self._file)
+        if self._wal is not None and self._txn_depth == 0 \
+                and self._wal.pending_groups:
+            self._wal.checkpoint()
 
     def close(self) -> None:
-        """Flush the header and close the file."""
+        """Flush the header and close the file (open transactions abort)."""
         if not self._file.closed:
+            if self._txn_depth:
+                self.abort()
             self._write_header()
             self._file.flush()
+            if self._wal is not None and self._wal.pending_groups:
+                self._checkpoint()
             self._file.close()
+        if self._wal is not None:
+            self._wal.close()

@@ -1,0 +1,243 @@
+"""Write-ahead log: crash-safe commit groups for the paged stores.
+
+The paper's storage layer (Tokyo Cabinet) assumes clean shutdowns: indexes
+are built offline and only read at query time.  Online mutations
+(:mod:`repro.core.updates`) break that assumption -- one logical insert
+touches posting lists, node metadata, the record table, the key map, the
+frequency table and the config record, and a crash between any two of
+those writes leaves a torn index with no way to detect or repair it.
+
+This module provides the durability primitive the pager builds
+transactions on: an append-only log of *commit groups*.  Each group is a
+checksummed, length-prefixed batch of opaque records (the pager logs
+post-image pages) tagged with the logical mutation that produced it::
+
+    file   := [magic "NCWL"][version u16] group*
+    group  := [magic "G1"][body_len u32][crc32(body) u32] body
+    body   := [label_len u16][label][n_records u32] record*
+    record := [length u32][payload]
+
+Commit protocol (see :meth:`WriteAheadLog.commit`):
+
+1. the whole group is appended with a **single write** and one fsync --
+   this is the commit point; the main file has not been touched yet;
+2. the buffered pages are then applied to the main file (crash-unsafe,
+   but redone from the log on recovery);
+3. a later checkpoint (on ``sync``/``close`` or when the log grows past
+   a threshold) fsyncs the main file and truncates the log.
+
+Recovery (:meth:`WriteAheadLog.recover`) scans the log front to back,
+re-applies every complete group whose checksum verifies (idempotent:
+records are physical post-images), and discards the torn tail, if any.
+An index is therefore always either pre- or post-mutation, never
+in between -- the property the crash-consistency suite in
+``tests/storage/test_crash.py`` sweeps for.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+from .errors import CorruptionError
+from .faults import wrap_file
+
+MAGIC = b"NCWL"
+VERSION = 1
+GROUP_MAGIC = b"G1"
+_FILE_HEADER = struct.Struct("<4sH")
+_GROUP_HEADER = struct.Struct("<2sII")  # magic, body length, crc32(body)
+
+#: Default log size (bytes) past which the owning pager checkpoints.
+DEFAULT_CHECKPOINT_BYTES = 4 << 20
+
+
+def fsync_file(handle) -> None:
+    """Flush and fsync a (possibly fault-wrapped) file handle."""
+    handle.flush()
+    sync = getattr(handle, "fsync", None)
+    if sync is not None:
+        sync()
+    else:
+        os.fsync(handle.fileno())
+
+
+@dataclass
+class WALStats:
+    """Lifetime counters of one log (surfaced by ``nestcontain info``)."""
+
+    commits: int = 0
+    records_logged: int = 0
+    bytes_logged: int = 0
+    syncs: int = 0
+    checkpoints: int = 0
+    recovered_groups: int = 0
+    discarded_groups: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+
+
+class WriteAheadLog:
+    """Append-only commit-group log beside one paged store file."""
+
+    def __init__(self, path: str, *, create: bool = False,
+                 sync: bool = True) -> None:
+        self.path = path
+        self.sync = sync
+        self.stats = WALStats()
+        self._pending_groups = 0
+        if create and os.path.exists(path):
+            os.remove(path)
+        if not os.path.exists(path):
+            with open(path, "wb") as handle:
+                handle.write(_FILE_HEADER.pack(MAGIC, VERSION))
+        self._file = wrap_file(open(path, "r+b"), role="wal")
+        self._file.seek(0)
+        header = self._file.read(_FILE_HEADER.size)
+        if len(header) < _FILE_HEADER.size:
+            # A crash can tear even the 6-byte header of a brand-new log:
+            # nothing was ever committed, so an empty log is the truth.
+            self._reset()
+            return
+        magic, version = _FILE_HEADER.unpack(header)
+        if magic != MAGIC:
+            raise CorruptionError(f"bad WAL magic in {path!r}")
+        if version != VERSION:
+            raise CorruptionError(f"unsupported WAL version {version}")
+
+    # -- commit ------------------------------------------------------------
+
+    def commit(self, label: bytes, records: list[bytes]) -> None:
+        """Durably append one commit group (single write + fsync)."""
+        body = bytearray(struct.pack("<H", len(label)))
+        body += label
+        body += struct.pack("<I", len(records))
+        for record in records:
+            body += struct.pack("<I", len(record))
+            body += record
+        group = _GROUP_HEADER.pack(GROUP_MAGIC, len(body),
+                                   zlib.crc32(body)) + bytes(body)
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(group)
+        if self.sync:
+            fsync_file(self._file)
+            self.stats.syncs += 1
+        else:
+            self._file.flush()
+        self._pending_groups += 1
+        self.stats.commits += 1
+        self.stats.records_logged += len(records)
+        self.stats.bytes_logged += len(group)
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, apply: Callable[[bytes, list[bytes]], None]
+                ) -> tuple[int, int]:
+        """Re-apply committed groups; drop the torn tail.
+
+        ``apply(label, records)`` is invoked once per complete group, in
+        commit order.  Returns ``(replayed, discarded)`` group counts.
+        The caller must fsync the main file and then :meth:`checkpoint`;
+        until it does, the replayed groups stay pending in the log, so a
+        crash *during recovery* simply replays them again (idempotent --
+        the records are physical post-images).
+        """
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size <= _FILE_HEADER.size:
+            return 0, 0
+        self._file.seek(_FILE_HEADER.size)
+        raw = self._file.read(size - _FILE_HEADER.size)
+        replayed = discarded = 0
+        pos = 0
+        while pos < len(raw):
+            group = self._parse_group(raw, pos)
+            if group is None:
+                discarded = 1
+                break
+            label, records, pos = group
+            apply(label, records)
+            replayed += 1
+        self._pending_groups = replayed
+        self.stats.recovered_groups += replayed
+        self.stats.discarded_groups += discarded
+        return replayed, discarded
+
+    @staticmethod
+    def _parse_group(raw: bytes, pos: int
+                     ) -> tuple[bytes, list[bytes], int] | None:
+        """Decode one group at ``pos``; ``None`` for a torn/invalid tail."""
+        if pos + _GROUP_HEADER.size > len(raw):
+            return None
+        magic, body_len, crc = _GROUP_HEADER.unpack_from(raw, pos)
+        if magic != GROUP_MAGIC:
+            return None
+        body_start = pos + _GROUP_HEADER.size
+        body = raw[body_start:body_start + body_len]
+        if len(body) < body_len or zlib.crc32(body) != crc:
+            return None
+        cursor = 0
+        label_len = struct.unpack_from("<H", body, cursor)[0]
+        cursor += 2
+        label = body[cursor:cursor + label_len]
+        cursor += label_len
+        n_records = struct.unpack_from("<I", body, cursor)[0]
+        cursor += 4
+        records: list[bytes] = []
+        for _ in range(n_records):
+            length = struct.unpack_from("<I", body, cursor)[0]
+            cursor += 4
+            records.append(body[cursor:cursor + length])
+            cursor += length
+        return label, records, body_start + body_len
+
+    # -- checkpoint --------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Truncate the log to its header (main file must be durable)."""
+        self._file.seek(_FILE_HEADER.size)
+        self._file.truncate()
+        if self.sync:
+            fsync_file(self._file)
+        self._pending_groups = 0
+        self.stats.checkpoints += 1
+
+    def _reset(self) -> None:
+        self._file.seek(0)
+        self._file.write(_FILE_HEADER.pack(MAGIC, VERSION))
+        self._file.truncate()
+        self._file.flush()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending_groups(self) -> int:
+        """Groups committed (or replayed) since the last checkpoint."""
+        return self._pending_groups
+
+    @property
+    def size(self) -> int:
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell()
+
+    def describe(self) -> dict[str, object]:
+        """WAL state for ``nestcontain info`` / engine stats."""
+        out: dict[str, object] = {
+            "path": self.path,
+            "size_bytes": self.size,
+            "pending_groups": self.pending_groups,
+            "synchronous": self.sync,
+        }
+        out.update(self.stats.snapshot())
+        return out
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

@@ -338,3 +338,44 @@ class TestShardExecutor:
     def test_invalid_workers(self) -> None:
         with pytest.raises(ValueError):
             ShardExecutor(max_workers=0)
+
+
+class TestRoundRobinDeleteFallback:
+    """Regression: the fallback sweep must not re-try the routed shard
+    (it already missed), and must try every other shard exactly once."""
+
+    @staticmethod
+    def _instrumented(index: ShardedIndex) -> list[int]:
+        calls: list[int] = []
+        for shard_no, engine in enumerate(index.shards):
+            original = engine.delete
+
+            def wrapped(key, _original=original, _no=shard_no):
+                calls.append(_no)
+                return _original(key)
+
+            engine.delete = wrapped  # type: ignore[method-assign]
+        return calls
+
+    def test_fallback_skips_routed_shard(self) -> None:
+        records = [(f"r{i}", "{x}") for i in range(8)]
+        index = NestedSetIndex.build(records, shards=4,
+                                     shard_policy="roundrobin")
+        assert isinstance(index, ShardedIndex)
+        calls = self._instrumented(index)
+        # Build consumed 8 round-robin slots, so this delete routes to
+        # shard 0 -- but "r1" lives in shard 1: the fallback must fire.
+        assert index.delete("r1")
+        assert calls[0] == 0                  # the routed miss
+        assert calls.count(0) == 1            # ...never re-tried
+        assert calls == [0, 1]                # sweep stopped at the hit
+
+    def test_missing_key_tries_each_shard_once(self) -> None:
+        records = [(f"r{i}", "{x}") for i in range(8)]
+        index = NestedSetIndex.build(records, shards=4,
+                                     shard_policy="roundrobin")
+        assert isinstance(index, ShardedIndex)
+        calls = self._instrumented(index)
+        assert not index.delete("never-there")
+        assert len(calls) == index.n_shards   # routed + 3 others, no dupes
+        assert sorted(calls) == [0, 1, 2, 3]

@@ -130,6 +130,35 @@ class TestDelete:
         index.delete(small_corpus[1][0])
         assert index.inverted_file.n_live_records == len(small_corpus) - 2
 
+    def test_delete_invalidates_blocked_caches(self, small_corpus) -> None:
+        """Regression: after a tombstone delete, queries over a
+        block-compressed index must not answer from cached decodings of
+        the dead record's posting lists."""
+        index = NestedSetIndex.build(small_corpus, block_size=4)
+        victim_key, victim_tree = small_corpus[5]
+        # Warm the block/list caches with the victim's own atoms.
+        assert victim_key in index.query(victim_tree)
+        index.query(victim_tree, algorithm="topdown")
+        assert index.delete(victim_key) is True
+        assert victim_key not in index.query(victim_tree)
+        model = [r for r in small_corpus if r[0] != victim_key]
+        check_against(index, model, "blocked-del")
+
+    def test_delete_refreshes_collection_stats(self, small_corpus) -> None:
+        """Regression: the memoized planner statistics must be rebuilt
+        after a delete, mirroring what insert already did."""
+        index = NestedSetIndex.build(small_corpus)
+        victim_key, victim_tree = small_corpus[4]
+        atom = next(iter(next(victim_tree.iter_sets()).atoms))
+        before = index.collection_stats()  # memoize pre-delete
+        df_before = before.document_frequency(atom)
+        assert df_before > 0
+        assert index.delete(victim_key) is True
+        after = index.collection_stats()
+        assert after is not before
+        assert after.n_records == before.n_records - 1
+        assert after.document_frequency(atom) < df_before
+
 
 class TestCompact:
     def test_compact_drops_tombstones(self, small_corpus) -> None:

@@ -119,3 +119,30 @@ class TestLargeValuesAndPersistence:
                 assert tree.delete(key) == (model.pop(key, None) is not None)
         assert dict(tree.items()) == model
         tree.close()
+
+
+class TestPageStability:
+    """Regression: same-key churn must not grow the file (overflow
+    chains are freed on overwrite and delete)."""
+
+    def test_same_key_overwrites_stable_pages(self, tmp_path) -> None:
+        tree = BPlusTree(str(tmp_path / "f.bt"), create=True)
+        for i in range(300):
+            tree.put(b"hot", b"v%d" % i * 7)
+        settled = tree._pager.n_pages
+        for i in range(300):
+            tree.put(b"hot", b"v%d" % i * 7)
+        assert tree._pager.n_pages == settled
+        assert tree.get(b"hot") == b"v299" * 7
+        tree.close()
+
+    def test_overflow_churn_stable_pages(self, tmp_path) -> None:
+        tree = BPlusTree(str(tmp_path / "f.bt"), create=True)
+        big = b"x" * 20_000
+        for i in range(40):
+            tree.put(b"big", big + b"%d" % i)
+        settled = tree._pager.n_pages
+        for i in range(40):
+            tree.put(b"big", big + b"%d" % i)
+        assert tree._pager.n_pages == settled
+        tree.close()

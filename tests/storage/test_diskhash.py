@@ -148,3 +148,47 @@ class TestStats:
         assert table.stats.misses == 1
         assert table.stats.bytes_read == 1
         assert table.stats.puts == 1
+
+
+class TestPageStability:
+    """Regression: deletes excise records, so same-key churn must not
+    grow the file (tombstone accumulation used to leak page space)."""
+
+    def test_same_key_overwrites_stable_pages(self, tmp_path) -> None:
+        table = DiskHashTable(str(tmp_path / "f.dh"), create=True,
+                              n_buckets=8)
+        for i in range(300):
+            table.put(b"hot", b"v%d" % i * 7)
+        settled = table._pager.n_pages
+        for i in range(300):
+            table.put(b"hot", b"v%d" % i * 7)
+        assert table._pager.n_pages == settled
+        assert table.get(b"hot") == b"v299" * 7
+        assert len(table) == 1
+        table.close()
+
+    def test_overflow_churn_stable_pages(self, tmp_path) -> None:
+        table = DiskHashTable(str(tmp_path / "f.dh"), create=True,
+                              n_buckets=8)
+        big = b"x" * 20_000  # several overflow pages per value
+        for i in range(40):
+            table.put(b"big", big + b"%d" % i)
+        settled = table._pager.n_pages
+        for i in range(40):
+            table.put(b"big", big + b"%d" % i)
+        assert table._pager.n_pages == settled
+        table.close()
+
+    def test_delete_then_reinsert_reuses_space(self, tmp_path) -> None:
+        table = DiskHashTable(str(tmp_path / "f.dh"), create=True,
+                              n_buckets=4)
+        for round_no in range(50):
+            for i in range(20):
+                table.put(b"k%d" % i, b"payload-%d" % round_no)
+            if round_no == 0:
+                settled = table._pager.n_pages
+            for i in range(20):
+                assert table.delete(b"k%d" % i)
+        assert table._pager.n_pages == settled
+        assert len(table) == 0
+        table.close()
