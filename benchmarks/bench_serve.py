@@ -1,0 +1,160 @@
+"""Experiment SV1: served throughput -- micro-batching vs per-request.
+
+Drives a real :class:`~repro.server.ServerThread` over loopback with 1,
+4, and 16 concurrent blocking clients, at several micro-batch windows
+(0 ms = per-request dispatch, the baseline).  Every client issues the
+same benchmark query mix, so a wider window lets the server coalesce
+concurrent arrivals into single ``engine.query_batch`` calls that share
+the bottom-up subquery memo -- the coalesce-ratio column shows how many
+queries each engine call absorbed.
+
+An in-process sequential pass over the identical mix is measured too,
+bounding what the protocol + scheduling layers cost.  The headline
+comparison (16 clients, widest window vs 0 ms) is written to
+``bench_results/BENCH_serve.json`` and must favour batching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.bench.reporting import RESULTS_DIR
+from repro.bench.workloads import generate_dataset
+from repro.core.engine import NestedSetIndex
+from repro.data.queries import make_benchmark_queries
+from repro.server import ServerThread, ServiceClient
+
+DATASET = "zipf-wide"
+SIZE = 600
+N_QUERIES = 24
+CLIENT_COUNTS = (1, 4, 16)
+#: Micro-batch windows under test; 0 ms is the per-request baseline.
+WINDOWS_MS = (0.0, 2.0, 5.0)
+ROUNDS = 3
+
+
+def _workload():
+    records = list(generate_dataset(DATASET, SIZE, seed=3))
+    queries = [bench.query for bench in
+               make_benchmark_queries(records, N_QUERIES, seed=3)]
+    return records, [query.to_text() for query in queries]
+
+
+def _serve_round(port: int, n_clients: int,
+                 queries: list[str]) -> float:
+    """All clients issue the full mix once; returns elapsed seconds."""
+    barrier = threading.Barrier(n_clients + 1)
+    errors: list[BaseException] = []
+
+    def client_main() -> None:
+        try:
+            with ServiceClient(port=port) as client:
+                barrier.wait()
+                for query in queries:
+                    client.query(query)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+            raise
+
+    threads = [threading.Thread(target=client_main)
+               for _ in range(n_clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()                    # all connected: start the clock
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def _measure_served(index, n_clients: int, window_ms: float,
+                    queries: list[str]) -> dict:
+    # batch_max tuned to the expected concurrency: a full batch flushes
+    # immediately, so the window only taxes rounds with stragglers.
+    with ServerThread(index, batch_window_ms=window_ms, workers=4,
+                      max_inflight=256, batch_max=max(2, n_clients),
+                      close_index_on_drain=False) as handle:
+        _serve_round(handle.port, n_clients, queries)   # warmup
+        best = min(_serve_round(handle.port, n_clients, queries)
+                   for _ in range(ROUNDS))
+        stats = handle.server.metrics.snapshot()
+    total_queries = n_clients * len(queries)
+    return {
+        "clients": n_clients,
+        "batch_window_ms": window_ms,
+        "round_seconds": round(best, 6),
+        "queries_per_second": round(total_queries / best, 1),
+        "coalesce_ratio": stats["coalesce_ratio"],
+    }
+
+
+def test_served_throughput_grid():
+    """Record BENCH_serve.json; batching must beat per-request dispatch.
+
+    The threshold is sanity-only (>1.0x at 16 clients): coalescing
+    concurrent arrivals into one engine batch amortizes dispatch and
+    shares subquery work, so it must not *lose* to per-request mode;
+    the JSON carries the measured factors.
+    """
+    records, queries = _workload()
+    index = NestedSetIndex.build(records)
+    try:
+        in_process = []
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            for query in queries:
+                index.query(query)
+            in_process.append(time.perf_counter() - start)
+        in_process_qps = len(queries) / min(in_process)
+
+        grid = [_measure_served(index, n_clients, window_ms, queries)
+                for n_clients in CLIENT_COUNTS
+                for window_ms in WINDOWS_MS]
+    finally:
+        index.close()
+
+    def cell(clients: int, window_ms: float) -> dict:
+        return next(row for row in grid
+                    if row["clients"] == clients
+                    and row["batch_window_ms"] == window_ms)
+
+    headline_clients = max(CLIENT_COUNTS)
+    per_request = cell(headline_clients, 0.0)
+    batched = max((cell(headline_clients, w) for w in WINDOWS_MS[1:]),
+                  key=lambda row: row["queries_per_second"])
+    speedup = (batched["queries_per_second"]
+               / per_request["queries_per_second"])
+
+    payload = {
+        "experiment": "BENCH_serve",
+        "workload": {
+            "dataset": DATASET, "size": SIZE, "queries": N_QUERIES,
+            "rounds": ROUNDS,
+            "mix": "every client issues the full query mix per round "
+                   "over its own connection",
+        },
+        "in_process_sequential_qps": round(in_process_qps, 1),
+        "grid": grid,
+        "headline": {
+            "clients": headline_clients,
+            "per_request_qps": per_request["queries_per_second"],
+            "batched_qps": batched["queries_per_second"],
+            "batched_window_ms": batched["batch_window_ms"],
+            "batched_coalesce_ratio": batched["coalesce_ratio"],
+            "batching_speedup": round(speedup, 3),
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    assert batched["coalesce_ratio"] > 1.0, payload["headline"]
+    assert speedup > 1.0, (
+        f"batched serving slower than per-request: {payload['headline']}")

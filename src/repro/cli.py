@@ -62,15 +62,14 @@ def _cmd_import(args: argparse.Namespace) -> int:
 def _cmd_index(args: argparse.Namespace) -> int:
     records = load_collection_file(args.collection)
     start = time.perf_counter()
-    index = NestedSetIndex.build(records, storage=args.storage,
-                                 path=args.output, shards=args.shards,
-                                 workers=args.workers,
-                                 block_size=args.block_size)
-    elapsed = time.perf_counter() - start
-    layout = (f"{args.shards} shards, " if args.shards > 1 else "")
-    print(f"indexed {index.n_records} records / {index.n_nodes} nodes "
-          f"in {elapsed:.2f}s ({layout}{args.storage} -> {args.output})")
-    index.close()
+    with NestedSetIndex.build(records, storage=args.storage,
+                              path=args.output, shards=args.shards,
+                              workers=args.workers,
+                              block_size=args.block_size) as index:
+        elapsed = time.perf_counter() - start
+        layout = (f"{args.shards} shards, " if args.shards > 1 else "")
+        print(f"indexed {index.n_records} records / {index.n_nodes} nodes "
+              f"in {elapsed:.2f}s ({layout}{args.storage} -> {args.output})")
     return 0
 
 
@@ -92,9 +91,43 @@ def _each_inverted_file(index):
     return [index.inverted_file]
 
 
+def _read_queries_file(path: str) -> list[str]:
+    """One nested-set query per non-blank line; ``-`` reads stdin."""
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    queries = [line.strip() for line in lines]
+    return [query for query in queries if query
+            and not query.startswith("#")]
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    index = _open_index(args)
-    try:
+    if (args.query is None) == (args.queries_file is None):
+        print("error: provide exactly one of a query argument or "
+              "--queries-file", file=sys.stderr)
+        return 2
+    with _open_index(args) as index:
+        if args.queries_file is not None:
+            queries = _read_queries_file(args.queries_file)
+            start = time.perf_counter()
+            results = index.query_batch(queries,
+                                        algorithm=args.algorithm,
+                                        semantics=args.semantics,
+                                        join=args.join,
+                                        epsilon=args.epsilon,
+                                        mode=args.mode,
+                                        planner=args.planner)
+            elapsed = (time.perf_counter() - start) * 1000.0
+            for keys in results:
+                print("\t".join(keys))
+            n_hits = sum(len(keys) for keys in results)
+            print(f"-- {len(queries)} queries, {n_hits} records "
+                  f"in {elapsed:.3f} ms (batched, "
+                  f"{args.algorithm}/{args.semantics}/{args.join})",
+                  file=sys.stderr)
+            return 0
         if args.show_plan:
             plan = index.compile(args.query, algorithm=args.algorithm,
                                  semantics=args.semantics, join=args.join,
@@ -112,28 +145,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"-- {len(result)} records in {elapsed:.3f} ms "
               f"({args.algorithm}/{args.semantics}/{args.join})",
               file=sys.stderr)
-    finally:
-        index.close()
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    index = _open_index(args)
-    try:
+    with _open_index(args) as index:
         result = index.explain(args.query, algorithm=args.algorithm,
                                semantics=args.semantics, join=args.join,
                                epsilon=args.epsilon, mode=args.mode,
                                planner=args.planner)
         print(result.render())
-    finally:
-        index.close()
     return 0
 
 
 def _cmd_similar(args: argparse.Namespace) -> int:
     from .core.similarity import top_k_similar
-    index = _open_index(args)
-    try:
+    with _open_index(args) as index:
         hits: list[tuple[str, float]] = []
         for ifile in _each_inverted_file(index):
             hits.extend(top_k_similar(ifile, args.query, k=args.k,
@@ -141,15 +168,12 @@ def _cmd_similar(args: argparse.Namespace) -> int:
         hits.sort(key=lambda hit: (-hit[1], hit[0]))
         for key, score in hits[:args.k]:
             print(f"{score:.4f}  {key}")
-    finally:
-        index.close()
     return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from .core.checker import check_index
-    index = _open_index(args)
-    try:
+    with _open_index(args) as index:
         ifiles = _each_inverted_file(index)
         problems = []
         for shard_no, ifile in enumerate(ifiles):
@@ -165,14 +189,51 @@ def _cmd_check(args: argparse.Namespace) -> int:
                   else "")
         print(f"index healthy: {index.n_records} records, "
               f"{index.n_nodes} nodes{layout}")
-    finally:
-        index.close()
+    return 0
+
+
+def _print_server_info(address: str) -> int:
+    """The ``info --server`` path: live counters from a running server."""
+    from .server import ServiceClient
+    host, _, port = address.rpartition(":")
+    with ServiceClient(host or "127.0.0.1", int(port)) as client:
+        stats = client.stats()
+    server = stats["server"]
+    latency = server["latency_ms"]
+    engine = stats["engine"]
+    print(f"server uptime:  {server['uptime_s']:.1f}s "
+          f"({'draining' if server['draining'] else 'serving'})")
+    print(f"requests:       {server['requests_total']} total "
+          f"({server['inflight']}/{server['max_inflight']} in flight)")
+    for op, count in sorted(server["requests_by_op"].items()):
+        print(f"  {op + ':':<14}{count}")
+    print(f"batches:        {server['batches']} engine calls for "
+          f"{server['batched_queries']} queries "
+          f"(coalesce ratio {server['coalesce_ratio']:.2f}, "
+          f"window {server['batch_window_ms']:.1f} ms)")
+    print(f"rejections:     {server['rejected_overload']} overloaded, "
+          f"{server['rejected_shutdown']} shutting down, "
+          f"{server['timeouts']} timeouts")
+    if server["errors_by_code"]:
+        errors = ", ".join(f"{code}={count}" for code, count
+                           in sorted(server["errors_by_code"].items()))
+        print(f"errors:         {errors}")
+    print(f"latency:        p50 {latency['p50']:.3f} ms, "
+          f"p99 {latency['p99']:.3f} ms, max {latency['max']:.3f} ms "
+          f"({latency['samples']} samples)")
+    print(f"index:          {engine['index']['records']} records, "
+          f"{engine['index']['nodes']} nodes")
     return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    index = _open_index(args)
-    try:
+    if args.server:
+        return _print_server_info(args.server)
+    if args.index is None:
+        print("error: provide an index path or --server HOST:PORT",
+              file=sys.stderr)
+        return 2
+    with _open_index(args) as index:
         print(f"records:        {index.n_records}")
         print(f"internal nodes: {index.n_nodes}")
         if isinstance(index, ShardedIndex):
@@ -214,16 +275,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
         print("hottest atoms:")
         for atom, df in frequencies[:args.top]:
             print(f"  {atom!r}: {df}")
-    finally:
-        index.close()
     return 0
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
     from .core.join import containment_join
     from .core.matchspec import QuerySpec
-    index = _open_index(args)
-    try:
+    with _open_index(args) as index:
         queries = load_collection_file(args.queries)
         spec = QuerySpec(semantics=args.semantics, join=args.join,
                          epsilon=args.epsilon, mode=args.mode)
@@ -234,8 +292,35 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"-- {result.n_pairs} pairs from {result.n_queries} "
               f"queries in {result.elapsed_seconds * 1000:.1f} ms "
               f"({result.strategy})", file=sys.stderr)
-    finally:
-        index.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .server import QueryServer
+
+    with _open_index(args) as index:
+        server = QueryServer(index, host=args.host, port=args.port,
+                             workers=args.workers,
+                             max_inflight=args.max_inflight,
+                             batch_window_ms=args.batch_window_ms,
+                             close_index_on_drain=False)
+
+        async def _run() -> None:
+            await server.start()
+            print(f"serving {args.index} on "
+                  f"{server.host}:{server.port} "
+                  f"({args.workers} workers, "
+                  f"max {args.max_inflight} in flight, "
+                  f"batch window {args.batch_window_ms} ms)",
+                  flush=True)
+            await server.serve_until_drained()
+
+        asyncio.run(_run())
+        # The `with` block closes the index -> WAL checkpoint; the
+        # server only drains, so a drained process always exits clean.
+        print("drained; checkpointing index", file=sys.stderr)
     return 0
 
 
@@ -321,7 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="run one containment query")
     query.add_argument("index")
-    query.add_argument("query", help="nested set text, e.g. '{a, {b}}'")
+    query.add_argument("query", nargs="?", default=None,
+                       help="nested set text, e.g. '{a, {b}}' "
+                            "(omit when using --queries-file)")
+    query.add_argument("--queries-file", default=None,
+                       help="evaluate a batch: one nested set per line "
+                            "('-' reads stdin); runs through "
+                            "query_batch so subquery work is shared")
     query.add_argument("--storage", choices=("diskhash", "btree"),
                        default="diskhash")
     query.add_argument("--algorithm", choices=ALGORITHMS, default="bottomup")
@@ -380,13 +471,39 @@ def build_parser() -> argparse.ArgumentParser:
     chk.add_argument("--cache", default="none")
     chk.set_defaults(func=_cmd_check)
 
-    info = sub.add_parser("info", help="inspect an index")
-    info.add_argument("index")
+    info = sub.add_parser("info",
+                          help="inspect an index (or a running server)")
+    info.add_argument("index", nargs="?", default=None)
+    info.add_argument("--server", default=None, metavar="HOST:PORT",
+                      help="show live counters of a running "
+                           "'nestcontain serve' instead of an on-disk "
+                           "index")
     info.add_argument("--storage", choices=("diskhash", "btree"),
                       default="diskhash")
     info.add_argument("--cache", default="none")
     info.add_argument("--top", type=int, default=10)
     info.set_defaults(func=_cmd_info)
+
+    serve = sub.add_parser(
+        "serve", help="serve an index over TCP (length-prefixed JSON)")
+    serve.add_argument("index")
+    serve.add_argument("--storage", choices=("diskhash", "btree"),
+                       default="diskhash")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7317,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="engine worker threads (also sized to the "
+                            "shard fan-out pool of a sharded index)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="admission-control bound; requests beyond "
+                            "it are rejected as 'overloaded'")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="micro-batch window for coalescing "
+                            "concurrent queries (0 disables)")
+    serve.add_argument("--cache", choices=("none", "frequency", "lru"),
+                       default="frequency")
+    serve.set_defaults(func=_cmd_serve)
 
     join = sub.add_parser(
         "join", help="full containment join: queries file x index")

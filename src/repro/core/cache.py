@@ -19,6 +19,7 @@ so a hit skips both the store access and the codec work.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -130,36 +131,46 @@ class FrequencyCache(ListCache):
 
 
 class LRUCache(ListCache):
-    """Least-recently-used cache of at most ``budget`` posting lists."""
+    """Least-recently-used cache of at most ``budget`` posting lists.
+
+    Recency bookkeeping is a check-then-act sequence over an
+    ``OrderedDict``, so ``get``/``admit`` take a small lock: the query
+    service fans concurrent readers at one shared cache, and an eviction
+    racing a ``move_to_end`` would otherwise raise ``KeyError``.
+    """
 
     def __init__(self, budget: int = PAPER_BUDGET) -> None:
         super().__init__()
         if budget < 1:
             raise ValueError("budget must be >= 1")
         self.budget = budget
+        self._lock = threading.Lock()
         self._lists: OrderedDict[Hashable, PostingList] = OrderedDict()
 
     def get(self, key: Hashable) -> PostingList | None:
-        plist = self._lists.get(key)
-        if plist is None:
-            self.stats.misses += 1
-            return None
-        self._lists.move_to_end(key)
-        self.stats.hits += 1
-        return plist
+        with self._lock:
+            plist = self._lists.get(key)
+            if plist is None:
+                self.stats.misses += 1
+                return None
+            self._lists.move_to_end(key)
+            self.stats.hits += 1
+            return plist
 
     def admit(self, key: Hashable, plist: PostingList) -> None:
-        if key in self._lists:
-            self._lists.move_to_end(key)
-            return
-        self._lists[key] = plist
-        self.stats.insertions += 1
-        if len(self._lists) > self.budget:
-            self._lists.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._lists:
+                self._lists.move_to_end(key)
+                return
+            self._lists[key] = plist
+            self.stats.insertions += 1
+            if len(self._lists) > self.budget:
+                self._lists.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._lists.clear()
+        with self._lock:
+            self._lists.clear()
 
     def __len__(self) -> int:
         return len(self._lists)
@@ -191,27 +202,30 @@ class BlockCache:
             raise ValueError("budget must be >= 1")
         self.budget = budget
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._blocks: OrderedDict[tuple[Hashable, int], DecodedBlock] = \
             OrderedDict()
 
     def get(self, key: tuple[Hashable, int]) -> DecodedBlock | None:
-        block = self._blocks.get(key)
-        if block is None:
-            self.stats.misses += 1
-            return None
-        self._blocks.move_to_end(key)
-        self.stats.hits += 1
-        return block
+        with self._lock:
+            block = self._blocks.get(key)
+            if block is None:
+                self.stats.misses += 1
+                return None
+            self._blocks.move_to_end(key)
+            self.stats.hits += 1
+            return block
 
     def admit(self, key: tuple[Hashable, int], block: DecodedBlock) -> None:
-        if key in self._blocks:
-            self._blocks.move_to_end(key)
-            return
-        self._blocks[key] = block
-        self.stats.insertions += 1
-        if len(self._blocks) > self.budget:
-            self._blocks.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._blocks:
+                self._blocks.move_to_end(key)
+                return
+            self._blocks[key] = block
+            self.stats.insertions += 1
+            if len(self._blocks) > self.budget:
+                self._blocks.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self, list_keys: "set[Hashable]") -> None:
         """Drop every cached block of the given lists (atom tokens).
@@ -222,12 +236,14 @@ class BlockCache:
         point of invalidating per-atom instead of wholesale on every
         insert.
         """
-        stale = [key for key in self._blocks if key[0] in list_keys]
-        for key in stale:
-            del self._blocks[key]
+        with self._lock:
+            stale = [key for key in self._blocks if key[0] in list_keys]
+            for key in stale:
+                del self._blocks[key]
 
     def clear(self) -> None:
-        self._blocks.clear()
+        with self._lock:
+            self._blocks.clear()
 
     def __len__(self) -> int:
         return len(self._blocks)

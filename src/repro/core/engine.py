@@ -18,6 +18,7 @@ reopen via :meth:`NestedSetIndex.open`.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..storage import KVStore
@@ -30,6 +31,7 @@ from .exec.plan import ExecutionPlan
 from .invfile import InvertedFile
 from .matchspec import QuerySpec
 from .model import NestedSet, as_nested_set
+from .parallel import RWLock
 from .resultcache import ResultCache
 from .stats import CollectionStats
 from .updates import IndexWriter
@@ -41,7 +43,17 @@ __all__ = ["ALGORITHMS", "NestedSetIndex", "as_nested_set"]
 
 
 class NestedSetIndex:
-    """A queryable containment index over a collection of nested sets."""
+    """A queryable containment index over a collection of nested sets.
+
+    Thread-safety: public query entry points (``query``, ``query_batch``,
+    ``explain``, ``match_nodes``) take the read side of a
+    :class:`~repro.core.parallel.RWLock` and may run concurrently;
+    mutations (``insert``, ``delete``, ``compact``, ``set_cache``) take
+    the write side, so readers never observe a half-applied update and
+    every cache-invalidation hook fires inside the exclusive section.
+    Internal helpers are lock-free and must only be reached from a
+    locked entry point or a single-threaded context.
+    """
 
     def __init__(self, ifile: InvertedFile,
                  bloom_index: BloomIndex | None = None) -> None:
@@ -50,6 +62,10 @@ class NestedSetIndex:
         self._stats: CollectionStats | None = None
         self._writer: IndexWriter | None = None
         self._result_cache: ResultCache | None = None
+        self._rwlock = RWLock()
+        #: Serializes deferred-statistics flushes triggered from read
+        #: paths (two concurrent readers may both observe a dirty writer).
+        self._writer_mutex = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
@@ -214,7 +230,8 @@ class NestedSetIndex:
                          mode=mode)
         plan = compile_query(query, spec, algorithm=algorithm,
                              planner=planner, use_bloom=use_bloom)
-        return plan.run(self.execution_context())
+        with self._rwlock.read_locked():
+            return plan.run(self.execution_context())
 
     def compile(self, query: object, *, algorithm: str = "bottomup",
                 semantics: str = "hom", join: str = "subset",
@@ -258,7 +275,8 @@ class NestedSetIndex:
                             epsilon=epsilon, mode=mode,
                             use_bloom=use_bloom, planner=planner,
                             cacheable=False)
-        return run_explained(plan, self.execution_context())
+        with self._rwlock.read_locked():
+            return run_explained(plan, self.execution_context())
 
     def enable_result_cache(self, capacity: int = 1024) -> ResultCache:
         """Cache whole query results (invalidated on any index mutation).
@@ -283,7 +301,8 @@ class NestedSetIndex:
         """Raw node-level result: ids at which the query embeds."""
         plan = compile_query(query, spec, algorithm=algorithm,
                              planner=planner, cacheable=False)
-        return plan.match_nodes(self.execution_context())
+        with self._rwlock.read_locked():
+            return plan.match_nodes(self.execution_context())
 
     def collection_stats(self) -> CollectionStats:
         """Frequency statistics over the indexed collection (memoized)."""
@@ -301,8 +320,9 @@ class NestedSetIndex:
 
     def _flush_writer(self) -> None:
         """Persist deferred statistics before anything reads them."""
-        if self._writer is not None:
-            self._writer.flush()
+        with self._writer_mutex:
+            if self._writer is not None:
+                self._writer.flush()
 
     def insert(self, key: str, value: object) -> int:
         """Add one record to the live index; returns its ordinal.
@@ -310,28 +330,32 @@ class NestedSetIndex:
         On journaled stores the whole insert -- postings, metadata,
         record table, frequency table, and the Bloom filter append --
         commits as one write-ahead-log group, so a crash at any point
-        leaves the index wholly pre- or post-insert.
+        leaves the index wholly pre- or post-insert.  The write lock
+        excludes every concurrent reader for the duration, including
+        the cache invalidations below.
         """
-        with self._ifile.store.transaction(b"insert"):
-            ordinal = self._index_writer().insert(key, value)
-            if self._bloom is not None:
-                self._bloom.append_persisted(self._ifile.store,
-                                             as_nested_set(value))
-        self._stats = None
-        if self._result_cache is not None:
-            self._result_cache.invalidate_all()
-        return ordinal
-
-    def delete(self, key: str) -> bool:
-        """Tombstone the record with ``key``; see repro.core.updates."""
-        deleted = self._index_writer().delete(key)
-        if deleted:
-            # Dead counts change live frequencies: the memoized
-            # collection statistics (planner input) must be recomputed.
+        with self._rwlock.write_locked():
+            with self._ifile.store.transaction(b"insert"):
+                ordinal = self._index_writer().insert(key, value)
+                if self._bloom is not None:
+                    self._bloom.append_persisted(self._ifile.store,
+                                                 as_nested_set(value))
             self._stats = None
             if self._result_cache is not None:
                 self._result_cache.invalidate_all()
-        return deleted
+            return ordinal
+
+    def delete(self, key: str) -> bool:
+        """Tombstone the record with ``key``; see repro.core.updates."""
+        with self._rwlock.write_locked():
+            deleted = self._index_writer().delete(key)
+            if deleted:
+                # Dead counts change live frequencies: the memoized
+                # collection statistics (planner input) must be recomputed.
+                self._stats = None
+                if self._result_cache is not None:
+                    self._result_cache.invalidate_all()
+            return deleted
 
     def compact(self, *, storage: str = "memory",
                 path: str | None = None,
@@ -343,20 +367,21 @@ class NestedSetIndex:
         ``store`` accepts a pre-opened destination (used by the sharded
         index to compact each shard into one fresh shared store).
         """
-        fresh = self._index_writer().compact(storage=storage, path=path,
-                                             store=store)
-        self._writer = None
-        if self._result_cache is not None:
-            self._result_cache.invalidate_all()
-        old_bloom_kind = self._bloom.kind if self._bloom else None
-        self._ifile.close()
-        self._ifile = fresh
-        self._stats = None
-        if old_bloom_kind is not None:
-            self._bloom = BloomIndex(old_bloom_kind)
-            for _ordinal, _key, _root, tree in fresh.iter_records():
-                self._bloom.add_record(tree)
-            self._bloom.save(fresh.store)
+        with self._rwlock.write_locked():
+            fresh = self._index_writer().compact(storage=storage, path=path,
+                                                 store=store)
+            self._writer = None
+            if self._result_cache is not None:
+                self._result_cache.invalidate_all()
+            old_bloom_kind = self._bloom.kind if self._bloom else None
+            self._ifile.close()
+            self._ifile = fresh
+            self._stats = None
+            if old_bloom_kind is not None:
+                self._bloom = BloomIndex(old_bloom_kind)
+                for _ordinal, _key, _root, tree in fresh.iter_records():
+                    self._bloom.add_record(tree)
+                self._bloom.save(fresh.store)
 
     def query_batch(self, queries: Sequence[object], *,
                     share_subqueries: bool = True,
@@ -387,8 +412,9 @@ class NestedSetIndex:
         if share_subqueries and plans and \
                 all(plan.match.memoizable for plan in plans):
             memo = {}
-        ctx = self.execution_context(memo=memo)
-        return [plan.run(ctx) for plan in plans]
+        with self._rwlock.read_locked():
+            ctx = self.execution_context(memo=memo)
+            return [plan.run(ctx) for plan in plans]
 
     def containment_join(self, queries: Iterable[tuple[str, object]],
                          **options: object) -> list[tuple[str, str]]:
@@ -428,11 +454,18 @@ class NestedSetIndex:
         caching on the *same* built index; swapping the cache (rather than
         rebuilding) is what makes that cheap.
         """
-        self._flush_writer()
-        self._ifile.cache = make_cache(
-            policy, frequencies=self._ifile.frequencies(), budget=budget)
+        with self._rwlock.write_locked():
+            self._flush_writer()
+            self._ifile.cache = make_cache(
+                policy, frequencies=self._ifile.frequencies(),
+                budget=budget)
 
     # -- introspection ----------------------------------------------------------
+
+    @property
+    def rwlock(self) -> RWLock:
+        """The reader/writer lock coordinating queries with mutations."""
+        return self._rwlock
 
     @property
     def n_records(self) -> int:

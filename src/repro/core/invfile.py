@@ -499,7 +499,13 @@ class InvertedFile:
                 raise InvertedFileError(f"missing node metadata block {block_no}")
             self.stats.meta_block_reads += 1
             if len(self._meta_cache) >= self._meta_cache_cap:
-                self._meta_cache.pop(next(iter(self._meta_cache)))
+                # Concurrent readers may race this eviction; losing the
+                # race (entry already gone, or the dict resized under
+                # the iterator) only means another reader evicted first.
+                try:
+                    self._meta_cache.pop(next(iter(self._meta_cache)))
+                except (KeyError, RuntimeError, StopIteration):
+                    pass
             self._meta_cache[block_no] = raw
             block = raw
         record, leaf_count, max_desc, flags = _META_ENTRY.unpack_from(

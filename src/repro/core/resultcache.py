@@ -12,6 +12,7 @@ invalidation events are index mutations, which the engine signals via
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -59,28 +60,34 @@ class ResultCache:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.stats = ResultCacheStats()
+        # Concurrent readers share one cache under the query service;
+        # the lock keeps LRU bookkeeping and eviction race-free.
+        self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, list[str]] = OrderedDict()
 
     def get(self, key: CacheKey) -> list[str] | None:
-        cached = self._entries.get(key)
-        if cached is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return list(cached)  # defensive copy: callers may mutate
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return list(cached)  # defensive copy: callers may mutate
 
     def put(self, key: CacheKey, result: list[str]) -> None:
-        self._entries[key] = list(result)
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = list(result)
+            self._entries.move_to_end(key)
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate_all(self) -> None:
         """Drop everything (any index mutation may change any answer)."""
-        if self._entries:
-            self.stats.invalidations += 1
-        self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self.stats.invalidations += 1
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -27,16 +27,20 @@ inverted file cannot offer:
   across shard builds, and each shard's run-merge works over a fraction
   of the collection.
 
-Thread-safety contract: the fan-out schedules **one in-flight task per
-shard**; per-shard engine state is single-threaded within any one
-operation on the sharded index.  The shared base store is the only
-cross-thread surface -- disk-backed stores seek/read one file handle, so
-all namespaced views over a disk base share a lock; the in-memory store
-relies on the GIL's dict-operation atomicity and skips it.
+Thread-safety contract: each fan-out schedules **one in-flight task per
+shard**, and a reader/writer lock (:class:`~repro.core.parallel.RWLock`)
+coordinates whole operations -- any number of concurrent query fan-outs
+may overlap (the shared caches take their own fine-grained locks), while
+``insert``/``delete``/``compact`` run exclusively.  The shared base
+store is the remaining cross-thread surface -- disk-backed stores
+seek/read one file handle, so all namespaced views over a disk base
+share a lock (and the pager serializes raw page I/O); the in-memory
+store relies on the GIL's dict-operation atomicity and skips it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
 from collections import Counter
@@ -57,7 +61,7 @@ from .exec.context import ExecCounters
 from .exec.observer import MergedExplainResult, merge_explains, run_explained
 from .matchspec import QuerySpec
 from .model import NestedSet, as_nested_set
-from .parallel import ShardExecutor
+from .parallel import RWLock, ShardExecutor
 from .resultcache import ResultCacheStats
 from .stats import CollectionStats
 
@@ -247,8 +251,15 @@ class ShardedIndex:
         self._policy = policy
         self._executor = ShardExecutor(max_workers=workers)
         self._result_cache: _SharedResultCache | None = None
+        #: Reader/writer coordination across the whole shard set: query
+        #: fan-outs run concurrently under the read side; insert/delete/
+        #: compact take the write side so no shard mutates while another
+        #: shard of the same fan-out is being read.  The per-shard
+        #: engine locks still guard direct ``.shards[i]`` access.
+        self._rwlock = RWLock()
         #: Cumulative, workload-level counters merged from every fan-out.
         self.counters = ExecCounters()
+        self._counters_lock = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
@@ -406,7 +417,9 @@ class ShardedIndex:
         return merged
 
     def _absorb_counters(self, counters: Iterable[ExecCounters]) -> None:
-        self.counters.merge(ExecCounters.merged(list(counters)))
+        merged = ExecCounters.merged(list(counters))
+        with self._counters_lock:
+            self.counters.merge(merged)
 
     # -- querying ----------------------------------------------------------
 
@@ -426,7 +439,8 @@ class ShardedIndex:
             ctx = engine.execution_context()
             return plan.run(ctx), ctx.counters
 
-        outcomes = self._fan_out(run_shard, workers)
+        with self._rwlock.read_locked():
+            outcomes = self._fan_out(run_shard, workers)
         self._absorb_counters(counters for _result, counters in outcomes)
         return self._merge_sorted(result for result, _counters in outcomes)
 
@@ -446,10 +460,12 @@ class ShardedIndex:
             ctx = engine.execution_context(memo={} if memoize else None)
             return [plan.run(ctx) for plan in plans], ctx.counters
 
-        outcomes = self._fan_out(run_shard, workers)
+        with self._rwlock.read_locked():
+            outcomes = self._fan_out(run_shard, workers)
         counters = ExecCounters.merged(
             [shard_counters for _results, shard_counters in outcomes])
-        self.counters.merge(counters)
+        with self._counters_lock:
+            self.counters.merge(counters)
         merged = [self._merge_sorted(results[plan_no]
                                      for results, _counters in outcomes)
                   for plan_no in range(len(plans))]
@@ -509,9 +525,11 @@ class ShardedIndex:
                              planner=planner, use_bloom=use_bloom,
                              cacheable=False)
         started = time.perf_counter()
-        traces = self._fan_out(
-            lambda engine: run_explained(plan, engine.execution_context()),
-            workers)
+        with self._rwlock.read_locked():
+            traces = self._fan_out(
+                lambda engine: run_explained(plan,
+                                             engine.execution_context()),
+                workers)
         total_ms = (time.perf_counter() - started) * 1000
         return merge_explains(list(traces), total_ms)
 
@@ -543,9 +561,12 @@ class ShardedIndex:
         """Route to the owning shard; returns the *shard-local* ordinal.
 
         Only that shard's result cache is invalidated (by the shard
-        engine itself); the other shards' caches stay warm.
+        engine itself); the other shards' caches stay warm.  The write
+        lock excludes concurrent cross-shard fan-outs so no query reads
+        one shard pre-insert and another mid-insert.
         """
-        return self._route(key).insert(key, value)
+        with self._rwlock.write_locked():
+            return self._route(key).insert(key, value)
 
     def delete(self, key: str) -> bool:
         """Tombstone ``key`` on its owning shard.
@@ -555,14 +576,15 @@ class ShardedIndex:
         routed shard may miss, so the delete falls back to trying every
         shard (at most one can hold the key).
         """
-        routed = self._route(key)
-        if routed.delete(key):
-            return True
-        if isinstance(self._policy, HashShardPolicy):
-            return False
-        # The routed shard already missed -- sweep only the others.
-        return any(engine.delete(key) for engine in self._shards
-                   if engine is not routed)
+        with self._rwlock.write_locked():
+            routed = self._route(key)
+            if routed.delete(key):
+                return True
+            if isinstance(self._policy, HashShardPolicy):
+                return False
+            # The routed shard already missed -- sweep only the others.
+            return any(engine.delete(key) for engine in self._shards
+                       if engine is not routed)
 
     def compact(self, *, storage: str = "memory",
                 path: str | None = None,
@@ -573,17 +595,21 @@ class ShardedIndex:
         monolithic engine does: a store cannot be rebuilt into its own
         open file.
         """
-        fresh_base = open_store(storage, path, create=True, **store_options)
-        views = self._shard_views(fresh_base, len(self._shards))
-        for engine, view in zip(self._shards, views):
-            engine.compact(store=view)
-        # Manifest swap comes last: until it lands, the fresh store is
-        # not a valid sharded index and the old store is still whole.
-        _commit_manifest(fresh_base, len(self._shards), self._policy.name)
-        self._base.close()
-        self._base = fresh_base
-        if self._result_cache is not None:
-            self._result_cache.invalidate_all()
+        with self._rwlock.write_locked():
+            fresh_base = open_store(storage, path, create=True,
+                                    **store_options)
+            views = self._shard_views(fresh_base, len(self._shards))
+            for engine, view in zip(self._shards, views):
+                engine.compact(store=view)
+            # Manifest swap comes last: until it lands, the fresh store
+            # is not a valid sharded index and the old store is still
+            # whole.
+            _commit_manifest(fresh_base, len(self._shards),
+                             self._policy.name)
+            self._base.close()
+            self._base = fresh_base
+            if self._result_cache is not None:
+                self._result_cache.invalidate_all()
 
     # -- caches ------------------------------------------------------------
 
@@ -702,6 +728,11 @@ class ShardedIndex:
     @property
     def workers(self) -> int:
         return self._executor.max_workers
+
+    @property
+    def rwlock(self) -> RWLock:
+        """The reader/writer lock coordinating fan-outs with mutations."""
+        return self._rwlock
 
     @property
     def base_store(self) -> KVStore:

@@ -1,0 +1,20 @@
+"""Concurrent query service: protocol, asyncio server, blocking client.
+
+See DESIGN.md §11 for the frame format, admission control, and the
+reader/writer coordination contract the server relies on.
+"""
+
+from .client import ServiceClient, ServiceError
+from .metrics import ServerMetrics
+from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .server import QueryServer, ServerThread
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "QueryServer",
+    "ServerThread",
+    "ServerMetrics",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,133 @@
+"""Blocking client for the query service.
+
+:class:`ServiceClient` speaks the length-prefixed JSON protocol of
+:mod:`repro.server.protocol` over one TCP connection, sequentially: send
+a request frame, read a response frame.  That keeps the client trivial
+to reason about (no multiplexing, no response matching) -- concurrency
+comes from opening more clients, which is exactly the shape of the
+server-side micro-batching experiments.
+
+Server-reported errors surface as :class:`ServiceError` with the
+protocol error code (``overloaded``, ``timeout``, ...) preserved so
+callers can branch on it -- e.g. retry on ``overloaded``, give up on
+``bad_request``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Sequence
+
+from .protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A response with ``ok: false``; ``code`` is the protocol code."""
+
+    def __init__(self, code: str, message: str = "") -> None:
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """One blocking connection to a running query server.
+
+    Usable as a context manager::
+
+        with ServiceClient(port=handle.port) as client:
+            hits = client.query("{a, {b, c}}")
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 connect_timeout: float = 5.0,
+                 io_timeout: float | None = 60.0) -> None:
+        self._sock = socket.create_connection((host, port),
+                                              timeout=connect_timeout)
+        self._sock.settimeout(io_timeout)
+        # One small frame per request: batching happens server-side, so
+        # trade throughput-by-coalescing-on-the-wire for latency.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, request: dict) -> Any:
+        """Send one request, return the ``result`` of an ok response."""
+        send_frame(self._sock, request)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ProtocolError(f"malformed response: {response!r}")
+        if not response["ok"]:
+            raise ServiceError(response.get("error", "internal"),
+                               response.get("message", ""))
+        return response["result"]
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.call({"op": "ping"})
+
+    def query(self, query: str, *, timeout_ms: float | None = None,
+              **options: Any) -> list[str]:
+        """Evaluate one containment query; returns matching record keys."""
+        request: dict[str, Any] = {"op": "query", "query": query}
+        if options:
+            request["options"] = options
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        return self.call(request)
+
+    def query_batch(self, queries: Sequence[str], *,
+                    timeout_ms: float | None = None,
+                    **options: Any) -> list[list[str]]:
+        """Evaluate many queries in one round trip (one engine batch)."""
+        request: dict[str, Any] = {"op": "query_batch",
+                                   "queries": list(queries)}
+        if options:
+            request["options"] = options
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        return self.call(request)
+
+    def insert(self, key: str, value: str, *,
+               timeout_ms: float | None = None) -> int:
+        """Insert one record; returns its ordinal in the index."""
+        request: dict[str, Any] = {"op": "insert", "key": key,
+                                   "value": value}
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        return self.call(request)["ordinal"]
+
+    def delete(self, key: str, *,
+               timeout_ms: float | None = None) -> bool:
+        """Tombstone one record; True if the key existed."""
+        request: dict[str, Any] = {"op": "delete", "key": key}
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        return self.call(request)["deleted"]
+
+    def stats(self) -> dict:
+        """Server counters plus engine counters, one consistent snapshot."""
+        return self.call({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain gracefully; returns its acknowledgment."""
+        return self.call({"op": "shutdown"})
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

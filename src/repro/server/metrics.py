@@ -1,0 +1,114 @@
+"""Live server counters: request mix, batching efficiency, latency tails.
+
+:class:`ServerMetrics` is the one mutable scoreboard the query service
+updates as it runs and surfaces through the ``stats`` request (and, via
+the client, ``nestcontain info --server``).  Everything is guarded by a
+single small lock -- counters are touched from the asyncio loop *and*
+from worker threads, and the snapshot must be internally consistent.
+
+Latency quantiles come from a bounded reservoir of the most recent
+request latencies (a deque, not a histogram): the service is tuned for
+thousands, not millions, of requests per scrape interval, so an exact
+sort of ≤ ``reservoir_size`` floats at snapshot time is simpler and
+strictly more accurate than bucketed approximation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["ServerMetrics"]
+
+#: How many recent latencies inform the p50/p99 estimates.
+DEFAULT_RESERVOIR = 4096
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Nearest-rank quantile of an ascending list (empty → 0.0)."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServerMetrics:
+    """Counters and latency reservoir for one server lifetime."""
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.requests: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self.rejected_overload = 0
+        self.rejected_shutdown = 0
+        self.timeouts = 0
+        #: Engine-level batch calls issued by the micro-batcher, and the
+        #: single queries they absorbed; their ratio is the coalesce
+        #: ratio (1.0 = no coalescing ever happened).
+        self.batches = 0
+        self.batched_queries = 0
+        self._latencies: deque[float] = deque(maxlen=reservoir_size)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_request(self, op: str) -> None:
+        with self._lock:
+            self.requests[op] = self.requests.get(op, 0) + 1
+
+    def record_error(self, code: str) -> None:
+        with self._lock:
+            self.errors[code] = self.errors.get(code, 0) + 1
+            if code == "overloaded":
+                self.rejected_overload += 1
+            elif code == "shutting_down":
+                self.rejected_shutdown += 1
+            elif code == "timeout":
+                self.timeouts += 1
+
+    def record_batch(self, n_queries: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_queries += n_queries
+
+    def record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Mean queries per engine batch call (≥ 1.0 once any ran)."""
+        with self._lock:
+            if not self.batches:
+                return 0.0
+            return self.batched_queries / self.batches
+
+    def snapshot(self) -> dict[str, object]:
+        """A consistent point-in-time view (shape of the ``stats`` op)."""
+        with self._lock:
+            ordered = sorted(self._latencies)
+            total = sum(self.requests.values())
+            return {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests_total": total,
+                "requests_by_op": dict(self.requests),
+                "errors_by_code": dict(self.errors),
+                "rejected_overload": self.rejected_overload,
+                "rejected_shutdown": self.rejected_shutdown,
+                "timeouts": self.timeouts,
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
+                "coalesce_ratio": (round(self.batched_queries
+                                         / self.batches, 3)
+                                   if self.batches else 0.0),
+                "latency_ms": {
+                    "samples": len(ordered),
+                    "p50": round(_quantile(ordered, 0.50) * 1000, 3),
+                    "p99": round(_quantile(ordered, 0.99) * 1000, 3),
+                    "max": round(ordered[-1] * 1000, 3) if ordered
+                    else 0.0,
+                },
+            }

@@ -1,0 +1,228 @@
+"""Wire protocol of the query service: length-prefixed JSON frames.
+
+Every message -- request or response -- is one *frame*::
+
+    [length u32 big-endian][payload: UTF-8 JSON, `length` bytes]
+
+Requests are JSON objects carrying an ``op`` plus op-specific fields::
+
+    {"op": "ping"}
+    {"op": "query", "query": "{a, {b}}", "options": {...},
+     "timeout_ms": 500}
+    {"op": "query_batch", "queries": ["{a}", "{b}"], "options": {...}}
+    {"op": "insert", "key": "r17", "value": "{a, {b, c}}"}
+    {"op": "delete", "key": "r17"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+``options`` accepts the same evaluation options as
+:meth:`repro.core.engine.NestedSetIndex.query` (``algorithm``,
+``semantics``, ``join``, ``epsilon``, ``mode``, ``use_bloom``,
+``planner``).  Responses are either::
+
+    {"ok": true,  "result": ...}
+    {"ok": false, "error": "<code>", "message": "..."}
+
+with error codes in :data:`ERROR_CODES`.  The frame format is shared by
+the asyncio server (:mod:`repro.server.server`) and the blocking client
+(:mod:`repro.server.client`); both ends enforce
+:data:`MAX_FRAME_BYTES` so a corrupt or hostile length prefix cannot
+trigger an unbounded allocation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "ProtocolError",
+    "QUERY_OPTION_FIELDS",
+    "decode_frame",
+    "encode_frame",
+    "error_response",
+    "ok_response",
+    "read_frame",
+    "recv_frame",
+    "send_frame",
+    "validate_request",
+    "write_frame",
+]
+
+#: Frame length prefix: unsigned 32-bit, network byte order.
+_LENGTH = struct.Struct("!I")
+
+#: Hard ceiling on one frame's payload (requests and responses alike).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Request operations the server understands.
+OPS = ("ping", "query", "query_batch", "insert", "delete", "stats",
+       "shutdown")
+
+#: Evaluation options a query/query_batch request may carry; mirrors the
+#: keyword surface of ``NestedSetIndex.query``.
+QUERY_OPTION_FIELDS = ("algorithm", "semantics", "join", "epsilon",
+                       "mode", "use_bloom", "planner")
+
+#: Error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",     # malformed frame / unknown op / invalid fields
+    "overloaded",      # admission control rejected the request
+    "timeout",         # the per-request deadline expired
+    "shutting_down",   # the server is draining
+    "internal",        # evaluation raised (message carries the cause)
+)
+
+
+class ProtocolError(Exception):
+    """Malformed frame or request (maps to a ``bad_request`` response)."""
+
+
+# -- frame codec ------------------------------------------------------------
+
+
+def encode_frame(payload: Any) -> bytes:
+    """One message as bytes: length prefix + compact JSON."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> Any:
+    """Parse one frame payload (the bytes after the length prefix)."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+
+
+# -- asyncio endpoints -------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any | None:
+    """Read one frame; ``None`` on clean EOF before a length prefix."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: Any) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# -- blocking endpoints (client side) ---------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes | None:
+    out = bytearray()
+    while len(out) < n:
+        chunk = sock.recv(n - len(out))
+        if not chunk:
+            return None
+        out += chunk
+    return bytes(out)
+
+
+def recv_frame(sock: socket.socket) -> Any | None:
+    """Blocking read of one frame; ``None`` on clean EOF."""
+    prefix = _recv_exactly(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_frame(body)
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+# -- requests and responses --------------------------------------------------
+
+
+def ok_response(result: Any) -> dict:
+    return {"ok": True, "result": result}
+
+
+def error_response(code: str, message: str = "") -> dict:
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {"ok": False, "error": code, "message": message}
+
+
+def _require_str(request: dict, field: str) -> str:
+    value = request.get(field)
+    if not isinstance(value, str):
+        raise ProtocolError(f"{request.get('op')}: field {field!r} "
+                            "must be a string")
+    return value
+
+
+def validate_request(request: Any) -> dict:
+    """Check shape and field types; returns the request dict.
+
+    Raises :class:`ProtocolError` (→ ``bad_request``) on anything the
+    dispatcher should not have to defend against.
+    """
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    if op == "query":
+        _require_str(request, "query")
+    elif op == "query_batch":
+        queries = request.get("queries")
+        if not isinstance(queries, list) or \
+                not all(isinstance(q, str) for q in queries):
+            raise ProtocolError("query_batch: field 'queries' must be "
+                                "a list of strings")
+    elif op == "insert":
+        _require_str(request, "key")
+        _require_str(request, "value")
+    elif op == "delete":
+        _require_str(request, "key")
+    options = request.get("options")
+    if options is not None:
+        if not isinstance(options, dict):
+            raise ProtocolError("field 'options' must be an object")
+        unknown = set(options) - set(QUERY_OPTION_FIELDS)
+        if unknown:
+            raise ProtocolError(
+                f"unknown option(s) {sorted(unknown)}; "
+                f"expected a subset of {QUERY_OPTION_FIELDS}")
+    timeout_ms = request.get("timeout_ms")
+    if timeout_ms is not None and (
+            not isinstance(timeout_ms, (int, float))
+            or isinstance(timeout_ms, bool) or timeout_ms <= 0):
+        raise ProtocolError("field 'timeout_ms' must be a positive number")
+    return request

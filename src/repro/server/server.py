@@ -1,0 +1,429 @@
+"""Long-lived asyncio query service over a resident containment index.
+
+One process holds one open index -- monolithic
+(:class:`~repro.core.engine.NestedSetIndex`) or sharded
+(:class:`~repro.core.shard.ShardedIndex`) -- and serves the
+length-prefixed JSON protocol of :mod:`repro.server.protocol` over TCP.
+The design has four load-bearing pieces:
+
+* **Admission control** -- at most ``max_inflight`` admitted requests at
+  any instant; the listener answers everything beyond that with an
+  ``overloaded`` error *immediately* instead of queueing unboundedly, so
+  a traffic spike degrades into fast rejections rather than collapse.
+  Each admitted request also carries a deadline (its own ``timeout_ms``
+  or the server default); expiry answers ``timeout`` while the worker
+  thread finishes harmlessly in the background.
+
+* **Micro-batching** -- single ``query`` requests that arrive within
+  ``batch_window_ms`` of each other are coalesced, grouped by their
+  evaluation options, and evaluated through **one**
+  ``engine.query_batch`` call.  Batched evaluation shares the bottom-up
+  subquery memo and (on sharded indexes) one fan-out per batch instead
+  of one per query -- the same amortization the paper's batch
+  experiments measure, now applied across concurrent clients.
+
+* **Reader/writer coordination** -- engine calls run on a small thread
+  pool; the index's :class:`~repro.core.parallel.RWLock` lets query
+  batches run concurrently while ``insert``/``delete`` take exclusive
+  ownership (cache invalidation included).  The server adds no second
+  locking layer: coordination lives in the engine so in-process callers
+  get it too.
+
+* **Graceful drain** -- SIGTERM or a ``shutdown`` request stops the
+  listener, lets admitted requests finish (bounded by
+  ``drain_timeout_s``), then closes the index, which flushes deferred
+  statistics and checkpoints the write-ahead log.  A drained server
+  leaves an index that reopens with zero pending WAL groups.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .metrics import ServerMetrics
+from .protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_frame,
+    validate_request,
+    write_frame,
+)
+
+__all__ = ["QueryServer", "ServerThread"]
+
+#: Default per-request deadline when the client sends no ``timeout_ms``.
+DEFAULT_TIMEOUT_S = 30.0
+#: Default bound on concurrently admitted requests.
+DEFAULT_MAX_INFLIGHT = 64
+#: Default micro-batch window (milliseconds); 0 disables coalescing.
+DEFAULT_BATCH_WINDOW_MS = 2.0
+#: Flush a batch early once this many queries are waiting.
+DEFAULT_BATCH_MAX = 128
+#: How long a drain waits for in-flight requests before giving up.
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
+
+
+def _option_key(options: dict) -> tuple:
+    """Hashable grouping key: queries with equal options share a batch."""
+    return tuple(sorted(options.items()))
+
+
+@dataclass
+class _PendingQuery:
+    """One coalescable ``query`` request waiting for its batch."""
+
+    text: str
+    options: dict
+    future: "asyncio.Future[list[str]]" = field(repr=False, kw_only=True)
+
+
+class QueryServer:
+    """Serve one resident index over TCP until drained."""
+
+    def __init__(self, index: Any, *, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 4,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+                 batch_max: int = DEFAULT_BATCH_MAX,
+                 default_timeout_s: float = DEFAULT_TIMEOUT_S,
+                 drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+                 close_index_on_drain: bool = True) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._index = index
+        self.host = host
+        self.port = port          # rewritten with the bound port on start
+        self.max_inflight = max_inflight
+        self.batch_window_s = max(0.0, batch_window_ms) / 1000.0
+        self.batch_max = max(1, batch_max)
+        self.default_timeout_s = default_timeout_s
+        self.drain_timeout_s = drain_timeout_s
+        self.metrics = ServerMetrics()
+        self._close_index_on_drain = close_index_on_drain
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-serve")
+        self._inflight = 0
+        self._draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Event | None = None
+        self._pending: list[_PendingQuery] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` holds the real port after."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_drained(self) -> None:
+        """Run until a drain completes (``shutdown`` op or SIGTERM)."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        self._install_signal_handlers()
+        await self._stopped.wait()
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum, lambda: self._loop.create_task(self._drain()))
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread or platform without signal support:
+                # the shutdown op remains the drain path.
+                return
+
+    def request_drain(self) -> None:
+        """Thread-safe drain trigger (used by :class:`ServerThread`)."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(self._drain()))
+
+    async def _drain(self) -> None:
+        """Stop admitting, finish in-flight work, checkpoint, stop."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._flush_now()
+        deadline = time.monotonic() + self.drain_timeout_s
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        loop = asyncio.get_running_loop()
+        if self._close_index_on_drain:
+            # close() flushes deferred statistics and checkpoints the
+            # WAL -- the "clean index on disk" half of graceful drain.
+            await loop.run_in_executor(self._pool, self._index.close)
+        self._pool.shutdown(wait=True)
+        assert self._stopped is not None
+        self._stopped.set()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    self.metrics.record_error("bad_request")
+                    await write_frame(
+                        writer, error_response("bad_request", str(exc)))
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await write_frame(writer, response)
+                if isinstance(request, dict) and \
+                        request.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: Any) -> dict:
+        started = time.monotonic()
+        try:
+            request = validate_request(request)
+        except ProtocolError as exc:
+            self.metrics.record_error("bad_request")
+            return error_response("bad_request", str(exc))
+        op = request["op"]
+        if op == "ping":                      # never counted against
+            self.metrics.record_request(op)   # admission: health checks
+            return ok_response("pong")        # must work under overload
+        if op == "shutdown":
+            self.metrics.record_request(op)
+            asyncio.ensure_future(self._drain())
+            return ok_response({"draining": True})
+        if self._draining:
+            self.metrics.record_error("shutting_down")
+            return error_response("shutting_down",
+                                  "server is draining")
+        if op != "stats" and self._inflight >= self.max_inflight:
+            self.metrics.record_error("overloaded")
+            return error_response(
+                "overloaded",
+                f"{self._inflight} requests in flight "
+                f"(limit {self.max_inflight})")
+        self.metrics.record_request(op)
+        self._inflight += 1
+        try:
+            response = await self._execute(op, request)
+        finally:
+            self._inflight -= 1
+        self.metrics.record_latency(time.monotonic() - started)
+        return response
+
+    def _timeout_of(self, request: dict) -> float:
+        timeout_ms = request.get("timeout_ms")
+        if timeout_ms is None:
+            return self.default_timeout_s
+        return min(float(timeout_ms) / 1000.0, self.default_timeout_s)
+
+    async def _execute(self, op: str, request: dict) -> dict:
+        timeout_s = self._timeout_of(request)
+        options = dict(request.get("options") or {})
+        try:
+            if op == "query":
+                if self.batch_window_s <= 0:
+                    # Per-request mode: straight to a worker thread,
+                    # no coalescing (the benchmark baseline).
+                    result = await asyncio.wait_for(
+                        self._run_in_pool(self._run_single,
+                                          request["query"], options),
+                        timeout_s)
+                else:
+                    future = self._enqueue_query(request["query"],
+                                                 options)
+                    result = await asyncio.wait_for(future, timeout_s)
+                return ok_response(result)
+            if op == "query_batch":
+                result = await asyncio.wait_for(
+                    self._run_in_pool(self._run_batch,
+                                      list(request["queries"]), options),
+                    timeout_s)
+                return ok_response(result)
+            if op == "insert":
+                ordinal = await asyncio.wait_for(
+                    self._run_in_pool(self._index.insert, request["key"],
+                                      request["value"]),
+                    timeout_s)
+                return ok_response({"ordinal": ordinal})
+            if op == "delete":
+                deleted = await asyncio.wait_for(
+                    self._run_in_pool(self._index.delete, request["key"]),
+                    timeout_s)
+                return ok_response({"deleted": deleted})
+            if op == "stats":
+                return ok_response(self._stats_payload())
+            raise AssertionError(f"unroutable op {op!r}")  # validated above
+        except asyncio.TimeoutError:
+            self.metrics.record_error("timeout")
+            return error_response(
+                "timeout", f"deadline of {timeout_s * 1000:.0f} ms expired")
+        except Exception as exc:  # noqa: BLE001 -- boundary: report, don't die
+            self.metrics.record_error("internal")
+            return error_response("internal",
+                                  f"{type(exc).__name__}: {exc}")
+
+    def _run_in_pool(self, fn, *args) -> "asyncio.Future":
+        assert self._loop is not None
+        return self._loop.run_in_executor(self._pool, fn, *args)
+
+    def _stats_payload(self) -> dict:
+        return {
+            "server": dict(
+                self.metrics.snapshot(),
+                inflight=self._inflight,
+                max_inflight=self.max_inflight,
+                batch_window_ms=self.batch_window_s * 1000,
+                draining=self._draining,
+            ),
+            "engine": self._index.stats(),
+        }
+
+    # -- micro-batching ----------------------------------------------------
+
+    def _run_single(self, query: str, options: dict) -> list:
+        """Worker-thread body of per-request (window = 0) dispatch."""
+        self.metrics.record_batch(1)
+        return self._index.query(query, **options)
+
+    def _enqueue_query(self, text: str,
+                       options: dict) -> "asyncio.Future[list[str]]":
+        """Queue one query for the current batch window.
+
+        The flush fires when the window timer expires *or* as soon as
+        ``batch_max`` queries are waiting -- a full batch never sits out
+        the rest of its window, so the window bounds worst-case added
+        latency instead of taxing every request.
+        """
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        self._pending.append(_PendingQuery(text, options, future=future))
+        if len(self._pending) >= self.batch_max:
+            self._flush_now()
+        elif self._flush_handle is None:
+            self._flush_handle = self._loop.call_later(
+                self.batch_window_s, self._flush_now)
+        return future
+
+    def _flush_now(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        groups: dict[tuple, list[_PendingQuery]] = {}
+        for item in pending:
+            groups.setdefault(_option_key(item.options), []).append(item)
+        for group in groups.values():
+            asyncio.ensure_future(self._run_group(group))
+
+    async def _run_group(self, group: Sequence[_PendingQuery]) -> None:
+        """Evaluate one option-homogeneous batch and settle its futures."""
+        queries = [item.text for item in group]
+        options = group[0].options
+        self.metrics.record_batch(len(queries))
+        try:
+            results = await self._run_in_pool(
+                self._run_batch, queries, options)
+        except Exception as exc:  # noqa: BLE001 -- settle every waiter
+            for item in group:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, result in zip(group, results):
+            if not item.future.done():       # done = its deadline expired
+                item.future.set_result(result)
+
+    def _run_batch(self, queries: list[str],
+                   options: dict) -> list[list[str]]:
+        """Worker-thread body: one engine call for the whole group."""
+        return self._index.query_batch(queries, **options)
+
+
+class ServerThread:
+    """Run a :class:`QueryServer` on a background thread (tests, CLI-free
+    embedding, benchmarks).
+
+    ::
+
+        with ServerThread(index, batch_window_ms=2) as handle:
+            client = ServiceClient(port=handle.port)
+            ...
+
+    Exiting the context drains the server (closing the index unless the
+    server was built with ``close_index_on_drain=False``) and joins the
+    thread.
+    """
+
+    def __init__(self, index: Any, **server_options: Any) -> None:
+        self.server = QueryServer(index, **server_options)
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-server", daemon=True)
+
+    def _main(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            raise
+        self._ready.set()
+        await self.server.serve_until_drained()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.server.request_drain()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread failed to drain in time")
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 
 from .errors import CorruptionError, PageBoundsError, StorageError
 from .faults import wrap_file
@@ -59,6 +60,12 @@ class Pager:
     def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
                  create: bool = False, *, wal: bool = True) -> None:
         self.path = path
+        # One file handle serves every page access; the reentrant lock
+        # makes each seek+read / seek+write pair atomic so concurrent
+        # readers (the query service fans them out) never tear a page.
+        # Writers are additionally serialized above this layer by the
+        # engines' reader/writer locks.
+        self._io_lock = threading.RLock()
         self._wal: WriteAheadLog | None = None
         self._txn_depth = 0
         self._txn_label = b""
@@ -98,12 +105,13 @@ class Pager:
         return header.ljust(self.page_size, b"\x00")
 
     def _write_header(self) -> None:
-        data = self._header_bytes()
-        if self._txn_depth:
-            self._dirty[_HEADER_PAGE] = data
-            return
-        self._file.seek(0)
-        self._file.write(data)
+        with self._io_lock:
+            data = self._header_bytes()
+            if self._txn_depth:
+                self._dirty[_HEADER_PAGE] = data
+                return
+            self._file.seek(0)
+            self._file.write(data)
 
     def _read_header(self) -> None:
         self._file.seek(0)
@@ -147,11 +155,13 @@ class Pager:
         """
         if self._wal is None:
             return
-        if self._txn_depth == 0:
-            self._txn_label = bytes(label)
-            self._dirty = {}
-            self._txn_snapshot = (self.n_pages, self._free_head, self._meta)
-        self._txn_depth += 1
+        with self._io_lock:
+            if self._txn_depth == 0:
+                self._txn_label = bytes(label)
+                self._dirty = {}
+                self._txn_snapshot = (self.n_pages, self._free_head,
+                                      self._meta)
+            self._txn_depth += 1
 
     def commit(self) -> None:
         """Close one nesting level; the outermost commit is the real one.
@@ -164,37 +174,40 @@ class Pager:
         """
         if self._wal is None:
             return
-        if self._txn_depth == 0:
-            raise StorageError("commit outside a transaction")
-        if self._txn_depth > 1:
-            self._txn_depth -= 1
-            return
-        dirty, label = self._dirty, self._txn_label
-        self._txn_depth = 0
-        self._dirty = {}
-        self._txn_snapshot = None
-        if not dirty:
-            return
-        records = [struct.pack("<Q", page_id) + data
-                   for page_id, data in sorted(dirty.items())]
-        self._wal.commit(label, records)
-        for page_id, data in sorted(dirty.items()):
-            self._file.seek(page_id * self.page_size)
-            self._file.write(data)
-        if self._wal.size > DEFAULT_CHECKPOINT_BYTES:
-            self._checkpoint()
+        with self._io_lock:
+            if self._txn_depth == 0:
+                raise StorageError("commit outside a transaction")
+            if self._txn_depth > 1:
+                self._txn_depth -= 1
+                return
+            dirty, label = self._dirty, self._txn_label
+            self._txn_depth = 0
+            self._dirty = {}
+            self._txn_snapshot = None
+            if not dirty:
+                return
+            records = [struct.pack("<Q", page_id) + data
+                       for page_id, data in sorted(dirty.items())]
+            self._wal.commit(label, records)
+            for page_id, data in sorted(dirty.items()):
+                self._file.seek(page_id * self.page_size)
+                self._file.write(data)
+            if self._wal.size > DEFAULT_CHECKPOINT_BYTES:
+                self._checkpoint()
 
     def abort(self) -> None:
         """Discard the whole transaction (all nesting levels) unapplied."""
         if self._wal is None or self._txn_depth == 0:
             return
-        n_pages, free_head, meta = self._txn_snapshot  # type: ignore[misc]
-        self.n_pages = n_pages
-        self._free_head = free_head
-        self._meta = meta
-        self._txn_depth = 0
-        self._dirty = {}
-        self._txn_snapshot = None
+        with self._io_lock:
+            n_pages, free_head, meta = \
+                self._txn_snapshot  # type: ignore[misc]
+            self.n_pages = n_pages
+            self._free_head = free_head
+            self._meta = meta
+            self._txn_depth = 0
+            self._dirty = {}
+            self._txn_snapshot = None
 
     # -- recovery ------------------------------------------------------------
 
@@ -240,50 +253,54 @@ class Pager:
 
     def allocate(self) -> int:
         """Return the id of a fresh zeroed page (recycled when possible)."""
-        if self._free_head:
-            page_id = self._free_head
-            raw = self.read(page_id)
-            self._free_head = struct.unpack_from("<Q", raw, 0)[0]
+        with self._io_lock:
+            if self._free_head:
+                page_id = self._free_head
+                raw = self.read(page_id)
+                self._free_head = struct.unpack_from("<Q", raw, 0)[0]
+                self.write(page_id, b"")
+                self._write_header()
+                return page_id
+            page_id = self.n_pages
+            self.n_pages += 1
             self.write(page_id, b"")
             self._write_header()
             return page_id
-        page_id = self.n_pages
-        self.n_pages += 1
-        self.write(page_id, b"")
-        self._write_header()
-        return page_id
 
     def free(self, page_id: int) -> None:
         """Return a page to the free list."""
-        self._check_bounds(page_id)
-        self.write(page_id, struct.pack("<Q", self._free_head))
-        self._free_head = page_id
-        self._write_header()
+        with self._io_lock:
+            self._check_bounds(page_id)
+            self.write(page_id, struct.pack("<Q", self._free_head))
+            self._free_head = page_id
+            self._write_header()
 
     def read(self, page_id: int) -> bytes:
         """Read a full page; short files are padded with zero bytes."""
-        self._check_bounds(page_id)
-        self.page_reads += 1
-        if self._txn_depth and page_id in self._dirty:
-            return self._dirty[page_id]
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) < self.page_size:
-            data = data.ljust(self.page_size, b"\x00")
-        return data
+        with self._io_lock:
+            self._check_bounds(page_id)
+            self.page_reads += 1
+            if self._txn_depth and page_id in self._dirty:
+                return self._dirty[page_id]
+            self._file.seek(page_id * self.page_size)
+            data = self._file.read(self.page_size)
+            if len(data) < self.page_size:
+                data = data.ljust(self.page_size, b"\x00")
+            return data
 
     def write(self, page_id: int, data: bytes) -> None:
         """Write ``data`` (padded/truncated to one page) at ``page_id``."""
-        self._check_bounds(page_id)
-        if len(data) > self.page_size:
-            raise StorageError("page write larger than page size")
-        self.page_writes += 1
-        padded = data.ljust(self.page_size, b"\x00")
-        if self._txn_depth:
-            self._dirty[page_id] = padded
-            return
-        self._file.seek(page_id * self.page_size)
-        self._file.write(padded)
+        with self._io_lock:
+            self._check_bounds(page_id)
+            if len(data) > self.page_size:
+                raise StorageError("page write larger than page size")
+            self.page_writes += 1
+            padded = data.ljust(self.page_size, b"\x00")
+            if self._txn_depth:
+                self._dirty[page_id] = padded
+                return
+            self._file.seek(page_id * self.page_size)
+            self._file.write(padded)
 
     def _check_bounds(self, page_id: int) -> None:
         if page_id < 1 or page_id > self.n_pages:
@@ -332,20 +349,22 @@ class Pager:
 
     def sync(self) -> None:
         """fsync the underlying file (and checkpoint the WAL when idle)."""
-        fsync_file(self._file)
-        if self._wal is not None and self._txn_depth == 0 \
-                and self._wal.pending_groups:
-            self._wal.checkpoint()
+        with self._io_lock:
+            fsync_file(self._file)
+            if self._wal is not None and self._txn_depth == 0 \
+                    and self._wal.pending_groups:
+                self._wal.checkpoint()
 
     def close(self) -> None:
         """Flush the header and close the file (open transactions abort)."""
-        if not self._file.closed:
-            if self._txn_depth:
-                self.abort()
-            self._write_header()
-            self._file.flush()
-            if self._wal is not None and self._wal.pending_groups:
-                self._checkpoint()
-            self._file.close()
-        if self._wal is not None:
-            self._wal.close()
+        with self._io_lock:
+            if not self._file.closed:
+                if self._txn_depth:
+                    self.abort()
+                self._write_header()
+                self._file.flush()
+                if self._wal is not None and self._wal.pending_groups:
+                    self._checkpoint()
+                self._file.close()
+            if self._wal is not None:
+                self._wal.close()

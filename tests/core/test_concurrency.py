@@ -1,0 +1,195 @@
+"""Thread-safety regression tests: readers racing writers on one index.
+
+The query service runs engine calls from a thread pool, so the engine's
+reader/writer coordination is a correctness contract, not an
+implementation detail: any number of concurrent ``query`` calls must see
+a consistent index while ``insert``/``delete`` take exclusive ownership.
+These tests hammer exactly that contract -- on a monolithic index and on
+a 4-shard one -- and check *exact* answers before and after every
+mutation, not just the absence of crashes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.bench.workloads import generate_dataset
+from repro.core.engine import NestedSetIndex
+from repro.core.parallel import RWLock
+
+
+class TestRWLock:
+    def test_readers_share(self) -> None:
+        lock = RWLock()
+        lock.acquire_read()
+        lock.acquire_read()     # a second reader must not block
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self) -> None:
+        lock = RWLock()
+        order: list[str] = []
+        with lock.write_locked():
+            reader = threading.Thread(
+                target=lambda: (lock.acquire_read(),
+                                order.append("read"),
+                                lock.release_read()))
+            reader.start()
+            reader.join(timeout=0.1)
+            assert order == []      # reader parked behind the writer
+            order.append("write")
+        reader.join(timeout=5)
+        assert order == ["write", "read"]
+
+    def test_writer_preference_blocks_new_readers(self) -> None:
+        lock = RWLock()
+        lock.acquire_read()
+        states: list[str] = []
+        writer = threading.Thread(
+            target=lambda: (lock.acquire_write(),
+                            states.append("wrote"),
+                            lock.release_write()))
+        writer.start()
+        deadline = threading.Event()
+        deadline.wait(0.05)          # let the writer start waiting
+        late_reader = threading.Thread(
+            target=lambda: (lock.acquire_read(),
+                            states.append("read"),
+                            lock.release_read()))
+        late_reader.start()
+        late_reader.join(timeout=0.1)
+        # The late reader queues *behind* the waiting writer: no
+        # writer starvation under a steady reader stream.
+        assert states == []
+        lock.release_read()
+        writer.join(timeout=5)
+        late_reader.join(timeout=5)
+        assert states == ["wrote", "read"]
+
+    def test_write_locked_releases_on_error(self) -> None:
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            with lock.write_locked():
+                raise RuntimeError("boom")
+        with lock.read_locked():    # lock must be free again
+            pass
+
+
+def _build(shards: int):
+    records = list(generate_dataset("uniform-wide", 80, seed=11))
+    return NestedSetIndex.build(records, shards=shards,
+                                workers=2 if shards > 1 else 1)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+class TestReadersVersusWriters:
+    PROBE = "{__live__}"
+
+    def test_exact_answers_around_each_mutation(self, shards) -> None:
+        """Single-threaded ground truth: each mutation is fully visible."""
+        index = _build(shards)
+        expected: list[str] = []
+        assert index.query(self.PROBE) == []
+        for i in range(8):
+            index.insert(f"live{i}", "{__live__, t%d}" % i)
+            expected.append(f"live{i}")
+            assert index.query(self.PROBE) == sorted(expected)
+        for i in range(0, 8, 2):
+            assert index.delete(f"live{i}") is True
+            expected.remove(f"live{i}")
+            assert index.query(self.PROBE) == sorted(expected)
+        index.close()
+
+    def test_concurrent_readers_race_mutations(self, shards) -> None:
+        """8 reader threads hammer queries while a writer mutates.
+
+        Every answer a reader observes must be *some* prefix of the
+        mutation history -- sorted, containing only live-probe keys,
+        and never a torn state (e.g. a key half-inserted across
+        postings and the record table).
+        """
+        index = _build(shards)
+        # Keys the writer will ever have inserted, in order.
+        history = [f"live{i:02d}" for i in range(12)]
+        valid_states = set()
+        state: tuple = ()
+        valid_states.add(state)
+        for key in history:                     # states after inserts
+            state = tuple(sorted({*state, key}))
+            valid_states.add(state)
+        for key in history[::3]:                # states after deletes
+            state = tuple(k for k in state if k != key)
+            valid_states.add(state)
+
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    answer = tuple(index.query(self.PROBE))
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(f"reader raised: {exc!r}")
+                    return
+                if answer not in valid_states:
+                    failures.append(f"torn answer: {answer!r}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        try:
+            for key in history:
+                index.insert(key, "{__live__, payload}")
+            for key in history[::3]:
+                assert index.delete(key) is True
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not failures, failures[:3]
+        # Final exact answer: all inserts minus the deletes.
+        final = sorted(set(history) - set(history[::3]))
+        assert index.query(self.PROBE) == final
+        index.close()
+
+    def test_batch_queries_race_mutations(self, shards) -> None:
+        """query_batch (the micro-batcher's entry point) under writes."""
+        index = _build(shards)
+        queries = [self.PROBE, "{__live__, payload}"]
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    probe_hits, payload_hits = index.query_batch(queries)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(f"batch raised: {exc!r}")
+                    return
+                # Both answers come from one read-locked pass, so they
+                # must agree with each other exactly.
+                if probe_hits != payload_hits:
+                    failures.append(
+                        f"inconsistent batch: {probe_hits!r} "
+                        f"vs {payload_hits!r}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(10):
+                index.insert(f"b{i}", "{__live__, payload}")
+            for i in range(0, 10, 2):
+                index.delete(f"b{i}")
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not failures, failures[:3]
+        assert index.query(self.PROBE) == [f"b{i}" for i in
+                                           range(1, 10, 2)]
+        index.close()

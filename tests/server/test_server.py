@@ -1,0 +1,266 @@
+"""End-to-end tests of the concurrent query service.
+
+Each test runs a real :class:`~repro.server.ServerThread` on a loopback
+port and talks to it through the blocking client -- the same stack the
+CLI, the benchmark, and the CI smoke job use.  The headline property is
+ISSUE 5's acceptance bar: answers served to concurrent clients are
+byte-identical to sequential in-process evaluation, including while
+inserts and deletes interleave.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.bench.workloads import generate_dataset
+from repro.core.engine import NestedSetIndex
+from repro.server import ServerThread, ServiceClient, ServiceError
+from repro.server.protocol import encode_frame
+
+
+def _corpus(size: int = 120):
+    return list(generate_dataset("uniform-wide", size, seed=7))
+
+
+def _query_mix(records, n: int = 24) -> list[str]:
+    """Queries with non-trivial answers: subsets of real records."""
+    queries = []
+    for i, (_, value) in enumerate(records):
+        if i >= n:
+            break
+        atoms = sorted(value.atoms)[:2]
+        queries.append("{%s}" % ", ".join(atoms))
+    return queries
+
+
+@pytest.fixture
+def memory_index():
+    index = NestedSetIndex.build(_corpus())
+    yield index
+    index.close()
+
+
+class TestServing:
+    def test_query_matches_in_process(self, memory_index) -> None:
+        records = _corpus()
+        queries = _query_mix(records)
+        expected = [memory_index.query(q) for q in queries]
+        with ServerThread(memory_index, batch_window_ms=1,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                assert client.ping() == "pong"
+                served = [client.query(q) for q in queries]
+        assert served == expected
+
+    def test_query_options_forwarded(self, memory_index) -> None:
+        records = _corpus()
+        query = _query_mix(records, n=1)[0]
+        expected = memory_index.query(query, algorithm="topdown",
+                                      mode="anywhere")
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                served = client.query(query, algorithm="topdown",
+                                      mode="anywhere")
+        assert served == expected
+
+    def test_query_batch_round_trip(self, memory_index) -> None:
+        queries = _query_mix(_corpus())
+        expected = memory_index.query_batch(queries)
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                assert client.query_batch(queries) == expected
+
+    def test_sixteen_concurrent_clients_identical(self,
+                                                  memory_index) -> None:
+        queries = _query_mix(_corpus())
+        expected = [memory_index.query(q) for q in queries]
+        errors: list[BaseException] = []
+
+        with ServerThread(memory_index, batch_window_ms=2,
+                          close_index_on_drain=False) as handle:
+            def worker() -> None:
+                try:
+                    with ServiceClient(port=handle.port) as client:
+                        for _ in range(3):
+                            got = [client.query(q) for q in queries]
+                            assert got == expected
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(16)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = handle.server.metrics.snapshot()
+        assert not errors
+        # 16 clients x 3 rounds x len(queries) singles went through the
+        # batcher; under concurrency at least some must have coalesced.
+        assert stats["batches"] >= 1
+        assert stats["batched_queries"] == 16 * 3 * len(queries)
+
+    def test_concurrent_reads_with_interleaved_writes(self) -> None:
+        """Served answers under mutation match in-process truth."""
+        index = NestedSetIndex.build(_corpus(80))
+        probe = "{__probe__}"
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        with ServerThread(index, batch_window_ms=1,
+                          close_index_on_drain=False) as handle:
+            def reader() -> None:
+                try:
+                    with ServiceClient(port=handle.port) as client:
+                        while not stop.is_set():
+                            hits = client.query(probe)
+                            # Every answer is a sorted prefix-consistent
+                            # snapshot: only ever probe keys, sorted.
+                            assert hits == sorted(hits)
+                            assert all(h.startswith("probe")
+                                       for h in hits)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            readers = [threading.Thread(target=reader) for _ in range(8)]
+            for t in readers:
+                t.start()
+            with ServiceClient(port=handle.port) as writer:
+                for i in range(10):
+                    writer.insert(f"probe{i:02d}",
+                                  "{__probe__, x%d}" % i)
+                for i in range(0, 10, 2):
+                    assert writer.delete(f"probe{i:02d}") is True
+            stop.set()
+            for t in readers:
+                t.join()
+            with ServiceClient(port=handle.port) as client:
+                final = client.query(probe)
+        assert not errors
+        # In-process ground truth after the same mutation sequence.
+        assert final == index.query(probe)
+        assert final == [f"probe{i:02d}" for i in range(1, 10, 2)]
+        index.close()
+
+
+class TestAdmissionControl:
+    def test_overload_rejection(self, memory_index) -> None:
+        gate = threading.Event()
+        original = memory_index.query
+
+        def slow_query(query, **options):
+            gate.wait(timeout=10)
+            return original(query, **options)
+
+        memory_index.query = slow_query
+        try:
+            with ServerThread(memory_index, max_inflight=2,
+                              batch_window_ms=0,
+                              close_index_on_drain=False) as handle:
+                blocked = [ServiceClient(port=handle.port)
+                           for _ in range(2)]
+                try:
+                    for client in blocked:
+                        # Fire without reading: each holds one
+                        # in-flight slot while the gate is shut.
+                        client._sock.sendall(encode_frame(
+                            {"op": "query", "query": "{a}"}))
+                    deadline = time.monotonic() + 5
+                    with ServiceClient(port=handle.port) as extra:
+                        while time.monotonic() < deadline:
+                            try:
+                                extra.query("{a}", timeout_ms=300)
+                            except ServiceError as exc:
+                                if exc.code == "timeout":
+                                    continue  # raced the slot holders
+                                assert exc.code == "overloaded"
+                                break
+                            time.sleep(0.01)
+                        else:
+                            pytest.fail("no overload rejection seen")
+                        # Health checks still answered under overload.
+                        assert extra.ping() == "pong"
+                    gate.set()
+                    for client in blocked:
+                        client.call({"op": "ping"})  # drain responses
+                finally:
+                    gate.set()
+                    for client in blocked:
+                        client.close()
+                assert handle.server.metrics.snapshot()[
+                    "rejected_overload"] >= 1
+        finally:
+            memory_index.query = original
+
+    def test_timeout_deadline(self, memory_index) -> None:
+        original = memory_index.query
+
+        def slow_query(query, **options):
+            time.sleep(0.4)
+            return original(query, **options)
+
+        memory_index.query = slow_query
+        try:
+            with ServerThread(memory_index, batch_window_ms=0,
+                              close_index_on_drain=False) as handle:
+                with ServiceClient(port=handle.port) as client:
+                    with pytest.raises(ServiceError) as excinfo:
+                        client.query("{a}", timeout_ms=50)
+                    assert excinfo.value.code == "timeout"
+                assert handle.server.metrics.snapshot()["timeouts"] == 1
+        finally:
+            memory_index.query = original
+
+    def test_bad_requests_answered_not_fatal(self, memory_index) -> None:
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.call({"op": "evaporate"})
+                assert excinfo.value.code == "bad_request"
+                with pytest.raises(ServiceError) as excinfo:
+                    client.call({"op": "query", "query": "{unclosed"})
+                assert excinfo.value.code == "internal"
+                # The connection survived both errors.
+                assert client.ping() == "pong"
+
+
+class TestDrain:
+    def test_drain_checkpoints_wal(self, tmp_path) -> None:
+        path = str(tmp_path / "served.idx")
+        NestedSetIndex.build(_corpus(40), storage="diskhash",
+                             path=path).close()
+        index = NestedSetIndex.open("diskhash", path)
+        with ServerThread(index) as handle:  # closes index on drain
+            with ServiceClient(port=handle.port) as client:
+                client.insert("fresh", "{fresh_atom, {nested}}")
+                assert client.query("{fresh_atom}") == ["fresh"]
+                client.shutdown()
+        # Drained server closed the index: reopening must replay
+        # nothing and still see the insert.
+        with NestedSetIndex.open("diskhash", path) as reopened:
+            wal = reopened.stats()["wal"]
+            assert wal["pending_groups"] == 0
+            assert wal["recovered_on_open"] == 0
+            assert reopened.query("{fresh_atom}") == ["fresh"]
+
+    def test_requests_after_shutdown_rejected(self, memory_index) -> None:
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            port = handle.port
+            with ServiceClient(port=port) as client:
+                client.shutdown()
+            # The listener stops during drain; either the connection is
+            # refused or an early-enough frame gets `shutting_down`.
+            try:
+                with ServiceClient(port=port,
+                                   connect_timeout=0.2) as late:
+                    late.query("{a}")
+            except (ServiceError, OSError) as exc:
+                if isinstance(exc, ServiceError):
+                    assert exc.code == "shutting_down"

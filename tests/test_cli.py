@@ -133,3 +133,105 @@ class TestCheckCommand:
         capsys.readouterr()
         assert main(["check", index_path]) == 0
         assert "healthy" in capsys.readouterr().out
+
+
+class TestQueriesFile:
+    @pytest.fixture
+    def built_index(self, tmp_path, capsys) -> str:
+        collection = str(tmp_path / "c.nsets")
+        index_path = str(tmp_path / "c.idx")
+        main(["generate", "--dataset", "dblp", "--size", "40",
+              "-o", collection])
+        main(["index", collection, "-o", index_path])
+        capsys.readouterr()
+        return index_path
+
+    def test_batch_from_file(self, built_index, tmp_path,
+                             capsys) -> None:
+        queries_path = tmp_path / "queries.txt"
+        queries_path.write_text("{#article}\n"
+                                "# a comment line, skipped\n"
+                                "\n"
+                                "{no_such_atom}\n")
+        assert main(["query", built_index, "--queries-file",
+                     str(queries_path)]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == 2            # one line per query
+        assert len(lines[0].split("\t")) == 40  # every record matches
+        assert lines[1] == ""             # no hits -> empty line
+        assert "2 queries" in captured.err
+        assert "batched" in captured.err
+
+    def test_batch_from_stdin(self, built_index, capsys,
+                              monkeypatch) -> None:
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO("{#article}\n"))
+        assert main(["query", built_index, "--queries-file", "-"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 1
+
+    def test_batch_matches_single_queries(self, built_index, tmp_path,
+                                          capsys) -> None:
+        queries = ["{#article}", "{no_such_atom}"]
+        singles = []
+        for query in queries:
+            assert main(["query", built_index, query]) == 0
+            singles.append(capsys.readouterr().out.strip().splitlines())
+        queries_path = tmp_path / "q.txt"
+        queries_path.write_text("\n".join(queries) + "\n")
+        assert main(["query", built_index, "--queries-file",
+                     str(queries_path)]) == 0
+        batched = [line.split("\t") if line else []
+                   for line in capsys.readouterr().out.splitlines()]
+        assert batched == singles
+
+    def test_query_and_file_mutually_exclusive(self, built_index,
+                                               tmp_path,
+                                               capsys) -> None:
+        queries_path = tmp_path / "q.txt"
+        queries_path.write_text("{a}\n")
+        assert main(["query", built_index, "{a}", "--queries-file",
+                     str(queries_path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["query", built_index]) == 2
+
+
+class TestServeCommand:
+    def test_serve_and_info_server(self, tmp_path, capsys) -> None:
+        import threading
+
+        collection = str(tmp_path / "c.nsets")
+        index_path = str(tmp_path / "c.idx")
+        main(["generate", "--dataset", "dblp", "--size", "30",
+              "-o", collection])
+        main(["index", collection, "-o", index_path])
+        capsys.readouterr()
+
+        from repro.core.engine import NestedSetIndex
+        from repro.server import ServerThread, ServiceClient
+
+        with NestedSetIndex.open("diskhash", index_path) as index:
+            with ServerThread(index, batch_window_ms=1,
+                              close_index_on_drain=False) as handle:
+                with ServiceClient(port=handle.port) as client:
+                    served = client.query("{#article}")
+                assert main(["info", "--server",
+                             f"127.0.0.1:{handle.port}"]) == 0
+                out = capsys.readouterr().out
+                assert "requests:" in out
+                assert "coalesce ratio" in out
+                assert "latency:" in out
+            truth = index.query("{#article}")
+        assert served == truth
+
+    def test_info_requires_index_or_server(self, capsys) -> None:
+        assert main(["info"]) == 2
+        assert "--server" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self) -> None:
+        args = build_parser().parse_args(["serve", "x.idx"])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.max_inflight == 64
+        assert args.batch_window_ms == 2.0
+        assert args.cache == "frequency"
