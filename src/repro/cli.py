@@ -73,6 +73,50 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from .data.ingest import StreamIngestor, iter_jsonl
+    from .data.io import load_collection
+
+    def records(handle):
+        if args.format == "jsonl":
+            yield from iter_jsonl(handle, skip_invalid=args.skip_invalid)
+        else:
+            yield from load_collection(handle)
+
+    handle = sys.stdin if args.source == "-" \
+        else open(args.source, "r", encoding="utf-8")
+    started = time.perf_counter()
+    last_report = started
+    try:
+        with _open_index(args) as index:
+            with StreamIngestor(
+                    index, batch_size=args.batch_size,
+                    flush_interval=args.flush_interval) as ingestor:
+                for key, value in records(handle):
+                    ingestor.submit(key, value)
+                    if args.follow:
+                        now = time.perf_counter()
+                        if now - last_report >= 5.0:
+                            counts = ingestor.counters()
+                            print(f"  {counts['records_ingested']} "
+                                  f"records in "
+                                  f"{counts['groups_committed']} commit "
+                                  f"groups, {counts['errors']} errors, "
+                                  f"{counts['pending']} pending",
+                                  file=sys.stderr, flush=True)
+                            last_report = now
+                ingestor.flush()
+                counts = ingestor.counters()
+            elapsed = time.perf_counter() - started
+        print(f"ingested {counts['records_ingested']} records in "
+              f"{counts['groups_committed']} commit groups "
+              f"({counts['errors']} errors) in {elapsed:.2f}s")
+        return 0 if counts["errors"] == 0 else 1
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
 def _open_index(args: argparse.Namespace):
     """Open the index at ``args.index``.
 
@@ -211,6 +255,16 @@ def _print_server_info(address: str) -> int:
           f"{server['batched_queries']} queries "
           f"(coalesce ratio {server['coalesce_ratio']:.2f}, "
           f"window {server['batch_window_ms']:.1f} ms)")
+    if server.get("ingest_records") or server.get("ingest_errors"):
+        print(f"ingest:         {server['ingest_records']} records in "
+              f"{server['ingest_groups_committed']} commit groups "
+              f"({server['ingest_errors']} errors)")
+    snap_version = server.get("snapshot_version")
+    if snap_version is not None:
+        pinned = server.get("oldest_pinned_version")
+        pinned_text = "none pinned" if pinned is None \
+            else f"oldest pinned {pinned}"
+        print(f"snapshots:      version {snap_version} ({pinned_text})")
     print(f"rejections:     {server['rejected_overload']} overloaded, "
           f"{server['rejected_shutdown']} shutting down, "
           f"{server['timeouts']} timeouts")
@@ -470,6 +524,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="audit only the N hottest atoms' lists")
     chk.add_argument("--cache", default="none")
     chk.set_defaults(func=_cmd_check)
+
+    ing = sub.add_parser(
+        "ingest",
+        help="stream records into a live index as batched WAL commit "
+             "groups")
+    ing.add_argument("index", help="path of the index to ingest into")
+    ing.add_argument("source",
+                     help="records file; '-' streams from stdin")
+    ing.add_argument("--storage", choices=("diskhash", "btree"),
+                     default="diskhash")
+    ing.add_argument("--format", choices=("jsonl", "nsets"),
+                     default="nsets",
+                     help="jsonl: one JSON document per line; nsets: "
+                          "key<TAB>nested-set lines (default)")
+    ing.add_argument("--follow", action="store_true",
+                     help="streaming mode: keep reading as lines "
+                          "arrive (pipe / FIFO) and report progress; "
+                          "queries against a server on the same store "
+                          "keep running off pinned snapshots")
+    ing.add_argument("--batch-size", type=int, default=64,
+                     help="records per WAL commit group")
+    ing.add_argument("--flush-interval", type=float, default=0.25,
+                     help="seconds a partial batch may wait before "
+                          "committing")
+    ing.add_argument("--skip-invalid", action="store_true",
+                     help="skip malformed jsonl lines instead of "
+                          "failing")
+    ing.add_argument("--cache", default="none")
+    ing.set_defaults(func=_cmd_ingest)
 
     info = sub.add_parser("info",
                           help="inspect an index (or a running server)")

@@ -66,6 +66,16 @@ class ListCache(ABC):
     def admit(self, key: Hashable, plist: PostingList) -> None:
         """Offer a freshly decoded list to the cache (may be rejected)."""
 
+    def replace(self, key: Hashable, plist: PostingList) -> None:
+        """Admit ``plist``, overwriting any existing entry for ``key``.
+
+        ``admit`` may keep an existing entry (the policies treat a
+        second offer as a no-op); version-aware callers use this when
+        they *know* the cached entry is from an older epoch and must be
+        superseded.  Default: same as :meth:`admit`.
+        """
+        self.admit(key, plist)
+
     def clear(self) -> None:
         """Drop all cached entries (stats are kept)."""
 
@@ -123,6 +133,12 @@ class FrequencyCache(ListCache):
             self._lists[key] = plist
             self.stats.insertions += 1
 
+    def replace(self, key: Hashable, plist: PostingList) -> None:
+        if key in self._hot:
+            if key not in self._lists:
+                self.stats.insertions += 1
+            self._lists[key] = plist
+
     def clear(self) -> None:
         self._lists.clear()
 
@@ -168,6 +184,16 @@ class LRUCache(ListCache):
                 self._lists.popitem(last=False)
                 self.stats.evictions += 1
 
+    def replace(self, key: Hashable, plist: PostingList) -> None:
+        with self._lock:
+            if key not in self._lists:
+                self.stats.insertions += 1
+            self._lists[key] = plist
+            self._lists.move_to_end(key)
+            if len(self._lists) > self.budget:
+                self._lists.popitem(last=False)
+                self.stats.evictions += 1
+
     def clear(self) -> None:
         with self._lock:
             self._lists.clear()
@@ -195,6 +221,13 @@ class BlockCache:
     block number)``.  Hot *regions* of hot lists stay decoded while the
     cold tail of the same list can be evicted -- a granularity the
     whole-list :class:`ListCache` policies cannot express.
+
+    Under MVCC snapshot reads the list key is epoch-scoped: snapshots
+    use ``((atom token, modification epoch), block number)``, so a
+    commit that appends to a list simply starts a fresh epoch instead of
+    invalidating -- readers pinned before the commit keep their (still
+    correct) decoded blocks, and a racing reader re-populating an old
+    epoch's entry can never serve a newer reader.
     """
 
     def __init__(self, budget: int = DEFAULT_BLOCK_BUDGET) -> None:
@@ -234,10 +267,17 @@ class BlockCache:
         past the tail shift as entries spill over, so the whole list's
         cached blocks go; blocks of untouched lists stay warm -- the
         point of invalidating per-atom instead of wholesale on every
-        insert.
+        insert.  Epoch-scoped keys (``(token, epoch)`` first elements)
+        match on their token, so a live invalidation also clears every
+        snapshot epoch of the named lists.
         """
+        def list_key_of(key: tuple[Hashable, int]) -> Hashable:
+            first = key[0]
+            return first[0] if isinstance(first, tuple) else first
+
         with self._lock:
-            stale = [key for key in self._blocks if key[0] in list_keys]
+            stale = [key for key in self._blocks
+                     if list_key_of(key) in list_keys]
             for key in stale:
                 del self._blocks[key]
 

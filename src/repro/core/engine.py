@@ -19,6 +19,7 @@ reopen via :meth:`NestedSetIndex.open`.
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager, nullcontext
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..storage import KVStore
@@ -33,26 +34,184 @@ from .matchspec import QuerySpec
 from .model import NestedSet, as_nested_set
 from .parallel import RWLock
 from .resultcache import ResultCache
+from .snapshot import ModEpochs, SharedIndexState, SnapshotInvertedFile, \
+    SnapshotListCache
 from .stats import CollectionStats
 from .updates import IndexWriter
 
 if TYPE_CHECKING:
     from .shard import ShardedIndex
 
-__all__ = ["ALGORITHMS", "NestedSetIndex", "as_nested_set"]
+__all__ = ["ALGORITHMS", "NestedSetIndex", "Snapshot", "as_nested_set"]
+
+#: Reserved epoch token bumped by *every* mutation of one engine
+#: (inserts and deletes alike).  Its floor at a pinned version counts
+#: the mutations of this engine visible there, and scopes the result
+#: cache and statistics memo: two versions with an equal floor saw the
+#: identical index state, so commits elsewhere in a shared store (e.g.
+#: sibling shards) do not thrash this engine's cached results.
+_RESULT_EPOCH = "\x00index"
+
+
+class _SharedPin:
+    """A refcounted :class:`Snapshot` shared by every query at one
+    committed version (guarded by the engine's ``_pin_lock``)."""
+
+    __slots__ = ("snap", "version", "generation", "refs", "retired")
+
+    def __init__(self, snap: "Snapshot", version: int | None,
+                 generation: "InvertedFile") -> None:
+        self.snap = snap
+        self.version = version
+        self.generation = generation
+        self.refs = 1
+        self.retired = False
+
+
+class Snapshot:
+    """A consistent read view of one index, pinned at one version.
+
+    Obtained from :meth:`NestedSetIndex.snapshot`; every read method
+    runs entirely against the pinned version, so writers commit freely
+    while this handle is open and the answers never mix two states.
+    Close it (or use it as a context manager) to release the pin.
+
+    On a store without MVCC support the view is live (``version`` is
+    ``None``) and each read briefly takes the engine's read lock
+    instead -- prefer the built-in stores, which all support pinning.
+    """
+
+    def __init__(self, engine: "NestedSetIndex",
+                 ifile: SnapshotInvertedFile, version: int | None,
+                 generation: InvertedFile) -> None:
+        self._engine = engine
+        self._ifile = ifile
+        self.version = version
+        self._generation = generation
+        self._bloom = engine._bloom
+        result_cache = engine._result_cache
+        if result_cache is not None and version is not None:
+            # Scope entries to (generation, mutation floor): a commit
+            # starts a fresh key space instead of invalidating, and a
+            # slow reader can only re-populate its own floor's entries.
+            floor = engine._epochs.floor(_RESULT_EPOCH, version)
+            result_cache = result_cache.at_version((id(generation), floor))
+        self._result_cache = result_cache
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def inverted_file(self) -> SnapshotInvertedFile:
+        return self._ifile
+
+    @property
+    def n_records(self) -> int:
+        return self._ifile.n_records
+
+    @property
+    def n_nodes(self) -> int:
+        return self._ifile.n_nodes
+
+    # -- reads -------------------------------------------------------------
+
+    def execution_context(self, *, observer=None,
+                          memo: dict | None = None) -> ExecutionContext:
+        """An execution context bound to this pinned view."""
+        engine = self._engine
+        return ExecutionContext(
+            ifile=self._ifile, bloom_index=self._bloom,
+            result_cache=self._result_cache,
+            stats_provider=lambda: engine._snapshot_stats(
+                self._ifile, self._generation),
+            observer=observer, memo=memo)
+
+    def query(self, query: object, *, algorithm: str = "bottomup",
+              semantics: str = "hom", join: str = "subset",
+              epsilon: int = 1, mode: str = "root",
+              use_bloom: bool = False,
+              planner: str | None = None) -> list[str]:
+        """Evaluate one query against the pinned version."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom)
+        with self._engine._read_guard():
+            return plan.run(self.execution_context())
+
+    def query_batch(self, queries: Sequence[object], *,
+                    share_subqueries: bool = True,
+                    algorithm: str = "bottomup", semantics: str = "hom",
+                    join: str = "subset", epsilon: int = 1,
+                    mode: str = "root", use_bloom: bool = False,
+                    planner: str | None = None) -> list[list[str]]:
+        """Evaluate a workload; every answer reflects the same version."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plans = [compile_query(query, spec, algorithm=algorithm,
+                               planner=planner, use_bloom=use_bloom)
+                 for query in queries]
+        memo: dict | None = None
+        if share_subqueries and plans and \
+                all(plan.match.memoizable for plan in plans):
+            memo = {}
+        with self._engine._read_guard():
+            ctx = self.execution_context(memo=memo)
+            return [plan.run(ctx) for plan in plans]
+
+    def explain(self, query: object, *, algorithm: str = "bottomup",
+                semantics: str = "hom", join: str = "subset",
+                epsilon: int = 1, mode: str = "root",
+                use_bloom: bool = False,
+                planner: str | None = None) -> ExplainResult:
+        """Trace one query's evaluation against the pinned version."""
+        spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
+                         mode=mode)
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, use_bloom=use_bloom,
+                             cacheable=False)
+        with self._engine._read_guard():
+            return run_explained(plan, self.execution_context())
+
+    def match_nodes(self, query: object, *, algorithm: str = "bottomup",
+                    spec: QuerySpec = QuerySpec(),
+                    planner: str | None = None) -> set[int]:
+        """Raw node-level result at the pinned version."""
+        plan = compile_query(query, spec, algorithm=algorithm,
+                             planner=planner, cacheable=False)
+        with self._engine._read_guard():
+            return plan.match_nodes(self.execution_context())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the version pin (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._ifile.close()
+        self._engine._release_generation(self._generation)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class NestedSetIndex:
     """A queryable containment index over a collection of nested sets.
 
-    Thread-safety: public query entry points (``query``, ``query_batch``,
-    ``explain``, ``match_nodes``) take the read side of a
-    :class:`~repro.core.parallel.RWLock` and may run concurrently;
-    mutations (``insert``, ``delete``, ``compact``, ``set_cache``) take
-    the write side, so readers never observe a half-applied update and
-    every cache-invalidation hook fires inside the exclusive section.
-    Internal helpers are lock-free and must only be reached from a
-    locked entry point or a single-threaded context.
+    Thread-safety: reads are **version-based, not lock-based**.  Every
+    public query entry point (``query``, ``query_batch``, ``explain``,
+    ``match_nodes``) opens a :class:`Snapshot` pinned at the store's
+    committed version and runs against it without blocking -- or being
+    blocked by -- mutations, which serialize among themselves on a
+    writer mutex and commit through the store's MVCC machinery.  The
+    shared caches are epoch-scoped (:mod:`repro.core.snapshot`), so a
+    commit invalidates nothing for in-flight readers.  On a store
+    without MVCC support (``mvcc_info() is None``) the engine falls
+    back to its classic reader/writer lock.
     """
 
     def __init__(self, ifile: InvertedFile,
@@ -63,9 +222,40 @@ class NestedSetIndex:
         self._writer: IndexWriter | None = None
         self._result_cache: ResultCache | None = None
         self._rwlock = RWLock()
-        #: Serializes deferred-statistics flushes triggered from read
-        #: paths (two concurrent readers may both observe a dirty writer).
+        #: Serializes mutations (and deferred-statistics flushes): with
+        #: MVCC reads the write lock is gone, so this mutex is the only
+        #: writer-writer coordination.
         self._writer_mutex = threading.Lock()
+        self._mvcc = ifile.store.mvcc_info() is not None
+        self._wire_generation(ifile, ModEpochs(), SharedIndexState())
+        #: Snapshot refcounts per index generation; a compact retires
+        #: the old generation and its store closes when the last pinned
+        #: snapshot over it drains.
+        self._gen_lock = threading.Lock()
+        self._gen_counts: dict[InvertedFile, int] = {}
+        self._retired: set[InvertedFile] = set()
+        self._memo_lock = threading.Lock()
+        self._stats_memo: dict[tuple[int, int], CollectionStats] = {}
+        #: One shared snapshot per committed version (see :meth:`_pinned`):
+        #: queries refcount it on a dedicated lock instead of opening a
+        #: pin per call, keeping reader traffic off the locks the
+        #: writer's put path needs (per-query pin churn convoys with the
+        #: GIL and can starve writers almost completely).
+        self._pin_lock = threading.Lock()
+        self._shared_pin: _SharedPin | None = None
+
+    def _wire_generation(self, ifile: InvertedFile, epochs: ModEpochs,
+                         shared: SharedIndexState) -> None:
+        """Attach the epoch/shared-cache plumbing to a live ifile."""
+        self._epochs = epochs
+        self._shared = shared
+        inner = ifile.cache
+        if isinstance(inner, SnapshotListCache):
+            inner = inner.inner
+        self._list_cache = inner
+        ifile.cache = SnapshotListCache(inner, epochs, None)
+        ifile._epochs = epochs
+        ifile._key_cache = shared.key_cache
 
     # -- construction ------------------------------------------------------
 
@@ -210,6 +400,178 @@ class NestedSetIndex:
                 bloom_index.save(ifile.store)
         return cls(ifile, bloom_index)
 
+    # -- snapshots ---------------------------------------------------------
+
+    def _read_guard(self):
+        """Reader-side coordination: a no-op under MVCC (readers are
+        isolated by their pinned version), the classic read lock on
+        stores without snapshot support."""
+        return nullcontext() if self._mvcc else self._rwlock.read_locked()
+
+    def _write_guard(self):
+        return nullcontext() if self._mvcc else self._rwlock.write_locked()
+
+    def open_snapshot(self, store: KVStore | None = None,
+                      version: int | None = None) -> Snapshot:
+        """Open a pinned read view (no locking; see :meth:`snapshot`).
+
+        ``store`` lets a coordinator supply an already-pinned store view
+        -- the sharded index pins its base store *once* per fan-out and
+        hands each shard engine a namespaced view of that one pin; the
+        snapshot then does not own the base pin.  Callers on non-MVCC
+        stores must coordinate with mutations themselves.
+        """
+        with self._gen_lock:
+            generation = self._ifile
+            self._gen_counts[generation] = \
+                self._gen_counts.get(generation, 0) + 1
+        try:
+            snap_store = store if store is not None \
+                else generation.store.snapshot()
+            if not self._mvcc:
+                pinned = None
+            elif version is not None:
+                pinned = version
+            else:
+                pinned = getattr(snap_store, "version", None)
+            ifile = SnapshotInvertedFile(
+                snap_store, list_cache=self._list_cache,
+                block_cache=generation.block_cache, shared=self._shared,
+                epochs=self._epochs, version=pinned,
+                stats=generation.stats)
+        except BaseException:
+            self._release_generation(generation)
+            raise
+        return Snapshot(self, ifile, pinned, generation)
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current committed version and return a read handle.
+
+        The handle's ``query``/``query_batch``/``explain`` answer from
+        that version no matter how many commits land meanwhile; close
+        it to release the pin (and, after a concurrent ``compact``, the
+        retired generation's store).
+        """
+        with self._read_guard():
+            return self.open_snapshot()
+
+    def _release_generation(self, generation: InvertedFile) -> None:
+        with self._gen_lock:
+            count = self._gen_counts.get(generation, 0) - 1
+            if count > 0:
+                self._gen_counts[generation] = count
+                return
+            self._gen_counts.pop(generation, None)
+            close_now = generation in self._retired
+            self._retired.discard(generation)
+        if close_now:
+            generation.close()
+
+    # -- shared pin ---------------------------------------------------------
+    # One-shot queries do not open a private snapshot each: under MVCC
+    # they share a single refcounted snapshot of the latest committed
+    # version, re-pinned only when the version advances.  Steady-state
+    # readers then touch exactly one lock (``_pin_lock``), which the
+    # writer's put path never takes -- per-query pin/unpin churn through
+    # writer-shared locks convoys with the GIL badly enough to starve a
+    # background writer thread outright.
+
+    @contextmanager
+    def _pinned(self):
+        """Context manager yielding a shared snapshot of the latest
+        committed version (non-MVCC stores fall back to a private
+        snapshot under the read lock)."""
+        if not self._mvcc:
+            with self._read_guard(), self.open_snapshot() as snap:
+                yield snap
+            return
+        pin = self._acquire_pin()
+        try:
+            yield pin.snap
+        finally:
+            self._release_pin(pin)
+
+    def _acquire_pin(self) -> "_SharedPin":
+        # Lock-free committed-version read: a racing commit publishes
+        # its bump as one atomic attribute store, so we see either the
+        # old or the new version -- both servable (read-your-writes for
+        # the committing thread holds because the bump happens-before
+        # its next query under the GIL).
+        version = self._ifile.store.current_version()
+        close_old = None
+        with self._pin_lock:
+            cur = self._shared_pin
+            if cur is not None and not cur.retired \
+                    and version is not None and cur.version == version \
+                    and cur.generation is self._ifile:
+                cur.refs += 1
+                return cur
+            snap = self.open_snapshot()
+            pin = _SharedPin(snap, snap.version, self._ifile)
+            self._shared_pin = pin
+            if cur is not None:
+                cur.retired = True
+                if cur.refs == 0:
+                    close_old = cur.snap
+        if close_old is not None:
+            close_old.close()
+        return pin
+
+    def _release_pin(self, pin: "_SharedPin") -> None:
+        with self._pin_lock:
+            pin.refs -= 1
+            close_now = pin.refs == 0 and pin.retired
+        if close_now:
+            pin.snap.close()
+
+    def _retire_shared_pin(self) -> None:
+        """Drop the cached shared pin (compact/close): the next reader
+        re-pins against the current generation."""
+        with self._pin_lock:
+            cur = self._shared_pin
+            self._shared_pin = None
+            if cur is None:
+                return
+            cur.retired = True
+            close_now = cur.refs == 0
+        if close_now:
+            cur.snap.close()
+
+    def _snapshot_stats(self, ifile: SnapshotInvertedFile,
+                        generation: InvertedFile) -> CollectionStats:
+        """Collection statistics at a snapshot's version (memoized)."""
+        if ifile.version is None:
+            return self.collection_stats()
+        key = (id(generation),
+               self._epochs.floor(_RESULT_EPOCH, ifile.version))
+        memo = self._stats_memo.get(key)
+        if memo is None:
+            memo = CollectionStats.from_inverted_file(ifile)
+            with self._memo_lock:
+                self._stats_memo[key] = memo
+                while len(self._stats_memo) > 8:
+                    self._stats_memo.pop(next(iter(self._stats_memo)))
+        return memo
+
+    def _note_mutation(self, tokens: set[str],
+                       postings_changed: bool) -> None:
+        """Writer hook: advance modification epochs pre-commit.
+
+        Called inside the mutation's open transaction, stamped with the
+        *upcoming* commit version: a reader pinning the new version
+        after the commit lands always computes a post-bump floor, while
+        readers at older versions are unaffected (their floors count
+        only bumps at or below their pinned version).  Deletes change
+        no posting bytes, so they bump only the engine-level
+        ``_RESULT_EPOCH`` (tombstones change answers, not lists).
+        """
+        info = self._ifile.store.mvcc_info()
+        upcoming = None if info is None \
+            else int(info["snapshot_version"]) + 1
+        if postings_changed:
+            self._epochs.bump(tokens, upcoming)
+        self._epochs.bump((_RESULT_EPOCH,), upcoming)
+
     # -- querying -----------------------------------------------------------
 
     def query(self, query: object, *, algorithm: str = "bottomup",
@@ -222,16 +584,16 @@ class NestedSetIndex:
         ``planner`` ("selective-first" / "bulky-first" / "text") installs
         a sibling-ordering strategy for the top-down algorithm; see
         :mod:`repro.core.planner`.  The query is compiled into an
-        :class:`~repro.core.exec.plan.ExecutionPlan` and run against
-        this index's execution context; use :meth:`compile` to inspect
+        :class:`~repro.core.exec.plan.ExecutionPlan` and run against a
+        snapshot pinned for the duration; use :meth:`compile` to inspect
         the plan and :meth:`explain` for a full evaluation trace.
         """
         spec = QuerySpec(semantics=semantics, join=join, epsilon=epsilon,
                          mode=mode)
         plan = compile_query(query, spec, algorithm=algorithm,
                              planner=planner, use_bloom=use_bloom)
-        with self._rwlock.read_locked():
-            return plan.run(self.execution_context())
+        with self._pinned() as snap:
+            return plan.run(snap.execution_context())
 
     def compile(self, query: object, *, algorithm: str = "bottomup",
                 semantics: str = "hom", join: str = "subset",
@@ -247,10 +609,11 @@ class NestedSetIndex:
 
     def execution_context(self, *, observer=None,
                           memo: dict | None = None) -> ExecutionContext:
-        """A fresh execution context bound to this index's state.
+        """A context bound to the *live* index state (legacy surface).
 
-        Single queries use a throwaway context; batches and joins share
-        one so the subquery memo and counters span the workload.
+        Prefer :meth:`snapshot` -- a live context offers no isolation
+        from concurrent mutations on MVCC stores.  Kept for callers
+        that coordinate externally (single-threaded experiments).
         """
         return ExecutionContext(
             ifile=self._ifile, bloom_index=self._bloom,
@@ -270,25 +633,32 @@ class NestedSetIndex:
         same options; the result cache is bypassed so the trace reflects
         a full evaluation.
         """
-        plan = self.compile(query, algorithm=algorithm,
-                            semantics=semantics, join=join,
-                            epsilon=epsilon, mode=mode,
-                            use_bloom=use_bloom, planner=planner,
-                            cacheable=False)
-        with self._rwlock.read_locked():
-            return run_explained(plan, self.execution_context())
+        with self._pinned() as snap:
+            plan = self.compile(query, algorithm=algorithm,
+                                semantics=semantics, join=join,
+                                epsilon=epsilon, mode=mode,
+                                use_bloom=use_bloom, planner=planner,
+                                cacheable=False)
+            return run_explained(plan, snap.execution_context())
 
     def enable_result_cache(self, capacity: int = 1024) -> ResultCache:
-        """Cache whole query results (invalidated on any index mutation).
+        """Cache whole query results.
 
+        Entries are scoped to the snapshot version they were computed
+        at, so mutations need not (and do not) invalidate them under
+        MVCC; on non-MVCC stores any mutation still drops everything.
         Returns the cache so callers can read its hit statistics; call
         :meth:`disable_result_cache` to turn it off.
         """
         self._result_cache = ResultCache(capacity)
+        # The cached shared pin was wired without the cache; drop it so
+        # the next query re-wires (same below on disable).
+        self._retire_shared_pin()
         return self._result_cache
 
     def disable_result_cache(self) -> None:
         self._result_cache = None
+        self._retire_shared_pin()
 
     @property
     def result_cache(self) -> ResultCache | None:
@@ -301,8 +671,8 @@ class NestedSetIndex:
         """Raw node-level result: ids at which the query embeds."""
         plan = compile_query(query, spec, algorithm=algorithm,
                              planner=planner, cacheable=False)
-        with self._rwlock.read_locked():
-            return plan.match_nodes(self.execution_context())
+        with self._pinned() as snap:
+            return plan.match_nodes(snap.execution_context())
 
     def collection_stats(self) -> CollectionStats:
         """Frequency statistics over the indexed collection (memoized)."""
@@ -315,14 +685,28 @@ class NestedSetIndex:
 
     def _index_writer(self) -> IndexWriter:
         if self._writer is None:
-            self._writer = IndexWriter(self._ifile)
+            self._writer = IndexWriter(self._ifile,
+                                       on_mutate=self._note_mutation)
         return self._writer
+
+    def _flush_writer_locked(self) -> None:
+        if self._writer is not None:
+            self._writer.flush()
 
     def _flush_writer(self) -> None:
         """Persist deferred statistics before anything reads them."""
         with self._writer_mutex:
-            if self._writer is not None:
-                self._writer.flush()
+            self._flush_writer_locked()
+
+    def _after_mutation(self) -> None:
+        self._stats = None
+        if self._result_cache is not None and not self._mvcc:
+            self._result_cache.invalidate_all()
+        # The commit advanced the version, so the cached shared pin can
+        # never be reused -- retire it now rather than letting a stale
+        # pin force pre-image capture on every subsequent page write
+        # (unbounded history growth under write-only workloads).
+        self._retire_shared_pin()
 
     def insert(self, key: str, value: object) -> int:
         """Add one record to the live index; returns its ordinal.
@@ -330,31 +714,57 @@ class NestedSetIndex:
         On journaled stores the whole insert -- postings, metadata,
         record table, frequency table, and the Bloom filter append --
         commits as one write-ahead-log group, so a crash at any point
-        leaves the index wholly pre- or post-insert.  The write lock
-        excludes every concurrent reader for the duration, including
-        the cache invalidations below.
+        leaves the index wholly pre- or post-insert.  Mutations
+        serialize on the writer mutex; concurrent readers keep running
+        against their pinned versions throughout.
         """
-        with self._rwlock.write_locked():
-            with self._ifile.store.transaction(b"insert"):
-                ordinal = self._index_writer().insert(key, value)
-                if self._bloom is not None:
-                    self._bloom.append_persisted(self._ifile.store,
-                                                 as_nested_set(value))
-            self._stats = None
-            if self._result_cache is not None:
-                self._result_cache.invalidate_all()
-            return ordinal
+        with self._writer_mutex, self._write_guard():
+            return self._insert_locked(key, value)
+
+    def _insert_locked(self, key: str, value: object) -> int:
+        with self._ifile.store.transaction(b"insert"):
+            ordinal = self._index_writer().insert(key, value)
+            if self._bloom is not None:
+                self._bloom.append_persisted(self._ifile.store,
+                                             as_nested_set(value))
+        self._after_mutation()
+        return ordinal
+
+    def insert_batch(self, records: Iterable[tuple[str, object]]
+                     ) -> list[int]:
+        """Insert several records as **one** WAL commit group.
+
+        The streaming ingestor uses this to amortize the commit fsync
+        across a batch: readers observe either none of the batch or all
+        of it, and the store version advances once.
+        """
+        with self._writer_mutex, self._write_guard():
+            ordinals: list[int] = []
+            writer = self._index_writer()
+            with self._ifile.store.transaction(b"ingest"):
+                for key, value in records:
+                    ordinal = writer.insert(key, value, flush_stats=False)
+                    if self._bloom is not None:
+                        self._bloom.append_persisted(self._ifile.store,
+                                                     as_nested_set(value))
+                    ordinals.append(ordinal)
+                # One frequency-table rewrite for the whole group: each
+                # per-record rewrite would fully supersede the previous
+                # anyway, and the encode is O(vocabulary) -- paying it
+                # once per batch instead of once per record is most of
+                # the streaming path's ingest throughput.
+                writer.flush()
+            self._after_mutation()
+            return ordinals
 
     def delete(self, key: str) -> bool:
         """Tombstone the record with ``key``; see repro.core.updates."""
-        with self._rwlock.write_locked():
+        with self._writer_mutex, self._write_guard():
             deleted = self._index_writer().delete(key)
             if deleted:
                 # Dead counts change live frequencies: the memoized
                 # collection statistics (planner input) must be recomputed.
-                self._stats = None
-                if self._result_cache is not None:
-                    self._result_cache.invalidate_all()
+                self._after_mutation()
             return deleted
 
     def compact(self, *, storage: str = "memory",
@@ -366,17 +776,37 @@ class NestedSetIndex:
         new ``path`` (a store cannot be rebuilt into its own open file).
         ``store`` accepts a pre-opened destination (used by the sharded
         index to compact each shard into one fresh shared store).
+        Snapshots pinned on the old generation keep answering from it;
+        its store closes when the last of them is released.
         """
-        with self._rwlock.write_locked():
+        with self._writer_mutex, self._write_guard():
             fresh = self._index_writer().compact(storage=storage, path=path,
                                                  store=store)
             self._writer = None
             if self._result_cache is not None:
+                # Version numbering restarts with the fresh store;
+                # generation-scoped keys prevent collisions, but the old
+                # entries can never hit again -- drop them.
                 self._result_cache.invalidate_all()
             old_bloom_kind = self._bloom.kind if self._bloom else None
-            self._ifile.close()
+            # Drop the cached shared pin first: it holds a generation
+            # refcount, and closing it here (when idle) lets the old
+            # store close immediately below instead of deferring.
+            self._retire_shared_pin()
+            with self._gen_lock:
+                old = self._ifile
+                defer = self._gen_counts.get(old, 0) > 0
+                if defer:
+                    self._retired.add(old)
+            if not defer:
+                old.close()
+            self._list_cache.clear()
+            self._wire_generation(fresh, ModEpochs(), SharedIndexState())
             self._ifile = fresh
+            self._mvcc = fresh.store.mvcc_info() is not None
             self._stats = None
+            with self._memo_lock:
+                self._stats_memo.clear()
             if old_bloom_kind is not None:
                 self._bloom = BloomIndex(old_bloom_kind)
                 for _ordinal, _key, _root, tree in fresh.iter_records():
@@ -392,10 +822,12 @@ class NestedSetIndex:
                     workers: int | None = None) -> list[list[str]]:
         """Evaluate a workload of queries (the paper times 100 at a time).
 
-        All plans share one execution context.  When every plan supports
-        it (the memoized evaluation is bottom-up, so ``bottomup`` only),
-        a cross-query subquery memo is attached so structurally shared
-        subtrees are evaluated once per batch; pass
+        All plans share one execution context over one pinned snapshot,
+        so every answer in the batch reflects the same index version
+        even while writers commit concurrently.  When every plan
+        supports it (the memoized evaluation is bottom-up, so
+        ``bottomup`` only), a cross-query subquery memo is attached so
+        structurally shared subtrees are evaluated once per batch; pass
         ``share_subqueries=False`` to opt out and run a plain per-query
         loop.  Results are identical either way (tested property).
         ``workers`` exists for facade symmetry with
@@ -412,8 +844,8 @@ class NestedSetIndex:
         if share_subqueries and plans and \
                 all(plan.match.memoizable for plan in plans):
             memo = {}
-        with self._rwlock.read_locked():
-            ctx = self.execution_context(memo=memo)
+        with self._pinned() as snap:
+            ctx = snap.execution_context(memo=memo)
             return [plan.run(ctx) for plan in plans]
 
     def containment_join(self, queries: Iterable[tuple[str, object]],
@@ -422,8 +854,9 @@ class NestedSetIndex:
 
         Accepts the same options as :meth:`query_batch` (including
         ``share_subqueries``); the whole join runs through one compiled
-        batch.  See :func:`repro.core.join.containment_join` for the
-        strategy-level executor with counters.
+        batch against one pinned snapshot.  See
+        :func:`repro.core.join.containment_join` for the strategy-level
+        executor with counters.
         """
         materialized = [(qkey, query) for qkey, query in queries]
         results = self.query_batch([query for _qkey, query in materialized],
@@ -452,20 +885,31 @@ class NestedSetIndex:
 
         The experiment harness runs each configuration with and without
         caching on the *same* built index; swapping the cache (rather than
-        rebuilding) is what makes that cheap.
+        rebuilding) is what makes that cheap.  Open snapshots keep the
+        cache they were wired with.
         """
-        with self._rwlock.write_locked():
-            self._flush_writer()
-            self._ifile.cache = make_cache(
-                policy, frequencies=self._ifile.frequencies(),
-                budget=budget)
+        with self._writer_mutex, self._write_guard():
+            self._flush_writer_locked()
+            inner = make_cache(policy,
+                               frequencies=self._ifile.frequencies(),
+                               budget=budget)
+            self._list_cache = inner
+            self._ifile.cache = SnapshotListCache(inner, self._epochs, None)
+        # One-shot queries must pick up the new cache immediately.
+        self._retire_shared_pin()
 
     # -- introspection ----------------------------------------------------------
 
     @property
     def rwlock(self) -> RWLock:
-        """The reader/writer lock coordinating queries with mutations."""
+        """The fallback reader/writer lock (only engaged on stores
+        without MVCC support; see the class docstring)."""
         return self._rwlock
+
+    @property
+    def mvcc(self) -> bool:
+        """True when reads are version-based (store supports snapshots)."""
+        return self._mvcc
 
     @property
     def n_records(self) -> int:
@@ -513,6 +957,12 @@ class NestedSetIndex:
         wal = self._ifile.store.wal_info()
         if wal is not None:
             out["wal"] = wal
+        mvcc = self._ifile.store.mvcc_info()
+        if mvcc is not None:
+            with self._gen_lock:
+                mvcc["open_snapshots"] = sum(self._gen_counts.values())
+                mvcc["retired_generations"] = len(self._retired)
+            out["mvcc"] = mvcc
         return out
 
     def reset_stats(self) -> None:
@@ -523,7 +973,14 @@ class NestedSetIndex:
 
     def close(self) -> None:
         self._flush_writer()
-        self._ifile.close()
+        self._retire_shared_pin()
+        with self._gen_lock:
+            live = self._ifile
+            defer = self._gen_counts.get(live, 0) > 0
+            if defer:
+                self._retired.add(live)
+        if not defer:
+            live.close()
 
     def __enter__(self) -> "NestedSetIndex":
         return self

@@ -151,6 +151,10 @@ class InvertedFile:
         self.cache = cache if cache is not None else NoCache()
         self.block_cache = BlockCache()
         self.stats = QueryStats()
+        #: Modification epochs (:class:`repro.core.snapshot.ModEpochs`),
+        #: attached by the engine; block-cache keys become epoch-scoped
+        #: so commits never invalidate a pinned reader's decoded blocks.
+        self._epochs = None
         self._meta_cache: dict[int, bytes] = {}
         self._meta_cache_cap = 256
         self._key_cache: dict[int, str] = {}
@@ -350,7 +354,7 @@ class InvertedFile:
             return PostingList(decode_plain(raw))
         if fmt == FORMAT_BLOCKED:
             return LazyPostingList(raw, cache=self.block_cache,
-                                   cache_key=atom_token(atom),
+                                   cache_key=self._block_cache_key(atom),
                                    stats=self.stats)
         if fmt != FORMAT_SEGMENTED:
             raise InvertedFileError(
@@ -368,6 +372,22 @@ class InvertedFile:
             entries.extend(PostingList.decode(blob).entries)
             self.stats.segments_read += 1
         return PostingList(entries)
+
+    def _block_cache_key(self, atom: Atom) -> "str | tuple":
+        """List-level key for the shared block cache.
+
+        A standalone inverted file keys blocks by atom token (and
+        relies on :meth:`~repro.core.cache.BlockCache.invalidate` after
+        updates).  With modification epochs attached (the engine's MVCC
+        read path, :mod:`repro.core.snapshot`), the key gains the
+        atom's epoch floor at this view's version, so an append starts
+        a fresh key instead of invalidating anyone's decoded blocks.
+        """
+        token = atom_token(atom)
+        if self._epochs is None:
+            return token
+        return (token, self._epochs.floor(token,
+                                          getattr(self, "version", None)))
 
     def postings_overlapping(self, atom: Atom, lo: int, hi: int
                              ) -> PostingList | LazyPostingList:

@@ -92,11 +92,14 @@ def containment_join(index: NestedSetIndex,
             for skey in result:
                 pairs.append((qkey, skey))
     else:
-        ctx = index.execution_context(memo=memo)
-        for (qkey, _query), plan in zip(materialized, plans):
-            for skey in plan.run(ctx):
-                pairs.append((qkey, skey))
-        counters = ctx.counters
+        # One snapshot for the whole join: every pair reflects the same
+        # committed version even while writers land concurrently.
+        with index._pinned() as snap:
+            ctx = snap.execution_context(memo=memo)
+            for (qkey, _query), plan in zip(materialized, plans):
+                for skey in plan.run(ctx):
+                    pairs.append((qkey, skey))
+            counters = ctx.counters
     elapsed = time.perf_counter() - start
     extra: dict[str, object] = {}
     if strategy == "batched":

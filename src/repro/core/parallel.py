@@ -13,13 +13,14 @@ fan-out runs.  :class:`ShardExecutor` wraps a
 * order-preserving :meth:`map` semantics with exception propagation,
   so callers can zip results back to shards positionally.
 
-:class:`RWLock` is the reader/writer coordination the query service
-(:mod:`repro.server`) relies on: any number of concurrent readers, or
-exactly one writer, with writer preference so a stream of queries
-cannot starve an ``insert``/``delete``.  Both index facades install one
-and take the read side around query evaluation and the write side
-around mutations, which keeps the cache-invalidation hooks inside the
-exclusive section.
+:class:`RWLock` is the reader/writer coordination used when the storage
+backend cannot provide version snapshots: any number of concurrent
+readers, or exactly one writer, with writer preference so a stream of
+queries cannot starve an ``insert``/``delete``.  On the MVCC backends
+(pager-backed b+tree / disk hash, and the in-memory store) the index
+facades skip this lock entirely -- readers pin a version and writers
+commit freely -- so RWLock survives as the fallback for plain
+non-versioned stores and for its own fairness tests.
 """
 
 from __future__ import annotations

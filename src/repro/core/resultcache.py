@@ -6,8 +6,16 @@ list (6) suggests caching "with respect to an evolving query workload".
 from ``(query, evaluation options)`` to the final key list.  It pays off
 when a workload repeats whole queries (dashboards, polling agents) and
 is trivially correct because nested sets are immutable values -- the only
-invalidation events are index mutations, which the engine signals via
-:meth:`invalidate_all`.
+invalidation events are index mutations.
+
+Under MVCC snapshot reads the engine scopes every entry to the snapshot
+version it was computed at (:meth:`ResultCache.at_version`): a commit
+starts answering under a fresh version key, so nothing is invalidated
+for in-flight readers, stale entries age out of the LRU, and -- the race
+the old invalidate-on-write protocol had -- a slow reader finishing
+*after* a delete can only re-populate its own (old) version's entry,
+never the answer served to new readers.  :meth:`invalidate_all` remains
+for stores without version support.
 """
 
 from __future__ import annotations
@@ -89,5 +97,40 @@ class ResultCache:
                 self.stats.invalidations += 1
             self._entries.clear()
 
+    def at_version(self, version: int) -> "VersionedResultCache":
+        """A view whose entries are scoped to one snapshot version."""
+        return VersionedResultCache(self, version)
+
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class VersionedResultCache:
+    """Version-scoped facade over a shared :class:`ResultCache`.
+
+    Execution contexts built from a snapshot use this view, so a result
+    computed at version ``v`` is only ever served to readers pinned at
+    ``v`` -- the cache needs no invalidation on commit at all.
+    """
+
+    __slots__ = ("_cache", "version")
+
+    def __init__(self, cache: ResultCache, version: int) -> None:
+        self._cache = cache
+        self.version = version
+
+    @property
+    def stats(self) -> ResultCacheStats:
+        return self._cache.stats
+
+    def get(self, key: CacheKey) -> list[str] | None:
+        return self._cache.get((self.version,) + tuple(key))
+
+    def put(self, key: CacheKey, result: list[str]) -> None:
+        self._cache.put((self.version,) + tuple(key), result)
+
+    def invalidate_all(self) -> None:
+        self._cache.invalidate_all()
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -27,15 +27,18 @@ inverted file cannot offer:
   across shard builds, and each shard's run-merge works over a fraction
   of the collection.
 
-Thread-safety contract: each fan-out schedules **one in-flight task per
-shard**, and a reader/writer lock (:class:`~repro.core.parallel.RWLock`)
-coordinates whole operations -- any number of concurrent query fan-outs
-may overlap (the shared caches take their own fine-grained locks), while
-``insert``/``delete``/``compact`` run exclusively.  The shared base
-store is the remaining cross-thread surface -- disk-backed stores
-seek/read one file handle, so all namespaced views over a disk base
-share a lock (and the pager serializes raw page I/O); the in-memory
-store relies on the GIL's dict-operation atomicity and skips it.
+Thread-safety contract: reads are **version-based** when the base store
+supports MVCC (all built-in stores do).  A fan-out pins the base store's
+committed version once, wraps each shard namespace over that one pinned
+view, and opens a per-shard engine :class:`~repro.core.engine.Snapshot`
+-- so every shard of one fan-out answers from the *same* base version,
+with no lock held against mutations, which serialize among themselves on
+a writer mutex and commit through the shared write-ahead log.  On a base
+store without MVCC the old reader/writer-lock contract applies: fan-outs
+take the read side, mutations the write side.  Each fan-out still
+schedules one in-flight task per shard; disk-backed *live* views share a
+lock for mutations (one seeking file handle), while pinned snapshot
+reads go through the pager's version store and need none.
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ import threading
 import time
 import zlib
 from collections import Counter
+from contextlib import ExitStack, contextmanager, nullcontext
 from typing import Callable, Iterable, Iterator, Sequence
 
 from ..storage import (
@@ -71,6 +75,7 @@ __all__ = [
     "POLICIES",
     "RoundRobinShardPolicy",
     "ShardError",
+    "ShardGroupSnapshot",
     "ShardedIndex",
     "make_policy",
     "read_manifest",
@@ -251,15 +256,29 @@ class ShardedIndex:
         self._policy = policy
         self._executor = ShardExecutor(max_workers=workers)
         self._result_cache: _SharedResultCache | None = None
-        #: Reader/writer coordination across the whole shard set: query
-        #: fan-outs run concurrently under the read side; insert/delete/
-        #: compact take the write side so no shard mutates while another
-        #: shard of the same fan-out is being read.  The per-shard
-        #: engine locks still guard direct ``.shards[i]`` access.
+        #: Fallback reader/writer coordination, engaged only when the
+        #: base store lacks MVCC: fan-outs take the read side, mutations
+        #: the write side.  With MVCC, fan-outs pin a base version
+        #: instead and never block on (or are blocked by) writers.
         self._rwlock = RWLock()
+        #: Serializes mutations among themselves (route + engine write
+        #: + shared-WAL commit as one unit).
+        self._writer_mutex = threading.Lock()
+        self._mvcc = base_store.mvcc_info() is not None
+        #: Fan-out refcounts per base-store generation; compact retires
+        #: the old base, which closes when its last fan-out drains.
+        self._gen_lock = threading.Lock()
+        self._base_counts: dict[KVStore, int] = {}
+        self._retired_bases: set[KVStore] = set()
         #: Cumulative, workload-level counters merged from every fan-out.
         self.counters = ExecCounters()
         self._counters_lock = threading.Lock()
+        #: One shared snapshot group per committed base version (see
+        #: :meth:`_pinned_group`): fan-outs refcount it on a dedicated
+        #: lock instead of pinning the base per query, keeping
+        #: steady-state reader traffic off every writer-shared lock.
+        self._pin_lock = threading.Lock()
+        self._group_pin: _SharedGroup | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -400,13 +419,152 @@ class ShardedIndex:
 
     # -- fan-out plumbing --------------------------------------------------
 
-    def _fan_out(self, task: Callable[[NestedSetIndex], object],
+    def _read_guard(self):
+        return nullcontext() if self._mvcc else self._rwlock.read_locked()
+
+    def _write_guard(self):
+        return nullcontext() if self._mvcc else self._rwlock.write_locked()
+
+    def _release_base(self, base: KVStore) -> None:
+        with self._gen_lock:
+            count = self._base_counts.get(base, 0) - 1
+            if count > 0:
+                self._base_counts[base] = count
+                return
+            self._base_counts.pop(base, None)
+            close_now = base in self._retired_bases
+            self._retired_bases.discard(base)
+        if close_now:
+            base.close()
+
+    def _open_group_handles(self):
+        """Pin ONE base version; open a per-shard snapshot over it.
+
+        The base store is pinned exactly once, and each shard engine
+        gets a namespaced view of that pin -- so all shards observe the
+        same committed version even while the writer commits between
+        per-shard tasks.  Returns ``(base, base_snap, snaps)``; pass
+        them to :meth:`_close_group_handles` to release the per-shard
+        handles, the single pin, and (after a concurrent ``compact``)
+        possibly the retired base store.
+        """
+        with self._gen_lock:
+            base = self._base
+            self._base_counts[base] = self._base_counts.get(base, 0) + 1
+        base_snap = None
+        snaps: list[object] = []
+        try:
+            base_snap = base.snapshot()
+            base_snap.stats = base.stats      # keep aggregate counters
+            version = getattr(base_snap, "version", None) \
+                if self._mvcc else None
+            for shard_no, engine in enumerate(self._shards):
+                view = NamespacedStore(base_snap, _shard_prefix(shard_no))
+                view.stats = engine.inverted_file.store.stats
+                snaps.append(engine.open_snapshot(view, version=version))
+        except BaseException:
+            self._close_group_handles(base, base_snap, snaps)
+            raise
+        return base, base_snap, snaps
+
+    def _close_group_handles(self, base, base_snap, snaps) -> None:
+        for snap in snaps:
+            snap.close()
+        if base_snap is not None:
+            base_snap.close()
+        self._release_base(base)
+
+    @contextmanager
+    def _snapshot_group(self):
+        """A private (non-shared) pinned group; see
+        :meth:`_open_group_handles`.  Used by the public
+        :class:`ShardGroupSnapshot` handle, whose lifetime the caller
+        controls; one-shot queries go through :meth:`_pinned_group`."""
+        base, base_snap, snaps = self._open_group_handles()
+        try:
+            yield snaps
+        finally:
+            self._close_group_handles(base, base_snap, snaps)
+
+    @contextmanager
+    def _pinned_group(self):
+        """Context manager yielding the shared snapshot group for the
+        latest committed base version.
+
+        Fan-outs refcount one group per version instead of pinning the
+        base per query: steady-state readers touch exactly one lock
+        (``_pin_lock``), which the writer's put path never takes --
+        per-query pin/unpin churn through writer-shared locks convoys
+        with the GIL badly enough to starve a background writer thread
+        outright.  Non-MVCC stores fall back to a private group under
+        the read lock.
+        """
+        if not self._mvcc:
+            with self._read_guard(), self._snapshot_group() as snaps:
+                yield snaps
+            return
+        pin = self._acquire_group()
+        try:
+            yield pin.snaps
+        finally:
+            self._release_group(pin)
+
+    def _acquire_group(self) -> "_SharedGroup":
+        # Lock-free committed-version read: a racing commit publishes
+        # its bump as one atomic attribute store, so we see either the
+        # old or the new version -- both servable.
+        version = self._base.current_version()
+        close_old = None
+        with self._pin_lock:
+            cur = self._group_pin
+            if cur is not None and not cur.retired \
+                    and version is not None and cur.version == version \
+                    and cur.base is self._base:
+                cur.refs += 1
+                return cur
+            base, base_snap, snaps = self._open_group_handles()
+            pin = _SharedGroup(
+                base, base_snap, snaps,
+                getattr(base_snap, "version", None))
+            self._group_pin = pin
+            if cur is not None:
+                cur.retired = True
+                if cur.refs == 0:
+                    close_old = cur
+        if close_old is not None:
+            self._close_group_handles(close_old.base, close_old.base_snap,
+                                      close_old.snaps)
+        return pin
+
+    def _release_group(self, pin: "_SharedGroup") -> None:
+        with self._pin_lock:
+            pin.refs -= 1
+            close_now = pin.refs == 0 and pin.retired
+        if close_now:
+            self._close_group_handles(pin.base, pin.base_snap, pin.snaps)
+
+    def _retire_group_pin(self) -> None:
+        """Drop the cached shared group (mutations/compact/close): the
+        next fan-out re-pins at the then-current version.  Without this
+        a stale pin would force pre-image capture on every subsequent
+        page write (unbounded history growth under write-only loads)."""
+        with self._pin_lock:
+            cur = self._group_pin
+            self._group_pin = None
+            if cur is None:
+                return
+            cur.retired = True
+            close_now = cur.refs == 0
+        if close_now:
+            self._close_group_handles(cur.base, cur.base_snap, cur.snaps)
+
+    def _fan_out(self, task: Callable[[object], object], items: Sequence,
                  workers: int | None = None) -> list[object]:
-        """Run ``task`` once per shard; parallel when workers allow."""
+        """Run ``task`` once per item; parallel when workers allow."""
         if workers is None or workers == self._executor.max_workers:
-            return self._executor.map(task, self._shards)
+            return self._executor.map(task, items)
         with ShardExecutor(max_workers=workers) as executor:
-            return executor.map(task, self._shards)
+            return executor.map(task, items)
 
     @staticmethod
     def _merge_sorted(per_shard: Iterable[list[str]]) -> list[str]:
@@ -421,6 +579,16 @@ class ShardedIndex:
         with self._counters_lock:
             self.counters.merge(merged)
 
+    def snapshot(self) -> "ShardGroupSnapshot":
+        """Pin one consistent cross-shard read view.
+
+        All shards observe the same committed base version for the life
+        of the handle; writers commit freely in the meantime.  Close it
+        (or use it as a context manager) to release the pin.
+        """
+        with self._read_guard():
+            return ShardGroupSnapshot(self)
+
     # -- querying ----------------------------------------------------------
 
     def query(self, query: object, *, algorithm: str = "bottomup",
@@ -434,13 +602,12 @@ class ShardedIndex:
         plan = compile_query(query, spec, algorithm=algorithm,
                              planner=planner, use_bloom=use_bloom)
 
-        def run_shard(engine: NestedSetIndex) -> tuple[list[str],
-                                                       ExecCounters]:
-            ctx = engine.execution_context()
+        def run_shard(snap) -> tuple[list[str], ExecCounters]:
+            ctx = snap.execution_context()
             return plan.run(ctx), ctx.counters
 
-        with self._rwlock.read_locked():
-            outcomes = self._fan_out(run_shard, workers)
+        with self._pinned_group() as snaps:
+            outcomes = self._fan_out(run_shard, snaps, workers)
         self._absorb_counters(counters for _result, counters in outcomes)
         return self._merge_sorted(result for result, _counters in outcomes)
 
@@ -449,19 +616,19 @@ class ShardedIndex:
                   ) -> tuple[list[list[str]], ExecCounters]:
         """Run pre-compiled plans on every shard; merge results/counters.
 
-        Every shard gets its own execution context (and, with
-        ``memoize=True``, its own cross-query subquery memo -- node ids
-        are shard-local, so memos cannot be shared across shards).
-        Returns per-plan merged key lists plus this fan-out's merged
-        counters (also accumulated into :attr:`counters`).
+        Every shard gets its own execution context over one shared
+        pinned base version (and, with ``memoize=True``, its own
+        cross-query subquery memo -- node ids are shard-local, so memos
+        cannot be shared across shards).  Returns per-plan merged key
+        lists plus this fan-out's merged counters (also accumulated
+        into :attr:`counters`).
         """
-        def run_shard(engine: NestedSetIndex) -> tuple[list[list[str]],
-                                                       ExecCounters]:
-            ctx = engine.execution_context(memo={} if memoize else None)
+        def run_shard(snap) -> tuple[list[list[str]], ExecCounters]:
+            ctx = snap.execution_context(memo={} if memoize else None)
             return [plan.run(ctx) for plan in plans], ctx.counters
 
-        with self._rwlock.read_locked():
-            outcomes = self._fan_out(run_shard, workers)
+        with self._pinned_group() as snaps:
+            outcomes = self._fan_out(run_shard, snaps, workers)
         counters = ExecCounters.merged(
             [shard_counters for _results, shard_counters in outcomes])
         with self._counters_lock:
@@ -525,11 +692,10 @@ class ShardedIndex:
                              planner=planner, use_bloom=use_bloom,
                              cacheable=False)
         started = time.perf_counter()
-        with self._rwlock.read_locked():
+        with self._pinned_group() as snaps:
             traces = self._fan_out(
-                lambda engine: run_explained(plan,
-                                             engine.execution_context()),
-                workers)
+                lambda snap: run_explained(plan, snap.execution_context()),
+                snaps, workers)
         total_ms = (time.perf_counter() - started) * 1000
         return merge_explains(list(traces), total_ms)
 
@@ -560,13 +726,47 @@ class ShardedIndex:
     def insert(self, key: str, value: object) -> int:
         """Route to the owning shard; returns the *shard-local* ordinal.
 
-        Only that shard's result cache is invalidated (by the shard
-        engine itself); the other shards' caches stay warm.  The write
-        lock excludes concurrent cross-shard fan-outs so no query reads
-        one shard pre-insert and another mid-insert.
+        Only that shard's cached results go stale (its engine bumps its
+        own mutation epoch); the other shards' caches stay warm.  Under
+        MVCC the commit lands as a new base version -- in-flight
+        fan-outs keep reading the version they pinned, and no query ever
+        observes one shard pre-insert and another mid-insert.
         """
-        with self._rwlock.write_locked():
-            return self._route(key).insert(key, value)
+        with self._writer_mutex, self._write_guard():
+            ordinal = self._route(key).insert(key, value)
+        self._retire_group_pin()
+        return ordinal
+
+    def insert_batch(self, records: Iterable[tuple[str, object]]
+                     ) -> list[int]:
+        """Insert several (routed) records as **one** WAL commit group.
+
+        The streaming ingestor's batch path: the shared base store's
+        version advances once for the whole batch, so readers observe
+        either none of it or all of it regardless of how the records
+        scatter across shards.
+        """
+        materialized = [(key, value) for key, value in records]
+        with self._writer_mutex, self._write_guard():
+            # Route first, then hand each shard its whole slice as one
+            # nested batch: the per-shard frequency table is rewritten
+            # once per shard instead of once per record (routing calls
+            # shard_of in submission order, so stateful policies like
+            # round-robin scatter exactly as the per-record path did).
+            by_shard: dict[int, list[int]] = {}
+            for pos, (key, _value) in enumerate(materialized):
+                shard_no = self._policy.shard_of(key, len(self._shards))
+                by_shard.setdefault(shard_no, []).append(pos)
+            ordinals: list[int] = [0] * len(materialized)
+            with self._base.transaction(b"ingest"):
+                for shard_no, positions in by_shard.items():
+                    batch = [materialized[pos] for pos in positions]
+                    for pos, ordinal in zip(
+                            positions,
+                            self._shards[shard_no].insert_batch(batch)):
+                        ordinals[pos] = ordinal
+        self._retire_group_pin()
+        return ordinals
 
     def delete(self, key: str) -> bool:
         """Tombstone ``key`` on its owning shard.
@@ -576,15 +776,18 @@ class ShardedIndex:
         routed shard may miss, so the delete falls back to trying every
         shard (at most one can hold the key).
         """
-        with self._rwlock.write_locked():
-            routed = self._route(key)
-            if routed.delete(key):
-                return True
-            if isinstance(self._policy, HashShardPolicy):
-                return False
-            # The routed shard already missed -- sweep only the others.
-            return any(engine.delete(key) for engine in self._shards
-                       if engine is not routed)
+        try:
+            with self._writer_mutex, self._write_guard():
+                routed = self._route(key)
+                if routed.delete(key):
+                    return True
+                if isinstance(self._policy, HashShardPolicy):
+                    return False
+                # The routed shard already missed -- sweep the others.
+                return any(engine.delete(key) for engine in self._shards
+                           if engine is not routed)
+        finally:
+            self._retire_group_pin()
 
     def compact(self, *, storage: str = "memory",
                 path: str | None = None,
@@ -593,9 +796,10 @@ class ShardedIndex:
 
         Disk targets need a new ``path`` for the same reason the
         monolithic engine does: a store cannot be rebuilt into its own
-        open file.
+        open file.  Fan-outs pinned on the old base keep answering from
+        it; it closes when the last of them drains.
         """
-        with self._rwlock.write_locked():
+        with self._writer_mutex, self._write_guard():
             fresh_base = open_store(storage, path, create=True,
                                     **store_options)
             views = self._shard_views(fresh_base, len(self._shards))
@@ -606,8 +810,19 @@ class ShardedIndex:
             # whole.
             _commit_manifest(fresh_base, len(self._shards),
                              self._policy.name)
-            self._base.close()
+            # Drop the cached shared group first: it holds a base
+            # refcount, and closing it here (when idle) lets the old
+            # base close immediately below instead of deferring.
+            self._retire_group_pin()
+            with self._gen_lock:
+                old = self._base
+                defer = self._base_counts.get(old, 0) > 0
+                if defer:
+                    self._retired_bases.add(old)
+            if not defer:
+                old.close()
             self._base = fresh_base
+            self._mvcc = fresh_base.mvcc_info() is not None
             if self._result_cache is not None:
                 self._result_cache.invalidate_all()
 
@@ -624,12 +839,17 @@ class ShardedIndex:
         self._result_cache = _SharedResultCache(
             [engine.enable_result_cache(capacity)
              for engine in self._shards])
+        # The cached shared group holds per-shard snapshots wired with
+        # the old cache configuration; drop it so fan-outs re-wire
+        # (same below on disable / cache swap).
+        self._retire_group_pin()
         return self._result_cache
 
     def disable_result_cache(self) -> None:
         for engine in self._shards:
             engine.disable_result_cache()
         self._result_cache = None
+        self._retire_group_pin()
 
     @property
     def result_cache(self) -> _SharedResultCache | None:
@@ -641,6 +861,7 @@ class ShardedIndex:
         per_shard = max(1, budget // len(self._shards))
         for engine in self._shards:
             engine.set_cache(policy, per_shard)
+        self._retire_group_pin()
 
     # -- statistics --------------------------------------------------------
 
@@ -703,6 +924,12 @@ class ShardedIndex:
         wal = self._base.wal_info()
         if wal is not None:
             out["wal"] = wal
+        mvcc = self._base.mvcc_info()
+        if mvcc is not None:
+            with self._gen_lock:
+                mvcc["open_snapshots"] = sum(self._base_counts.values())
+                mvcc["retired_generations"] = len(self._retired_bases)
+            out["mvcc"] = mvcc
         return out
 
     def reset_stats(self) -> None:
@@ -731,8 +958,14 @@ class ShardedIndex:
 
     @property
     def rwlock(self) -> RWLock:
-        """The reader/writer lock coordinating fan-outs with mutations."""
+        """The fallback reader/writer lock (only engaged when the base
+        store lacks MVCC support; see the module docstring)."""
         return self._rwlock
+
+    @property
+    def mvcc(self) -> bool:
+        """True when fan-outs are version-based (MVCC base store)."""
+        return self._mvcc
 
     @property
     def base_store(self) -> KVStore:
@@ -754,12 +987,80 @@ class ShardedIndex:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
+        self._retire_group_pin()
         for engine in self._shards:
             engine.close()   # flushes writers; views leave the base open
         self._executor.shutdown()
-        self._base.close()
+        with self._gen_lock:
+            base = self._base
+            defer = self._base_counts.get(base, 0) > 0
+            if defer:
+                self._retired_bases.add(base)
+        if not defer:
+            base.close()
 
     def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _SharedGroup:
+    """A refcounted snapshot group shared by every fan-out at one
+    committed base version (guarded by the index's ``_pin_lock``)."""
+
+    __slots__ = ("base", "base_snap", "snaps", "version", "refs",
+                 "retired")
+
+    def __init__(self, base: KVStore, base_snap: KVStore,
+                 snaps: "list[object]", version: int | None) -> None:
+        self.base = base
+        self.base_snap = base_snap
+        self.snaps = snaps
+        self.version = version
+        self.refs = 1
+        self.retired = False
+
+
+class ShardGroupSnapshot:
+    """One pinned base version, queryable across every shard.
+
+    Wraps the per-shard :class:`~repro.core.engine.Snapshot` handles of
+    one :meth:`ShardedIndex.snapshot` call.  All reads fan out
+    sequentially (the handle is a consistency primitive, not a
+    throughput one) and merge exactly like the live fan-out path.
+    """
+
+    def __init__(self, owner: ShardedIndex) -> None:
+        self._stack = ExitStack()
+        self.snapshots: Sequence = self._stack.enter_context(
+            owner._snapshot_group())
+
+    @property
+    def version(self) -> int | None:
+        """The pinned base-store version (None on a non-MVCC store)."""
+        for snap in self.snapshots:
+            return snap.version
+        return None
+
+    def query(self, query: object, **options: object) -> list[str]:
+        """Evaluate one query against the pinned version, merged."""
+        return ShardedIndex._merge_sorted(
+            snap.query(query, **options) for snap in self.snapshots)
+
+    def query_batch(self, queries: Sequence[object],
+                    **options: object) -> list[list[str]]:
+        """Evaluate many queries against the one pinned version."""
+        per_shard = [snap.query_batch(queries, **options)
+                     for snap in self.snapshots]
+        return [ShardedIndex._merge_sorted(parts)
+                for parts in zip(*per_shard)]
+
+    def close(self) -> None:
+        self._stack.close()
+
+    def __enter__(self) -> "ShardGroupSnapshot":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -73,21 +73,41 @@ class UpdateError(Exception):
 
 
 class IndexWriter:
-    """Applies record-level updates to an open :class:`InvertedFile`."""
+    """Applies record-level updates to an open :class:`InvertedFile`.
 
-    def __init__(self, ifile: InvertedFile) -> None:
+    ``on_mutate`` replaces destructive cache invalidation with a
+    notification: the engine's MVCC read path passes a callback that
+    bumps modification epochs (:mod:`repro.core.snapshot`) instead of
+    clearing the shared list/block caches, so commits invalidate
+    nothing for in-flight readers.  Without it (standalone use) the
+    writer clears the caches itself, as before.
+    """
+
+    def __init__(self, ifile: InvertedFile,
+                 on_mutate=None) -> None:
         self._ifile = ifile
         self._store = ifile.store
         self._freq_dirty = False
         self._df_delta: dict[Atom, int] = {}
+        self._on_mutate = on_mutate
+        #: Deferred ALL/ZERO appends (``insert(flush_stats=False)``):
+        #: node ids grow monotonically, so extending keeps the global
+        #: sort and one tail-block rewrite serves the whole batch.
+        self._pending_all: list[tuple[int, tuple[int, ...]]] = []
+        self._pending_zero: list[tuple[int, tuple[int, ...]]] = []
 
     # -- insert -----------------------------------------------------------
 
-    def insert(self, key: str, value: object) -> int:
+    def insert(self, key: str, value: object, *,
+               flush_stats: bool = True) -> int:
         """Add one record; returns its ordinal.
 
         Raises :class:`UpdateError` when a live record already uses the
-        key.
+        key.  ``flush_stats=False`` defers the frequency-table rewrite
+        -- an O(vocabulary) encode that dominates per-record cost on
+        large corpora -- to the caller, who MUST call :meth:`flush`
+        before the enclosing commit group closes (each rewrite fully
+        supersedes the previous, so a batch needs exactly one).
         """
         from .engine import as_nested_set
         ifile = self._ifile
@@ -138,13 +158,21 @@ class IndexWriter:
                     + len(entries)
                 self._freq_dirty = True
 
-            # 2. ALL / ZERO blocks: extend the tail block, add new ones.
-            ifile._n_all_blocks = _append_blocks(
-                self._store, _ALL_PREFIX, ifile._n_all_blocks,
-                sorted(all_nodes))
-            ifile._n_zero_blocks = _append_blocks(
-                self._store, _ZERO_PREFIX, ifile._n_zero_blocks,
-                sorted(zero_leaf))
+            # 2. ALL / ZERO blocks: extend the tail block, add new
+            #    ones.  Deferred mode batches the appends instead --
+            #    the tail-block decode/re-encode is O(block size), and
+            #    paying it once per group rather than once per record
+            #    is a large share of streaming-ingest throughput.
+            if flush_stats:
+                ifile._n_all_blocks = _append_blocks(
+                    self._store, _ALL_PREFIX, ifile._n_all_blocks,
+                    sorted(all_nodes))
+                ifile._n_zero_blocks = _append_blocks(
+                    self._store, _ZERO_PREFIX, ifile._n_zero_blocks,
+                    sorted(zero_leaf))
+            else:
+                self._pending_all.extend(sorted(all_nodes))
+                self._pending_zero.extend(sorted(zero_leaf))
 
             # 3. node metadata: fill the partial tail block.
             _append_meta(self._store, ifile.n_nodes, meta_entries)
@@ -162,7 +190,8 @@ class IndexWriter:
             ifile.n_records += 1
             ifile.n_nodes = next_id
             self._write_config()
-            self.flush()
+            if flush_stats:
+                self.flush()
         self._invalidate(postings)
         return ordinal
 
@@ -248,11 +277,16 @@ class IndexWriter:
                     ifile.dead_counts[atom] = \
                         ifile.dead_counts.get(atom, 0) + 1
             self._write_dead_counts()
-        # Drop the dead record's atoms from the list/block caches: their
-        # cached decodings are keyed by store bytes that survive the
-        # tombstone, but every consumer ordering candidates by live
-        # frequency must observe the new dead counts, not a snapshot.
-        self._invalidate(dict.fromkeys(dead_atoms))
+            # A delete leaves every posting list's bytes untouched; only
+            # the tombstone set and dead counts change, and consumers
+            # read those from index attributes (or their own pinned
+            # store), not from the list/block caches.  The standalone
+            # invalidation path still drops the atoms' cached lists so
+            # live-frequency ordering re-reads fresh lengths.  Runs
+            # inside the transaction: the epoch hook must stamp the
+            # *upcoming* commit version, i.e. fire before the commit.
+            self._invalidate(dict.fromkeys(dead_atoms),
+                             postings_changed=False)
         return True
 
     def _write_dead_counts(self) -> None:
@@ -288,7 +322,19 @@ class IndexWriter:
     # -- statistics maintenance ------------------------------------------------------
 
     def flush(self) -> None:
-        """Persist the updated document-frequency table."""
+        """Persist deferred batch state: ALL/ZERO appends + frequency
+        table.  After ``insert(flush_stats=False)`` this MUST run inside
+        the same commit group (the engine's batch path does)."""
+        if self._pending_all or self._pending_zero:
+            ifile = self._ifile
+            ifile._n_all_blocks = _append_blocks(
+                self._store, _ALL_PREFIX, ifile._n_all_blocks,
+                self._pending_all)
+            ifile._n_zero_blocks = _append_blocks(
+                self._store, _ZERO_PREFIX, ifile._n_zero_blocks,
+                self._pending_zero)
+            self._pending_all = []
+            self._pending_zero = []
         if not self._freq_dirty:
             return
         df = dict(self._ifile.frequencies())
@@ -317,14 +363,21 @@ class IndexWriter:
             encode_varint(ifile.block_size)
         self._store.put(_CONFIG_KEY, config)
 
-    def _invalidate(self, touched_postings: dict) -> None:
+    def _invalidate(self, touched_postings: dict, *,
+                    postings_changed: bool = True) -> None:
         ifile = self._ifile
         ifile._all_nodes = None
         ifile._zero_leaf = None
         ifile._meta_cache.clear()
+        tokens = {atom_token(atom) for atom in touched_postings}
+        if self._on_mutate is not None:
+            # Epoch-based caching: nothing to clear.  Deletes are pure
+            # tombstones (posting bytes unchanged), so they report
+            # postings_changed=False and bump no epochs either.
+            self._on_mutate(tokens, postings_changed)
+            return
         ifile.cache.clear()
-        ifile.block_cache.invalidate(
-            {atom_token(atom) for atom in touched_postings})
+        ifile.block_cache.invalidate(tokens)
 
 
 def _append_blocks(store, prefix: bytes, n_blocks: int,

@@ -110,6 +110,22 @@ class ServiceClient:
             request["timeout_ms"] = timeout_ms
         return self.call(request)["deleted"]
 
+    def ingest(self, records: "Sequence[tuple[str, str]]", *,
+               timeout_ms: float | None = None) -> dict:
+        """Enqueue records for streaming ingest (returns before commit).
+
+        The server batches accepted records into write-ahead-log commit
+        groups off the query path; the response carries the ingestor's
+        cumulative counters, not a completion acknowledgment.
+        """
+        request: dict[str, Any] = {
+            "op": "ingest",
+            "records": [[key, value] for key, value in records],
+        }
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        return self.call(request)
+
     def stats(self) -> dict:
         """Server counters plus engine counters, one consistent snapshot."""
         return self.call({"op": "stats"})

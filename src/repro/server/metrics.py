@@ -15,6 +15,7 @@ strictly more accurate than bucketed approximation.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -26,11 +27,17 @@ DEFAULT_RESERVOIR = 4096
 
 
 def _quantile(ordered: list[float], q: float) -> float:
-    """Nearest-rank quantile of an ascending list (empty → 0.0)."""
+    """Nearest-rank quantile of an ascending list (empty → 0.0).
+
+    Canonical nearest-rank: the ``ceil(q * n)``-th smallest sample,
+    clamped into range so degenerate reservoirs are safe -- the p99 of a
+    1-element reservoir is that element, not an IndexError (``ceil(0.99
+    * 1) - 1 == 0``, but q = 1.0 or float fuzz can land on ``n``).
+    """
     if not ordered:
         return 0.0
-    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
-    return ordered[rank]
+    rank = math.ceil(q * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
 
 
 class ServerMetrics:
@@ -49,6 +56,12 @@ class ServerMetrics:
         #: ratio (1.0 = no coalescing ever happened).
         self.batches = 0
         self.batched_queries = 0
+        #: Streaming-ingest totals (fed by the server's ingestor): how
+        #: many records landed and how many WAL commit groups they cost;
+        #: their ratio is the ingest amortization factor.
+        self.ingest_records = 0
+        self.ingest_groups_committed = 0
+        self.ingest_errors = 0
         self._latencies: deque[float] = deque(maxlen=reservoir_size)
 
     # -- recording ---------------------------------------------------------
@@ -76,6 +89,14 @@ class ServerMetrics:
         with self._lock:
             self._latencies.append(seconds)
 
+    def set_ingest_counters(self, records: int, groups: int,
+                            errors: int) -> None:
+        """Absorb the streaming ingestor's cumulative counters."""
+        with self._lock:
+            self.ingest_records = records
+            self.ingest_groups_committed = groups
+            self.ingest_errors = errors
+
     # -- reading -----------------------------------------------------------
 
     @property
@@ -101,6 +122,9 @@ class ServerMetrics:
                 "timeouts": self.timeouts,
                 "batches": self.batches,
                 "batched_queries": self.batched_queries,
+                "ingest_records": self.ingest_records,
+                "ingest_groups_committed": self.ingest_groups_committed,
+                "ingest_errors": self.ingest_errors,
                 "coalesce_ratio": (round(self.batched_queries
                                          / self.batches, 3)
                                    if self.batches else 0.0),

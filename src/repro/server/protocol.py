@@ -11,6 +11,7 @@ Requests are JSON objects carrying an ``op`` plus op-specific fields::
      "timeout_ms": 500}
     {"op": "query_batch", "queries": ["{a}", "{b}"], "options": {...}}
     {"op": "insert", "key": "r17", "value": "{a, {b, c}}"}
+    {"op": "ingest", "records": [["r18", "{a}"], ["r19", "{b}"]]}
     {"op": "delete", "key": "r17"}
     {"op": "stats"}
     {"op": "shutdown"}
@@ -62,8 +63,8 @@ _LENGTH = struct.Struct("!I")
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: Request operations the server understands.
-OPS = ("ping", "query", "query_batch", "insert", "delete", "stats",
-       "shutdown")
+OPS = ("ping", "query", "query_batch", "insert", "ingest", "delete",
+       "stats", "shutdown")
 
 #: Evaluation options a query/query_batch request may carry; mirrors the
 #: keyword surface of ``NestedSetIndex.query``.
@@ -209,6 +210,14 @@ def validate_request(request: Any) -> dict:
     elif op == "insert":
         _require_str(request, "key")
         _require_str(request, "value")
+    elif op == "ingest":
+        records = request.get("records")
+        if not isinstance(records, list) or not all(
+                isinstance(pair, (list, tuple)) and len(pair) == 2
+                and isinstance(pair[0], str) and isinstance(pair[1], str)
+                for pair in records):
+            raise ProtocolError("ingest: field 'records' must be a list "
+                                "of [key, value] string pairs")
     elif op == "delete":
         _require_str(request, "key")
     options = request.get("options")

@@ -22,18 +22,29 @@ The design has four load-bearing pieces:
   of one per query -- the same amortization the paper's batch
   experiments measure, now applied across concurrent clients.
 
-* **Reader/writer coordination** -- engine calls run on a small thread
-  pool; the index's :class:`~repro.core.parallel.RWLock` lets query
-  batches run concurrently while ``insert``/``delete`` take exclusive
-  ownership (cache invalidation included).  The server adds no second
-  locking layer: coordination lives in the engine so in-process callers
-  get it too.
+* **Snapshot reads, lock-free mutations** -- engine calls run on a
+  small thread pool, and the engine's read path is version-based: every
+  query batch pins the store's committed version and runs against that
+  snapshot, so ``insert``/``delete``/``ingest`` commit freely without
+  an engine-level write lock and no reader ever observes a half-applied
+  update.  The server adds no second locking layer: coordination lives
+  in the engine so in-process callers get it too.  (On a store without
+  MVCC the engine transparently falls back to its reader/writer lock.)
+
+* **Streaming ingest** -- the ``ingest`` op enqueues records into a
+  :class:`~repro.data.ingest.StreamIngestor` and returns immediately;
+  a background thread batches them into amortized write-ahead-log
+  commit groups (one version step, one fsync per group) off the query
+  path.  ``stats`` surfaces ``snapshot_version``,
+  ``oldest_pinned_version`` and ``ingest_groups_committed`` so the
+  read/write interplay is observable.
 
 * **Graceful drain** -- SIGTERM or a ``shutdown`` request stops the
   listener, lets admitted requests finish (bounded by
-  ``drain_timeout_s``), then closes the index, which flushes deferred
-  statistics and checkpoints the write-ahead log.  A drained server
-  leaves an index that reopens with zero pending WAL groups.
+  ``drain_timeout_s``), flushes the ingestor's tail, then closes the
+  index, which flushes deferred statistics and checkpoints the
+  write-ahead log.  A drained server leaves an index that reopens with
+  zero pending WAL groups.
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..data.ingest import StreamIngestor
 from .metrics import ServerMetrics
 from .protocol import (
     ProtocolError,
@@ -95,7 +107,9 @@ class QueryServer:
                  batch_max: int = DEFAULT_BATCH_MAX,
                  default_timeout_s: float = DEFAULT_TIMEOUT_S,
                  drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
-                 close_index_on_drain: bool = True) -> None:
+                 close_index_on_drain: bool = True,
+                 ingest_batch_size: int = 64,
+                 ingest_flush_interval: float = 0.25) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if workers < 1:
@@ -119,6 +133,10 @@ class QueryServer:
         self._stopped: asyncio.Event | None = None
         self._pending: list[_PendingQuery] = []
         self._flush_handle: asyncio.TimerHandle | None = None
+        self._ingest_batch_size = ingest_batch_size
+        self._ingest_flush_interval = ingest_flush_interval
+        self._ingestor: StreamIngestor | None = None
+        self._ingestor_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -151,10 +169,16 @@ class QueryServer:
 
     def request_drain(self) -> None:
         """Thread-safe drain trigger (used by :class:`ServerThread`)."""
-        if self._loop is None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
             return
-        self._loop.call_soon_threadsafe(
-            lambda: asyncio.ensure_future(self._drain()))
+        try:
+            loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self._drain()))
+        except RuntimeError:
+            # The loop closed between the check and the call: a
+            # client-issued shutdown already drained the server.
+            pass
 
     async def _drain(self) -> None:
         """Stop admitting, finish in-flight work, checkpoint, stop."""
@@ -169,6 +193,10 @@ class QueryServer:
         while self._inflight > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.005)
         loop = asyncio.get_running_loop()
+        if self._ingestor is not None:
+            # Commit the ingest tail before the index closes: a drained
+            # server has accepted-and-durable ingest, not a dropped queue.
+            await loop.run_in_executor(self._pool, self._ingestor.close)
         if self._close_index_on_drain:
             # close() flushes deferred statistics and checkpoints the
             # WAL -- the "clean index on disk" half of graceful drain.
@@ -278,6 +306,16 @@ class QueryServer:
                     self._run_in_pool(self._index.delete, request["key"]),
                     timeout_s)
                 return ok_response({"deleted": deleted})
+            if op == "ingest":
+                records = [(key, value)
+                           for key, value in request["records"]]
+                ingestor = self._ensure_ingestor()
+                for key, value in records:
+                    ingestor.submit(key, value)
+                # Accepted, not yet durable: the background batcher
+                # commits these as amortized WAL groups.
+                return ok_response({"accepted": len(records),
+                                    **ingestor.counters()})
             if op == "stats":
                 return ok_response(self._stats_payload())
             raise AssertionError(f"unroutable op {op!r}")  # validated above
@@ -294,7 +332,24 @@ class QueryServer:
         assert self._loop is not None
         return self._loop.run_in_executor(self._pool, fn, *args)
 
+    def _ensure_ingestor(self) -> StreamIngestor:
+        with self._ingestor_lock:
+            if self._ingestor is None:
+                self._ingestor = StreamIngestor(
+                    self._index,
+                    batch_size=self._ingest_batch_size,
+                    flush_interval=self._ingest_flush_interval).start()
+            return self._ingestor
+
     def _stats_payload(self) -> dict:
+        if self._ingestor is not None:
+            counters = self._ingestor.counters()
+            self.metrics.set_ingest_counters(
+                counters["records_ingested"],
+                counters["groups_committed"],
+                counters["errors"])
+        engine_stats = self._index.stats()
+        mvcc = engine_stats.get("mvcc") or {}
         return {
             "server": dict(
                 self.metrics.snapshot(),
@@ -302,8 +357,10 @@ class QueryServer:
                 max_inflight=self.max_inflight,
                 batch_window_ms=self.batch_window_s * 1000,
                 draining=self._draining,
+                snapshot_version=mvcc.get("snapshot_version"),
+                oldest_pinned_version=mvcc.get("oldest_pinned_version"),
             ),
-            "engine": self._index.stats(),
+            "engine": engine_stats,
         }
 
     # -- micro-batching ----------------------------------------------------

@@ -29,9 +29,9 @@ from .errors import (
     StoreClosedError,
 )
 from .faults import CrashError, FaultPlan, FaultyPager, FaultyStore, inject
-from .kvstore import AccessStats, KVStore, MemoryKVStore
+from .kvstore import AccessStats, KVStore, MemoryKVStore, ReadOnlySnapshot
 from .namespace import NamespacedStore
-from .pager import Pager, wal_path
+from .pager import Pager, PageReader, wal_path
 from .wal import WriteAheadLog
 
 #: Storage engine names accepted by :func:`open_store`.
@@ -83,6 +83,8 @@ __all__ = [
     "MemoryKVStore",
     "NamespacedStore",
     "Pager",
+    "PageReader",
+    "ReadOnlySnapshot",
     "PageBoundsError",
     "Posting",
     "STORAGE_KINDS",

@@ -25,8 +25,8 @@ from typing import Iterator
 
 from .codec import decode_varint, encode_varint
 from .errors import CorruptionError, KeyTooLargeError
-from .kvstore import KVStore
-from .pager import DEFAULT_PAGE_SIZE, Pager
+from .kvstore import KVStore, ReadOnlySnapshot
+from .pager import DEFAULT_PAGE_SIZE, PageReader, Pager
 
 _LEAF = 1
 _INTERNAL = 2
@@ -55,6 +55,40 @@ class _Internal:
     def __init__(self, keys: list[bytes], children: list[int]):
         self.keys = keys
         self.children = children
+
+
+def _decode_node(raw: bytes) -> _Leaf | _Internal:
+    """Decode one node page (shared by the live tree and snapshots)."""
+    node_type = raw[0]
+    n = struct.unpack_from("<H", raw, 1)[0]
+    if node_type == _LEAF:
+        next_leaf = struct.unpack_from("<Q", raw, 3)[0]
+        pos = 11
+        entries: list[tuple[bytes, int, bytes]] = []
+        for _ in range(n):
+            flag = raw[pos]
+            pos += 1
+            klen, pos = decode_varint(raw, pos)
+            vlen, pos = decode_varint(raw, pos)
+            key = raw[pos:pos + klen]
+            pos += klen
+            value = raw[pos:pos + vlen]
+            pos += vlen
+            entries.append((key, flag, value))
+        return _Leaf(next_leaf, entries)
+    if node_type == _INTERNAL:
+        child0 = struct.unpack_from("<Q", raw, 3)[0]
+        pos = 11
+        keys: list[bytes] = []
+        children = [child0]
+        for _ in range(n):
+            klen, pos = decode_varint(raw, pos)
+            keys.append(raw[pos:pos + klen])
+            pos += klen
+            children.append(struct.unpack_from("<Q", raw, pos)[0])
+            pos += 8
+        return _Internal(keys, children)
+    raise CorruptionError(f"unknown btree node type {node_type}")
 
 
 class BPlusTree(KVStore):
@@ -90,36 +124,7 @@ class BPlusTree(KVStore):
     def _read_node(self, page_id: int) -> _Leaf | _Internal:
         raw = self._pager.read(page_id)
         self.stats.page_reads += 1
-        node_type = raw[0]
-        n = struct.unpack_from("<H", raw, 1)[0]
-        if node_type == _LEAF:
-            next_leaf = struct.unpack_from("<Q", raw, 3)[0]
-            pos = 11
-            entries: list[tuple[bytes, int, bytes]] = []
-            for _ in range(n):
-                flag = raw[pos]
-                pos += 1
-                klen, pos = decode_varint(raw, pos)
-                vlen, pos = decode_varint(raw, pos)
-                key = raw[pos:pos + klen]
-                pos += klen
-                value = raw[pos:pos + vlen]
-                pos += vlen
-                entries.append((key, flag, value))
-            return _Leaf(next_leaf, entries)
-        if node_type == _INTERNAL:
-            child0 = struct.unpack_from("<Q", raw, 3)[0]
-            pos = 11
-            keys: list[bytes] = []
-            children = [child0]
-            for _ in range(n):
-                klen, pos = decode_varint(raw, pos)
-                keys.append(raw[pos:pos + klen])
-                pos += klen
-                children.append(struct.unpack_from("<Q", raw, pos)[0])
-                pos += 8
-            return _Internal(keys, children)
-        raise CorruptionError(f"unknown btree node type {node_type}")
+        return _decode_node(raw)
 
     def _leaf_bytes(self, leaf: _Leaf) -> bytes:
         out = bytearray()
@@ -364,8 +369,96 @@ class BPlusTree(KVStore):
     def wal_info(self) -> dict[str, object] | None:
         return self._pager.wal_info()
 
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> KVStore:
+        self._check_open()
+        return BTreeSnapshot(self)
+
+    def mvcc_info(self) -> dict[str, object]:
+        return self._pager.mvcc_info()
+
+    def current_version(self) -> int:
+        return self._pager.current_version()
+
     def close(self) -> None:
         if not self._closed:
             self._write_meta()
             self._pager.close()
+        super().close()
+
+
+class BTreeSnapshot(ReadOnlySnapshot):
+    """Read-only view of a :class:`BPlusTree` pinned at one pager version.
+
+    The root pointer and count come from the versioned header page, and
+    every node / overflow read goes through the pinned
+    :class:`~repro.storage.pager.PageReader` -- so the traversal is
+    immune to concurrent splits, frees, and page reuse by later commits.
+    """
+
+    def __init__(self, tree: BPlusTree) -> None:
+        super().__init__()
+        self._reader: PageReader = tree._pager.reader()
+        self.version = self._reader.version
+        self.stats = tree.stats
+        meta = self._reader.meta
+        if len(meta) < _META.size:
+            self._reader.close()
+            raise CorruptionError("btree metadata missing in snapshot")
+        self._root, self._count = _META.unpack(meta[:_META.size])
+        self._released = False
+
+    def _read_node(self, page_id: int) -> _Leaf | _Internal:
+        raw = self._reader.read(page_id)
+        self.stats.page_reads += 1
+        return _decode_node(raw)
+
+    def _resolve(self, flag: int, stored: bytes) -> bytes:
+        if flag == _FLAG_OVERFLOW:
+            head, length = _OVERFLOW_REF.unpack(stored)
+            return self._reader.read_overflow(head, length)
+        return stored
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        self.stats.gets += 1
+        page_id = self._root
+        node = self._read_node(page_id)
+        while isinstance(node, _Internal):
+            page_id = node.children[bisect_right(node.keys, key)]
+            node = self._read_node(page_id)
+        for rec_key, flag, stored in node.entries:
+            if rec_key == key:
+                value = self._resolve(flag, stored)
+                self.stats.hits += 1
+                self.stats.bytes_read += len(value)
+                return value
+        self.stats.misses += 1
+        return None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        self._check_open()
+        node = self._read_node(self._root)
+        while isinstance(node, _Internal):
+            node = self._read_node(node.children[0])
+        leaf = node
+        while True:
+            for key, flag, stored in leaf.entries:
+                yield bytes(key), self._resolve(flag, stored)
+            if not leaf.next_leaf:
+                return
+            nxt = self._read_node(leaf.next_leaf)
+            if not isinstance(nxt, _Leaf):
+                raise CorruptionError("leaf chain points at internal node")
+            leaf = nxt
+
+    def __len__(self) -> int:
+        self._check_open()
+        return self._count
+
+    def close(self) -> None:
+        if not self._released:
+            self._released = True
+            self._reader.close()
         super().close()

@@ -37,8 +37,8 @@ from typing import Iterator
 
 from .codec import decode_varint, encode_varint, fnv1a_64
 from .errors import CorruptionError, KeyTooLargeError
-from .kvstore import KVStore
-from .pager import DEFAULT_PAGE_SIZE, Pager
+from .kvstore import KVStore, ReadOnlySnapshot
+from .pager import DEFAULT_PAGE_SIZE, PageReader, Pager
 
 _PAGE_HEADER = struct.Struct("<QH")
 _OVERFLOW_REF = struct.Struct("<QI")
@@ -49,6 +49,25 @@ _FLAG_DEAD = 1
 _FLAG_OVERFLOW = 2
 
 DEFAULT_BUCKETS = 1024
+
+
+def _scan_page_raw(raw: bytes) -> Iterator[tuple[int, int, bytes, bytes, int]]:
+    """Yield ``(offset, flag, key, stored_value, record_end)`` per record."""
+    next_page, used = _PAGE_HEADER.unpack_from(raw, 0)
+    del next_page
+    pos = _PAGE_HEADER.size
+    end = _PAGE_HEADER.size + used
+    while pos < end:
+        start = pos
+        flag = raw[pos]
+        pos += 1
+        klen, pos = decode_varint(raw, pos)
+        vlen, pos = decode_varint(raw, pos)
+        key = raw[pos:pos + klen]
+        pos += klen
+        value = raw[pos:pos + vlen]
+        pos += vlen
+        yield start, flag, key, value, pos
 
 
 class DiskHashTable(KVStore):
@@ -124,21 +143,7 @@ class DiskHashTable(KVStore):
 
     def _scan_page(self, raw: bytes) -> Iterator[tuple[int, int, bytes, bytes, int]]:
         """Yield ``(offset, flag, key, stored_value, record_end)`` per record."""
-        next_page, used = _PAGE_HEADER.unpack_from(raw, 0)
-        del next_page
-        pos = _PAGE_HEADER.size
-        end = _PAGE_HEADER.size + used
-        while pos < end:
-            start = pos
-            flag = raw[pos]
-            pos += 1
-            klen, pos = decode_varint(raw, pos)
-            vlen, pos = decode_varint(raw, pos)
-            key = raw[pos:pos + klen]
-            pos += klen
-            value = raw[pos:pos + vlen]
-            pos += vlen
-            yield start, flag, key, value, pos
+        return _scan_page_raw(raw)
 
     def _resolve_value(self, flag: int, stored: bytes) -> bytes:
         if flag == _FLAG_OVERFLOW:
@@ -291,8 +296,97 @@ class DiskHashTable(KVStore):
     def wal_info(self) -> dict[str, object] | None:
         return self._pager.wal_info()
 
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> KVStore:
+        self._check_open()
+        return DiskHashSnapshot(self)
+
+    def mvcc_info(self) -> dict[str, object]:
+        return self._pager.mvcc_info()
+
+    def current_version(self) -> int:
+        return self._pager.current_version()
+
     def close(self) -> None:
         if not self._closed:
             self._write_meta()
             self._pager.close()
+        super().close()
+
+
+class DiskHashSnapshot(ReadOnlySnapshot):
+    """Read-only view of a :class:`DiskHashTable` pinned at one version.
+
+    Directory, chain, and overflow pages are all read through the pinned
+    :class:`~repro.storage.pager.PageReader`, so bucket chains stay
+    coherent no matter how many record excisions, page reuses, or
+    directory rewrites later commits perform.
+    """
+
+    def __init__(self, table: DiskHashTable) -> None:
+        super().__init__()
+        self._reader: PageReader = table._pager.reader()
+        self.version = self._reader.version
+        self.stats = table.stats
+        meta = self._reader.meta
+        if len(meta) < _META.size:
+            self._reader.close()
+            raise CorruptionError("hash table metadata missing in snapshot")
+        n_buckets, dir_first, n_dir_pages, count = _META.unpack(
+            meta[:_META.size])
+        self._n_buckets = n_buckets
+        self._count = count
+        per_page = self._reader.page_size // 8
+        directory: list[int] = []
+        for page_id in range(dir_first, dir_first + n_dir_pages):
+            raw = self._reader.read(page_id)
+            directory.extend(struct.unpack_from(f"<{per_page}Q", raw, 0))
+        self._directory = directory[:n_buckets]
+        self._released = False
+
+    def _resolve_value(self, flag: int, stored: bytes) -> bytes:
+        if flag == _FLAG_OVERFLOW:
+            head, length = _OVERFLOW_REF.unpack(stored)
+            data = self._reader.read_overflow(head, length)
+            self.stats.page_reads += 1
+            return data
+        return stored
+
+    def get(self, key: bytes) -> bytes | None:
+        self._check_open()
+        self.stats.gets += 1
+        page_id = self._directory[fnv1a_64(key) % self._n_buckets]
+        while page_id:
+            raw = self._reader.read(page_id)
+            self.stats.page_reads += 1
+            for _offset, flag, rec_key, stored, _end in _scan_page_raw(raw):
+                if flag != _FLAG_DEAD and rec_key == key:
+                    value = self._resolve_value(flag, stored)
+                    self.stats.hits += 1
+                    self.stats.bytes_read += len(value)
+                    return value
+            page_id = _PAGE_HEADER.unpack_from(raw, 0)[0]
+        self.stats.misses += 1
+        return None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        self._check_open()
+        for head in self._directory:
+            page_id = head
+            while page_id:
+                raw = self._reader.read(page_id)
+                for _offset, flag, key, stored, _end in _scan_page_raw(raw):
+                    if flag != _FLAG_DEAD:
+                        yield bytes(key), self._resolve_value(flag, stored)
+                page_id = _PAGE_HEADER.unpack_from(raw, 0)[0]
+
+    def __len__(self) -> int:
+        self._check_open()
+        return self._count
+
+    def close(self) -> None:
+        if not self._released:
+            self._released = True
+            self._reader.close()
         super().close()

@@ -117,6 +117,27 @@ class NamespacedStore(KVStore):
     def wal_info(self) -> dict[str, object] | None:
         return self._base.wal_info()
 
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> KVStore:
+        """A view of this namespace pinned at the base store's version.
+
+        Pins the *base* store once; the returned view owns that pin and
+        releases it on close (unlike a plain view, whose close leaves
+        the base alone).  Several shards sharing one pinned base
+        snapshot instead use :class:`NamespacedStore` directly over it.
+        """
+        self._check_open()
+        snap = _NamespacedSnapshot(self._base.snapshot(), self._prefix)
+        snap.stats = self.stats  # keep per-namespace counters aggregating
+        return snap
+
+    def mvcc_info(self) -> dict[str, object] | None:
+        return self._base.mvcc_info()
+
+    def current_version(self) -> int | None:
+        return self._base.current_version()
+
     # -- lifecycle ---------------------------------------------------------
 
     def sync(self) -> None:
@@ -126,3 +147,16 @@ class NamespacedStore(KVStore):
     def close(self) -> None:
         """Close this view only; the base store stays open."""
         super().close()
+
+
+class _NamespacedSnapshot(NamespacedStore):
+    """A namespaced view that owns (and closes) its base-store snapshot."""
+
+    @property
+    def version(self) -> int:
+        return getattr(self._base, "version", 0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._base.close()
+        KVStore.close(self)

@@ -26,6 +26,23 @@ file.  :meth:`__init__` replays committed groups left by a crash and
 discards a torn tail, so the store is always observed either wholly
 pre- or wholly post-mutation.  Writes outside a transaction bypass the
 log (bulk builds keep their unjournaled speed).
+
+Snapshots (MVCC): every committed transaction advances a monotonically
+increasing *version*.  A reader calls :meth:`pin` (usually via
+:meth:`reader`) to fix a version and then reads pages with
+:meth:`read_at`, which serves the page contents as of that version no
+matter how many commits have landed since.  The mechanism is
+copy-on-write at commit: while any version is pinned, the commit's
+apply phase first captures the *pre-image* of every page it is about to
+overwrite into an in-memory history keyed ``page_id -> [(as_of_version,
+bytes), ...]``.  ``read_at(page, v)`` returns the first history entry
+whose ``as_of`` is ``>= v`` and falls through to the live file
+otherwise (an unmodified page is identical at every pinned version).
+Unpinning garbage-collects history entries older than the oldest
+remaining pin; with no pins the history is empty and commits copy
+nothing.  Readers therefore never wait on a writer's WAL fsync: the
+commit point (the log append + fsync) runs outside the page I/O lock,
+which protects only the microsecond-scale in-memory apply phase.
 """
 
 from __future__ import annotations
@@ -36,7 +53,13 @@ import threading
 
 from .errors import CorruptionError, PageBoundsError, StorageError
 from .faults import wrap_file
-from .wal import DEFAULT_CHECKPOINT_BYTES, WriteAheadLog, fsync_file
+from .wal import (
+    DEFAULT_CHECKPOINT_BYTES,
+    WriteAheadLog,
+    fsync_file,
+    split_version_label,
+    stamp_version_label,
+)
 
 MAGIC = b"NCPG"
 VERSION = 1
@@ -54,6 +77,60 @@ def wal_path(path: str) -> str:
     return path + "-wal"
 
 
+class PageReader:
+    """Read-only view of a paged file pinned at one version.
+
+    Produced by :meth:`Pager.reader`; holds one pin on the pager's
+    version and releases it on :meth:`close` (idempotent).  All reads go
+    through :meth:`Pager.read_at`, so the view observes the file exactly
+    as it was when the reader was opened, regardless of concurrent
+    commits.
+    """
+
+    __slots__ = ("_pager", "version", "_released")
+
+    def __init__(self, pager: "Pager", version: int) -> None:
+        self._pager = pager
+        self.version = version
+        self._released = False
+
+    @property
+    def page_size(self) -> int:
+        return self._pager.page_size
+
+    @property
+    def meta(self) -> bytes:
+        """Client metadata as of the pinned version."""
+        return self._pager.meta_at(self.version)
+
+    def read(self, page_id: int) -> bytes:
+        return self._pager.read_at(page_id, self.version)
+
+    def read_overflow(self, head_page: int, length: int) -> bytes:
+        """Versioned equivalent of :meth:`Pager.read_overflow`."""
+        out = bytearray()
+        page_id = head_page
+        page_size = self._pager.page_size
+        while len(out) < length:
+            if page_id == 0:
+                raise CorruptionError("overflow chain ended early")
+            raw = self.read(page_id)
+            page_id = struct.unpack_from("<Q", raw, 0)[0]
+            out += raw[8:8 + min(page_size - 8, length - len(out))]
+        return bytes(out)
+
+    def close(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pager.unpin(self.version)
+
+    def __enter__(self) -> "PageReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 class Pager:
     """Fixed-size page manager over one file descriptor."""
 
@@ -62,10 +139,16 @@ class Pager:
         self.path = path
         # One file handle serves every page access; the reentrant lock
         # makes each seek+read / seek+write pair atomic so concurrent
-        # readers (the query service fans them out) never tear a page.
-        # Writers are additionally serialized above this layer by the
-        # engines' reader/writer locks.
+        # readers never tear a page.  Commit durability (the WAL append
+        # and fsync) happens *outside* this lock, so pinned readers only
+        # ever wait for in-memory page copies, not for the disk.  Lock
+        # order, outermost first: _commit_lock > _io_lock > _version_lock.
         self._io_lock = threading.RLock()
+        self._commit_lock = threading.Lock()
+        self._version_lock = threading.Lock()
+        self._version = 0
+        self._pins: dict[int, int] = {}
+        self._history: dict[int, list[tuple[int, bytes]]] = {}
         self._wal: WriteAheadLog | None = None
         self._txn_depth = 0
         self._txn_label = b""
@@ -110,6 +193,9 @@ class Pager:
             if self._txn_depth:
                 self._dirty[_HEADER_PAGE] = data
                 return
+            with self._version_lock:
+                if self._pins:
+                    self._capture_preimage(_HEADER_PAGE)
             self._file.seek(0)
             self._file.write(data)
 
@@ -141,6 +227,141 @@ class Pager:
         self._meta = bytes(meta)
         self._write_header()
 
+    def meta_at(self, version: int) -> bytes:
+        """Client metadata as of ``version`` (from the versioned header)."""
+        raw = self.read_at(_HEADER_PAGE, version)
+        magic, ver, _page_size, _n_pages, _free_head, meta_len = \
+            struct.unpack_from(_HEADER_FMT, raw, 0)
+        if magic != MAGIC or ver != VERSION:
+            raise CorruptionError("bad header in versioned snapshot")
+        return raw[_HEADER_SIZE:_HEADER_SIZE + meta_len]
+
+    # -- versions / snapshots ------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The last committed version (0 before any commit this open)."""
+        with self._version_lock:
+            return self._version
+
+    def pin(self) -> int:
+        """Pin the current version; pages it covers stay readable until
+        a matching :meth:`unpin`."""
+        with self._version_lock:
+            version = self._version
+            self._pins[version] = self._pins.get(version, 0) + 1
+            return version
+
+    def unpin(self, version: int) -> None:
+        """Release one pin on ``version`` and GC unreachable history."""
+        with self._version_lock:
+            count = self._pins.get(version, 0)
+            if count > 1:
+                self._pins[version] = count - 1
+                return
+            self._pins.pop(version, None)
+            # Sweep pre-image history only when the oldest-pin floor
+            # actually moved; an unconditional O(history) sweep per
+            # unpin convoys snapshot-per-query readers on this lock.
+            if not self._pins:
+                if self._history:
+                    self._history.clear()
+            elif version < min(self._pins):
+                self._gc_history()
+
+    def current_version(self) -> int:
+        """Lock-free read of the last committed version (hot path).
+
+        Commits publish the bump as one attribute store, so a racing
+        reader sees either the old or the new version -- both valid.
+        """
+        return self._version
+
+    def oldest_pinned(self) -> int | None:
+        """The oldest version any reader still pins, or ``None``."""
+        with self._version_lock:
+            return min(self._pins) if self._pins else None
+
+    def reader(self) -> PageReader:
+        """Pin the current version and return a read-only page view."""
+        return PageReader(self, self.pin())
+
+    def read_at(self, page_id: int, version: int) -> bytes:
+        """Read a page as it was at ``version`` (header page 0 allowed).
+
+        Served from the copy-on-write history when a later commit has
+        overwritten the page, from the live file otherwise.  The history
+        probe is re-run under the I/O lock before falling back to the
+        file: a commit that captures the pre-image and applies its pages
+        does both while holding the I/O lock, so the double-check can
+        never race past a concurrent overwrite.
+        """
+        with self._version_lock:
+            data = self._history_lookup(page_id, version)
+        if data is None:
+            with self._io_lock:
+                with self._version_lock:
+                    data = self._history_lookup(page_id, version)
+                if data is None:
+                    self._file.seek(page_id * self.page_size)
+                    data = self._file.read(self.page_size)
+        self.page_reads += 1
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        return data
+
+    def _history_lookup(self, page_id: int, version: int) -> bytes | None:
+        """First pre-image with ``as_of >= version`` (caller holds lock)."""
+        entries = self._history.get(page_id)
+        if not entries:
+            return None
+        for as_of, data in entries:
+            if as_of >= version:
+                return data
+        return None
+
+    def _capture_preimage(self, page_id: int) -> None:
+        """Save the live page for pinned readers before overwriting it.
+
+        Caller holds both ``_io_lock`` and ``_version_lock``.  At most
+        one entry is captured per page per version: a second overwrite
+        within the same version keeps the older (still correct) image.
+        """
+        entries = self._history.setdefault(page_id, [])
+        if entries and entries[-1][0] >= self._version:
+            return
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data.ljust(self.page_size, b"\x00")
+        entries.append((self._version, data))
+
+    def _gc_history(self) -> None:
+        """Drop history entries no pinned reader can observe (lock held)."""
+        if not self._pins:
+            if self._history:
+                self._history.clear()
+            return
+        oldest = min(self._pins)
+        for page_id in list(self._history):
+            kept = [entry for entry in self._history[page_id]
+                    if entry[0] >= oldest]
+            if kept:
+                self._history[page_id] = kept
+            else:
+                del self._history[page_id]
+
+    def mvcc_info(self) -> dict[str, object]:
+        """Snapshot bookkeeping for stats / ``nestcontain info``."""
+        with self._version_lock:
+            return {
+                "snapshot_version": self._version,
+                "oldest_pinned_version": (min(self._pins)
+                                          if self._pins else None),
+                "pinned_readers": sum(self._pins.values()),
+                "history_pages": len(self._history),
+            }
+
     # -- transactions --------------------------------------------------------
 
     @property
@@ -171,6 +392,15 @@ class Pager:
         main file.  Transaction state is cleared before the apply phase:
         a crash mid-apply must be redone from the log on reopen, never
         rolled back.
+
+        The WAL append runs outside the page I/O lock so pinned readers
+        are never stalled behind the commit fsync.  The apply phase takes
+        the I/O lock, captures pre-images of the dirty pages for pinned
+        readers (copy-on-write), overwrites the pages, and only then
+        advances the version -- a reader that pins mid-apply gets the old
+        version and is fully served by history plus unmodified pages.
+        Concurrent committers must be serialized by the caller (the
+        engine's writer mutex does this).
         """
         if self._wal is None:
             return
@@ -184,16 +414,27 @@ class Pager:
             self._txn_depth = 0
             self._dirty = {}
             self._txn_snapshot = None
-            if not dirty:
-                return
+        if not dirty:
+            return
+        with self._commit_lock:
+            with self._version_lock:
+                commit_version = self._version + 1
             records = [struct.pack("<Q", page_id) + data
                        for page_id, data in sorted(dirty.items())]
-            self._wal.commit(label, records)
-            for page_id, data in sorted(dirty.items()):
-                self._file.seek(page_id * self.page_size)
-                self._file.write(data)
+            self._wal.commit(stamp_version_label(label, commit_version),
+                             records)
+            with self._io_lock:
+                with self._version_lock:
+                    if self._pins:
+                        for page_id in dirty:
+                            self._capture_preimage(page_id)
+                for page_id, data in sorted(dirty.items()):
+                    self._file.seek(page_id * self.page_size)
+                    self._file.write(data)
+                with self._version_lock:
+                    self._version = commit_version
             if self._wal.size > DEFAULT_CHECKPOINT_BYTES:
-                self._checkpoint()
+                self._checkpoint_locked()
 
     def abort(self) -> None:
         """Discard the whole transaction (all nesting levels) unapplied."""
@@ -223,6 +464,11 @@ class Pager:
         self.discarded_groups = discarded
 
     def _apply_group(self, label: bytes, records: list[bytes]) -> None:
+        # Recovery lands exactly on the version of the last committed
+        # group: the stamp each commit put in its label is restored here.
+        version, _label = split_version_label(label)
+        if version is not None:
+            self._version = max(self._version, version)
         for record in records:
             if len(record) <= 8:
                 raise CorruptionError("undersized WAL page record")
@@ -237,7 +483,21 @@ class Pager:
         """Make the main file durable, then truncate the log."""
         if self._wal is None:
             return
-        fsync_file(self._file)
+        with self._commit_lock:
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
+        # Flush Python's buffer under the I/O lock (it repositions the
+        # raw stream), but run the expensive fsync outside it so pinned
+        # readers are not stalled behind the disk.
+        assert self._wal is not None
+        with self._io_lock:
+            self._file.flush()
+        sync = getattr(self._file, "fsync", None)
+        if sync is not None:
+            sync()
+        else:
+            os.fsync(self._file.fileno())
         self._wal.checkpoint()
 
     def wal_info(self) -> dict[str, object] | None:
@@ -299,6 +559,9 @@ class Pager:
             if self._txn_depth:
                 self._dirty[page_id] = padded
                 return
+            with self._version_lock:
+                if self._pins:
+                    self._capture_preimage(page_id)
             self._file.seek(page_id * self.page_size)
             self._file.write(padded)
 
@@ -351,8 +614,9 @@ class Pager:
         """fsync the underlying file (and checkpoint the WAL when idle)."""
         with self._io_lock:
             fsync_file(self._file)
-            if self._wal is not None and self._txn_depth == 0 \
-                    and self._wal.pending_groups:
+        if self._wal is not None and self._txn_depth == 0 \
+                and self._wal.pending_groups:
+            with self._commit_lock:
                 self._wal.checkpoint()
 
     def close(self) -> None:
@@ -364,7 +628,8 @@ class Pager:
                 self._write_header()
                 self._file.flush()
                 if self._wal is not None and self._wal.pending_groups:
-                    self._checkpoint()
+                    fsync_file(self._file)
+                    self._wal.checkpoint()
                 self._file.close()
             if self._wal is not None:
                 self._wal.close()

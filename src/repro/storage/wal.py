@@ -54,6 +54,33 @@ _GROUP_HEADER = struct.Struct("<2sII")  # magic, body length, crc32(body)
 #: Default log size (bytes) past which the owning pager checkpoints.
 DEFAULT_CHECKPOINT_BYTES = 4 << 20
 
+#: Leading byte of a version-stamped commit-group label.
+_VERSION_STAMP = b"@"
+_VERSION_STAMP_LEN = 1 + 8  # marker + u64
+
+
+def stamp_version_label(label: bytes, version: int) -> bytes:
+    """Prefix a commit-group label with the version the commit produces.
+
+    The stamp rides inside the (opaque, variable-length) label field, so
+    the group format is unchanged and unstamped logs remain readable.
+    Recovery uses the stamp to land the pager's version counter exactly
+    on the last committed version.
+    """
+    return _VERSION_STAMP + struct.pack("<Q", version) + label
+
+
+def split_version_label(label: bytes) -> tuple[int | None, bytes]:
+    """Split a stamped label into ``(version, original_label)``.
+
+    Labels written before version stamping (or by non-pager clients)
+    come back as ``(None, label)`` untouched.
+    """
+    if len(label) >= _VERSION_STAMP_LEN and label[:1] == _VERSION_STAMP:
+        version = struct.unpack_from("<Q", label, 1)[0]
+        return version, label[_VERSION_STAMP_LEN:]
+    return None, label
+
 
 def fsync_file(handle) -> None:
     """Flush and fsync a (possibly fault-wrapped) file handle."""

@@ -2,11 +2,12 @@
 
 The regression these tests pin: a query evaluated *after* a delete must
 never surface a tombstoned record from a stale cache entry, and inserts
-must become visible immediately.  For the sharded index the same
-contract holds shard-wise -- and only the mutated shard's cache drops
-its entries (partial invalidation is the sharded layout's headline
-advantage on mixed workloads).
-"""
+must become visible immediately.  Under MVCC the cache achieves that by
+*version scoping* rather than invalidation -- a mutation opens a fresh
+key space and the stale entries simply become unreachable to new
+readers.  For the sharded index the same contract holds shard-wise --
+and only the mutated shard's entries go stale (mutation locality is the
+sharded layout's headline advantage on mixed workloads)."""
 
 from __future__ import annotations
 
@@ -27,7 +28,12 @@ class TestMonolithicInvalidation:
         index.delete("r3")
         result = index.query("{hub}")
         assert "r3" not in result                    # not from stale cache
-        assert cache.stats.invalidations == 1
+        # Version scoping, not invalidation: the pre-delete entry stays
+        # in the LRU (unreachable to new readers) and the post-delete
+        # answer was freshly computed, then cached under the new scope.
+        assert cache.stats.misses == 2
+        assert "r3" not in index.query("{hub}")
+        assert cache.stats.hits == 2
 
     def test_insert_visible_after_cached_query(self) -> None:
         index = NestedSetIndex.build(RECORDS)
@@ -58,27 +64,28 @@ class TestMonolithicInvalidation:
 
 
 class TestShardedPartialInvalidation:
-    def test_only_owning_shard_cache_drops(self) -> None:
+    def test_only_owning_shard_entries_go_stale(self) -> None:
         index = ShardedIndex.build(RECORDS, shards=4)
-        index.enable_result_cache()
+        cache = index.enable_result_cache()
         index.query("{hub}")
         index.query("{hub}")                     # warm: one entry per shard
-        per_shard_before = [len(engine.result_cache)
-                            for engine in index.shards]
-        assert all(count == 1 for count in per_shard_before)
+        assert cache.stats.hits == 4
 
-        owner = HashShardPolicy().shard_of("fresh", index.n_shards)
         index.insert("fresh", "{hub}")
-        per_shard_after = [len(engine.result_cache)
-                           for engine in index.shards]
-        assert per_shard_after[owner] == 0       # owner invalidated
-        for shard_no, count in enumerate(per_shard_after):
-            if shard_no != owner:
-                assert count == 1                # others stay warm
-
         result = index.query("{hub}")
         assert "fresh" in result                 # and answers are correct
         assert sorted(result) == result
+        # Mutation locality: the three untouched shards answered from
+        # their still-valid entries; only the owner's scope moved, so
+        # only the owner recomputed.  Nothing was invalidated.
+        assert cache.stats.hits == 7
+        assert cache.stats.invalidations == 0
+
+        owner = HashShardPolicy().shard_of("fresh", index.n_shards)
+        per_shard_hits = [engine.result_cache.stats.hits
+                          for engine in index.shards]
+        for shard_no, hits in enumerate(per_shard_hits):
+            assert hits == (1 if shard_no == owner else 2)
 
     def test_sharded_delete_never_served_from_cache(self) -> None:
         index = ShardedIndex.build(RECORDS, shards=3)
@@ -110,3 +117,58 @@ class TestShardedPartialInvalidation:
         index.compact()
         assert index.query("{hub}") == expected
         assert index.query("{hub}") == expected  # cached post-compact
+
+
+class TestStaleRepopulationRaces:
+    """The check-then-act race the epoch scheme closes.
+
+    A reader that decoded (or computed) an entry *before* a delete
+    landed may admit it to a shared cache *after* the delete's
+    invalidation already ran -- the classic check-then-act window.
+    Scoped keys make that late admission unreachable to post-delete
+    readers instead of poisonous.
+    """
+
+    def test_block_cache_stale_readmission_unreachable(self) -> None:
+        from repro.core.cache import BlockCache
+        cache = BlockCache(budget=8)
+        stale = object()
+        # An epoch-0 reader decoded block 0 of "tok"'s posting list...
+        cache.admit((("tok", 0), 0), stale)
+        # ...a delete invalidates every epoch of the token (check)...
+        cache.invalidate({"tok"})
+        assert cache.get((("tok", 0), 0)) is None
+        # ...and the slow reader re-admits its stale block (act).
+        cache.admit((("tok", 0), 0), stale)
+        # A post-delete reader runs at epoch 1: the stale entry cannot
+        # hit it -- while the old-epoch reader itself, for whom the
+        # block is still correct, keeps hitting it.
+        assert cache.get((("tok", 1), 0)) is None
+        assert cache.get((("tok", 0), 0)) is stale
+
+    def test_pinned_reader_repopulation_cannot_poison_live(self) -> None:
+        index = NestedSetIndex.build(RECORDS, cache="lru")
+        index.enable_result_cache()
+        with index.snapshot() as pinned:
+            assert "r3" in pinned.query("{hub}")
+            index.delete("r3")
+            # The pinned reader re-runs *after* the delete: every
+            # result/list/block entry it re-populates lands under its
+            # own pre-delete scope...
+            assert "r3" in pinned.query("{hub}")
+            # ...so live readers never see the dead record, no matter
+            # how the two interleave.
+            assert "r3" not in index.query("{hub}")
+            assert "r3" in pinned.query("{hub}")
+        assert "r3" not in index.query("{hub}")
+
+    def test_sharded_pinned_repopulation_cannot_poison_live(self) -> None:
+        index = ShardedIndex.build(RECORDS, shards=3, cache="lru")
+        index.enable_result_cache()
+        with index.snapshot() as pinned:
+            assert "r3" in pinned.query("{hub}")
+            index.delete("r3")
+            assert "r3" in pinned.query("{hub}")
+            assert "r3" not in index.query("{hub}")
+            assert "r3" in pinned.query("{hub}")
+        assert "r3" not in index.query("{hub}")

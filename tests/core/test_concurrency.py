@@ -18,6 +18,7 @@ import pytest
 from repro.bench.workloads import generate_dataset
 from repro.core.engine import NestedSetIndex
 from repro.core.parallel import RWLock
+from repro.data.ingest import StreamIngestor
 
 
 class TestRWLock:
@@ -153,6 +154,94 @@ class TestReadersVersusWriters:
         # Final exact answer: all inserts minus the deletes.
         final = sorted(set(history) - set(history[::3]))
         assert index.query(self.PROBE) == final
+        index.close()
+
+    def test_snapshot_pinned_before_delete_sees_dead_record(self,
+                                                            shards) -> None:
+        """MVCC headline: a pin outlives the mutations it predates."""
+        index = _build(shards)
+        index.insert("doomed", "{__live__, victim}")
+        with index.snapshot() as before:
+            assert index.delete("doomed") is True
+            # Live reads agree the record is gone...
+            assert index.query(self.PROBE) == []
+            # ...while the pinned reader still sees its version, and
+            # keeps seeing it however often it asks.
+            assert before.query(self.PROBE) == ["doomed"]
+            assert before.query(self.PROBE) == ["doomed"]
+        assert index.query(self.PROBE) == []
+        index.close()
+
+    def test_snapshot_pinned_before_inserts_is_blind_to_them(self,
+                                                             shards) -> None:
+        index = _build(shards)
+        index.insert("old", "{__live__, t}")
+        with index.snapshot() as before:
+            # Spread fresh keys across every shard of a sharded layout.
+            for i in range(8):
+                index.insert(f"new{i}", "{__live__, t%d}" % i)
+            assert before.query(self.PROBE) == ["old"]
+        expected = sorted(["old"] + [f"new{i}" for i in range(8)])
+        assert index.query(self.PROBE) == expected
+        index.close()
+
+    def test_readers_race_stream_ingest_one_consistent_version(self,
+                                                               shards) -> None:
+        """8 readers vs full-speed streaming ingest: every answer is one
+        committed version.
+
+        Records arrive through :class:`StreamIngestor` (the ``ingest
+        --follow`` machinery), which commits them as WAL groups in
+        submission order -- so any consistent answer is a *prefix* of the
+        submission sequence, and the two queries of one batch must agree
+        exactly (they run against one pinned version).
+        """
+        index = _build(shards)
+        total = 160
+        keys = [f"s{i:03d}" for i in range(total)]   # sorted == submit order
+        prefixes = {tuple(keys[:i]) for i in range(total + 1)}
+        queries = [self.PROBE, "{__live__, payload}"]
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    probe_hits, payload_hits = index.query_batch(queries)
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(f"reader raised: {exc!r}")
+                    return
+                if probe_hits != payload_hits:
+                    failures.append(
+                        f"one batch mixed two versions: {probe_hits!r} "
+                        f"vs {payload_hits!r}")
+                    return
+                if tuple(probe_hits) not in prefixes:
+                    failures.append(f"torn/non-prefix state: "
+                                    f"{probe_hits!r}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        try:
+            with StreamIngestor(index, batch_size=16,
+                                flush_interval=0.02) as ingestor:
+                for key in keys:
+                    ingestor.submit(key, "{__live__, payload}")
+                assert ingestor.flush(timeout=60)
+                counts = ingestor.counters()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10)
+        assert not failures, failures[:3]
+        assert counts["records_ingested"] == total
+        assert counts["errors"] == 0
+        # Batching amortized the WAL groups (far fewer commits than
+        # records), which is the point of the streaming path.
+        assert counts["groups_committed"] < total
+        assert index.query(self.PROBE) == keys
         index.close()
 
     def test_batch_queries_race_mutations(self, shards) -> None:

@@ -77,13 +77,13 @@ class TestCacheManagement:
         for policy, cls in ((None, NoCache), ("frequency", FrequencyCache),
                             ("lru", LRUCache)):
             index = NestedSetIndex.build(paper_records, cache=policy)
-            assert isinstance(index.inverted_file.cache, cls)
+            assert isinstance(index.inverted_file.cache.inner, cls)
 
     def test_set_cache_swaps_policy(self, index) -> None:
         index.set_cache("frequency", budget=10)
-        assert isinstance(index.inverted_file.cache, FrequencyCache)
+        assert isinstance(index.inverted_file.cache.inner, FrequencyCache)
         index.set_cache(None)
-        assert isinstance(index.inverted_file.cache, NoCache)
+        assert isinstance(index.inverted_file.cache.inner, NoCache)
 
     def test_cached_results_identical(self, paper_records,
                                       paper_query) -> None:

@@ -1,0 +1,63 @@
+"""ServerMetrics unit tests: quantile edge cases and counter surface.
+
+The quantile regression these pin: nearest-rank indexing must clamp, so
+the p99 of a 1-element reservoir is that element -- not an IndexError
+(``ceil(0.99 * 1)`` rounds to 1, and q = 1.0 or float fuzz can land the
+rank on ``n`` exactly).
+"""
+
+from __future__ import annotations
+
+from repro.server.metrics import ServerMetrics, _quantile
+
+
+class TestQuantile:
+    def test_empty_reservoir(self) -> None:
+        assert _quantile([], 0.99) == 0.0
+
+    def test_single_sample_p99(self) -> None:
+        # Regression: rank ceil(0.99 * 1) - 1 == 0 must index, not raise.
+        assert _quantile([7.0], 0.99) == 7.0
+
+    def test_single_sample_p50(self) -> None:
+        assert _quantile([7.0], 0.50) == 7.0
+
+    def test_q_one_is_clamped_to_max(self) -> None:
+        assert _quantile([1.0, 2.0, 3.0], 1.0) == 3.0
+
+    def test_nearest_rank_on_hundred(self) -> None:
+        ordered = [float(i) for i in range(1, 101)]
+        assert _quantile(ordered, 0.50) == 50.0
+        assert _quantile(ordered, 0.99) == 99.0
+        assert _quantile(ordered, 0.01) == 1.0
+
+
+class TestServerMetrics:
+    def test_one_sample_snapshot_does_not_raise(self) -> None:
+        metrics = ServerMetrics()
+        metrics.record_latency(0.005)
+        snap = metrics.snapshot()
+        assert snap["latency_ms"]["samples"] == 1
+        assert snap["latency_ms"]["p50"] == 5.0
+        assert snap["latency_ms"]["p99"] == 5.0
+        assert snap["latency_ms"]["max"] == 5.0
+
+    def test_empty_snapshot_is_all_zero(self) -> None:
+        snap = ServerMetrics().snapshot()
+        assert snap["latency_ms"] == {"samples": 0, "p50": 0.0,
+                                      "p99": 0.0, "max": 0.0}
+
+    def test_ingest_counters_surface(self) -> None:
+        metrics = ServerMetrics()
+        metrics.set_ingest_counters(160, 10, 2)
+        snap = metrics.snapshot()
+        assert snap["ingest_records"] == 160
+        assert snap["ingest_groups_committed"] == 10
+        assert snap["ingest_errors"] == 2
+
+    def test_coalesce_ratio(self) -> None:
+        metrics = ServerMetrics()
+        assert metrics.coalesce_ratio == 0.0
+        metrics.record_batch(4)
+        metrics.record_batch(2)
+        assert metrics.coalesce_ratio == 3.0

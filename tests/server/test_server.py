@@ -264,3 +264,48 @@ class TestDrain:
             except (ServiceError, OSError) as exc:
                 if isinstance(exc, ServiceError):
                     assert exc.code == "shutting_down"
+
+
+class TestIngest:
+    def test_ingest_round_trip_and_stats(self, memory_index) -> None:
+        """The ``ingest`` op: accepted asynchronously, durable shortly
+        after, and accounted for in the ``stats`` surface."""
+        records = [(f"ing{i:02d}", "{__ingested__, t%d}" % i)
+                   for i in range(40)]
+        expected = sorted(key for key, _value in records)
+        with ServerThread(memory_index, batch_window_ms=1,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                reply = client.ingest(records)
+                assert reply["accepted"] == len(records)
+                # Ingest is asynchronous (that is its point): queries
+                # keep being served while the batcher commits groups.
+                deadline = time.time() + 30
+                while time.time() < deadline:
+                    if client.query("{__ingested__}") == expected:
+                        break
+                    time.sleep(0.02)
+                assert client.query("{__ingested__}") == expected
+
+                server = client.stats()["server"]
+                assert server["ingest_records"] == len(records)
+                assert 1 <= server["ingest_groups_committed"] \
+                    <= len(records)
+                assert server["ingest_errors"] == 0
+                # The MVCC surface: a committed version exists, and no
+                # reader pin is stuck (queries pin transiently).
+                assert server["snapshot_version"] is not None
+                assert server["snapshot_version"] >= 1
+                assert "oldest_pinned_version" in server
+
+    def test_ingest_drains_before_shutdown(self, memory_index) -> None:
+        """Drain closes the ingestor first: accepted records are durable
+        by the time shutdown acknowledges."""
+        records = [(f"drain{i}", "{__drained__}") for i in range(24)]
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                client.ingest(records)
+                client.shutdown()
+        assert memory_index.query("{__drained__}") == \
+            sorted(key for key, _value in records)

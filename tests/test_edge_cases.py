@@ -114,7 +114,7 @@ class TestEngineCorners:
                                               memory_budget=32,
                                               cache="frequency")
         from repro.core.cache import FrequencyCache
-        assert isinstance(index.inverted_file.cache, FrequencyCache)
+        assert isinstance(index.inverted_file.cache.inner, FrequencyCache)
         assert index.query(small_corpus[3][1])
 
     def test_match_nodes_default_spec(self, paper_records,
