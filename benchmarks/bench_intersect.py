@@ -9,14 +9,18 @@ every ``ratio``-th record, and times
 1:1000 on two physical layouts of the *same* collection:
 
 * ``legacy``  -- plain single-value lists (``block_size=0``): the hot
-  list is fully decoded and its heads materialized as a set per query;
-* ``blocked`` -- the block-compressed format: the rare list gallops
-  through the hot list's skip directory and decodes only the blocks its
-  probes land in.
+  list is fully decoded and its heads materialized per query;
+* ``blocked`` -- the packed block-compressed format at block sizes 64,
+  128 (the default) and 256: the rare list's probes move through the hot
+  list's skip directory and only the touched blocks decode, straight to
+  numpy arrays when numpy is importable.
 
 Caches are cleared before every run, so the comparison is cold-decode
-against cold-decode.  The headline 1:1000 comparison is written to
-``bench_results/BENCH_intersect.json`` with its speedup factor.
+against cold-decode.  Each measured cell also records which
+``decode_path`` (vectorized or scalar) served it.  The sweep is written
+to ``bench_results/BENCH_intersect.json``; the perf guard at the bottom
+fails the run if the default layout ever loses to legacy at any ratio,
+or if the headline 1:1000 speedup drops below 5x.
 """
 
 from __future__ import annotations
@@ -33,6 +37,12 @@ from repro.core.invfile import InvertedFile
 SIZE = 20_000
 RATIOS = (10, 100, 1000)
 HOT = "hot"
+BLOCK_SIZES = (64, 128, 256)
+DEFAULT_SWEEP_BLOCK = 128
+
+#: pytest-benchmark layouts: legacy plain values vs. each swept block size.
+LAYOUTS = {"legacy": 0, "blocked64": 64, "blocked128": 128,
+           "blocked256": 256}
 
 
 def _records():
@@ -44,7 +54,7 @@ def _records():
         yield f"k{i}", atoms
 
 
-def _build(block_size: int | None) -> InvertedFile:
+def _build(block_size: int) -> InvertedFile:
     from repro.core.model import NestedSet
     prepared = ((key, NestedSet.from_obj(atoms))
                 for key, atoms in _records())
@@ -66,9 +76,9 @@ def _make_runner(ifile: InvertedFile, ratio: int):
 
 @pytest.mark.benchmark(group="intersect-skew")
 @pytest.mark.parametrize("ratio", RATIOS)
-@pytest.mark.parametrize("layout", ["legacy", "blocked"])
+@pytest.mark.parametrize("layout", list(LAYOUTS))
 def test_skew_sweep(benchmark, figure, layout, ratio):
-    ifile = _build(0 if layout == "legacy" else None)
+    ifile = _build(LAYOUTS[layout])
     runner = _make_runner(ifile, ratio)
     figure.record(benchmark, layout, ratio, runner,
                   queries=1, dataset=f"flat-skew@{SIZE}",
@@ -76,58 +86,81 @@ def test_skew_sweep(benchmark, figure, layout, ratio):
 
 
 def test_headline_speedup():
-    """Record BENCH_intersect.json across the skew sweep.
+    """Record BENCH_intersect.json across the skew and block-size sweep.
 
-    The acceptance threshold lives at the most skewed point: blocked
-    intersection must beat the legacy full-decode by >= 2x at 1:1000
-    (it decodes ~20 blocks of the hot list instead of all of it).  The
-    milder ratios are recorded without a floor -- at 1:10 nearly every
-    block is probed and the two layouts converge by design.
+    Two perf floors gate the run.  The vectorized blocked path must
+    never lose to the legacy full-decode -- speedup >= 1.0 at *every*
+    ratio and block size -- and the headline 1:1000 point (default block
+    size) must clear 5x: the rare probes decode ~20 blocks of the hot
+    list instead of all of it, and each block decodes in a handful of
+    numpy ops instead of a per-varint loop.
     """
     legacy = _build(0)
-    blocked = _build(None)
-    assert legacy.block_size == 0 and blocked.block_size > 0
-
-    sweep = {}
+    assert legacy.block_size == 0
+    legacy_timing = {}
+    expected = {}
     for ratio in RATIOS:
-        expected = [entry for entry in
-                    legacy.intersect_atoms([HOT, f"r{ratio}"]).entries]
-        got = [entry for entry in
-               blocked.intersect_atoms([HOT, f"r{ratio}"]).entries]
-        assert got == expected, f"result mismatch at 1:{ratio}"
+        expected[ratio] = legacy.intersect_atoms([HOT, f"r{ratio}"]).entries
+        legacy_timing[ratio] = measure(_make_runner(legacy, ratio),
+                                       repeats=9)
 
-        legacy_timing = measure(_make_runner(legacy, ratio), repeats=9)
-        blocked_timing = measure(_make_runner(blocked, ratio), repeats=9)
-        blocked.stats.reset()
-        _make_runner(blocked, ratio)()
-        sweep[ratio] = {
-            "rare_list_length": SIZE // ratio + (1 if SIZE % ratio else 0),
-            "hot_list_length": SIZE,
-            "legacy_mean_ms": round(legacy_timing.millis, 4),
-            "blocked_mean_ms": round(blocked_timing.millis, 4),
-            "speedup": round(legacy_timing.millis
-                             / blocked_timing.millis, 3),
-            "blocks_read": blocked.stats.blocks_read,
-            "blocks_skipped": blocked.stats.blocks_skipped,
-            "bytes_decoded": blocked.stats.bytes_decoded,
-        }
+    sweep: dict[int, dict[int, dict]] = {}
+    for block_size in BLOCK_SIZES:
+        blocked = _build(block_size)
+        assert blocked.block_size == block_size
+        per_ratio: dict[int, dict] = {}
+        for ratio in RATIOS:
+            got = blocked.intersect_atoms([HOT, f"r{ratio}"]).entries
+            assert got == expected[ratio], \
+                f"result mismatch at 1:{ratio} (block {block_size})"
 
+            blocked_timing = measure(_make_runner(blocked, ratio),
+                                     repeats=9)
+            blocked.stats.reset()
+            _make_runner(blocked, ratio)()
+            per_ratio[ratio] = {
+                "rare_list_length": SIZE // ratio
+                + (1 if SIZE % ratio else 0),
+                "hot_list_length": SIZE,
+                "legacy_mean_ms": round(legacy_timing[ratio].millis, 4),
+                "blocked_mean_ms": round(blocked_timing.millis, 4),
+                "speedup": round(legacy_timing[ratio].millis
+                                 / blocked_timing.millis, 3),
+                "decode_path": blocked.stats.decode_path,
+                "blocks_read": blocked.stats.blocks_read,
+                "blocks_skipped": blocked.stats.blocks_skipped,
+                "bytes_decoded": blocked.stats.bytes_decoded,
+            }
+        sweep[block_size] = per_ratio
+
+    default = sweep[DEFAULT_SWEEP_BLOCK]
     payload = {
         "experiment": "BENCH_intersect",
         "workload": {
             "records": SIZE,
             "shape": "flat sets; one hot atom in every record, one rare "
                      "marker per ratio",
-            "block_size": blocked.block_size,
+            "block_size": DEFAULT_SWEEP_BLOCK,
             "measurement": "intersect_atoms([hot, rare]), caches cleared "
                            "before every run",
         },
-        "ratios": {f"1:{ratio}": stats for ratio, stats in sweep.items()},
-        "headline_speedup_1_1000": sweep[1000]["speedup"],
+        "ratios": {f"1:{ratio}": stats for ratio, stats in default.items()},
+        "block_size_sweep": {
+            str(block_size): {f"1:{ratio}": stats
+                              for ratio, stats in per_ratio.items()}
+            for block_size, per_ratio in sweep.items()},
+        "headline_speedup_1_1000": default[1000]["speedup"],
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "BENCH_intersect.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
-    assert sweep[1000]["speedup"] >= 2.0, \
-        f"blocked intersection below the 2x bar: {payload}"
+
+    # Perf guard: blocked must never lose to legacy, at any swept point.
+    for block_size, per_ratio in sweep.items():
+        for ratio, cell in per_ratio.items():
+            assert cell["speedup"] >= 1.0, \
+                (f"blocked slower than legacy at 1:{ratio} "
+                 f"(block {block_size}): {cell}")
+    assert default[1000]["speedup"] >= 5.0, \
+        f"headline 1:1000 speedup below the 5x bar: {payload}"

@@ -307,13 +307,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
             print(f"  blocked lists:    {stats['blocked_lists']} "
                   f"of {stats['lists']} "
                   f"(block size {stats['block_size']})")
+            print(f"  packed lists:     {stats['packed_lists']} "
+                  f"(numpy bulk-decodable 0x03 format)")
             print(f"  blocks:           {stats['blocks']} "
                   f"(avg fill {stats['avg_block_fill']:.1f} postings)")
             print(f"  compressed bytes: {stats['compressed_bytes']} "
                   f"({stats['directory_bytes']} directory)")
             print(f"  decoded bytes:    ~{stats['decoded_bytes']} "
                   f"(estimated in-memory)")
-        wal = index.stats().get("wal")
+        all_stats = index.stats()
+        index_stats = all_stats["index"]
+        print(f"decode path:    {index_stats['decode_path']} "
+              f"({index_stats['intersects_vectorized']} vectorized / "
+              f"{index_stats['intersects_scalar']} scalar intersections "
+              "this open)")
+        mvcc = all_stats.get("mvcc")
+        if mvcc is not None and "mmap_enabled" in mvcc:
+            state = "enabled" if mvcc["mmap_enabled"] else "disabled"
+            print(f"mmap reads:     {state} "
+                  f"({mvcc['mapped_pages']} pages mapped)")
+        wal = all_stats.get("wal")
         if wal is not None:
             print("durability (write-ahead log):")
             print(f"  wal file:        {wal['path']} "

@@ -77,7 +77,8 @@ def build_external(records: Iterable[tuple[str, NestedSet]], *,
 
     ``store`` accepts a pre-opened store (e.g. one shard's namespaced
     view of a shared store); ``storage``/``path`` are ignored then.
-    ``block_size`` follows :meth:`InvertedFile.build`: blocked values by
+    ``block_size`` follows :meth:`InvertedFile.build`: block-compressed
+    values (the packed ``0x03`` format, bulk-decodable with numpy) by
     default when segmentation is off, ``0`` for the legacy plain format.
     """
     if memory_budget < 1:

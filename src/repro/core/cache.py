@@ -208,8 +208,10 @@ class LRUCache(ListCache):
 #: giant hot list can no longer monopolize the budget.
 DEFAULT_BLOCK_BUDGET = 8192
 
-#: A decoded block: the postings of one block of a blocked value.
-DecodedBlock = tuple[tuple[int, tuple[int, ...]], ...]
+#: A decoded block: the columnar :class:`~repro.core.postings.BlockData`
+#: of one block of a blocked value (legacy postings tuples admitted by
+#: older callers are still served; lazy lists wrap them on read).
+DecodedBlock = object
 
 
 class BlockCache:
@@ -218,7 +220,11 @@ class BlockCache:
     Replaces whole-list caching for the blocked format: lazy lists
     (:class:`repro.core.postings.LazyPostingList`) route every block
     decode through one shared instance, keyed by ``(atom token,
-    block number)``.  Hot *regions* of hot lists stay decoded while the
+    block number)``.  Entries are columnar
+    :class:`~repro.core.postings.BlockData` objects, so one cached
+    decode serves both the array-native intersection (head columns) and
+    row consumers (postings tuples, materialized once per entry).  Hot
+    *regions* of hot lists stay decoded while the
     cold tail of the same list can be evicted -- a granularity the
     whole-list :class:`ListCache` policies cannot express.
 

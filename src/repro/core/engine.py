@@ -945,6 +945,10 @@ class NestedSetIndex:
                 "blocks_read": self._ifile.stats.blocks_read,
                 "blocks_skipped": self._ifile.stats.blocks_skipped,
                 "bytes_decoded": self._ifile.stats.bytes_decoded,
+                "intersects_vectorized":
+                    self._ifile.stats.intersects_vectorized,
+                "intersects_scalar": self._ifile.stats.intersects_scalar,
+                "decode_path": self._ifile.stats.decode_path,
             },
             "cache": {
                 "policy": self._ifile.cache.name,

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..invfile import decode_path_of
 from ..observe import PlanObserver
 
 if TYPE_CHECKING:
@@ -65,7 +66,9 @@ class ExplainResult:
     the block-compressed posting format: blocks whose payload was
     actually decoded during this query versus blocks the galloping
     intersection jumped over via skip headers (zero on legacy-format
-    indexes).
+    indexes).  ``decode_path`` names the intersection kernel that served
+    the query: ``vectorized`` (the numpy array-native path), ``scalar``
+    (cursor/hash-set fallback), or ``mixed``.
     """
 
     root: NodeTrace
@@ -76,6 +79,13 @@ class ExplainResult:
     blocks_read: int = 0
     blocks_skipped: int = 0
     bytes_decoded: int = 0
+    intersects_vectorized: int = 0
+    intersects_scalar: int = 0
+
+    @property
+    def decode_path(self) -> str:
+        return decode_path_of(self.intersects_vectorized,
+                              self.intersects_scalar)
 
     def render(self) -> str:
         header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
@@ -84,6 +94,7 @@ class ExplainResult:
             header += (f"\nblocks_read={self.blocks_read}  "
                        f"blocks_skipped={self.blocks_skipped}  "
                        f"bytes_decoded={self.bytes_decoded}")
+        header += f"\ndecode_path={self.decode_path}"
         return f"{header}\n{self.root.render()}"
 
 
@@ -118,6 +129,12 @@ class MergedExplainResult:
     def bytes_decoded(self) -> int:
         return sum(result.bytes_decoded for result in self.shards)
 
+    @property
+    def decode_path(self) -> str:
+        return decode_path_of(
+            sum(result.intersects_vectorized for result in self.shards),
+            sum(result.intersects_scalar for result in self.shards))
+
     def render(self) -> str:
         header = (f"matches={len(self.matches)}  total={self.total_ms:.3f}ms"
                   f"  lists={self.lists_fetched}  [{self.algorithm}"
@@ -126,6 +143,7 @@ class MergedExplainResult:
             header += (f"\nblocks_read={self.blocks_read}  "
                        f"blocks_skipped={self.blocks_skipped}  "
                        f"bytes_decoded={self.bytes_decoded}")
+        header += f"\ndecode_path={self.decode_path}"
         sections = [header]
         for shard_no, result in enumerate(self.shards):
             sections.append(f"-- shard {shard_no} --")
@@ -200,6 +218,8 @@ def run_explained(plan: "ExecutionPlan",
     blocks_read0 = stats.blocks_read
     blocks_skipped0 = stats.blocks_skipped
     bytes_decoded0 = stats.bytes_decoded
+    vectorized0 = stats.intersects_vectorized
+    scalar0 = stats.intersects_scalar
     start = time.perf_counter()
     matches = plan.run(ctx)
     total_ms = (time.perf_counter() - start) * 1000
@@ -210,4 +230,8 @@ def run_explained(plan: "ExecutionPlan",
                          blocks_read=stats.blocks_read - blocks_read0,
                          blocks_skipped=(stats.blocks_skipped
                                          - blocks_skipped0),
-                         bytes_decoded=stats.bytes_decoded - bytes_decoded0)
+                         bytes_decoded=stats.bytes_decoded - bytes_decoded0,
+                         intersects_vectorized=(stats.intersects_vectorized
+                                                - vectorized0),
+                         intersects_scalar=(stats.intersects_scalar
+                                            - scalar0))

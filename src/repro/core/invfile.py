@@ -45,7 +45,8 @@ from .cache import BlockCache, ListCache, NoCache
 from .model import Atom, NestedSet
 from .postings import LazyPostingList, PostingList, intersect
 from .segments import (
-    FORMAT_BLOCKED,
+    BLOCK_FORMATS,
+    FORMAT_PACKED,
     FORMAT_PLAIN,
     FORMAT_SEGMENTED,
     decode_header,
@@ -107,6 +108,17 @@ class QueryStats:
     blocks_read: int = 0
     blocks_skipped: int = 0
     bytes_decoded: int = 0
+    #: Intersections answered by the array-native numpy kernel vs. the
+    #: scalar cursor/hash-set path -- together they derive the
+    #: ``decode_path`` EXPLAIN attribute.
+    intersects_vectorized: int = 0
+    intersects_scalar: int = 0
+
+    @property
+    def decode_path(self) -> str:
+        """Which intersection kernel served: vectorized, scalar or mixed."""
+        return decode_path_of(self.intersects_vectorized,
+                              self.intersects_scalar)
 
     def reset(self) -> None:
         self.postings_requests = 0
@@ -118,6 +130,20 @@ class QueryStats:
         self.blocks_read = 0
         self.blocks_skipped = 0
         self.bytes_decoded = 0
+        self.intersects_vectorized = 0
+        self.intersects_scalar = 0
+
+
+def decode_path_of(vectorized: int, scalar: int) -> str:
+    """Collapse kernel counters to the ``decode_path`` label.
+
+    ``scalar`` when nothing vectorized ran (including the no-intersection
+    case: the fallback path is what *would* have run), ``mixed`` when a
+    query group hit both kernels (possible across shards or batches).
+    """
+    if vectorized and scalar:
+        return "mixed"
+    return "vectorized" if vectorized else "scalar"
 
 
 def atom_token(atom: Atom) -> str:
@@ -345,14 +371,14 @@ class InvertedFile:
         """Wrap an atom value of any physical format as a posting list.
 
         Plain and segmented values materialize eagerly (the legacy
-        formats); blocked values come back as a
+        formats); blocked and packed values come back as a
         :class:`~repro.core.postings.LazyPostingList` whose blocks decode
         on demand through the shared block cache.
         """
         fmt = value_format(raw)
         if fmt == FORMAT_PLAIN:
             return PostingList(decode_plain(raw))
-        if fmt == FORMAT_BLOCKED:
+        if fmt in BLOCK_FORMATS:
             return LazyPostingList(raw, cache=self.block_cache,
                                    cache_key=self._block_cache_key(atom),
                                    stats=self.stats)
@@ -479,7 +505,7 @@ class InvertedFile:
             if not other:
                 return PostingList()
             lists.append(other)
-        return intersect(lists)
+        return intersect(lists, stats=self.stats)
 
     def all_nodes(self) -> PostingList:
         """Every internal node of the collection (memoized after first load)."""
@@ -653,17 +679,20 @@ class InvertedFile:
         children as Python int/tuple objects); comparing it with
         ``compressed_bytes`` shows what the delta-varint blocks save.
         """
-        n_lists = n_blocked = n_blocks = n_postings = 0
+        n_lists = n_blocked = n_packed = n_blocks = n_postings = 0
         compressed = decoded = directory = 0
         for atom in self.iter_atoms():
             raw = self._store.get(_atom_store_key(atom))
             if raw is None:
                 continue
             n_lists += 1
-            if value_format(raw) != FORMAT_BLOCKED:
+            fmt = value_format(raw)
+            if fmt not in BLOCK_FORMATS:
                 continue
             header = decode_blocked_header(raw)
             n_blocked += 1
+            if fmt == FORMAT_PACKED:
+                n_packed += 1
             n_blocks += len(header.blocks)
             n_postings += header.total
             compressed += len(raw)
@@ -673,6 +702,7 @@ class InvertedFile:
         return {
             "lists": n_lists,
             "blocked_lists": n_blocked,
+            "packed_lists": n_packed,
             "blocks": n_blocks,
             "block_size": self.block_size,
             "postings": n_postings,

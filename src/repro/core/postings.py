@@ -22,11 +22,18 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Callable, Iterable, Iterator, Sequence
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
 from ..storage.codec import (
     BlockedHeader,
+    PACKED_FORMAT_BYTE,
     Posting,
     decode_block,
     decode_blocked_header,
+    decode_packed_arrays,
     decode_postings,
     encode_postings,
 )
@@ -35,10 +42,11 @@ from ..storage.codec import (
 class PostingList:
     """An immutable posting list sorted on head ids (unique heads)."""
 
-    __slots__ = ("entries",)
+    __slots__ = ("entries", "_heads_arr")
 
     def __init__(self, entries: Sequence[Posting] = ()) -> None:
         self.entries: tuple[Posting, ...] = tuple(entries)
+        self._heads_arr = None
 
     @classmethod
     def from_unsorted(cls, entries: Iterable[Posting]) -> "PostingList":
@@ -57,6 +65,17 @@ class PostingList:
     def heads(self) -> set[int]:
         """The set of head ids ``p``."""
         return {p for p, _ in self.entries}
+
+    def heads_array(self):
+        """All head ids as one sorted ``int64`` ndarray (memoized).
+
+        Only meaningful when numpy is importable; the vectorized
+        intersection is gated on that before calling here.
+        """
+        if self._heads_arr is None:
+            self._heads_arr = _np.fromiter(
+                (p for p, _ in self.entries), _np.int64, len(self.entries))
+        return self._heads_arr
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -79,6 +98,60 @@ class PostingList:
         return f"PostingList({list(self.entries)!r})"
 
 
+class BlockData:
+    """One decoded block in columnar form, rows materialized on demand.
+
+    ``heads`` holds the block's sorted head ids; ``counts`` the number of
+    children per posting; ``children`` every posting's child ids,
+    flattened in posting order.  With numpy importable these are the
+    ``int64`` ndarrays :func:`repro.storage.codec.decode_packed_arrays`
+    produces (plain lists otherwise).  The row view -- the
+    ``(head, children-tuple)`` postings the structural algorithms consume
+    -- is built lazily on first access, so the array-native intersection
+    path never pays for Python tuples it does not read.
+    """
+
+    __slots__ = ("heads", "counts", "children", "_postings")
+
+    def __init__(self, heads, counts, children,
+                 postings: Sequence[Posting] | None = None) -> None:
+        self.heads = heads
+        self.counts = counts
+        self.children = children
+        self._postings = tuple(postings) if postings is not None else None
+
+    @classmethod
+    def from_postings(cls, postings: Sequence[Posting]) -> "BlockData":
+        """Columnar view over already-materialized postings."""
+        postings = tuple(postings)
+        if _np is not None:
+            heads = _np.fromiter((p for p, _ in postings), _np.int64,
+                                 len(postings))
+        else:
+            heads = [p for p, _ in postings]
+        return cls(heads, None, None, postings)
+
+    @property
+    def postings(self) -> tuple[Posting, ...]:
+        """The ``(head, children)`` rows, built and memoized on demand."""
+        if self._postings is None:
+            heads, counts, children = self.heads, self.counts, self.children
+            if _np is not None and not isinstance(heads, list):
+                heads = heads.tolist()
+                counts = counts.tolist()
+                children = children.tolist()
+            out: list[Posting] = []
+            at = 0
+            for head, n in zip(heads, counts):
+                out.append((head, tuple(children[at:at + n])))
+                at += n
+            self._postings = tuple(out)
+        return self._postings
+
+    def __len__(self) -> int:
+        return len(self.heads)
+
+
 class LazyPostingList:
     """A block-compressed posting list that decodes blocks on demand.
 
@@ -99,7 +172,7 @@ class LazyPostingList:
     """
 
     __slots__ = ("raw", "header", "_cache", "_cache_key", "_stats",
-                 "_local", "_entries")
+                 "_local", "_entries", "_heads_arr")
 
     def __init__(self, raw: bytes, *, header: BlockedHeader | None = None,
                  cache=None, cache_key: object = None,
@@ -110,8 +183,9 @@ class LazyPostingList:
         self._cache = cache
         self._cache_key = cache_key
         self._stats = stats
-        self._local: dict[int, tuple[Posting, ...]] | None = None
+        self._local: dict[int, BlockData] | None = None
         self._entries: tuple[Posting, ...] | None = None
+        self._heads_arr = None
 
     # -- block access ------------------------------------------------------
 
@@ -119,31 +193,69 @@ class LazyPostingList:
     def n_blocks(self) -> int:
         return len(self.header.blocks)
 
-    def block(self, index: int) -> tuple[Posting, ...]:
-        """Decode block ``index`` (through the shared block cache)."""
+    def block_data(self, index: int) -> BlockData:
+        """Decode block ``index`` to columns (through the shared cache).
+
+        Packed (``0x03``) payloads decode straight to arrays in a few
+        bulk operations; varint (``0x02``) payloads decode row-wise and
+        are wrapped.  Either way the :class:`BlockData` -- not a postings
+        tuple -- is what the :class:`~repro.core.cache.BlockCache`
+        holds, so a cached block serves both the array-native
+        intersection and row consumers without re-decoding.
+        """
         if self._entries is not None:
-            info = self.header.blocks[index]
-            start = sum(b.count for b in self.header.blocks[:index])
-            return self._entries[start:start + info.count]
+            return BlockData.from_postings(self.block(index))
         key = (self._cache_key, index)
         if self._cache is not None:
             hit = self._cache.get(key)
             if hit is not None:
-                return hit
+                return hit if isinstance(hit, BlockData) \
+                    else BlockData.from_postings(hit)
         elif self._local is not None and index in self._local:
             return self._local[index]
         info = self.header.blocks[index]
-        block = tuple(decode_block(self.raw, info))
+        if self.header.fmt == PACKED_FORMAT_BYTE:
+            heads, counts, children = decode_packed_arrays(self.raw, info)
+            data = BlockData(heads, counts, children)
+        else:
+            data = BlockData.from_postings(decode_block(self.raw, info))
         if self._stats is not None:
             self._stats.blocks_read += 1
             self._stats.bytes_decoded += info.length
         if self._cache is not None:
-            self._cache.admit(key, block)
+            self._cache.admit(key, data)
         else:
             if self._local is None:
                 self._local = {}
-            self._local[index] = block
-        return block
+            self._local[index] = data
+        return data
+
+    def block(self, index: int) -> tuple[Posting, ...]:
+        """Decode block ``index`` as postings (through the shared cache)."""
+        if self._entries is not None:
+            info = self.header.blocks[index]
+            start = sum(b.count for b in self.header.blocks[:index])
+            return self._entries[start:start + info.count]
+        return self.block_data(index).postings
+
+    def heads_array(self):
+        """All head ids as one sorted ``int64`` ndarray (numpy only).
+
+        Decodes every block -- the bulk-intersection regime where probes
+        outnumber blocks would decode them all anyway -- but touches
+        only the head columns, never materializing children tuples.
+        """
+        if self._heads_arr is None:
+            if self._entries is not None:
+                self._heads_arr = _np.fromiter(
+                    (p for p, _ in self._entries), _np.int64,
+                    len(self._entries))
+            elif self.n_blocks == 0:
+                self._heads_arr = _np.empty(0, _np.int64)
+            else:
+                self._heads_arr = _np.concatenate(
+                    [self.block_data(i).heads for i in range(self.n_blocks)])
+        return self._heads_arr
 
     @property
     def entries(self) -> tuple[Posting, ...]:
@@ -270,8 +382,104 @@ def _membership(plist: "PostingList | LazyPostingList",
     return plist.heads().__contains__
 
 
-def intersect(lists: "Sequence[PostingList | LazyPostingList]"
-              ) -> PostingList:
+#: Bulk-path density cutoff: hand both head arrays to ``intersect1d``
+#: once probes reach this fraction of the operand (sort-merge beats
+#: per-probe binary search only when the arrays are comparably sized).
+_BULK_DENSITY = 4
+
+
+def _gallop_mask(lazy: LazyPostingList, probes):
+    """Keep-mask for sorted ``probes`` against a still-encoded operand.
+
+    The vector analogue of :class:`_BlockCursor`: one ``searchsorted``
+    of all probes into the skip directory's ``max_head`` column finds
+    each probe's candidate block, then only the touched blocks are
+    decoded and probed -- again with one ``searchsorted`` per block over
+    its contiguous probe run (``probes`` sorted makes the candidate
+    block indices nondecreasing, so runs are slices).  Probes falling in
+    the gap before a block, or past the last block, are answered from
+    the directory alone; jumped-over blocks count as ``blocks_skipped``
+    exactly as the scalar cursor counts them.
+    """
+    blocks = lazy.header.blocks
+    max_heads = _np.fromiter((info.max_head for info in blocks),
+                             _np.int64, len(blocks))
+    target = _np.searchsorted(max_heads, probes)
+    keep = _np.zeros(len(probes), dtype=bool)
+    in_range = target < len(blocks)
+    if not in_range.any():
+        return keep
+    touched = _np.unique(target[in_range])
+    decoded = 0
+    for block_no in touched.tolist():
+        lo = int(_np.searchsorted(target, block_no, side="left"))
+        hi = int(_np.searchsorted(target, block_no, side="right"))
+        run = probes[lo:hi]
+        if int(run[-1]) < blocks[block_no].min_head:
+            continue  # whole run sits in the gap before this block
+        heads = lazy.block_data(block_no).heads
+        pos = _np.searchsorted(heads, run)
+        inside = pos < len(heads)
+        hit = _np.zeros(len(run), dtype=bool)
+        hit[inside] = heads[pos[inside]] == run[inside]
+        keep[lo:hi] = hit
+        decoded += 1
+    if lazy._stats is not None and decoded:
+        span = int(touched[-1]) - int(touched[0]) + 1
+        lazy._stats.blocks_skipped += span - decoded
+    return keep
+
+
+def _array_membership(other: "PostingList | LazyPostingList", probes):
+    """Keep-mask: which of the sorted ``probes`` occur in ``other``.
+
+    The cost model mirrors :func:`_membership`.  Sparse regime (fewer
+    probes than the operand has blocks): gallop through the skip
+    directory, decoding only touched blocks.  Dense regime: every block
+    gets decoded anyway, so materialize the full head array once and
+    either ``intersect1d`` both sorted-unique arrays (probe count within
+    ``1/_BULK_DENSITY`` of the operand -- skipping is pointless there,
+    the regression regime of 1:10/1:100 skew) or binary-search each
+    probe into it.
+    """
+    n_probes = len(probes)
+    if isinstance(other, LazyPostingList) and other._entries is None \
+            and n_probes < other.n_blocks:
+        return _gallop_mask(other, probes)
+    heads = other.heads_array()
+    if n_probes * _BULK_DENSITY >= len(heads):
+        _common, probe_idx, _other_idx = _np.intersect1d(
+            probes, heads, assume_unique=True, return_indices=True)
+        keep = _np.zeros(n_probes, dtype=bool)
+        keep[probe_idx] = True
+        return keep
+    pos = _np.searchsorted(heads, probes)
+    inside = pos < len(heads)
+    keep = _np.zeros(n_probes, dtype=bool)
+    keep[inside] = heads[pos[inside]] == probes[inside]
+    return keep
+
+
+def _intersect_vectorized(rare, others, stats) -> PostingList:
+    """Array-native intersection: rare heads filtered operand by operand."""
+    rare_heads = rare.heads_array()
+    alive = _np.arange(len(rare_heads))
+    for other in others:
+        probes = rare_heads if len(alive) == len(rare_heads) \
+            else rare_heads[alive]
+        alive = alive[_array_membership(other, probes)]
+        if not len(alive):
+            break
+    if stats is not None:
+        stats.intersects_vectorized += 1
+    if not len(alive):
+        return PostingList()
+    entries = rare.entries
+    return PostingList([entries[i] for i in alive.tolist()])
+
+
+def intersect(lists: "Sequence[PostingList | LazyPostingList]",
+              stats=None) -> PostingList:
     """Intersect posting lists on their heads.
 
     This is the candidate-generation primitive: a node is a candidate match
@@ -280,8 +488,16 @@ def intersect(lists: "Sequence[PostingList | LazyPostingList]"
     galloped through the other lists' skip directories, so for
     block-compressed operands only blocks whose head range is actually
     probed get decoded -- the cost is governed by the rarest list, not the
-    total postings length.  Decoded (plain) operands are probed as hash
-    sets, as before.
+    total postings length.
+
+    With numpy importable the whole pass is array-native
+    (:func:`_intersect_vectorized`): probes move through skip
+    directories and head columns via ``searchsorted``/``intersect1d``
+    with no per-posting Python branching.  Without numpy the original
+    scalar path runs -- block cursors for sparse probes, hash sets for
+    dense ones.  ``stats`` (a :class:`~repro.core.invfile.QueryStats`)
+    records which path ran; when omitted, the first operand carrying an
+    index's stats reference reports for the group.
 
     Any empty operand short-circuits to an empty result before the other
     lists are decoded or their head sets materialized.
@@ -292,9 +508,19 @@ def intersect(lists: "Sequence[PostingList | LazyPostingList]"
         return lists[0]
     if any(len(plist) == 0 for plist in lists):
         return PostingList()
+    if stats is None:
+        for plist in lists:
+            candidate = getattr(plist, "_stats", None)
+            if candidate is not None:
+                stats = candidate
+                break
     rare = min(lists, key=len)
     others = sorted((plist for plist in lists if plist is not rare),
                     key=len)
+    if _np is not None:
+        return _intersect_vectorized(rare, others, stats)
+    if stats is not None:
+        stats.intersects_scalar += 1
     probes = [_membership(plist, len(rare)) for plist in others]
     entries = [entry for entry in rare.entries
                if all(probe(entry[0]) for probe in probes)]

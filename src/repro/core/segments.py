@@ -31,6 +31,7 @@ from typing import NamedTuple, Sequence
 
 from ..storage.codec import (
     BLOCKED_FORMAT_BYTE,
+    PACKED_FORMAT_BYTE,
     Posting,
     decode_postings,
     decode_varint,
@@ -44,6 +45,11 @@ FORMAT_SEGMENTED = 1
 #: the codec lives in :mod:`repro.storage.codec`, the lazy reader in
 #: :class:`repro.core.postings.LazyPostingList`.
 FORMAT_BLOCKED = BLOCKED_FORMAT_BYTE
+#: Packed variant of the blocked format: same directory, fixed-width
+#: block payloads bulk-decodable with numpy (``decode_packed_arrays``).
+FORMAT_PACKED = PACKED_FORMAT_BYTE
+#: Formats the lazy block reader handles (skip directory + payloads).
+BLOCK_FORMATS = (FORMAT_BLOCKED, FORMAT_PACKED)
 
 #: Default postings per segment when segmentation is enabled.
 DEFAULT_SEGMENT_SIZE = 1024
@@ -142,8 +148,9 @@ def total_of(raw: bytes) -> int:
     which makes rarest-first intersection ordering cheap.
     """
     fmt = value_format(raw)
-    if fmt in (FORMAT_PLAIN, FORMAT_SEGMENTED, FORMAT_BLOCKED):
-        # All three formats lead with the posting count (blocked values
+    if fmt in (FORMAT_PLAIN, FORMAT_SEGMENTED, FORMAT_BLOCKED,
+               FORMAT_PACKED):
+        # Every format leads with the posting count (blocked values
         # put ``total`` right after the format byte for exactly this).
         count, _pos = decode_varint(raw, 1)
         return count

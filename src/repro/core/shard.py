@@ -63,6 +63,7 @@ from .engine import NestedSetIndex
 from .exec.compiler import ALGORITHMS, compile_query
 from .exec.context import ExecCounters
 from .exec.observer import MergedExplainResult, merge_explains, run_explained
+from .invfile import decode_path_of
 from .matchspec import QuerySpec
 from .model import NestedSet, as_nested_set
 from .parallel import RWLock, ShardExecutor
@@ -898,9 +899,13 @@ class ShardedIndex:
         }
         for field in ("postings_requests", "cache_hits", "lists_decoded",
                       "meta_block_reads", "blocks_read", "blocks_skipped",
-                      "bytes_decoded"):
+                      "bytes_decoded", "intersects_vectorized",
+                      "intersects_scalar"):
             index_totals[field] = sum(stats["index"][field]
                                       for stats in per_shard)
+        index_totals["decode_path"] = decode_path_of(
+            index_totals["intersects_vectorized"],
+            index_totals["intersects_scalar"])
         cache_hits = sum(stats["cache"]["hits"] for stats in per_shard)
         cache_misses = sum(stats["cache"]["misses"] for stats in per_shard)
         cache_requests = cache_hits + cache_misses

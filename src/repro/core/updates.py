@@ -40,7 +40,7 @@ from .invfile import (
 from .model import Atom, NestedSet
 from .postings import PostingList
 from .segments import (
-    FORMAT_BLOCKED,
+    BLOCK_FORMATS,
     FORMAT_PLAIN,
     SegmentInfo,
     decode_header,
@@ -207,9 +207,11 @@ class IndexWriter:
         def segment_key(seg_no: int) -> bytes:
             return b"G:" + token + b":" + encode_varint(seg_no)
 
-        if raw is not None and value_format(raw) == FORMAT_BLOCKED:
-            # Blocked: new ids sort past the tail, so only the partial
-            # tail block is re-encoded; full blocks keep their bytes.
+        if raw is not None and value_format(raw) in BLOCK_FORMATS:
+            # Blocked/packed: new ids sort past the tail, so only the
+            # partial tail block is re-encoded; full blocks keep their
+            # bytes -- and their format (0x02 values stay 0x02 under
+            # mutation; only compaction upgrades them to packed).
             self._store.put(store_key, append_blocked(raw, entries))
             return
         if raw is None and ifile.block_size:

@@ -96,11 +96,11 @@ class BPlusTree(KVStore):
 
     def __init__(self, path: str, *, create: bool = False,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 wal: bool = True) -> None:
+                 wal: bool = True, use_mmap: bool = True) -> None:
         super().__init__()
         if create:
             self._pager = Pager(path, page_size=page_size, create=True,
-                                wal=wal)
+                                wal=wal, use_mmap=use_mmap)
             self._payload = self._pager.page_size
             self._overflow_threshold = self._pager.page_size // 4
             self._root = self._pager.allocate()
@@ -108,7 +108,7 @@ class BPlusTree(KVStore):
             self._write_leaf(self._root, _Leaf(0, []))
             self._write_meta()
         else:
-            self._pager = Pager(path, wal=wal)
+            self._pager = Pager(path, wal=wal, use_mmap=use_mmap)
             meta = self._pager.meta
             if len(meta) < _META.size:
                 raise CorruptionError("btree metadata missing")

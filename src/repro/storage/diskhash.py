@@ -76,11 +76,11 @@ class DiskHashTable(KVStore):
     def __init__(self, path: str, *, create: bool = False,
                  n_buckets: int = DEFAULT_BUCKETS,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 wal: bool = True) -> None:
+                 wal: bool = True, use_mmap: bool = True) -> None:
         super().__init__()
         if create:
             self._pager = Pager(path, page_size=page_size, create=True,
-                                wal=wal)
+                                wal=wal, use_mmap=use_mmap)
             self._n_buckets = n_buckets
             per_page = self._pager.page_size // 8
             self._n_dir_pages = (n_buckets + per_page - 1) // per_page
@@ -91,7 +91,7 @@ class DiskHashTable(KVStore):
             self._flush_directory()
             self._write_meta()
         else:
-            self._pager = Pager(path, wal=wal)
+            self._pager = Pager(path, wal=wal, use_mmap=use_mmap)
             meta = self._pager.meta
             if len(meta) < _META.size:
                 raise CorruptionError("hash table metadata missing")

@@ -43,10 +43,31 @@ remaining pin; with no pins the history is empty and commits copy
 nothing.  Readers therefore never wait on a writer's WAL fsync: the
 commit point (the log append + fsync) runs outside the page I/O lock,
 which protects only the microsecond-scale in-memory apply phase.
+
+Zero-copy reads (mmap): the committed prefix of the file is mapped
+read-only (``use_mmap=True``, the default) and clean-page reads --
+:meth:`read` outside a transaction and the file-fallback of
+:meth:`read_at` -- slice the mapping without taking ``_io_lock`` at
+all, so concurrent readers stop serializing on seek+read pairs.  The
+file is opened unbuffered (``buffering=0``): every ``write()`` is a
+straight syscall into the kernel page cache, which a ``MAP_SHARED``
+mapping of the same file observes immediately, so a reader can never
+see stale bytes that are still sitting in a userspace buffer.
+:meth:`read_at` stays snapshot-correct without the lock because
+commits capture pre-images *before* overwriting pages: after copying
+from the mapping the reader re-probes the history, and any commit
+that could have raced the copy has already published the pre-image
+this reader needs.  The mapping covers whole pages only; reads past
+it (the file grew) fall back to the locked path, and the pager remaps
+after growing commits (plus a chunked heuristic for unjournaled bulk
+loads).  Superseded mappings are dropped, not closed -- a racing
+reader's local reference keeps the old map valid until the GC unmaps
+it.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import struct
 import threading
@@ -70,6 +91,9 @@ _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 MAX_META = 1024
 #: Dirty-map key for the header page inside a transaction.
 _HEADER_PAGE = 0
+#: Unjournaled growth (in pages) past the mapped region before a read
+#: miss triggers a remap; keeps bulk loads from remapping per page.
+_REMAP_CHUNK_PAGES = 64
 
 
 def wal_path(path: str) -> str:
@@ -135,7 +159,8 @@ class Pager:
     """Fixed-size page manager over one file descriptor."""
 
     def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
-                 create: bool = False, *, wal: bool = True) -> None:
+                 create: bool = False, *, wal: bool = True,
+                 use_mmap: bool = True) -> None:
         self.path = path
         # One file handle serves every page access; the reentrant lock
         # makes each seek+read / seek+write pair atomic so concurrent
@@ -156,8 +181,14 @@ class Pager:
         self._txn_snapshot: tuple[int, int, bytes] | None = None
         self.recovered_groups = 0
         self.discarded_groups = 0
+        self._mmap_enabled = use_mmap
+        self._mmap: mmap.mmap | None = None
+        self._mapped_pages = 0
+        # Unbuffered: writes must reach the kernel page cache at the
+        # syscall, so the read-only mapping is always coherent with them.
         if create:
-            self._file = wrap_file(open(path, "w+b"), role="pager")
+            self._file = wrap_file(open(path, "w+b", buffering=0),
+                                   role="pager")
             if wal:
                 self._wal = WriteAheadLog(wal_path(path), create=True)
             self.page_size = page_size
@@ -168,11 +199,13 @@ class Pager:
         else:
             if not os.path.exists(path):
                 raise StorageError(f"no such store file: {path}")
-            self._file = wrap_file(open(path, "r+b"), role="pager")
+            self._file = wrap_file(open(path, "r+b", buffering=0),
+                                   role="pager")
             if wal:
                 self._wal = WriteAheadLog(wal_path(path))
                 self._recover()
             self._read_header()
+        self._remap()
         self.page_reads = 0
         self.page_writes = 0
 
@@ -286,29 +319,108 @@ class Pager:
         """Pin the current version and return a read-only page view."""
         return PageReader(self, self.pin())
 
+    # -- mmap read path ------------------------------------------------------
+
+    def _remap(self) -> None:
+        """(Re)map the file's whole-page prefix for lock-free reads.
+
+        Called with ``_io_lock`` held (or before any concurrency, in
+        ``__init__``).  The superseded mapping is only dereferenced --
+        never closed -- so a reader that already fetched it keeps a
+        valid buffer; the GC unmaps it once the last reference drops.
+        A mapping failure (exotic filesystem, wrapped descriptor)
+        degrades permanently to the locked read path.
+        """
+        if not self._mmap_enabled:
+            return
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+        except (OSError, ValueError):  # pragma: no cover - closed race
+            return
+        pages = size // self.page_size
+        if pages == 0 or (pages <= self._mapped_pages
+                          and self._mmap is not None):
+            return
+        try:
+            mapped = mmap.mmap(self._file.fileno(),
+                               pages * self.page_size,
+                               access=mmap.ACCESS_READ)
+        except (OSError, ValueError):  # pragma: no cover - no mmap here
+            self._mmap_enabled = False
+            self._mmap = None
+            self._mapped_pages = 0
+            return
+        self._mmap = mapped
+        self._mapped_pages = pages
+
+    def _mmap_read(self, page_id: int) -> bytes | None:
+        """Copy one page out of the mapping without any lock, or None.
+
+        Returns None when the page lies past the mapped prefix or the
+        mapping was closed underneath us (shutdown race) -- callers fall
+        back to the locked file path.
+        """
+        mapped = self._mmap
+        if mapped is None or page_id >= self._mapped_pages:
+            return None
+        offset = page_id * self.page_size
+        try:
+            return mapped[offset:offset + self.page_size]
+        except (ValueError, IndexError):  # pragma: no cover - close race
+            return None
+
+    @property
+    def mmap_enabled(self) -> bool:
+        """True while the lock-free mapped read path is active."""
+        return self._mmap_enabled and self._mmap is not None
+
     def read_at(self, page_id: int, version: int) -> bytes:
         """Read a page as it was at ``version`` (header page 0 allowed).
 
         Served from the copy-on-write history when a later commit has
-        overwritten the page, from the live file otherwise.  The history
-        probe is re-run under the I/O lock before falling back to the
-        file: a commit that captures the pre-image and applies its pages
-        does both while holding the I/O lock, so the double-check can
-        never race past a concurrent overwrite.
+        overwritten the page, from the mapped file otherwise.  The
+        mapped copy takes no lock; it is made snapshot-safe by re-probing
+        the history *after* the copy: commits capture pre-images (under
+        ``_version_lock``) before overwriting a page, so any overwrite
+        that could have torn or outrun our copy has already published
+        the pre-image this version needs -- the re-probe returns it.
+        Reads past the mapped prefix fall back to the locked path, which
+        re-runs the same double-check before touching the file.
         """
         with self._version_lock:
             data = self._history_lookup(page_id, version)
+        if data is None:
+            data = self._mmap_read(page_id)
+            if data is not None:
+                with self._version_lock:
+                    overwritten = self._history_lookup(page_id, version)
+                if overwritten is not None:
+                    data = overwritten
         if data is None:
             with self._io_lock:
                 with self._version_lock:
                     data = self._history_lookup(page_id, version)
                 if data is None:
+                    self._maybe_remap_for(page_id)
                     self._file.seek(page_id * self.page_size)
                     data = self._file.read(self.page_size)
         self.page_reads += 1
         if len(data) < self.page_size:
             data = data.ljust(self.page_size, b"\x00")
         return data
+
+    def _maybe_remap_for(self, page_id: int) -> None:
+        """Chunked remap heuristic for reads past the mapped prefix.
+
+        Caller holds ``_io_lock``.  Journaled growth remaps at commit;
+        this catches unjournaled bulk loads, where remapping on every
+        fresh-page read would thrash -- so wait until the file has grown
+        a chunk past the mapping.
+        """
+        if self._mmap_enabled and self._mmap is not None \
+                and page_id >= self._mapped_pages \
+                and self.n_pages >= self._mapped_pages + _REMAP_CHUNK_PAGES:
+            self._remap()
 
     def _history_lookup(self, page_id: int, version: int) -> bytes | None:
         """First pre-image with ``as_of >= version`` (caller holds lock)."""
@@ -360,6 +472,8 @@ class Pager:
                                           if self._pins else None),
                 "pinned_readers": sum(self._pins.values()),
                 "history_pages": len(self._history),
+                "mmap_enabled": self.mmap_enabled,
+                "mapped_pages": self._mapped_pages,
             }
 
     # -- transactions --------------------------------------------------------
@@ -433,6 +547,7 @@ class Pager:
                     self._file.write(data)
                 with self._version_lock:
                     self._version = commit_version
+                self._remap()
             if self._wal.size > DEFAULT_CHECKPOINT_BYTES:
                 self._checkpoint_locked()
 
@@ -536,12 +651,27 @@ class Pager:
             self._write_header()
 
     def read(self, page_id: int) -> bytes:
-        """Read a full page; short files are padded with zero bytes."""
+        """Read a full page; short files are padded with zero bytes.
+
+        Outside a transaction, clean pages inside the mapped prefix are
+        copied straight from the mapping without taking ``_io_lock``.
+        Callers that could race a concurrent commit's apply phase must
+        use the versioned :meth:`read_at` (snapshot readers do); plain
+        ``read`` is for the writer itself and for externally serialized
+        access, exactly as before.
+        """
+        if not self._txn_depth:
+            self._check_bounds(page_id)
+            data = self._mmap_read(page_id)
+            if data is not None:
+                self.page_reads += 1
+                return data
         with self._io_lock:
             self._check_bounds(page_id)
             self.page_reads += 1
             if self._txn_depth and page_id in self._dirty:
                 return self._dirty[page_id]
+            self._maybe_remap_for(page_id)
             self._file.seek(page_id * self.page_size)
             data = self._file.read(self.page_size)
             if len(data) < self.page_size:
@@ -622,6 +752,9 @@ class Pager:
     def close(self) -> None:
         """Flush the header and close the file (open transactions abort)."""
         with self._io_lock:
+            mapped, self._mmap, self._mapped_pages = self._mmap, None, 0
+            if mapped is not None:
+                mapped.close()
             if not self._file.closed:
                 if self._txn_depth:
                     self.abort()

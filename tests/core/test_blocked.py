@@ -18,6 +18,7 @@ from repro.core.invfile import QueryStats
 from repro.core.postings import LazyPostingList, PostingList, intersect
 from repro.storage.codec import (
     BLOCKED_FORMAT_BYTE,
+    PACKED_FORMAT_BYTE,
     CorruptionError,
     append_blocked,
     decode_block,
@@ -49,8 +50,11 @@ class TestCodecRoundTrip:
             block_size = rng.choice([1, 2, 3, 7, 64, 128, 1000])
             entries = _random_postings(rng, size)
             raw = encode_blocked(entries, block_size)
-            assert raw[0] == BLOCKED_FORMAT_BYTE
+            assert raw[0] == PACKED_FORMAT_BYTE   # packed is the default
             assert decode_blocked(raw) == entries
+            legacy = encode_blocked(entries, block_size, packed=False)
+            assert legacy[0] == BLOCKED_FORMAT_BYTE
+            assert decode_blocked(legacy) == entries
 
     def test_header_directory(self) -> None:
         rng = random.Random(8)

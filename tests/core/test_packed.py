@@ -1,0 +1,385 @@
+"""Satellite coverage for the packed (0x03) posting format.
+
+Four concerns of the vectorized data plane live here: width promotion
+must round-trip at every fixed-width boundary (hypothesis drives deltas
+across the 1/2/4/8-byte edges), corrupted or truncated packed payloads
+must raise :class:`CorruptionError` instead of decoding garbage, an
+index written in the 0x02 delta-varint generation must reopen and
+answer unchanged -- upgrading to 0x03 only through compaction -- and the
+pure-stdlib fallback (numpy absent) must stay behaviourally identical
+to the vectorized path, bit for bit on the wire and entry for entry in
+every intersection.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import accumulate
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.core.postings as postings_mod
+import repro.storage.codec as codec_mod
+from repro.core.engine import NestedSetIndex
+from repro.core.invfile import QueryStats
+from repro.core.postings import LazyPostingList, PostingList, intersect
+from repro.storage import open_store
+from repro.storage.codec import (
+    BLOCKED_FORMAT_BYTE,
+    PACKED_FORMAT_BYTE,
+    PACKED_WIDTHS,
+    BlockInfo,
+    CorruptionError,
+    _width_for,
+    decode_blocked,
+    decode_blocked_header,
+    decode_packed_arrays,
+    encode_blocked,
+)
+
+from ..conftest import random_tree
+
+
+def _random_postings(rng: random.Random, size: int,
+                     head_space: int = 10_000) -> list:
+    heads = sorted(rng.sample(range(head_space), size))
+    out = []
+    for p in heads:
+        n_children = rng.randrange(0, 4)
+        children = tuple(sorted(rng.sample(range(head_space), n_children)))
+        out.append((p, children))
+    return out
+
+
+# -- width promotion --------------------------------------------------------
+
+#: Deltas straddling every fixed-width boundary: one byte tops out at
+#: 255, two at 65535, four at 2^32 - 1; anything larger takes 8 bytes.
+_EDGES = (1, 2, 255, 256, 257, 65_535, 65_536, 65_537,
+          (1 << 32) - 1, 1 << 32, (1 << 32) + 1)
+
+_head_delta = st.one_of(st.integers(1, 300), st.sampled_from(_EDGES))
+_child_delta = st.one_of(st.integers(0, 300), st.sampled_from(_EDGES))
+
+
+@st.composite
+def _edge_posting_lists(draw):
+    """Sorted posting lists whose deltas cross width-promotion edges."""
+    head_deltas = draw(st.lists(_head_delta, max_size=24))
+    entries = []
+    for p in accumulate(head_deltas):
+        child_deltas = draw(st.lists(_child_delta, max_size=4))
+        entries.append((p, tuple(accumulate(child_deltas))))
+    return entries
+
+
+class TestWidthPromotion:
+    def test_width_for_edges(self) -> None:
+        assert _width_for(0) == 1
+        assert _width_for(255) == 1
+        assert _width_for(256) == 2
+        assert _width_for(65_535) == 2
+        assert _width_for(65_536) == 4
+        assert _width_for((1 << 32) - 1) == 4
+        assert _width_for(1 << 32) == 8
+        assert _width_for((1 << 64) - 1) == 8
+        with pytest.raises(ValueError):
+            _width_for(1 << 64)
+
+    @given(entries=_edge_posting_lists(),
+           block_size=st.sampled_from([1, 3, 7, 128]))
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_across_width_edges(self, entries,
+                                           block_size) -> None:
+        raw = encode_blocked(entries, block_size)
+        assert raw[0] == PACKED_FORMAT_BYTE
+        assert decode_blocked(raw) == entries
+        for info in decode_blocked_header(raw).blocks:
+            for width in raw[info.offset:info.offset + 3]:
+                assert width in PACKED_WIDTHS
+
+    def test_each_promotion_edge_deterministic(self) -> None:
+        # One list per edge: the head spacing and the child ids force
+        # that edge's width, and the payload must still round-trip.
+        for edge in (255, 256, 65_535, 65_536, (1 << 32) - 1, 1 << 32):
+            entries = [(0, (0, edge)), (edge, ()),
+                       (2 * edge + 1, (edge + 1,))]
+            for block_size in (1, 2, 8):
+                raw = encode_blocked(entries, block_size)
+                assert decode_blocked(raw) == entries, edge
+
+
+# -- corruption -------------------------------------------------------------
+
+class TestPackedCorruption:
+    def _sample(self):
+        entries = [(p, (p + 1, p + 3)) for p in range(0, 40, 2)]
+        raw = encode_blocked(entries, 8)
+        assert raw[0] == PACKED_FORMAT_BYTE
+        return raw, decode_blocked_header(raw)
+
+    def test_truncated_value_rejected(self) -> None:
+        raw, _header = self._sample()
+        for cut in (1, 4, len(raw) // 2):
+            with pytest.raises(CorruptionError):
+                decode_blocked(raw[:len(raw) - cut])
+
+    def test_truncated_block_payload_rejected(self) -> None:
+        raw, header = self._sample()
+        info = header.blocks[0]
+        # A directory entry claiming fewer bytes than the width header
+        # needs, and one pointing past the buffer, must both be caught.
+        for length in (0, 2):
+            short = BlockInfo(info.min_head, info.max_head, info.count,
+                              info.offset, length)
+            with pytest.raises(CorruptionError):
+                decode_packed_arrays(raw, short)
+        past_end = BlockInfo(info.min_head, info.max_head, info.count,
+                             len(raw) - 4, 64)
+        with pytest.raises(CorruptionError):
+            decode_packed_arrays(raw, past_end)
+
+    def test_bad_width_byte_rejected(self) -> None:
+        raw, header = self._sample()
+        for byte_at in range(3):
+            tampered = bytearray(raw)
+            tampered[header.blocks[0].offset + byte_at] = 7
+            with pytest.raises(CorruptionError):
+                decode_blocked(bytes(tampered))
+
+    def test_counts_payload_mismatch_rejected(self) -> None:
+        raw, header = self._sample()
+        info = header.blocks[0]
+        w_heads = raw[info.offset]
+        counts_at = info.offset + 3 + info.count * w_heads
+        tampered = bytearray(raw)
+        tampered[counts_at] += 1        # first posting claims an extra child
+        with pytest.raises(CorruptionError):
+            decode_packed_arrays(bytes(tampered), info)
+
+    def test_heads_past_directory_max_rejected(self) -> None:
+        raw, header = self._sample()
+        info = header.blocks[0]
+        w_heads = raw[info.offset]
+        last_delta = info.offset + 3 + (info.count - 1) * w_heads
+        tampered = bytearray(raw)
+        tampered[last_delta] += 1       # cumsum now overshoots max_head
+        with pytest.raises(CorruptionError):
+            decode_packed_arrays(bytes(tampered), info)
+
+    def test_misaligned_child_array_rejected(self) -> None:
+        entries = [(0, (1,)), (5, (2, 4, 6))]      # 4 one-byte child deltas
+        raw = encode_blocked(entries, 8)
+        info = decode_blocked_header(raw).blocks[0]
+        tampered = bytearray(raw)
+        tampered[info.offset + 2] = 8              # 4 bytes % 8 != 0
+        with pytest.raises(CorruptionError):
+            decode_packed_arrays(bytes(tampered), info)
+
+
+# -- legacy 0x02 compatibility and compact upgrade --------------------------
+
+def _corpus(seed: int, n: int = 40) -> list:
+    rng = random.Random(seed)
+    atoms = [f"a{i}" for i in range(10)]
+    return [(f"r{i:02d}", random_tree(rng, atoms)) for i in range(n)]
+
+
+def _queries(seed: int, n: int = 10) -> list:
+    rng = random.Random(seed)
+    atoms = [f"a{i}" for i in range(10)]
+    return [random_tree(rng, atoms, allow_empty=False) for _ in range(n)]
+
+
+def _downgrade_atom_values(path: str) -> int:
+    """Rewrite every packed atom value of a closed disk index to 0x02."""
+    store = open_store("diskhash", path)
+    rewritten = 0
+    try:
+        for key, raw in list(store.items()):
+            if key.startswith(b"A:") and raw[:1] == bytes(
+                    [PACKED_FORMAT_BYTE]):
+                header = decode_blocked_header(raw)
+                legacy = encode_blocked(decode_blocked(raw),
+                                        header.block_size, packed=False)
+                assert legacy[0] == BLOCKED_FORMAT_BYTE
+                store.put(key, legacy)
+                rewritten += 1
+        store.sync()
+    finally:
+        store.close()
+    return rewritten
+
+
+class TestLegacyBlockedUpgrade:
+    def test_0x02_index_reopens_and_compact_upgrades(self, tmp_path) -> None:
+        corpus = _corpus(31)
+        queries = _queries(131)
+        path = str(tmp_path / "old.ix")
+        built = NestedSetIndex.build(corpus, storage="diskhash", path=path)
+        expected = [built.query(query) for query in queries]
+        built.close()
+
+        # Downgrade the on-disk atom values to the previous generation's
+        # 0x02 format; the index must reopen and answer unchanged, and
+        # the stats must show that nothing silently migrated.
+        assert _downgrade_atom_values(path) > 0
+        reopened = NestedSetIndex.open("diskhash", path)
+        stats = reopened._ifile.block_stats()
+        assert stats["blocked_lists"] > 0 and stats["packed_lists"] == 0
+        assert [reopened.query(query) for query in queries] == expected
+
+        # Compaction is the upgrade path: the rebuilt index is packed
+        # throughout and keeps answering identically.
+        new_path = str(tmp_path / "new.ix")
+        reopened.compact(storage="diskhash", path=new_path)
+        stats = reopened._ifile.block_stats()
+        assert stats["packed_lists"] == stats["blocked_lists"] > 0
+        assert [reopened.query(query) for query in queries] == expected
+
+        # ... and byte-identically: the compacted store's atom values
+        # match a fresh 0x03 build of the same corpus.
+        reopened.close()
+        fresh_path = str(tmp_path / "fresh.ix")
+        NestedSetIndex.build(corpus, storage="diskhash",
+                             path=fresh_path).close()
+        compacted_values = _atom_values(new_path)
+        assert compacted_values == _atom_values(fresh_path)
+        assert all(raw[0] == PACKED_FORMAT_BYTE
+                   for raw in compacted_values.values())
+
+    def test_mutations_keep_0x02_values_in_format(self, tmp_path) -> None:
+        # Appends into a downgraded index must not migrate values: mixed
+        # generations stay byte-stable under mutation (only compaction
+        # upgrades).
+        path = str(tmp_path / "mixed.ix")
+        built = NestedSetIndex.build(_corpus(32, n=20), storage="diskhash",
+                                     path=path)
+        built.close()
+        assert _downgrade_atom_values(path) > 0
+
+        index = NestedSetIndex.open("diskhash", path)
+        for i, (key, tree) in enumerate(_corpus(33, n=5)):
+            index.insert(f"x{i}", tree)
+        queries = _queries(132)
+        expected = [index.query(query) for query in queries]
+        index.close()
+
+        formats = {raw[0] for raw in _atom_values(path).values()}
+        assert formats == {BLOCKED_FORMAT_BYTE}
+        reopened = NestedSetIndex.open("diskhash", path)
+        assert [reopened.query(query) for query in queries] == expected
+        reopened.close()
+
+
+def _atom_values(path: str) -> dict[bytes, bytes]:
+    store = open_store("diskhash", path)
+    try:
+        return {key: raw for key, raw in store.items()
+                if key.startswith(b"A:")}
+    finally:
+        store.close()
+
+
+# -- numpy-free fallback ----------------------------------------------------
+
+class TestNumpyFallback:
+    def _stub_numpy(self, monkeypatch) -> None:
+        monkeypatch.setattr(codec_mod, "_np", None)
+        monkeypatch.setattr(postings_mod, "_np", None)
+
+    def test_fallback_encode_is_byte_identical(self, monkeypatch) -> None:
+        rng = random.Random(41)
+        entries = _random_postings(rng, 300)
+        with_numpy = encode_blocked(entries, 16)
+        self._stub_numpy(monkeypatch)
+        assert encode_blocked(entries, 16) == with_numpy
+
+    def test_fallback_decode_matches_numpy(self, monkeypatch) -> None:
+        rng = random.Random(42)
+        for size, block_size in ((0, 4), (37, 4), (300, 16), (300, 128)):
+            entries = _random_postings(rng, size)
+            raw = encode_blocked(entries, block_size)
+            assert decode_blocked(raw) == entries      # numpy path
+            header = decode_blocked_header(raw)
+            numpy_blocks = [decode_packed_arrays(raw, info)
+                            for info in header.blocks]
+            with monkeypatch.context() as patched:
+                patched.setattr(codec_mod, "_np", None)
+                assert decode_blocked(raw) == entries  # stdlib path
+                for info, (heads, counts, children) in zip(
+                        header.blocks, numpy_blocks):
+                    got = decode_packed_arrays(raw, info)
+                    assert got[0] == heads.tolist()
+                    assert got[1] == counts.tolist()
+                    assert got[2] == children.tolist()
+
+    def test_fallback_intersect_matches_vectorized(self,
+                                                   monkeypatch) -> None:
+        rng = random.Random(43)
+        cases = []
+        for _ in range(40):
+            head_space = rng.choice([50, 400])
+            lists = [_random_postings(rng, rng.randrange(1, 50),
+                                      head_space=head_space)
+                     for _ in range(rng.randrange(2, 4))]
+            shared = lists[0][:rng.randrange(0, len(lists[0]) + 1)]
+            lists = [sorted({p: c for p, c in entries + shared}.items())
+                     for entries in lists]
+            cases.append(lists)
+
+        def run() -> list:
+            results = []
+            stats = QueryStats()
+            for lists in cases:
+                block_size = 4
+                operands = [
+                    LazyPostingList(encode_blocked(entries, block_size),
+                                    stats=stats)
+                    if i % 2 else PostingList(entries)
+                    for i, entries in enumerate(lists)]
+                results.append(intersect(operands, stats=stats).entries)
+            return results, stats
+
+        vec_results, vec_stats = run()
+        assert vec_stats.intersects_vectorized == len(cases)
+        assert vec_stats.intersects_scalar == 0
+        assert vec_stats.decode_path == "vectorized"
+
+        self._stub_numpy(monkeypatch)
+        scalar_results, scalar_stats = run()
+        assert scalar_results == vec_results
+        assert scalar_stats.intersects_scalar == len(cases)
+        assert scalar_stats.intersects_vectorized == 0
+        assert scalar_stats.decode_path == "scalar"
+
+    def test_fallback_engine_answers_unchanged(self, monkeypatch) -> None:
+        corpus = _corpus(44, n=25)
+        queries = _queries(144, n=8)
+        expected = [NestedSetIndex.build(corpus).query(query)
+                    for query in queries]
+        self._stub_numpy(monkeypatch)
+        index = NestedSetIndex.build(corpus)
+        assert [index.query(query) for query in queries] == expected
+        stats = index.stats()["index"]
+        assert stats["intersects_vectorized"] == 0
+        assert stats["decode_path"] == "scalar"
+
+
+class TestDecodePathReporting:
+    def test_engine_reports_vectorized_path(self) -> None:
+        index = NestedSetIndex.build(_corpus(45, n=25))
+        for query in _queries(145, n=10):
+            index.query(query)
+        stats = index.stats()["index"]
+        assert stats["intersects_vectorized"] > 0
+        assert stats["intersects_scalar"] == 0
+        assert stats["decode_path"] == "vectorized"
+
+    def test_explain_carries_decode_path(self) -> None:
+        index = NestedSetIndex.build(_corpus(46, n=25))
+        for query in _queries(146, n=10):
+            explained = index.explain(query)
+            assert explained.decode_path in ("vectorized", "scalar")
+            assert "decode_path=" in explained.render()
