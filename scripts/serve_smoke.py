@@ -3,11 +3,15 @@
 Exercises the full serving stack the way an operator would:
 
 1. generate a collection and build a disk index,
-2. start ``nestcontain serve`` as a real subprocess,
+2. start ``nestcontain serve`` (with its HTTP gateway) as a real
+   subprocess,
 3. run a mixed workload (concurrent queries racing inserts and a
    delete) through the blocking client, asserting *exact* answers,
-4. drain the server via the ``shutdown`` op and wait for a clean exit,
-5. reopen the index: the insert must be durable and the write-ahead
+4. hit the same server over every wire -- binary (default), JSON, a
+   pipelined submit/drain burst, and one HTTP-gateway request -- and
+   assert byte-identical answers to an in-process open,
+5. drain the server via the ``shutdown`` op and wait for a clean exit,
+6. reopen the index: the insert must be durable and the write-ahead
    log must have nothing to replay (the drain checkpointed it).
 
 Exit status 0 means every step held.  Run from the repo root::
@@ -17,12 +21,14 @@ Exit status 0 means every step held.  Run from the repo root::
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
 import sys
 import tempfile
 import threading
+import urllib.request
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
@@ -49,6 +55,7 @@ def main() -> int:
 
         server = subprocess.Popen(
             run + ["serve", index_path, "--port", "0",
+                   "--http-port", "0",
                    "--batch-window-ms", "1", "--workers", "4"],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True, env=env)
@@ -57,7 +64,13 @@ def main() -> int:
             match = re.search(r":(\d+) \(", banner)
             assert match, f"no port in server banner: {banner!r}"
             port = int(match.group(1))
-            print(f"serve_smoke: server up on port {port}")
+            gateway_banner = server.stdout.readline()
+            gw_match = re.search(r":(\d+)\s*$", gateway_banner)
+            assert gw_match, ("no port in gateway banner: "
+                              f"{gateway_banner!r}")
+            http_port = int(gw_match.group(1))
+            print(f"serve_smoke: server up on port {port}, "
+                  f"http gateway on {http_port}")
 
             # Ground truth from a separate in-process open (read-only).
             with NestedSetIndex.open("diskhash", index_path) as truth:
@@ -95,6 +108,38 @@ def main() -> int:
                 f"mutations not visible: {smoke_hits!r}")
             print("serve_smoke: mixed workload exact "
                   f"({len(readers)} readers, 5 inserts, 1 delete)")
+
+            # Every wire, same answers.  Ground truth re-read after the
+            # mutations above so all paths chase the same snapshot.
+            with NestedSetIndex.open("diskhash", index_path) as truth:
+                probes = [probe, "{__smoke__}"]
+                wire_truth = [truth.query(q) for q in probes]
+            with ServiceClient(port=port) as binary_client:
+                assert binary_client.wire == "binary"
+                assert [binary_client.query(q)
+                        for q in probes] == wire_truth
+                ids = [binary_client.submit({"op": "query", "query": q})
+                       for q in probes for _ in range(4)]
+                drained = binary_client.drain()
+                assert [drained[i] for i in ids] == \
+                    [t for t in wire_truth for _ in range(4)]
+                assert binary_client.query_pipelined(
+                    probes * 4, window=4) == wire_truth * 4
+            with ServiceClient(port=port, wire="json") as json_client:
+                assert [json_client.query(q)
+                        for q in probes] == wire_truth
+            for query, expected_hits in zip(probes, wire_truth):
+                body = json.dumps({"query": query}).encode("utf-8")
+                http_request = urllib.request.Request(
+                    f"http://127.0.0.1:{http_port}/query", data=body,
+                    method="POST")
+                with urllib.request.urlopen(http_request,
+                                            timeout=10) as reply:
+                    payload = json.load(reply)
+                assert payload["ok"] and \
+                    payload["result"] == expected_hits, payload
+            print("serve_smoke: binary, pipelined, json, and http "
+                  "answers identical to in-process")
 
             with ServiceClient(port=port) as client:
                 stats = client.stats()["server"]

@@ -275,6 +275,12 @@ def _print_server_info(address: str) -> int:
     print(f"latency:        p50 {latency['p50']:.3f} ms, "
           f"p99 {latency['p99']:.3f} ms, max {latency['max']:.3f} ms "
           f"({latency['samples']} samples)")
+    stages = server.get("stages_ms", {})
+    if any(stage["samples"] for stage in stages.values()):
+        parts = " | ".join(
+            f"{name} p50 {stage['p50']:.3f}/p99 {stage['p99']:.3f}"
+            for name, stage in stages.items() if stage["samples"])
+        print(f"stages (ms):    {parts}")
     print(f"index:          {engine['index']['records']} records, "
           f"{engine['index']['nodes']} nodes")
     return 0
@@ -372,6 +378,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                              workers=args.workers,
                              max_inflight=args.max_inflight,
                              batch_window_ms=args.batch_window_ms,
+                             http_port=args.http_port,
                              close_index_on_drain=False)
 
         async def _run() -> None:
@@ -382,6 +389,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"max {args.max_inflight} in flight, "
                   f"batch window {args.batch_window_ms} ms)",
                   flush=True)
+            if server.http_port is not None:
+                print(f"http gateway on "
+                      f"{server.host}:{server.http_port}", flush=True)
             await server.serve_until_drained()
 
         asyncio.run(_run())
@@ -581,7 +591,8 @@ def build_parser() -> argparse.ArgumentParser:
     info.set_defaults(func=_cmd_info)
 
     serve = sub.add_parser(
-        "serve", help="serve an index over TCP (length-prefixed JSON)")
+        "serve", help="serve an index over TCP (binary or JSON frames, "
+                      "optional HTTP gateway)")
     serve.add_argument("index")
     serve.add_argument("--storage", choices=("diskhash", "btree"),
                        default="diskhash")
@@ -597,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window-ms", type=float, default=2.0,
                        help="micro-batch window for coalescing "
                             "concurrent queries (0 disables)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="also serve a stdlib HTTP/JSON gateway on "
+                            "this port (0 picks a free one)")
     serve.add_argument("--cache", choices=("none", "frequency", "lru"),
                        default="frequency")
     serve.set_defaults(func=_cmd_serve)

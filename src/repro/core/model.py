@@ -63,6 +63,22 @@ class NestedSet:
         self._children = child_set
         self._hash = hash((self._atoms, self._children))
 
+    @classmethod
+    def _from_trusted(cls, atom_set: frozenset,
+                      child_set: frozenset) -> "NestedSet":
+        """Construction fast path skipping membership validation.
+
+        Only for decoders whose inputs are already frozensets of
+        checked types (the binary wire codec tags every atom) -- the
+        per-member isinstance sweep in ``__init__`` is measurable on
+        the server's request hot path.
+        """
+        self = object.__new__(cls)
+        self._atoms = atom_set
+        self._children = child_set
+        self._hash = hash((atom_set, child_set))
+        return self
+
     # -- accessors -----------------------------------------------------------
 
     @property

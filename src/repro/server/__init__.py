@@ -5,12 +5,15 @@ reader/writer coordination contract the server relies on.
 """
 
 from .client import ServiceClient, ServiceError
+from .gateway import HttpGateway
 from .metrics import ServerMetrics
-from .protocol import MAX_FRAME_BYTES, ProtocolError
+from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
 from .server import QueryServer, ServerThread
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "HttpGateway",
     "ProtocolError",
     "QueryServer",
     "ServerThread",

@@ -1,11 +1,21 @@
 """Blocking client for the query service.
 
-:class:`ServiceClient` speaks the length-prefixed JSON protocol of
-:mod:`repro.server.protocol` over one TCP connection, sequentially: send
-a request frame, read a response frame.  That keeps the client trivial
-to reason about (no multiplexing, no response matching) -- concurrency
-comes from opening more clients, which is exactly the shape of the
-server-side micro-batching experiments.
+:class:`ServiceClient` speaks the length-prefixed protocol of
+:mod:`repro.server.protocol` over one TCP connection.  Two wire formats
+are supported:
+
+* ``wire="binary"`` (the default) -- versioned binary frames carrying a
+  request id.  Queries are parsed client-side and shipped as structural
+  atom arrays, so the server never parses text; responses decode
+  through the packed-id fast path.  Because every response is tagged,
+  the connection can be **pipelined**: :meth:`submit` sends a request
+  without waiting, :meth:`drain` collects every outstanding response,
+  and :meth:`query_pipelined` keeps a bounded window of requests in
+  flight -- this is what lets the server's micro-batcher coalesce a
+  single client's burst into one engine call.
+* ``wire="json"`` -- the PR 5 length-prefixed JSON frames, strictly one
+  request per round trip.  Kept for compatibility (and as the benchmark
+  comparison point).
 
 Server-reported errors surface as :class:`ServiceError` with the
 protocol error code (``overloaded``, ``timeout``, ...) preserved so
@@ -18,9 +28,18 @@ from __future__ import annotations
 import socket
 from typing import Any, Sequence
 
-from .protocol import ProtocolError, recv_frame, send_frame
+from .protocol import (
+    ProtocolError,
+    decode_response_body,
+    encode_frame,
+    encode_request_binary,
+    recv_frame_bytes,
+)
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: Default bound on outstanding pipelined requests per connection.
+DEFAULT_PIPELINE_WINDOW = 32
 
 
 class ServiceError(Exception):
@@ -39,11 +58,28 @@ class ServiceClient:
 
         with ServiceClient(port=handle.port) as client:
             hits = client.query("{a, {b, c}}")
+
+    Pipelined (binary wire only)::
+
+        ids = [client.submit({"op": "query", "query": q})
+               for q in queries]
+        results = client.drain()            # {request_id: result}
+        answers = [results[i] for i in ids]
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  connect_timeout: float = 5.0,
-                 io_timeout: float | None = 60.0) -> None:
+                 io_timeout: float | None = 60.0,
+                 wire: str = "binary") -> None:
+        if wire not in ("binary", "json"):
+            raise ValueError(f"wire must be 'binary' or 'json', "
+                             f"got {wire!r}")
+        self.wire = wire
+        self._next_id = 1
+        self._outstanding: dict[int, None] = {}
+        #: Prepared-query cache: text -> encoded nested-set section,
+        #: so repeated queries skip the parse + atom-table work.
+        self._query_cache: dict[str, bytes] = {}
         self._sock = socket.create_connection((host, port),
                                               timeout=connect_timeout)
         self._sock.settimeout(io_timeout)
@@ -53,12 +89,7 @@ class ServiceClient:
 
     # -- plumbing ----------------------------------------------------------
 
-    def call(self, request: dict) -> Any:
-        """Send one request, return the ``result`` of an ok response."""
-        send_frame(self._sock, request)
-        response = recv_frame(self._sock)
-        if response is None:
-            raise ProtocolError("server closed the connection")
+    def _unwrap(self, response: Any) -> Any:
         if not isinstance(response, dict) or "ok" not in response:
             raise ProtocolError(f"malformed response: {response!r}")
         if not response["ok"]:
@@ -66,12 +97,152 @@ class ServiceClient:
                                response.get("message", ""))
         return response["result"]
 
+    def _send_request(self, request: dict) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_request_binary(
+            request, request_id, query_cache=self._query_cache))
+        self._outstanding[request_id] = None
+        return request_id
+
+    def _recv_response(self) -> tuple[int, Any]:
+        """Read one tagged response; returns ``(request_id, response)``."""
+        body = recv_frame_bytes(self._sock)
+        if body is None:
+            raise ProtocolError("server closed the connection")
+        request_id, response = decode_response_body(body)
+        if request_id is None:
+            raise ProtocolError("untagged response on the binary wire")
+        if request_id not in self._outstanding:
+            raise ProtocolError(
+                f"response for unknown request id {request_id}")
+        del self._outstanding[request_id]
+        return request_id, response
+
+    def call(self, request: dict) -> Any:
+        """Send one request, return the ``result`` of an ok response."""
+        if self.wire == "json":
+            self._sock.sendall(encode_frame(request))
+            body = recv_frame_bytes(self._sock)
+            if body is None:
+                raise ProtocolError("server closed the connection")
+            _request_id, response = decode_response_body(body)
+            return self._unwrap(response)
+        if self._outstanding:
+            raise ProtocolError(
+                f"{len(self._outstanding)} pipelined request(s) "
+                "outstanding; drain() before a synchronous call")
+        try:
+            frame = encode_request_binary(
+                request, self._next_id,
+                query_cache=self._query_cache)
+        except (ProtocolError, ValueError, TypeError, KeyError):
+            # Not expressible in binary (unknown op, unparseable
+            # query): ship it as a JSON frame so the *server* renders
+            # the verdict -- errors stay uniform across wires.
+            self._sock.sendall(encode_frame(request))
+            body = recv_frame_bytes(self._sock)
+            if body is None:
+                raise ProtocolError("server closed the connection")
+            _request_id, response = decode_response_body(body)
+            return self._unwrap(response)
+        sent = self._next_id
+        self._next_id += 1
+        self._sock.sendall(frame)
+        self._outstanding[sent] = None
+        request_id, response = self._recv_response()
+        if request_id != sent:  # cannot happen with nothing outstanding
+            raise ProtocolError(f"response id {request_id} for "
+                                f"request {sent}")
+        return self._unwrap(response)
+
+    # -- pipelining (binary wire) ------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """How many submitted requests have no response yet."""
+        return len(self._outstanding)
+
+    def submit(self, request: dict) -> int:
+        """Send one request without waiting; returns its request id.
+
+        Many submits may be outstanding at once -- the server processes
+        them concurrently and the micro-batcher coalesces the burst.
+        Collect results with :meth:`drain` (all of them) or
+        :meth:`next_response` (one at a time, completion order).
+        """
+        if self.wire != "binary":
+            raise ProtocolError("pipelining requires the binary wire "
+                                "(ServiceClient(wire='binary'))")
+        return self._send_request(request)
+
+    def next_response(self) -> tuple[int, Any]:
+        """Block for the next response: ``(request_id, result)``.
+
+        Responses arrive in *completion* order, not submission order.
+        Raises :class:`ServiceError` for an error response (the request
+        id it settles is consumed either way).
+        """
+        if not self._outstanding:
+            raise ProtocolError("no requests outstanding")
+        request_id, response = self._recv_response()
+        return request_id, self._unwrap(response)
+
+    def drain(self) -> dict[int, Any]:
+        """Collect every outstanding response, keyed by request id.
+
+        Reads until the pipeline is empty.  If any response is an
+        error, the first one is raised *after* all outstanding
+        responses have been read, so the connection stays usable.
+        """
+        results: dict[int, Any] = {}
+        first_error: ServiceError | None = None
+        while self._outstanding:
+            request_id, response = self._recv_response()
+            try:
+                results[request_id] = self._unwrap(response)
+            except ServiceError as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def query_pipelined(self, queries: Sequence[object], *,
+                        window: int = DEFAULT_PIPELINE_WINDOW,
+                        timeout_ms: float | None = None,
+                        **options: Any) -> list[list[str]]:
+        """Evaluate many queries with up to ``window`` in flight.
+
+        Unlike :meth:`query_batch` (one giant frame, one giant
+        response) this streams individual requests and lets the
+        *server* choose the coalescing -- the shape that matches mixed
+        traffic, and the fast path for a single busy client.  Results
+        come back in input order.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        results: dict[int, list[str]] = {}
+        order: list[int] = []
+        for query in queries:
+            while len(self._outstanding) >= window:
+                request_id, result = self.next_response()
+                results[request_id] = result
+            request: dict[str, Any] = {"op": "query", "query": query}
+            if options:
+                request["options"] = options
+            if timeout_ms is not None:
+                request["timeout_ms"] = timeout_ms
+            order.append(self.submit(request))
+        results.update(self.drain())
+        return [results[request_id] for request_id in order]
+
     # -- operations --------------------------------------------------------
 
     def ping(self) -> str:
         return self.call({"op": "ping"})
 
-    def query(self, query: str, *, timeout_ms: float | None = None,
+    def query(self, query: object, *, timeout_ms: float | None = None,
               **options: Any) -> list[str]:
         """Evaluate one containment query; returns matching record keys."""
         request: dict[str, Any] = {"op": "query", "query": query}
@@ -81,7 +252,7 @@ class ServiceClient:
             request["timeout_ms"] = timeout_ms
         return self.call(request)
 
-    def query_batch(self, queries: Sequence[str], *,
+    def query_batch(self, queries: Sequence[object], *,
                     timeout_ms: float | None = None,
                     **options: Any) -> list[list[str]]:
         """Evaluate many queries in one round trip (one engine batch)."""

@@ -1,0 +1,222 @@
+"""Stdlib HTTP/JSON gateway in front of the query service.
+
+:class:`HttpGateway` binds a second listener next to the TCP protocol
+port and translates plain HTTP requests onto the server's dispatch
+path, so anything that can speak ``curl`` can query the index without
+linking the client library::
+
+    curl -s -X POST http://127.0.0.1:8080/query \
+         -d '{"query": "{a, {b}}"}'
+
+No third-party web framework: the HTTP/1.1 subset we need (request
+line, headers, ``Content-Length`` bodies, keep-alive) is ~80 lines of
+asyncio reader handling, and pulling in a dependency for it would
+violate the repo's stdlib-only rule.  The gateway is strictly a
+*translator* -- admission control, micro-batching, timeouts, and
+metrics all happen in :class:`~repro.server.server.QueryServer`'s
+``_dispatch``, so HTTP traffic competes for the same in-flight slots
+as protocol traffic and shows up in the same ``stats``.
+
+Routes:
+
+* ``GET /ping``, ``GET /stats`` -- convenience reads.
+* ``POST /<op>`` -- the JSON body is the protocol request (the ``op``
+  field is implied by the path and may be omitted).
+* ``POST /`` -- the body carries ``op`` explicitly.
+
+Protocol error codes map onto HTTP statuses (``bad_request`` → 400,
+``overloaded``/``shutting_down`` → 503, ``timeout`` → 504, otherwise
+500); the response body is always the protocol's JSON response object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING
+
+from .protocol import MAX_FRAME_BYTES, OPS, error_response
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import QueryServer
+
+__all__ = ["HttpGateway"]
+
+#: Protocol error code → HTTP status.  Anything unlisted is a 500.
+_STATUS_OF = {
+    "bad_request": 400,
+    "overloaded": 503,
+    "shutting_down": 503,
+    "timeout": 504,
+    "internal": 500,
+}
+
+#: Bound on request head (request line + headers) to stop slowloris-ish
+#: framing abuse; generous for any sane client.
+_MAX_HEAD_BYTES = 16 * 1024
+
+
+class _BadHttp(Exception):
+    """Malformed HTTP framing: answer 400 and drop the connection."""
+
+
+class HttpGateway:
+    """One HTTP listener translating requests onto ``server._dispatch``."""
+
+    def __init__(self, server: "QueryServer", host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = server
+        self._host = host
+        self._requested_port = port
+        self._listener: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    async def start(self) -> None:
+        self._listener = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port)
+        self.port = self._listener.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    @staticmethod
+    async def _read_head(reader: asyncio.StreamReader) -> list[str] | None:
+        """Read request line + headers; None on clean EOF (keep-alive)."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _BadHttp("truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _BadHttp("request head too large") from exc
+        if len(head) > _MAX_HEAD_BYTES:
+            raise _BadHttp("request head too large")
+        try:
+            return head.decode("ascii").split("\r\n")
+        except UnicodeDecodeError as exc:
+            raise _BadHttp("non-ascii request head") from exc
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes] | None:
+        """One request: ``(method, path, body)``; None at end of stream."""
+        lines = await self._read_head(reader)
+        if lines is None:
+            return None
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadHttp(f"malformed request line {lines[0]!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadHttp(f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _BadHttp("chunked request bodies are not supported")
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _BadHttp(f"bad Content-Length {length_text!r}") from None
+        if length < 0 or length > MAX_FRAME_BYTES:
+            raise _BadHttp(f"Content-Length {length} out of range "
+                           f"(max {MAX_FRAME_BYTES})")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.partition("?")[0], body
+
+    @staticmethod
+    def _render(status: int, payload: dict, *,
+                keep_alive: bool = True) -> bytes:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 500: "Internal Server Error",
+                  503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "OK")
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}"
+                f"\r\n\r\n")
+        return head.encode("ascii") + body
+
+    # -- request handling --------------------------------------------------
+
+    async def _answer(self, method: str, path: str,
+                      body: bytes) -> tuple[int, dict]:
+        """Translate one HTTP request into a dispatched protocol call."""
+        op = path.strip("/")
+        if method == "GET":
+            if op in ("ping", "stats"):
+                payload: dict = {"op": op}
+            else:
+                return 404, error_response(
+                    "bad_request", f"no GET route {path!r}; "
+                    "GET serves /ping and /stats")
+        elif method == "POST":
+            if body:
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    return 400, error_response(
+                        "bad_request", "request body is not valid JSON")
+                if not isinstance(payload, dict):
+                    return 400, error_response(
+                        "bad_request", "request body must be a JSON "
+                        "object")
+            else:
+                payload = {}
+            if op:
+                if op not in OPS:
+                    return 404, error_response(
+                        "bad_request",
+                        f"unknown op {op!r}; expected one of {OPS}")
+                declared = payload.setdefault("op", op)
+                if declared != op:
+                    return 400, error_response(
+                        "bad_request",
+                        f"body op {declared!r} contradicts path {path!r}")
+        else:
+            return 405, error_response(
+                "bad_request", f"method {method} not allowed")
+        response = await self._server._dispatch(payload)
+        if response.get("ok"):
+            return 200, response
+        return _STATUS_OF.get(response.get("error", ""), 500), response
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadHttp as exc:
+                    writer.write(self._render(
+                        400, error_response("bad_request", str(exc)),
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = await self._answer(method, path, body)
+                writer.write(self._render(status, payload))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

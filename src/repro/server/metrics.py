@@ -20,10 +20,14 @@ import threading
 import time
 from collections import deque
 
-__all__ = ["ServerMetrics"]
+__all__ = ["STAGES", "ServerMetrics"]
 
 #: How many recent latencies inform the p50/p99 estimates.
 DEFAULT_RESERVOIR = 4096
+
+#: Wire-path stages broken out per request: frame parse, wait between
+#: arrival and engine start, the engine call itself, response encode.
+STAGES = ("decode", "queue", "execute", "encode")
 
 
 def _quantile(ordered: list[float], q: float) -> float:
@@ -63,6 +67,11 @@ class ServerMetrics:
         self.ingest_groups_committed = 0
         self.ingest_errors = 0
         self._latencies: deque[float] = deque(maxlen=reservoir_size)
+        #: Per-stage latency reservoirs: where a request's time goes
+        #: (decode / queue / execute / encode), so wire-path wins are
+        #: observable rather than inferred from end-to-end deltas.
+        self._stages: dict[str, deque[float]] = {
+            stage: deque(maxlen=reservoir_size) for stage in STAGES}
 
     # -- recording ---------------------------------------------------------
 
@@ -88,6 +97,15 @@ class ServerMetrics:
     def record_latency(self, seconds: float) -> None:
         with self._lock:
             self._latencies.append(seconds)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Add one sample to a wire-path stage reservoir."""
+        reservoir = self._stages.get(stage)
+        if reservoir is None:
+            raise ValueError(f"unknown stage {stage!r}; "
+                             f"expected one of {STAGES}")
+        with self._lock:
+            reservoir.append(seconds)
 
     def set_ingest_counters(self, records: int, groups: int,
                             errors: int) -> None:
@@ -134,5 +152,15 @@ class ServerMetrics:
                     "p99": round(_quantile(ordered, 0.99) * 1000, 3),
                     "max": round(ordered[-1] * 1000, 3) if ordered
                     else 0.0,
+                },
+                "stages_ms": {
+                    stage: {
+                        "samples": len(samples),
+                        "p50": round(_quantile(samples, 0.50) * 1000, 4),
+                        "p99": round(_quantile(samples, 0.99) * 1000, 4),
+                    }
+                    for stage, samples in (
+                        (stage, sorted(reservoir))
+                        for stage, reservoir in self._stages.items())
                 },
             }

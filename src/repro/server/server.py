@@ -3,8 +3,8 @@
 One process holds one open index -- monolithic
 (:class:`~repro.core.engine.NestedSetIndex`) or sharded
 (:class:`~repro.core.shard.ShardedIndex`) -- and serves the
-length-prefixed JSON protocol of :mod:`repro.server.protocol` over TCP.
-The design has four load-bearing pieces:
+length-prefixed protocol of :mod:`repro.server.protocol` over TCP.
+The design has five load-bearing pieces:
 
 * **Admission control** -- at most ``max_inflight`` admitted requests at
   any instant; the listener answers everything beyond that with an
@@ -14,37 +14,39 @@ The design has four load-bearing pieces:
   or the server default); expiry answers ``timeout`` while the worker
   thread finishes harmlessly in the background.
 
+* **Pipelined connections** -- binary-frame requests carry a request id
+  and are dispatched as concurrent tasks; responses are written (under a
+  per-connection lock) in *completion* order, each tagged with its id,
+  so one connection can keep many requests outstanding.  JSON-frame
+  requests keep the PR 5 contract: sequential, in order, untagged.
+
 * **Micro-batching** -- single ``query`` requests that arrive within
   ``batch_window_ms`` of each other are coalesced, grouped by their
   evaluation options, and evaluated through **one**
-  ``engine.query_batch`` call.  Batched evaluation shares the bottom-up
-  subquery memo and (on sharded indexes) one fan-out per batch instead
-  of one per query -- the same amortization the paper's batch
-  experiments measure, now applied across concurrent clients.
+  ``engine.query_batch`` call.  Two refinements kill the window tax at
+  low concurrency: a request that is *alone* in flight dispatches
+  immediately (there is nothing to coalesce with), and a pipelined
+  burst flushes as soon as its connection's read buffer drains (the
+  batch is as big as the burst -- waiting out the window buys nothing).
 
 * **Snapshot reads, lock-free mutations** -- engine calls run on a
   small thread pool, and the engine's read path is version-based: every
   query batch pins the store's committed version and runs against that
   snapshot, so ``insert``/``delete``/``ingest`` commit freely without
   an engine-level write lock and no reader ever observes a half-applied
-  update.  The server adds no second locking layer: coordination lives
-  in the engine so in-process callers get it too.  (On a store without
-  MVCC the engine transparently falls back to its reader/writer lock.)
+  update.  (On a store without MVCC the engine transparently falls back
+  to its reader/writer lock.)
 
-* **Streaming ingest** -- the ``ingest`` op enqueues records into a
-  :class:`~repro.data.ingest.StreamIngestor` and returns immediately;
-  a background thread batches them into amortized write-ahead-log
-  commit groups (one version step, one fsync per group) off the query
-  path.  ``stats`` surfaces ``snapshot_version``,
-  ``oldest_pinned_version`` and ``ingest_groups_committed`` so the
-  read/write interplay is observable.
+* **Streaming ingest and graceful drain** -- the ``ingest`` op enqueues
+  records into a :class:`~repro.data.ingest.StreamIngestor` and returns
+  immediately; SIGTERM or a ``shutdown`` request stops the listeners
+  (TCP and, if mounted, the HTTP gateway), lets admitted requests
+  finish, flushes the ingestor's tail, then closes the index, which
+  checkpoints the write-ahead log.
 
-* **Graceful drain** -- SIGTERM or a ``shutdown`` request stops the
-  listener, lets admitted requests finish (bounded by
-  ``drain_timeout_s``), flushes the ingestor's tail, then closes the
-  index, which flushes deferred statistics and checkpoints the
-  write-ahead log.  A drained server leaves an index that reopens with
-  zero pending WAL groups.
+``stats`` surfaces all of it: request mix, coalesce ratio, per-stage
+latency breakdown (decode / queue / execute / encode), ingest counters,
+and MVCC versions.
 """
 
 from __future__ import annotations
@@ -62,11 +64,15 @@ from ..data.ingest import StreamIngestor
 from .metrics import ServerMetrics
 from .protocol import (
     ProtocolError,
+    Request,
+    decode_request_body,
+    encode_frame,
+    encode_response_for,
     error_response,
     ok_response,
-    read_frame,
+    peek_request_id,
+    read_frame_bytes,
     validate_request,
-    write_frame,
 )
 
 __all__ = ["QueryServer", "ServerThread"]
@@ -92,8 +98,9 @@ def _option_key(options: dict) -> tuple:
 class _PendingQuery:
     """One coalescable ``query`` request waiting for its batch."""
 
-    text: str
+    text: object                     # str (JSON wire) or NestedSet (binary)
     options: dict
+    enqueued_at: float
     future: "asyncio.Future[list[str]]" = field(repr=False, kw_only=True)
 
 
@@ -109,7 +116,8 @@ class QueryServer:
                  drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
                  close_index_on_drain: bool = True,
                  ingest_batch_size: int = 64,
-                 ingest_flush_interval: float = 0.25) -> None:
+                 ingest_flush_interval: float = 0.25,
+                 http_port: int | None = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if workers < 1:
@@ -137,16 +145,26 @@ class QueryServer:
         self._ingest_flush_interval = ingest_flush_interval
         self._ingestor: StreamIngestor | None = None
         self._ingestor_lock = threading.Lock()
+        #: Optional stdlib HTTP/JSON gateway riding on the same loop.
+        self._http_port = http_port
+        self.http_port: int | None = None
+        self._gateway = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener; ``self.port`` holds the real port after."""
+        """Bind the listener(s); ``self.port`` holds the real port after."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._http_port is not None:
+            from .gateway import HttpGateway
+            self._gateway = HttpGateway(self, host=self.host,
+                                        port=self._http_port)
+            await self._gateway.start()
+            self.http_port = self._gateway.port
 
     async def serve_until_drained(self) -> None:
         """Run until a drain completes (``shutdown`` op or SIGTERM)."""
@@ -188,6 +206,8 @@ class QueryServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._gateway is not None:
+            await self._gateway.stop()
         self._flush_now()
         deadline = time.monotonic() + self.drain_timeout_s
         while self._inflight > 0 and time.monotonic() < deadline:
@@ -207,24 +227,83 @@ class QueryServer:
 
     # -- connection handling ----------------------------------------------
 
+    @staticmethod
+    def _reader_buffered(reader: asyncio.StreamReader) -> bool:
+        """More frames already received on this connection?
+
+        Peeks the stream's internal buffer (a CPython implementation
+        detail with a graceful fallback): a pipelined burst shows up as
+        buffered bytes, and an empty buffer means the client is waiting
+        on us -- the moment to flush instead of sitting out the window.
+        """
+        return bool(getattr(reader, "_buffer", None))
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        tasks: set[asyncio.Task] = set()
         try:
             while True:
                 try:
-                    request = await read_frame(reader)
+                    body = await read_frame_bytes(reader)
                 except ProtocolError as exc:
                     self.metrics.record_error("bad_request")
-                    await write_frame(
-                        writer, error_response("bad_request", str(exc)))
+                    await self._send(writer, encode_frame(
+                        error_response("bad_request", str(exc))))
                     break
-                if request is None:
+                if body is None:
                     break
-                response = await self._dispatch(request)
-                await write_frame(writer, response)
-                if isinstance(request, dict) and \
-                        request.get("op") == "shutdown":
+                started = time.monotonic()
+                try:
+                    request = decode_request_body(body)
+                except ProtocolError as exc:
+                    self.metrics.record_error("bad_request")
+                    # Tag the error when the binary header survived so a
+                    # pipelined client can settle the matching request;
+                    # close either way -- framing may be out of sync.
+                    request_id = peek_request_id(body)
+                    salvage = Request({}, wire="binary",
+                                      request_id=request_id) \
+                        if request_id is not None else Request({})
+                    await self._send(writer,
+                                     encode_response_for(
+                                         salvage, error_response(
+                                             "bad_request", str(exc))))
                     break
+                self.metrics.record_stage(
+                    "decode", time.monotonic() - started)
+                if request.wire == "binary":
+                    # Pipelined: dispatch concurrently, respond tagged
+                    # with the request id in completion order.
+                    burst = self._reader_buffered(reader)
+                    task = asyncio.ensure_future(
+                        self._respond(request, writer, burst=burst))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                    # Let the dispatch run to its first suspension so a
+                    # coalescable query is *enqueued* before the drain
+                    # check below decides whether to flush.
+                    await asyncio.sleep(0)
+                    if self._pending and \
+                            not self._reader_buffered(reader):
+                        # The connection's pipeline is drained: the
+                        # batch is as big as this burst will make it.
+                        self._flush_now()
+                    if request.op == "shutdown":
+                        if tasks:
+                            await asyncio.gather(*tasks,
+                                                 return_exceptions=True)
+                        break
+                else:
+                    # JSON wire: strictly one request per round trip,
+                    # responses in request order (the PR 5 contract).
+                    response = await self._dispatch(request.payload)
+                    await self._send(writer,
+                                     self._encode_response(request,
+                                                           response))
+                    if request.op == "shutdown":
+                        break
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -232,7 +311,33 @@ class QueryServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _dispatch(self, request: Any) -> dict:
+    async def _respond(self, request: Request,
+                       writer: asyncio.StreamWriter, *,
+                       burst: bool = False) -> None:
+        response = await self._dispatch(request.payload, burst=burst)
+        await self._send(writer, self._encode_response(request, response))
+
+    def _encode_response(self, request: Request, response: dict) -> bytes:
+        started = time.monotonic()
+        try:
+            return encode_response_for(request, response)
+        finally:
+            self.metrics.record_stage("encode",
+                                      time.monotonic() - started)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    frame: bytes) -> None:
+        # No write lock: each response is one synchronous ``write`` of a
+        # complete frame, and asyncio transports never interleave the
+        # bytes of distinct write calls.  ``drain`` only suspends once
+        # the transport is over its high-water mark, so the common case
+        # is lock-free and yield-free.
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            writer.write(frame)
+            await writer.drain()
+
+    async def _dispatch(self, request: Any, *,
+                        burst: bool = False) -> dict:
         started = time.monotonic()
         try:
             request = validate_request(request)
@@ -260,7 +365,7 @@ class QueryServer:
         self.metrics.record_request(op)
         self._inflight += 1
         try:
-            response = await self._execute(op, request)
+            response = await self._execute(op, request, burst=burst)
         finally:
             self._inflight -= 1
         self.metrics.record_latency(time.monotonic() - started)
@@ -272,7 +377,8 @@ class QueryServer:
             return self.default_timeout_s
         return min(float(timeout_ms) / 1000.0, self.default_timeout_s)
 
-    async def _execute(self, op: str, request: dict) -> dict:
+    async def _execute(self, op: str, request: dict, *,
+                       burst: bool = False) -> dict:
         timeout_s = self._timeout_of(request)
         options = dict(request.get("options") or {})
         try:
@@ -282,11 +388,12 @@ class QueryServer:
                     # no coalescing (the benchmark baseline).
                     result = await asyncio.wait_for(
                         self._run_in_pool(self._run_single,
-                                          request["query"], options),
+                                          request["query"], options,
+                                          time.monotonic()),
                         timeout_s)
                 else:
                     future = self._enqueue_query(request["query"],
-                                                 options)
+                                                 options, burst=burst)
                     result = await asyncio.wait_for(future, timeout_s)
                 return ok_response(result)
             if op == "query_batch":
@@ -365,24 +472,38 @@ class QueryServer:
 
     # -- micro-batching ----------------------------------------------------
 
-    def _run_single(self, query: str, options: dict) -> list:
+    def _run_single(self, query: object, options: dict,
+                    submitted_at: float) -> list:
         """Worker-thread body of per-request (window = 0) dispatch."""
         self.metrics.record_batch(1)
-        return self._index.query(query, **options)
+        started = time.monotonic()
+        self.metrics.record_stage("queue", started - submitted_at)
+        try:
+            return self._index.query(query, **options)
+        finally:
+            self.metrics.record_stage("execute",
+                                      time.monotonic() - started)
 
-    def _enqueue_query(self, text: str,
-                       options: dict) -> "asyncio.Future[list[str]]":
+    def _enqueue_query(self, text: object, options: dict, *,
+                       burst: bool = False) -> "asyncio.Future[list[str]]":
         """Queue one query for the current batch window.
 
-        The flush fires when the window timer expires *or* as soon as
-        ``batch_max`` queries are waiting -- a full batch never sits out
-        the rest of its window, so the window bounds worst-case added
-        latency instead of taxing every request.
+        The flush fires when the window timer expires, as soon as
+        ``batch_max`` queries are waiting, *or* -- the adaptive window
+        floor -- when this request is alone in flight: with no
+        concurrent request admitted there is nothing to coalesce with,
+        so sleeping out the window would be pure added latency.  A
+        ``burst`` request (its connection has more frames already
+        buffered) skips the floor: its batch keeps growing until the
+        connection's pipeline drains, which triggers the flush instead.
         """
         assert self._loop is not None
         future: asyncio.Future = self._loop.create_future()
-        self._pending.append(_PendingQuery(text, options, future=future))
-        if len(self._pending) >= self.batch_max:
+        self._pending.append(_PendingQuery(text, options,
+                                           time.monotonic(),
+                                           future=future))
+        if len(self._pending) >= self.batch_max or \
+                (self._inflight <= 1 and not burst):
             self._flush_now()
         elif self._flush_handle is None:
             self._flush_handle = self._loop.call_later(
@@ -409,7 +530,7 @@ class QueryServer:
         self.metrics.record_batch(len(queries))
         try:
             results = await self._run_in_pool(
-                self._run_batch, queries, options)
+                self._run_group_in_worker, group, queries, options)
         except Exception as exc:  # noqa: BLE001 -- settle every waiter
             for item in group:
                 if not item.future.done():
@@ -419,10 +540,26 @@ class QueryServer:
             if not item.future.done():       # done = its deadline expired
                 item.future.set_result(result)
 
-    def _run_batch(self, queries: list[str],
-                   options: dict) -> list[list[str]]:
+    def _run_group_in_worker(self, group: Sequence[_PendingQuery],
+                             queries: list, options: dict) -> list:
         """Worker-thread body: one engine call for the whole group."""
-        return self._index.query_batch(queries, **options)
+        started = time.monotonic()
+        for item in group:
+            self.metrics.record_stage("queue", started - item.enqueued_at)
+        try:
+            return self._index.query_batch(queries, **options)
+        finally:
+            self.metrics.record_stage("execute",
+                                      time.monotonic() - started)
+
+    def _run_batch(self, queries: list, options: dict) -> list[list[str]]:
+        """Worker-thread body of an explicit ``query_batch`` request."""
+        started = time.monotonic()
+        try:
+            return self._index.query_batch(queries, **options)
+        finally:
+            self.metrics.record_stage("execute",
+                                      time.monotonic() - started)
 
 
 class ServerThread:
@@ -472,6 +609,10 @@ class ServerThread:
     @property
     def port(self) -> int:
         return self.server.port
+
+    @property
+    def http_port(self) -> int | None:
+        return self.server.http_port
 
     def stop(self, timeout: float = 30.0) -> None:
         self.server.request_drain()

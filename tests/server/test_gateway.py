@@ -1,0 +1,138 @@
+"""HTTP/JSON gateway: stdlib clients against the same query server.
+
+The gateway is a translator onto the server's dispatch path, so the
+properties under test are (a) answers byte-identical to the protocol
+wire and the in-process engine, (b) protocol error codes mapped onto
+HTTP statuses, and (c) HTTP framing robustness (keep-alive, bad
+bodies, bad routes) without disturbing the TCP protocol listener.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.bench.workloads import generate_dataset
+from repro.core.engine import NestedSetIndex
+from repro.server import ServerThread, ServiceClient
+
+
+def _corpus(size: int = 80):
+    return list(generate_dataset("uniform-wide", size, seed=7))
+
+
+@pytest.fixture
+def served():
+    index = NestedSetIndex.build(_corpus())
+    with ServerThread(index, batch_window_ms=1, http_port=0,
+                      close_index_on_drain=False) as handle:
+        conn = http.client.HTTPConnection("127.0.0.1",
+                                          handle.http_port, timeout=10)
+        try:
+            yield index, handle, conn
+        finally:
+            conn.close()
+    index.close()
+
+
+def _request(conn, method: str, path: str, payload=None):
+    body = None if payload is None else json.dumps(payload)
+    conn.request(method, path, body=body)
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+class TestGateway:
+    def test_ping_and_stats(self, served) -> None:
+        _index, _handle, conn = served
+        status, body = _request(conn, "GET", "/ping")
+        assert (status, body["ok"], body["result"]) == (200, True, "pong")
+        status, body = _request(conn, "GET", "/stats")
+        assert status == 200 and body["ok"]
+        assert "server" in body["result"]
+        assert "stages_ms" in body["result"]["server"]
+
+    def test_query_matches_in_process_and_protocol(self, served) -> None:
+        index, handle, conn = served
+        records = _corpus()
+        query = "{%s}" % sorted(records[0][1].atoms)[0]
+        expected = index.query(query)
+        status, body = _request(conn, "POST", "/query",
+                                {"query": query})
+        assert status == 200
+        assert body["result"] == expected
+        with ServiceClient(port=handle.port) as client:
+            assert client.query(query) == expected
+
+    def test_keep_alive_reuses_the_connection(self, served) -> None:
+        _index, _handle, conn = served
+        for _ in range(5):
+            status, body = _request(conn, "POST", "/",
+                                    {"op": "ping"})
+            assert (status, body["result"]) == (200, "pong")
+
+    def test_op_implied_by_path(self, served) -> None:
+        index, _handle, conn = served
+        queries = ["{a}", "{b}"]
+        status, body = _request(conn, "POST", "/query_batch",
+                                {"queries": queries})
+        assert status == 200
+        assert body["result"] == index.query_batch(queries)
+
+    def test_bad_json_body_is_400(self, served) -> None:
+        _index, _handle, conn = served
+        conn.request("POST", "/query", body="{not json")
+        response = conn.getresponse()
+        body = json.loads(response.read())
+        assert response.status == 400
+        assert body["error"] == "bad_request"
+
+    def test_unknown_op_is_404(self, served) -> None:
+        _index, _handle, conn = served
+        status, body = _request(conn, "POST", "/evaporate", {})
+        assert status == 404
+        assert body["error"] == "bad_request"
+
+    def test_body_op_contradicting_path_is_400(self, served) -> None:
+        _index, _handle, conn = served
+        status, body = _request(conn, "POST", "/query",
+                                {"op": "ping"})
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+    def test_method_not_allowed_is_405(self, served) -> None:
+        _index, _handle, conn = served
+        status, body = _request(conn, "PUT", "/query", {"query": "{a}"})
+        assert status == 405
+
+    def test_get_unknown_route_is_404(self, served) -> None:
+        _index, _handle, conn = served
+        status, _body = _request(conn, "GET", "/query")
+        assert status == 404
+
+    def test_invalid_request_surfaces_protocol_error(self, served) -> None:
+        _index, _handle, conn = served
+        status, body = _request(conn, "POST", "/query", {})
+        assert status == 400
+        assert body["error"] == "bad_request"
+
+    def test_writes_via_gateway_visible_everywhere(self, served) -> None:
+        index, handle, conn = served
+        status, body = _request(
+            conn, "POST", "/insert",
+            {"key": "gw1", "value": "{__gateway__, {z}}"})
+        assert status == 200
+        status, body = _request(conn, "POST", "/query",
+                                {"query": "{__gateway__}"})
+        assert body["result"] == ["gw1"]
+        with ServiceClient(port=handle.port) as client:
+            assert client.query("{__gateway__}") == ["gw1"]
+        assert index.query("{__gateway__}") == ["gw1"]
+
+    def test_gateway_disabled_by_default(self) -> None:
+        index = NestedSetIndex.build(_corpus(10))
+        with ServerThread(index, close_index_on_drain=False) as handle:
+            assert handle.http_port is None
+        index.close()

@@ -8,6 +8,8 @@ rank on ``n`` exactly).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.server.metrics import ServerMetrics, _quantile
 
 
@@ -61,3 +63,26 @@ class TestServerMetrics:
         metrics.record_batch(4)
         metrics.record_batch(2)
         assert metrics.coalesce_ratio == 3.0
+
+    def test_stage_reservoirs_surface(self) -> None:
+        from repro.server.metrics import STAGES
+
+        metrics = ServerMetrics()
+        snap = metrics.snapshot()
+        assert set(snap["stages_ms"]) == set(STAGES)
+        for stage in STAGES:
+            assert snap["stages_ms"][stage] == {"samples": 0,
+                                                "p50": 0.0, "p99": 0.0}
+        metrics.record_stage("decode", 0.0002)
+        metrics.record_stage("decode", 0.0004)
+        metrics.record_stage("execute", 0.010)
+        snap = metrics.snapshot()
+        assert snap["stages_ms"]["decode"]["samples"] == 2
+        assert snap["stages_ms"]["decode"]["p50"] == 0.2
+        assert snap["stages_ms"]["decode"]["p99"] == 0.4
+        assert snap["stages_ms"]["execute"]["p50"] == 10.0
+        assert snap["stages_ms"]["queue"]["samples"] == 0
+
+    def test_unknown_stage_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown stage"):
+            ServerMetrics().record_stage("teleport", 0.001)

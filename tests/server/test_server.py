@@ -162,7 +162,7 @@ class TestAdmissionControl:
             with ServerThread(memory_index, max_inflight=2,
                               batch_window_ms=0,
                               close_index_on_drain=False) as handle:
-                blocked = [ServiceClient(port=handle.port)
+                blocked = [ServiceClient(port=handle.port, wire="json")
                            for _ in range(2)]
                 try:
                     for client in blocked:
@@ -309,3 +309,153 @@ class TestIngest:
                 client.shutdown()
         assert memory_index.query("{__drained__}") == \
             sorted(key for key, _value in records)
+
+
+class TestBinaryWire:
+    """The binary wire serves answers byte-identical to JSON's."""
+
+    def test_binary_matches_json_and_in_process(self,
+                                                memory_index) -> None:
+        records = _corpus()
+        queries = _query_mix(records)
+        expected = [memory_index.query(q) for q in queries]
+        with ServerThread(memory_index, batch_window_ms=1,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as binary, \
+                    ServiceClient(port=handle.port, wire="json") as json_:
+                assert binary.wire == "binary"
+                served_binary = [binary.query(q) for q in queries]
+                served_json = [json_.query(q) for q in queries]
+        assert served_binary == expected
+        assert served_json == expected
+
+    def test_mixed_wires_on_one_connection(self, memory_index) -> None:
+        # A binary client falls back to JSON frames for requests the
+        # codec cannot express; the server answers both on the same
+        # connection without losing framing.
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.call({"op": "evaporate"})
+                assert excinfo.value.code == "bad_request"
+                assert client.ping() == "pong"
+
+    def test_batch_over_binary(self, memory_index) -> None:
+        records = _corpus()
+        queries = _query_mix(records, n=12)
+        expected = [memory_index.query(q) for q in queries]
+        with ServerThread(memory_index, batch_window_ms=0,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                assert client.query_batch(queries) == expected
+
+
+class TestPipelining:
+    def test_submit_drain_matches_in_process(self, memory_index) -> None:
+        records = _corpus()
+        queries = _query_mix(records)
+        expected = [memory_index.query(q) for q in queries]
+        with ServerThread(memory_index, batch_window_ms=2,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                ids = [client.submit({"op": "query", "query": q})
+                       for q in queries]
+                assert client.outstanding == len(queries)
+                results = client.drain()
+                assert client.outstanding == 0
+        assert [results[i] for i in ids] == expected
+
+    def test_query_pipelined_matches_in_process(self,
+                                                memory_index) -> None:
+        records = _corpus()
+        queries = _query_mix(records) * 3  # > default window
+        expected = [memory_index.query(q) for q in queries]
+        with ServerThread(memory_index, batch_window_ms=2,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                assert client.query_pipelined(queries,
+                                              window=8) == expected
+                # The burst coalesced into fewer engine calls.
+                server = client.stats()["server"]
+                assert server["batches"] >= 1
+
+    def test_responses_arrive_out_of_order(self, memory_index) -> None:
+        """A slow query must not head-of-line-block a fast one."""
+        gate = threading.Event()
+        original = memory_index.query
+
+        def gated_query(query, **options):
+            atoms = getattr(query, "atoms", frozenset())
+            if "__slow__" in atoms:
+                gate.wait(timeout=10)
+            return original(query, **options)
+
+        memory_index.query = gated_query
+        try:
+            with ServerThread(memory_index, batch_window_ms=0,
+                              close_index_on_drain=False) as handle:
+                with ServiceClient(port=handle.port) as client:
+                    slow = client.submit({"op": "query",
+                                          "query": "{__slow__}"})
+                    fast = client.submit({"op": "query",
+                                          "query": "{a}"})
+                    first_id, _result = client.next_response()
+                    assert first_id == fast
+                    gate.set()
+                    second_id, _result = client.next_response()
+                    assert second_id == slow
+        finally:
+            gate.set()
+            memory_index.query = original
+
+    def test_pipelining_requires_binary_wire(self, memory_index) -> None:
+        from repro.server.protocol import ProtocolError
+        with ServerThread(memory_index,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port, wire="json") as client:
+                with pytest.raises(ProtocolError, match="binary"):
+                    client.submit({"op": "ping"})
+
+    def test_drain_surfaces_first_error_after_reading_all(
+            self, memory_index) -> None:
+        with ServerThread(memory_index, batch_window_ms=0,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                ok_id = client.submit({"op": "query", "query": "{a}"})
+                client.submit({"op": "query", "query": "{b}",
+                               "options": {"algorithm": "no-such"}})
+                with pytest.raises(ServiceError):
+                    client.drain()
+                # The pipeline is empty and the connection usable.
+                assert client.outstanding == 0
+                assert client.ping() == "pong"
+                assert ok_id >= 1
+
+
+class TestAdaptiveWindow:
+    def test_single_inflight_skips_the_window(self, memory_index) -> None:
+        """Regression: with one request in flight the micro-batcher
+        must dispatch immediately, not sleep out the window."""
+        with ServerThread(memory_index, batch_window_ms=250,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                client.ping()  # connection warm-up outside the clock
+                started = time.monotonic()
+                for _ in range(3):
+                    client.query("{a}")
+                elapsed = time.monotonic() - started
+        # Three sequential queries under a 250 ms window would take
+        # >= 750 ms without the floor; the bound leaves slack for CI.
+        assert elapsed < 0.5, f"window tax not bypassed: {elapsed:.3f}s"
+
+    def test_pipelined_burst_still_coalesces(self, memory_index) -> None:
+        records = _corpus()
+        queries = _query_mix(records) * 2
+        with ServerThread(memory_index, batch_window_ms=5,
+                          close_index_on_drain=False) as handle:
+            with ServiceClient(port=handle.port) as client:
+                client.query_pipelined(queries, window=16)
+                server = client.stats()["server"]
+        assert server["batches"] >= 1
+        assert server["coalesce_ratio"] > 1.0
