@@ -26,6 +26,7 @@ from .bench.workloads import (
     make_query_runner,
 )
 from .core.engine import ALGORITHMS, NestedSetIndex
+from .core.join import STRATEGIES as JOIN_STRATEGIES
 from .core.matchspec import JOINS, MODES, SEMANTICS
 from .core.shard import ShardedIndex
 from .core.planner import STRATEGIES as PLANNER_STRATEGIES
@@ -358,8 +359,15 @@ def _cmd_join(args: argparse.Namespace) -> int:
         queries = load_collection_file(args.queries)
         spec = QuerySpec(semantics=args.semantics, join=args.join,
                          epsilon=args.epsilon, mode=args.mode)
+        workers = args.workers if args.workers > 1 else None
         result = containment_join(index, queries,
-                                  strategy=args.strategy, spec=spec)
+                                  strategy=args.strategy,
+                                  algorithm=args.algorithm,
+                                  use_bloom=args.use_bloom,
+                                  workers=workers, spec=spec)
+        if args.explain:
+            print(result.describe())
+            return 0
         for qkey, skey in result.pairs:
             print(f"{qkey}\t{skey}")
         print(f"-- {result.n_pairs} pairs from {result.n_queries} "
@@ -621,14 +629,24 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("queries", help="collection file of query sets")
     join.add_argument("--storage", choices=("diskhash", "btree"),
                       default="diskhash")
-    join.add_argument("--strategy",
-                      choices=("per-query", "batched", "naive"),
-                      default="per-query")
+    join.add_argument("--strategy", choices=JOIN_STRATEGIES,
+                      default="adaptive")
+    join.add_argument("--algorithm", choices=ALGORITHMS,
+                      default="bottomup",
+                      help="per-query plan algorithm (per-query strategy)")
+    join.add_argument("--use-bloom", action="store_true",
+                      help="Bloom-prefilter record scans (naive only)")
     join.add_argument("--semantics", choices=SEMANTICS, default="hom")
     join.add_argument("--join", choices=JOINS, default="subset")
     join.add_argument("--epsilon", type=int, default=1)
     join.add_argument("--mode", choices=MODES, default="root")
     join.add_argument("--cache", default="frequency")
+    join.add_argument("--workers", type=int, default=1,
+                      help="fan-out pool size for a sharded index")
+    join.add_argument("--explain", action="store_true",
+                      help="print the join-level execution summary "
+                           "(strategy, dispatch evidence, prefix "
+                           "counters) instead of only the pair count")
     join.set_defaults(func=_cmd_join)
 
     rep = sub.add_parser("report",

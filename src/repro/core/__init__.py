@@ -53,6 +53,11 @@ from .naive import (
     reference_query,
 )
 from .planner import STRATEGIES, Planner, make_planner
+from .prefixjoin import (
+    PrefixTree,
+    choose_strategy,
+    prefix_join_lists,
+)
 from .resultcache import ResultCache
 from .segments import DEFAULT_SEGMENT_SIZE
 from .shard import (
@@ -138,6 +143,7 @@ __all__ = [
     "NodeTrace",
     "PlanError",
     "Planner",
+    "PrefixTree",
     "PAPER_BUDGET",
     "ResultCache",
     "PathList",
@@ -166,6 +172,7 @@ __all__ = [
     "batch_query",
     "build_external",
     "check_index",
+    "choose_strategy",
     "compile_query",
     "containment_join",
     "bottomup_match_nodes",
@@ -190,6 +197,7 @@ __all__ = [
     "nested_jaccard",
     "node_candidates",
     "overlap_matches",
+    "prefix_join_lists",
     "reference_query",
     "self_join",
     "seq_contains",

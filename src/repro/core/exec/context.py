@@ -33,6 +33,12 @@ class ExecCounters:
     subqueries_reused: int = 0
     records_tested: int = 0
     records_skipped: int = 0
+    #: Prefix-tree join instrumentation (repro.core.prefixjoin): trie
+    #: nodes built, posting lists actually streamed/intersected, and
+    #: candidate requests served from an already-evaluated node.
+    prefix_nodes: int = 0
+    prefix_streams: int = 0
+    prefix_reused: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -42,6 +48,9 @@ class ExecCounters:
             "subqueries_reused": self.subqueries_reused,
             "records_tested": self.records_tested,
             "records_skipped": self.records_skipped,
+            "prefix_nodes": self.prefix_nodes,
+            "prefix_streams": self.prefix_streams,
+            "prefix_reused": self.prefix_reused,
         }
 
     def merge(self, other: "ExecCounters") -> None:
@@ -57,6 +66,9 @@ class ExecCounters:
         self.subqueries_reused += other.subqueries_reused
         self.records_tested += other.records_tested
         self.records_skipped += other.records_skipped
+        self.prefix_nodes += other.prefix_nodes
+        self.prefix_streams += other.prefix_streams
+        self.prefix_reused += other.prefix_reused
 
     @classmethod
     def merged(cls, counters: "list[ExecCounters] | tuple[ExecCounters, ...]"

@@ -10,12 +10,21 @@ one call with one strategy knob:
   by the chosen algorithm;
 * ``batched``   -- bottom-up with cross-query subquery memoization
   (pays off when Q's members share structure, e.g. Q sampled from S);
-* ``naive``     -- the nested-loop baseline, optionally Bloom-prefiltered.
+* ``naive``     -- the nested-loop baseline, optionally Bloom-prefiltered;
+* ``prefix``    -- the PRETTI-style join operator
+  (:mod:`repro.core.prefixjoin`): one prefix tree over Q's atom sets,
+  each distinct trie node's posting-list intersection evaluated once
+  and shared by every query containing that prefix;
+* ``adaptive``  -- dispatch between ``per-query`` and ``prefix`` from
+  live collection statistics (workload size and df-weighted sharing
+  ratio); the decision and its evidence land in ``extra["dispatch"]``.
 
-Every strategy compiles its queries through
-:func:`repro.core.exec.compiler.compile_query` and runs the plans on one
-shared execution context, whose counters feed the :class:`JoinResult`
-statistics.  Results are ``(q_key, s_key)`` pairs.
+The compiled strategies run their plans on one shared execution
+context; the prefix strategy runs the workload through one shared
+candidate provider.  Either way the join observes a single pinned
+snapshot (one per shard under a sharded fan-out, all pinned at the
+same committed base version), and the context counters feed the
+:class:`JoinResult` statistics.  Results are ``(q_key, s_key)`` pairs.
 """
 
 from __future__ import annotations
@@ -28,8 +37,9 @@ from .engine import NestedSetIndex
 from .exec.compiler import compile_query
 from .matchspec import QuerySpec
 from .model import NestedSet, as_nested_set
+from .prefixjoin import choose_strategy, prefix_join_lists
 
-STRATEGIES = ("per-query", "batched", "naive")
+STRATEGIES = ("per-query", "batched", "naive", "prefix", "adaptive")
 
 
 @dataclass
@@ -41,17 +51,39 @@ class JoinResult:
     n_queries: int
     elapsed_seconds: float
     extra: dict[str, object] = field(default_factory=dict)
+    #: Every query key of the join, in query order (so :meth:`grouped`
+    #: can report queries with zero matches).
+    query_keys: list[str] = field(default_factory=list)
 
     @property
     def n_pairs(self) -> int:
         return len(self.pairs)
 
     def grouped(self) -> dict[str, list[str]]:
-        """Pairs regrouped as query key -> matching record keys."""
-        out: dict[str, list[str]] = {}
+        """Pairs regrouped as query key -> matching record keys.
+
+        Every key of the join appears, including queries with zero
+        matches (empty list); results built by hand without
+        ``query_keys`` degrade to grouping the pairs alone.
+        """
+        out: dict[str, list[str]] = {qkey: [] for qkey in self.query_keys}
         for qkey, skey in self.pairs:
             out.setdefault(qkey, []).append(skey)
         return out
+
+    def describe(self) -> str:
+        """One line per statistic: the join-level EXPLAIN summary."""
+        lines = [f"strategy: {self.strategy}",
+                 f"queries:  {self.n_queries}",
+                 f"pairs:    {self.n_pairs}",
+                 f"elapsed:  {self.elapsed_seconds * 1000:.1f} ms"]
+        for key, value in self.extra.items():
+            if isinstance(value, dict):
+                detail = ", ".join(f"{k}={v}" for k, v in value.items())
+                lines.append(f"{key}: {detail}")
+            else:
+                lines.append(f"{key}: {value}")
+        return "\n".join(lines)
 
 
 def containment_join(index: NestedSetIndex,
@@ -59,35 +91,70 @@ def containment_join(index: NestedSetIndex,
                      strategy: str = "per-query",
                      algorithm: str = "bottomup",
                      spec: QuerySpec = QuerySpec(),
-                     use_bloom: bool = False) -> JoinResult:
+                     use_bloom: bool = False,
+                     workers: int | None = None) -> JoinResult:
     """Evaluate ``Q ⋈ S`` over an indexed collection ``S``.
 
     ``queries`` supplies Q as ``(key, nested set)`` pairs; pairs are
     returned in query order, record keys sorted within each query.
+    ``use_bloom`` applies to the naive algorithm only (as everywhere
+    else in the library); requesting it for a strategy that cannot
+    honor it raises :class:`ValueError` rather than silently running
+    without the prefilter.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; "
                          f"expected one of {STRATEGIES}")
     materialized = [(qkey, as_nested_set(value))
                     for qkey, value in queries]
-    if strategy == "batched":
+    query_keys = [qkey for qkey, _query in materialized]
+    dispatch: dict[str, object] | None = None
+    effective = strategy
+    if strategy == "adaptive":
+        effective, dispatch = choose_strategy(
+            [query for _qkey, query in materialized],
+            index.collection_stats())
+    if effective == "prefix":
+        if use_bloom:
+            raise ValueError(
+                "Bloom prefiltering applies to the naive algorithm only; "
+                "the prefix strategy cannot honor use_bloom=True")
+        pairs, counters, elapsed = _run_prefix(index, materialized, spec,
+                                               workers)
+        extra: dict[str, object] = {
+            "prefix_nodes": counters.prefix_nodes,
+            "prefix_streams": counters.prefix_streams,
+            "prefix_reused": counters.prefix_reused,
+            "subqueries_evaluated": counters.subqueries_evaluated,
+            "subqueries_reused": counters.subqueries_reused,
+        }
+        if dispatch is not None:
+            extra["dispatch"] = dispatch
+        return JoinResult(pairs=pairs, strategy=strategy,
+                          n_queries=len(materialized),
+                          elapsed_seconds=elapsed, extra=extra,
+                          query_keys=query_keys)
+    if effective == "batched":
         plan_algorithm, memo = "bottomup", {}
-    elif strategy == "naive":
+    elif effective == "naive":
         plan_algorithm, memo = "naive", None
     else:
         plan_algorithm, memo = algorithm, None
+    # compile_query itself rejects use_bloom for non-naive algorithms
+    # (PlanError is a ValueError), so the caller's option is never
+    # silently dropped.
     plans = [compile_query(query, spec, algorithm=plan_algorithm,
-                           use_bloom=use_bloom if plan_algorithm == "naive"
-                           else False)
+                           use_bloom=use_bloom)
              for _qkey, query in materialized]
     from .shard import ShardedIndex
     start = time.perf_counter()
-    pairs: list[tuple[str, str]] = []
+    pairs = []
     if isinstance(index, ShardedIndex):
         # Sharded collection: one context (and memo) per shard, counters
         # merged across the fan-out.
         results, counters = index.run_plans(plans,
-                                            memoize=memo is not None)
+                                            memoize=memo is not None,
+                                            workers=workers)
         for (qkey, _query), result in zip(materialized, results):
             for skey in result:
                 pairs.append((qkey, skey))
@@ -101,29 +168,60 @@ def containment_join(index: NestedSetIndex,
                     pairs.append((qkey, skey))
             counters = ctx.counters
     elapsed = time.perf_counter() - start
-    extra: dict[str, object] = {}
-    if strategy == "batched":
+    extra = {}
+    if effective == "batched":
         extra["subqueries_evaluated"] = counters.subqueries_evaluated
         extra["subqueries_reused"] = counters.subqueries_reused
-    elif strategy == "naive":
+    elif effective == "naive":
         extra["records_tested"] = counters.records_tested
         extra["records_skipped"] = counters.records_skipped
+    if dispatch is not None:
+        extra["dispatch"] = dispatch
     return JoinResult(pairs=pairs, strategy=strategy,
                       n_queries=len(materialized),
-                      elapsed_seconds=elapsed, extra=extra)
+                      elapsed_seconds=elapsed, extra=extra,
+                      query_keys=query_keys)
+
+
+def _run_prefix(index: NestedSetIndex,
+                materialized: list[tuple[str, NestedSet]],
+                spec: QuerySpec, workers: int | None):
+    """The prefix-tree execution path, monolithic or sharded."""
+    from .shard import ShardedIndex
+    queries = [query for _qkey, query in materialized]
+    start = time.perf_counter()
+    if isinstance(index, ShardedIndex):
+        # One trie and one memo per shard (node ids and frequencies are
+        # shard-local) over one pinned snapshot group.
+        results, counters = index.run_prefix_join(queries, spec,
+                                                  workers=workers)
+    else:
+        with index._pinned() as snap:
+            ctx = snap.execution_context(memo={})
+            results = prefix_join_lists(queries, ctx, spec)
+            counters = ctx.counters
+    pairs = [(qkey, skey)
+             for (qkey, _query), result in zip(materialized, results)
+             for skey in result]
+    return pairs, counters, time.perf_counter() - start
 
 
 def self_join(index: NestedSetIndex, *,
               strategy: str = "batched",
-              spec: QuerySpec = QuerySpec()) -> JoinResult:
+              algorithm: str = "bottomup",
+              spec: QuerySpec = QuerySpec(),
+              use_bloom: bool = False) -> JoinResult:
     """``S ⋈ S``: every record queried against the collection.
 
     Under subset semantics every record matches at least itself, so the
-    result size is at least |S|; the batched strategy shines here because
-    Q literally *is* S (total structural sharing).
+    result size is at least |S|; the batched and prefix strategies shine
+    here because Q literally *is* S (total structural sharing).  All of
+    :func:`containment_join`'s knobs thread through.
     """
     queries = [(key, tree) for key, tree in _iter_records(index)]
-    return containment_join(index, queries, strategy=strategy, spec=spec)
+    return containment_join(index, queries, strategy=strategy,
+                            algorithm=algorithm, spec=spec,
+                            use_bloom=use_bloom)
 
 
 def _iter_records(index: NestedSetIndex

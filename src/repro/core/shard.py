@@ -67,6 +67,7 @@ from .invfile import decode_path_of
 from .matchspec import QuerySpec
 from .model import NestedSet, as_nested_set
 from .parallel import RWLock, ShardExecutor
+from .prefixjoin import prefix_join_lists
 from .resultcache import ResultCacheStats
 from .stats import CollectionStats
 
@@ -637,6 +638,33 @@ class ShardedIndex:
         merged = [self._merge_sorted(results[plan_no]
                                      for results, _counters in outcomes)
                   for plan_no in range(len(plans))]
+        return merged, counters
+
+    def run_prefix_join(self, queries: Sequence[NestedSet],
+                        spec: QuerySpec, *, workers: int | None = None
+                        ) -> tuple[list[list[str]], ExecCounters]:
+        """Prefix-tree join fan-out over one pinned snapshot group.
+
+        Each shard builds its own prefix tree and subquery memo (node
+        ids, frequencies, and posting lists are all shard-local) but
+        every shard observes the same committed base version, so the
+        join is version-consistent exactly like :meth:`run_plans`.
+        Returns per-query merged key lists plus this fan-out's merged
+        counters (also accumulated into :attr:`counters`).
+        """
+        def run_shard(snap) -> tuple[list[list[str]], ExecCounters]:
+            ctx = snap.execution_context(memo={})
+            return prefix_join_lists(queries, ctx, spec), ctx.counters
+
+        with self._pinned_group() as snaps:
+            outcomes = self._fan_out(run_shard, snaps, workers)
+        counters = ExecCounters.merged(
+            [shard_counters for _results, shard_counters in outcomes])
+        with self._counters_lock:
+            self.counters.merge(counters)
+        merged = [self._merge_sorted(results[query_no]
+                                     for results, _counters in outcomes)
+                  for query_no in range(len(queries))]
         return merged, counters
 
     def query_batch(self, queries: Sequence[object], *,

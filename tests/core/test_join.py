@@ -66,6 +66,18 @@ class TestResultObject:
         assert result.grouped() == {"q1": ["a", "b"], "q2": ["a"]}
         assert result.n_pairs == 3
 
+    def test_grouped_keeps_empty_queries(self) -> None:
+        """Regression: queries with zero matches must not vanish."""
+        result = JoinResult(pairs=[("q1", "a")], strategy="per-query",
+                            n_queries=3, elapsed_seconds=0.1,
+                            query_keys=["q1", "q2", "q3"])
+        assert result.grouped() == {"q1": ["a"], "q2": [], "q3": []}
+
+    def test_join_populates_query_keys(self, index, queries) -> None:
+        result = containment_join(index, queries)
+        assert result.query_keys == [qkey for qkey, _tree in queries]
+        assert set(result.grouped()) == set(result.query_keys)
+
 
 class TestSelfJoin:
     def test_every_record_matches_itself(self, small_corpus, index) -> None:
