@@ -1,0 +1,247 @@
+"""Experiment RP1: read scaling and lag of the primary/replica tier.
+
+Measures what read replicas buy an operator who protects the primary's
+write capacity with admission control, using real ``nestcontain serve``
+subprocesses (each server gets its own interpreter -- in-process
+threads would share one GIL and measure nothing):
+
+* **primary-only** -- a write-protected primary (``--max-inflight 2``,
+  the slots reserved for the ingest stream) serves 6 reader threads
+  while a writer inserts continuously.  Readers see ``overloaded``
+  rejections and retry with a small backoff; accepted read throughput
+  is the baseline.
+* **2 replicas** -- the same protected primary plus two
+  ``--replicate-from`` replicas; the identical reader/writer mix runs
+  with reads routed to the replicas.  Replica lag is sampled
+  throughout, and after the writer stops the replicas must converge
+  (``lag_groups == 0``) within a deadline -- the lag bound.
+
+Two gates are enforced and written to
+``bench_results/BENCH_replicate.json``: reads at 2 replicas must reach
+**>= 1.8x** the protected primary's accepted read throughput, and both
+replicas must drain their lag to zero after ingest stops.  On a
+multi-core host the unconstrained (no admission cap) ratio also scales;
+this container pins one CPU, so the capacity comparison is the
+portable form of the claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.bench.reporting import RESULTS_DIR
+from repro.bench.workloads import generate_dataset
+from repro.data.io import save_collection_file
+from repro.server import ServiceClient, ServiceError
+
+DATASET = "zipf-wide"
+SIZE = 400
+N_READERS = 6
+MEASURE_SECONDS = 6.0
+PRIMARY_MAX_INFLIGHT = 2
+CONVERGE_DEADLINE_S = 30.0
+GATE_RATIO = 1.8
+
+SERVE_BANNER = re.compile(r":(\d+) \(")
+
+
+def _start_server(run, env, index_path, *extra):
+    proc = subprocess.Popen(
+        run + ["serve", index_path, "--port", "0", "--workers", "2",
+               "--batch-window-ms", "0", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    for line in proc.stdout:
+        if line.startswith("bootstrapped"):
+            continue
+        match = SERVE_BANNER.search(line)
+        if match:
+            return proc, int(match.group(1))
+    raise AssertionError(f"server died during startup (exit "
+                         f"{proc.poll()})")
+
+
+def _measure(read_ports, write_port, probes, ingest_atom,
+             seconds=MEASURE_SECONDS, lag_ports=()):
+    """One mixed window: continuous writes, saturating routed reads.
+
+    Returns accepted/rejected read rates, the write rate, and lag
+    samples from ``lag_ports`` taken twice a second during the window.
+    """
+    accepted = [0] * N_READERS
+    rejected = [0] * N_READERS
+    writes = [0]
+    lag_samples: list[dict] = []
+    stop_at = time.monotonic() + seconds
+    stop_writer = threading.Event()
+
+    def writer() -> None:
+        with ServiceClient(port=write_port) as client:
+            i = 0
+            while not stop_writer.is_set():
+                try:
+                    client.insert(f"w{time.monotonic_ns()}_{i}",
+                                  "{%s, {w%d}}" % (ingest_atom, i % 5))
+                    i += 1
+                except ServiceError:
+                    time.sleep(0.005)   # admission-capped: yield a slot
+            writes[0] = i
+
+    def reader(slot: int) -> None:
+        with ServiceClient(port=read_ports[slot % len(read_ports)]) \
+                as client:
+            j = 0
+            while time.monotonic() < stop_at:
+                try:
+                    client.query(probes[j % len(probes)])
+                    accepted[slot] += 1
+                except ServiceError as exc:
+                    if exc.code != "overloaded":
+                        raise
+                    rejected[slot] += 1
+                    time.sleep(0.002)
+                j += 1
+
+    def lag_sampler() -> None:
+        clients = [ServiceClient(port=port) for port in lag_ports]
+        try:
+            while time.monotonic() < stop_at:
+                for client in clients:
+                    lag = client.stats()["server"].get("replica_lag")
+                    if lag is not None:
+                        lag_samples.append(lag)
+                time.sleep(0.5)
+        finally:
+            for client in clients:
+                client.close()
+
+    threads = [threading.Thread(target=writer)] + \
+        [threading.Thread(target=reader, args=(slot,))
+         for slot in range(N_READERS)] + \
+        ([threading.Thread(target=lag_sampler)] if lag_ports else [])
+    for thread in threads:
+        thread.start()
+    for thread in threads[1:]:
+        thread.join()
+    stop_writer.set()
+    threads[0].join()
+    return {
+        "read_qps": round(sum(accepted) / seconds, 1),
+        "rejected_per_s": round(sum(rejected) / seconds, 1),
+        "write_qps": round(writes[0] / seconds, 1),
+        "lag_samples": lag_samples,
+    }
+
+
+def _wait_drained(port: int) -> float:
+    """Seconds until this replica reports zero lag (post-ingest)."""
+    start = time.monotonic()
+    deadline = start + CONVERGE_DEADLINE_S
+    with ServiceClient(port=port) as client:
+        while True:
+            lag = client.stats()["server"]["replica_lag"]
+            if lag["lag_groups"] == 0 and lag["status"] == "tailing":
+                return round(time.monotonic() - start, 3)
+            assert time.monotonic() < deadline, \
+                f"replica :{port} never drained its lag: {lag}"
+            time.sleep(0.1)
+
+
+def test_replica_read_scaling():
+    """Record BENCH_replicate.json; enforce the 1.8x and lag gates."""
+    records = list(generate_dataset(DATASET, SIZE, seed=5))
+    atoms = sorted(records[0][1].atoms)
+    probes = ["{%s}" % atom for atom in atoms[:4]]
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src, env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+    run = [sys.executable, "-m", "repro.cli"]
+
+    with tempfile.TemporaryDirectory(prefix="bench-repl-") as workdir:
+        collection = os.path.join(workdir, "bench.nsets")
+        primary_path = os.path.join(workdir, "primary.idx")
+        save_collection_file(records, collection)
+        subprocess.run(run + ["index", collection, "-o", primary_path],
+                       check=True, env=env, stdout=subprocess.DEVNULL)
+
+        procs = []
+        try:
+            primary, pport = _start_server(
+                run, env, primary_path,
+                "--max-inflight", str(PRIMARY_MAX_INFLIGHT))
+            procs.append(primary)
+
+            baseline = _measure([pport], pport, probes, atoms[0])
+
+            replica_ports = []
+            for i in (1, 2):
+                replica_path = os.path.join(workdir, f"replica{i}.idx")
+                proc, port = _start_server(
+                    run, env, replica_path,
+                    "--replicate-from", f"127.0.0.1:{pport}",
+                    "--replica-id", f"bench-r{i}")
+                procs.append(proc)
+                replica_ports.append(port)
+
+            fleet = _measure(replica_ports, pport, probes, atoms[0],
+                             lag_ports=replica_ports)
+            drain_s = [_wait_drained(port) for port in replica_ports]
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+
+    lag_samples = fleet.pop("lag_samples")
+    baseline.pop("lag_samples")
+    ratio = fleet["read_qps"] / baseline["read_qps"]
+    max_lag_groups = max((s["lag_groups"] for s in lag_samples),
+                         default=0)
+    finite_lag_s = [s["lag_seconds"] for s in lag_samples
+                    if s["lag_seconds"] != float("inf")]
+
+    payload = {
+        "experiment": "BENCH_replicate",
+        "workload": {
+            "dataset": DATASET, "size": SIZE, "readers": N_READERS,
+            "window_s": MEASURE_SECONDS,
+            "primary_max_inflight": PRIMARY_MAX_INFLIGHT,
+            "mix": "continuous single-record inserts on the primary "
+                   "racing saturating point reads; the baseline reads "
+                   "from the write-protected primary, the fleet run "
+                   "routes the same readers to 2 replicas",
+        },
+        "primary_only": baseline,
+        "two_replicas": fleet,
+        "headline": {
+            "read_scaling_x": round(ratio, 3),
+            "gate_ratio": GATE_RATIO,
+            "max_lag_groups_under_ingest": max_lag_groups,
+            "max_lag_seconds_under_ingest":
+                round(max(finite_lag_s), 3) if finite_lag_s else 0.0,
+            "lag_samples": len(lag_samples),
+            "drain_after_ingest_s": drain_s,
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_replicate.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(json.dumps(payload["headline"], indent=2))
+
+    assert ratio >= GATE_RATIO, (
+        f"2 replicas reached only {ratio:.2f}x the protected primary's "
+        f"read throughput (gate {GATE_RATIO}x): {payload['headline']}")
+    assert all(s <= CONVERGE_DEADLINE_S for s in drain_s), drain_s
+
+
+if __name__ == "__main__":
+    test_replica_read_scaling()

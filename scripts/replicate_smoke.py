@@ -1,0 +1,232 @@
+"""CI smoke test for replication: ship, route, kill the primary, promote.
+
+Exercises the primary/replica tier the way an operator would, with real
+subprocesses:
+
+1. build a disk index and start ``nestcontain serve`` as the primary,
+2. start two replicas with ``--replicate-from`` (each bootstraps a
+   snapshot over the wire, then tails the primary's log),
+3. run a mixed workload -- inserts and a delete on the primary racing
+   reads routed across the whole fleet -- and assert every replica
+   converges to answers byte-identical to an in-process ground truth,
+4. check role/term/lag surface on the replica's HTTP gateway and that
+   replicas refuse writes with ``read_only`` naming the primary,
+5. ``kill -9`` the primary, promote replica 1 via ``nestcontain
+   promote``, and verify the promoted server accepts writes while the
+   :class:`ReplicaSetClient` fails over to it automatically,
+6. drain both replicas and require clean exits.
+
+Exit status 0 means every step held.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/replicate_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.engine import NestedSetIndex  # noqa: E402
+from repro.data.io import save_collection_file  # noqa: E402
+from repro.bench.workloads import generate_dataset  # noqa: E402
+from repro.replication import ReplicaSetClient  # noqa: E402
+from repro.server import ServiceClient, ServiceError  # noqa: E402
+
+SERVE_BANNER = re.compile(r":(\d+) \(")
+GATEWAY_BANNER = re.compile(r":(\d+)\s*$")
+
+
+def _start_server(run, env, index_path: str, *extra: str):
+    """Spawn ``nestcontain serve`` and parse its banner ports."""
+    proc = subprocess.Popen(
+        run + ["serve", index_path, "--port", "0", "--http-port", "0",
+               "--batch-window-ms", "1", "--workers", "2", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    port = http_port = None
+    for line in proc.stdout:
+        if line.startswith("bootstrapped"):
+            continue    # the replica's snapshot-copy report
+        match = SERVE_BANNER.search(line)
+        if match and port is None:
+            port = int(match.group(1))
+            continue
+        match = GATEWAY_BANNER.search(line)
+        if match:
+            http_port = int(match.group(1))
+            break
+    assert port and http_port, f"server banner incomplete (pid "\
+        f"{proc.pid}, exit {proc.poll()})"
+    return proc, port, http_port
+
+
+def _wait_converged(port: int, probes, truth, deadline_s: float = 30.0):
+    """Poll one replica until every probe answers byte-identically."""
+    deadline = time.monotonic() + deadline_s
+    with ServiceClient(port=port) as client:
+        while True:
+            got = [client.query(q) for q in probes]
+            if got == truth:
+                lag = client.stats()["server"]["replica_lag"]
+                return lag
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"replica :{port} never converged: {got!r} != "
+                    f"{truth!r}")
+            time.sleep(0.05)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repl-smoke-") as workdir:
+        collection = os.path.join(workdir, "smoke.nsets")
+        primary_path = os.path.join(workdir, "primary.idx")
+        records = list(generate_dataset("uniform-wide", 150, seed=5))
+        save_collection_file(records, collection)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src"),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        run = [sys.executable, "-m", "repro.cli"]
+        subprocess.run(run + ["index", collection, "-o", primary_path],
+                       check=True, env=env)
+
+        procs = []
+        try:
+            primary, pport, _phttp = _start_server(run, env, primary_path)
+            procs.append(primary)
+            print(f"replicate_smoke: primary on :{pport}")
+
+            replicas = []
+            for i in (1, 2):
+                replica_path = os.path.join(workdir, f"replica{i}.idx")
+                proc, port, http_port = _start_server(
+                    run, env, replica_path,
+                    "--replicate-from", f"127.0.0.1:{pport}",
+                    "--replica-id", f"smoke-r{i}")
+                procs.append(proc)
+                replicas.append((proc, port, http_port))
+                print(f"replicate_smoke: replica {i} on :{port} "
+                      f"(gateway :{http_port})")
+
+            # Mixed workload: writes to the primary race reads routed
+            # across the fleet.  Routed answers must never regress the
+            # pre-write ground truth.
+            base_probe = "{%s}" % sorted(records[0][1].atoms)[0]
+            with NestedSetIndex.build(records) as truth0:
+                expected0 = truth0.query(base_probe)
+            assert expected0, "probe query must have matches"
+            endpoints = [f"127.0.0.1:{pport}"] + \
+                [f"127.0.0.1:{port}" for _proc, port, _http in replicas]
+            errors: list[BaseException] = []
+
+            def routed_reader() -> None:
+                try:
+                    with ReplicaSetClient(endpoints,
+                                          max_staleness_s=60.0) as rsc:
+                        for _ in range(40):
+                            got = rsc.query(base_probe)
+                            assert got[:len(expected0)] == expected0, (
+                                f"routed read lost data: {got!r}")
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            readers = [threading.Thread(target=routed_reader)
+                       for _ in range(3)]
+            for thread in readers:
+                thread.start()
+            with ServiceClient(port=pport) as writer:
+                for i in range(8):
+                    writer.insert(f"smoke{i}", "{__smoke__, s%d}" % (i % 3))
+                assert writer.delete("smoke0") is True
+            for thread in readers:
+                thread.join()
+            assert not errors, errors[:1]
+
+            final_records = records + [
+                (f"smoke{i}", "{__smoke__, s%d}" % (i % 3))
+                for i in range(1, 8)]
+            probes = [base_probe, "{__smoke__}", "{__smoke__, s1}"]
+            with NestedSetIndex.build(final_records) as truth:
+                expected = [truth.query(q) for q in probes]
+            for i, (_proc, port, _http) in enumerate(replicas, start=1):
+                lag = _wait_converged(port, probes, expected)
+                assert lag["lag_groups"] == 0, lag
+                print(f"replicate_smoke: replica {i} byte-identical "
+                      f"({lag})")
+
+            # Role surfaces + the write fence.
+            _proc1, rport1, rhttp1 = replicas[0]
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{rhttp1}/ping", timeout=10) as http:
+                ping = json.load(http)
+            assert ping["role"] == "replica", ping
+            assert ping["replica_lag"]["lag_groups"] == 0, ping
+            with ServiceClient(port=rport1) as rclient:
+                try:
+                    rclient.insert("nope", "{x}")
+                    raise AssertionError("replica accepted a write")
+                except ServiceError as exc:
+                    assert exc.code == "read_only", exc
+                    assert str(pport) in exc.message, exc.message
+            print("replicate_smoke: gateway reports role/term/lag, "
+                  "replica write fence holds")
+
+            # Failover: SIGKILL the primary, promote replica 1 via the
+            # CLI, and write through both a direct client and the
+            # routing client.
+            primary.kill()
+            primary.wait(timeout=10)
+            promote = subprocess.run(
+                run + ["promote", f"127.0.0.1:{rport1}"],
+                check=True, env=env, capture_output=True, text=True)
+            assert "role primary" in promote.stdout, promote.stdout
+            with ServiceClient(port=rport1) as nclient:
+                nclient.insert("after-failover", "{__smoke__, s9}")
+                stats = nclient.stats()["server"]
+                assert stats["role"] == "primary", stats
+                assert stats["term"] >= 1, stats
+            # The routing client is pointed at the dead primary plus the
+            # promoted node (replica 2 is excluded: it tails a dead
+            # primary, so its reads are legitimately stale): writes must
+            # discover the new primary on their own.
+            with ReplicaSetClient([endpoints[0], f"127.0.0.1:{rport1}"],
+                                  max_staleness_s=60.0,
+                                  failover_timeout_s=20.0) as rsc:
+                rsc.insert("after-failover2", "{__smoke__, s9}")
+                hits = rsc.query("{__smoke__, s9}")
+                assert hits == ["after-failover", "after-failover2"], hits
+            print(f"replicate_smoke: promoted :{rport1} "
+                  f"(term {stats['term']}), writes fail over")
+
+            # The surviving stale replica still serves reads.
+            _proc2, rport2, _rhttp2 = replicas[1]
+            with ServiceClient(port=rport2) as sclient:
+                got = sclient.query(base_probe)
+                assert got[:len(expected0)] == expected0, got
+
+            for _proc, port, _http in replicas:
+                with ServiceClient(port=port) as client:
+                    client.shutdown()
+            for proc, _port, _http in replicas:
+                proc.wait(timeout=30)
+                assert proc.returncode == 0, proc.stdout.read()
+            print("replicate_smoke: replicas drained cleanly")
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -248,6 +248,26 @@ def _print_server_info(address: str) -> int:
     engine = stats["engine"]
     print(f"server uptime:  {server['uptime_s']:.1f}s "
           f"({'draining' if server['draining'] else 'serving'})")
+    role = server.get("role")
+    if role is not None:
+        print(f"replication:    role {role}, term {server.get('term')}")
+        lag = server.get("replica_lag")
+        if lag:
+            seconds = lag.get("lag_seconds")
+            seconds_text = ("unknown" if seconds is None
+                            or seconds == float("inf")
+                            else f"{seconds:.2f}s")
+            print(f"  lag:           {lag.get('lag_groups', '?')} "
+                  f"group(s), {seconds_text} "
+                  f"(applied seq {lag.get('applied_seq')}, "
+                  f"primary end {lag.get('end_seq')}, "
+                  f"status {lag.get('status')})")
+        shipping = (server.get("replication") or {}).get("shipping")
+        if shipping and shipping.get("followers"):
+            for rid, follow in sorted(shipping["followers"].items()):
+                print(f"  follower:      {rid} acked seq "
+                      f"{follow['acked_seq']} "
+                      f"(lag {follow['lag_groups']} group(s))")
     print(f"requests:       {server['requests_total']} total "
           f"({server['inflight']}/{server['max_inflight']} in flight)")
     for op, count in sorted(server["requests_by_op"].items()):
@@ -378,24 +398,67 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import socket as socketlib
 
-    from .server import QueryServer
+    from .replication import (
+        ReplicaTailer,
+        ReplicationLog,
+        ReplicationManager,
+        bootstrap_from_primary,
+    )
+    from .replication.shipper import base_store_of
+    from .server import QueryServer, ServiceClient
 
-    with _open_index(args) as index:
+    replica_id = args.replica_id or \
+        f"{socketlib.gethostname()}-{os.getpid()}"
+    primary_client: "ServiceClient | None" = None
+    boot: dict | None = None
+    if args.replicate_from:
+        host, _, port = args.replicate_from.rpartition(":")
+        primary_client = ServiceClient(host or "127.0.0.1", int(port),
+                                       retries=3)
+        boot = bootstrap_from_primary(primary_client.call, args.index,
+                                      replica_id)
+        print(f"bootstrapped {boot['n_pages']} pages "
+              f"(version {boot['version']}, next seq {boot['next_seq']}, "
+              f"term {boot['term']}) from {args.replicate_from}",
+              flush=True)
+
+    # Every served disk index opens over a ReplicationLog so it can act
+    # as a shipping source without a restart; the stamps ride inside
+    # group labels and a plain open still recovers the same file.
+    index = NestedSetIndex.open(args.storage, args.index,
+                                cache=args.cache, workers=args.workers,
+                                wal_factory=ReplicationLog)
+    with index:
+        try:
+            if boot is not None:
+                base_store_of(index).pager.adopt_version(boot["version"])
+                tailer = ReplicaTailer(
+                    index, primary_client.call, replica_id=replica_id,
+                    primary_address=args.replicate_from).start()
+                manager = ReplicationManager.as_replica(index, tailer)
+            else:
+                manager = ReplicationManager.as_primary(index)
+        except ValueError:
+            manager = None     # e.g. a store without a usable pager/WAL
         server = QueryServer(index, host=args.host, port=args.port,
                              workers=args.workers,
                              max_inflight=args.max_inflight,
                              batch_window_ms=args.batch_window_ms,
                              http_port=args.http_port,
-                             close_index_on_drain=False)
+                             close_index_on_drain=False,
+                             replication=manager)
 
         async def _run() -> None:
             await server.start()
+            role = manager.role if manager is not None else "primary"
             print(f"serving {args.index} on "
                   f"{server.host}:{server.port} "
                   f"({args.workers} workers, "
                   f"max {args.max_inflight} in flight, "
-                  f"batch window {args.batch_window_ms} ms)",
+                  f"batch window {args.batch_window_ms} ms, "
+                  f"role {role})",
                   flush=True)
             if server.http_port is not None:
                 print(f"http gateway on "
@@ -406,6 +469,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # The `with` block closes the index -> WAL checkpoint; the
         # server only drains, so a drained process always exits clean.
         print("drained; checkpointing index", file=sys.stderr)
+    if primary_client is not None:
+        primary_client.close()
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from .server import ServiceClient
+    host, _, port = args.server.rpartition(":")
+    with ServiceClient(host or "127.0.0.1", int(port)) as client:
+        result = client.call({"op": "promote"})
+    already = "" if result.get("promoted") else " (was already primary)"
+    print(f"{args.server}: role {result['role']}, "
+          f"term {result['term']}{already}")
     return 0
 
 
@@ -621,7 +697,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "this port (0 picks a free one)")
     serve.add_argument("--cache", choices=("none", "frequency", "lru"),
                        default="frequency")
+    serve.add_argument("--replicate-from", default=None,
+                       metavar="HOST:PORT",
+                       help="serve as a read-only replica: bootstrap a "
+                            "snapshot from this primary into INDEX, "
+                            "then tail its log")
+    serve.add_argument("--replica-id", default=None,
+                       help="stable follower id on the primary "
+                            "(default: host-pid)")
     serve.set_defaults(func=_cmd_serve)
+
+    promote = sub.add_parser(
+        "promote", help="promote a running replica to primary "
+                        "(replays to its log end, bumps the fencing "
+                        "term, starts accepting writes)")
+    promote.add_argument("server", metavar="HOST:PORT",
+                         help="address of the replica to promote")
+    promote.set_defaults(func=_cmd_promote)
 
     join = sub.add_parser(
         "join", help="full containment join: queries file x index")

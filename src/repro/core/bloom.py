@@ -309,6 +309,22 @@ class BloomIndex:
             index._filters.append(decode_filter(blob))
         return index
 
+    def refresh_persisted(self, store) -> None:
+        """Pull filters persisted by another process (replica replay).
+
+        Filters are append-only per ordinal, so catching up means
+        loading only the ordinals past the ones already held.
+        """
+        raw = store.get(b"B:cfg")
+        if raw is None:
+            return
+        _kind, _bits, _hashes, count = raw.decode().split(":")
+        for ordinal in range(len(self._filters), int(count)):
+            blob = store.get(b"B:" + str(ordinal).encode())
+            if blob is None:
+                break
+            self._filters.append(decode_filter(blob))
+
     def append_persisted(self, store, tree: NestedSet) -> None:
         """Add one record's filter and keep the persisted copy current."""
         self.add_record(tree)

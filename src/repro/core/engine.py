@@ -708,6 +708,40 @@ class NestedSetIndex:
         # (unbounded history growth under write-only workloads).
         self._retire_shared_pin()
 
+    def note_replicated_apply(self, version: int | None = None) -> None:
+        """Replica-side pre-apply hook: shipped groups are about to land.
+
+        Log replay bypasses the writer path entirely (no ``_note_mutation``
+        with per-atom tokens), so the epochs get one *global* bump at the
+        ``version`` about to be applied -- called *before* the pager
+        rewrites pages, exactly as ``_note_mutation`` bumps before a
+        local commit: a reader that pins the new version can never
+        compute a pre-bump floor, while readers pinned below it keep
+        hitting their still-correct entries.  Nothing is cleared, which
+        keeps the invalidation race-free.
+        """
+        self._epochs.bump_all(version)
+        self._epochs.bump((_RESULT_EPOCH,), version)
+
+    def finish_replicated_apply(self) -> None:
+        """Replica-side post-apply hook: refresh live-object state.
+
+        The inverted-file config, tombstones, bloom filters and
+        memoized statistics were all computed from pages that the
+        replicated apply just rewrote; refreshing them here keeps the
+        engine answering correctly the moment it serves -- including
+        right after a promotion turns mutations back on.
+        """
+        self._ifile.reload_config()
+        if self._bloom is not None:
+            self._bloom.refresh_persisted(self._ifile.store)
+        self._stats = None
+        with self._memo_lock:
+            self._stats_memo.clear()
+        if self._result_cache is not None and not self._mvcc:
+            self._result_cache.invalidate_all()
+        self._retire_shared_pin()
+
     def insert(self, key: str, value: object) -> int:
         """Add one record to the live index; returns its ordinal.
 

@@ -186,6 +186,18 @@ class InvertedFile:
         self._key_cache: dict[int, str] = {}
         self._all_nodes: PostingList | None = None
         self._zero_leaf: PostingList | None = None
+        self.reload_config()
+
+    def reload_config(self) -> None:
+        """(Re)read persisted configuration, tombstones and dead counts.
+
+        Called at construction and again by the replication tier after
+        shipped commit groups rewrote the store underneath this live
+        object: the cached counters, tombstone set, node-metadata blocks
+        and ALL/ZERO lists must all be refreshed before promotion or any
+        unversioned read.
+        """
+        store = self._store
         raw = store.get(_CONFIG_KEY)
         if raw is None:
             raise InvertedFileError("store holds no inverted-file configuration")
@@ -201,6 +213,9 @@ class InvertedFile:
         self.block_size = 0
         if pos < len(raw):
             self.block_size, pos = decode_varint(raw, pos)
+        self._meta_cache.clear()
+        self._all_nodes = None
+        self._zero_leaf = None
         self.deleted: set[int] = set()
         deleted_raw = store.get(_DELETED_KEY)
         if deleted_raw is not None:

@@ -1004,6 +1004,20 @@ class ShardedIndex:
     def base_store(self) -> KVStore:
         return self._base
 
+    # -- replication hooks --------------------------------------------------
+    # All shards share one base store / one pager / one shipped log, so
+    # one replicated commit group can touch any shard's namespace: the
+    # hooks fan out to every shard engine.
+
+    def note_replicated_apply(self, version: int | None = None) -> None:
+        for engine in self._shards:
+            engine.note_replicated_apply(version)
+
+    def finish_replicated_apply(self) -> None:
+        for engine in self._shards:
+            engine.finish_replicated_apply()
+        self._retire_group_pin()
+
     @property
     def n_records(self) -> int:
         return sum(engine.n_records for engine in self._shards)

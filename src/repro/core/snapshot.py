@@ -80,6 +80,13 @@ class ModEpochs:
     old or the new length -- both correct for the reader's version.
     """
 
+    #: Reserved token recording "everything changed" events (replicated
+    #: log replay rewrites arbitrary lists below the engine, so no
+    #: per-atom bump is possible).  Its count is folded into every
+    #: floor, so one bump starts a fresh epoch for *all* cache keys
+    #: while readers pinned at older versions keep their entries.
+    GLOBAL_TOKEN = "\x00*"
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._mods: dict[str, list[int]] = {}
@@ -107,8 +114,22 @@ class ModEpochs:
                 if not mods or mods[-1] < version:
                     mods.append(version)
 
+    def bump_all(self, version: int | None = None) -> None:
+        """Record that *every* list may have changed at ``version``."""
+        self.bump((self.GLOBAL_TOKEN,), version)
+
     def floor(self, token: str, version: int | None = None) -> int:
-        """Visible-modification count for a reader pinned at ``version``."""
+        """Visible-modification count for a reader pinned at ``version``.
+
+        Folds in the global token's count, so whole-index events
+        (replica replay) shift every floor at once.
+        """
+        count = self._floor_one(token, version)
+        if token != self.GLOBAL_TOKEN:
+            count += self._floor_one(self.GLOBAL_TOKEN, version)
+        return count
+
+    def _floor_one(self, token: str, version: int | None) -> int:
         mods = self._mods.get(token)
         if not mods:
             return 0

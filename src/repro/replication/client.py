@@ -1,0 +1,251 @@
+"""Replica-set aware client: routed reads, fenced writes, failover.
+
+:class:`ReplicaSetClient` wraps one :class:`~repro.server.client.
+ServiceClient` per endpoint and adds the routing policy:
+
+* **reads** (``query`` / ``query_batch``) go round-robin over replicas
+  whose last observed lag is within ``max_staleness_s`` (the primary
+  always qualifies -- it is never stale); an endpoint that fails a read
+  is dropped from rotation until the next role refresh and the read
+  retries elsewhere, so one dead replica costs one exception, not an
+  error surfaced to the caller;
+* **writes** (``insert`` / ``delete`` / ``ingest``) go to the primary.
+  A ``read_only`` error (the roles moved under us) or a connection
+  failure triggers **failover**: endpoints are re-polled for
+  ``role == "primary"`` with capped backoff until ``failover_timeout_s``
+  expires -- promotion of a replica is picked up automatically.
+
+Role and lag observations come from each endpoint's ``stats`` op and
+are cached for ``role_refresh_s`` so routing does not add a stats round
+trip per read.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from ..server.client import ServiceClient, ServiceError
+
+__all__ = ["ReplicaSetClient"]
+
+#: Transient connection errors worth failing over on.
+_CONNECT_ERRORS = (ConnectionError, OSError)
+
+
+def _parse_endpoint(endpoint: "str | tuple[str, int]") -> tuple[str, int]:
+    if isinstance(endpoint, tuple):
+        return endpoint[0], int(endpoint[1])
+    host, _, port = endpoint.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+class _Endpoint:
+    __slots__ = ("host", "port", "client", "role", "lag_seconds",
+                 "checked_at", "alive")
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.client: ServiceClient | None = None
+        self.role: str | None = None
+        self.lag_seconds = float("inf")
+        self.checked_at = 0.0
+        self.alive = True
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class ReplicaSetClient:
+    """Read/write routing over one primary and its replicas."""
+
+    def __init__(self, endpoints: Sequence["str | tuple[str, int]"], *,
+                 max_staleness_s: float = 5.0,
+                 role_refresh_s: float = 1.0,
+                 failover_timeout_s: float = 10.0,
+                 connect_timeout: float = 2.0,
+                 io_timeout: float | None = 60.0) -> None:
+        if not endpoints:
+            raise ValueError("at least one endpoint is required")
+        self._endpoints = [_Endpoint(*_parse_endpoint(e))
+                           for e in endpoints]
+        self.max_staleness_s = max_staleness_s
+        self.role_refresh_s = role_refresh_s
+        self.failover_timeout_s = failover_timeout_s
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
+        self._rr = 0
+        self._refreshed_at = 0.0
+
+    # -- connections --------------------------------------------------------
+
+    def _client_of(self, endpoint: _Endpoint) -> ServiceClient:
+        if endpoint.client is None:
+            endpoint.client = ServiceClient(
+                endpoint.host, endpoint.port,
+                connect_timeout=self._connect_timeout,
+                io_timeout=self._io_timeout,
+                retries=1)
+        return endpoint.client
+
+    def _drop(self, endpoint: _Endpoint) -> None:
+        endpoint.alive = False
+        if endpoint.client is not None:
+            endpoint.client.close()
+            endpoint.client = None
+
+    # -- role discovery -----------------------------------------------------
+
+    def refresh_roles(self, force: bool = False) -> None:
+        """Re-poll every endpoint's role and lag (rate-limited)."""
+        now = time.monotonic()
+        if not force and now - self._refreshed_at < self.role_refresh_s:
+            return
+        self._refreshed_at = now
+        for endpoint in self._endpoints:
+            try:
+                stats = self._client_of(endpoint).stats()
+            except Exception:  # noqa: BLE001 -- any failure = not routable
+                self._drop(endpoint)
+                continue
+            server = stats.get("server", {})
+            endpoint.alive = True
+            endpoint.role = server.get("role") or "primary"
+            lag = server.get("replica_lag") or {}
+            endpoint.lag_seconds = float(lag.get("lag_seconds", 0.0))
+            endpoint.checked_at = now
+
+    def primary(self) -> _Endpoint | None:
+        self.refresh_roles()
+        for endpoint in self._endpoints:
+            if endpoint.alive and endpoint.role in (None, "primary"):
+                return endpoint
+        return None
+
+    def _read_targets(self) -> list[_Endpoint]:
+        """Replicas within the staleness bound, then the primary."""
+        self.refresh_roles()
+        fresh = [e for e in self._endpoints
+                 if e.alive and e.role == "replica"
+                 and e.lag_seconds <= self.max_staleness_s]
+        primaries = [e for e in self._endpoints
+                     if e.alive and e.role in (None, "primary")]
+        if fresh:
+            self._rr = (self._rr + 1) % len(fresh)
+            return fresh[self._rr:] + fresh[:self._rr] + primaries
+        return primaries + [e for e in self._endpoints
+                            if e.alive and e.role == "replica"]
+
+    # -- reads --------------------------------------------------------------
+
+    def _routed_read(self, request: dict) -> Any:
+        last_error: Exception | None = None
+        for endpoint in self._read_targets():
+            try:
+                return self._client_of(endpoint).call(request)
+            except _CONNECT_ERRORS as exc:
+                last_error = exc
+                self._drop(endpoint)
+            except ServiceError as exc:
+                if exc.code in ("shutting_down",):
+                    last_error = exc
+                    self._drop(endpoint)
+                    continue
+                raise
+        if last_error is not None:
+            raise last_error
+        raise ConnectionError("no live endpoint to read from")
+
+    def query(self, query: object, **options: Any) -> list[str]:
+        request: dict[str, Any] = {"op": "query", "query": query}
+        if options:
+            request["options"] = options
+        return self._routed_read(request)
+
+    def query_batch(self, queries: Sequence[object],
+                    **options: Any) -> list[list[str]]:
+        request: dict[str, Any] = {"op": "query_batch",
+                                   "queries": list(queries)}
+        if options:
+            request["options"] = options
+        return self._routed_read(request)
+
+    # -- writes (primary only, with failover) -------------------------------
+
+    def _routed_write(self, request: dict) -> Any:
+        deadline = time.monotonic() + self.failover_timeout_s
+        backoff = 0.05
+        while True:
+            endpoint = self.primary()
+            if endpoint is not None:
+                try:
+                    return self._client_of(endpoint).call(request)
+                except ServiceError as exc:
+                    if exc.code != "read_only":
+                        raise
+                    # Roles moved under us: what we believed was the
+                    # primary demurred.  Re-discover and try again.
+                    endpoint.role = "replica"
+                except _CONNECT_ERRORS:
+                    self._drop(endpoint)
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    "no reachable primary within "
+                    f"{self.failover_timeout_s:.1f}s")
+            time.sleep(backoff)
+            backoff = min(backoff * 2, 1.0)
+            # A dead endpoint may have restarted (or been promoted).
+            for candidate in self._endpoints:
+                candidate.alive = True
+            self.refresh_roles(force=True)
+
+    def insert(self, key: str, value: str) -> int:
+        return self._routed_write({"op": "insert", "key": key,
+                                   "value": value})["ordinal"]
+
+    def delete(self, key: str) -> bool:
+        return self._routed_write({"op": "delete",
+                                   "key": key})["deleted"]
+
+    def ingest(self, records: Sequence[tuple[str, str]]) -> dict:
+        return self._routed_write({
+            "op": "ingest",
+            "records": [[key, value] for key, value in records]})
+
+    # -- control ------------------------------------------------------------
+
+    def promote(self, endpoint: "str | tuple[str, int]") -> dict:
+        """Promote one endpoint to primary; returns the server's reply."""
+        host, port = _parse_endpoint(endpoint)
+        for known in self._endpoints:
+            if (known.host, known.port) == (host, port):
+                result = self._client_of(known).call({"op": "promote"})
+                self.refresh_roles(force=True)
+                return result
+        with ServiceClient(host, port,
+                           connect_timeout=self._connect_timeout) as client:
+            return client.call({"op": "promote"})
+
+    def stats(self) -> dict:
+        return self._routed_read({"op": "stats"})
+
+    def endpoints(self) -> list[dict[str, object]]:
+        """Routing table view (for tests and ``info``)."""
+        self.refresh_roles()
+        return [{"address": e.address, "role": e.role,
+                 "alive": e.alive, "lag_seconds": e.lag_seconds}
+                for e in self._endpoints]
+
+    def close(self) -> None:
+        for endpoint in self._endpoints:
+            if endpoint.client is not None:
+                endpoint.client.close()
+                endpoint.client = None
+
+    def __enter__(self) -> "ReplicaSetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,338 @@
+"""Replication log: the write-ahead log with a durable shipping order.
+
+``ReplicationLog`` is a drop-in :class:`~repro.storage.wal.WriteAheadLog`
+(the pager builds it through its ``wal_factory`` knob) that makes the
+log *tailable*:
+
+* every commit group carries a durable **sequence number** and the
+  primary's **fencing term**, stamped inside the (opaque) group label
+  right after the pager's version stamp::
+
+      label := "@" version:u64 "R" seq:u64 term:u64 original_label
+
+  Stamps ride inside the label, so the on-disk group format is
+  unchanged and a plain ``WriteAheadLog`` can still recover the file
+  (the pager's version stamp stays outermost, exactly where its
+  recovery expects it).
+
+* a tiny sidecar file (``<wal>-repl``) persists the sequence floor and
+  the current term across truncations, so sequence numbers never
+  restart or repeat after a checkpoint or a crash;
+
+* :meth:`checkpoint` is **gated on follower acknowledgement**: while a
+  registered follower has not acked up to the log end, truncation is
+  deferred (the groups stay pending and replay idempotently) until the
+  log exceeds a retention window -- then it truncates anyway and the
+  laggard must re-bootstrap from a snapshot;
+
+* :meth:`read_raw_groups` returns a contiguous run of committed groups
+  as raw log bytes (checksums included) for shipping, using the
+  offset-based iteration shared with recovery.
+
+Sidecar crash-ordering: the floor is persisted *before* the truncate.
+If the process dies in between, the log still holds its stamped groups,
+so recovery takes sequence numbers from the stamps (which dominate the
+sidecar floor) and nothing is renumbered; if it dies after, the sidecar
+floor alone carries the next sequence forward over the now-empty log.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from typing import Callable
+
+from ..storage.errors import CorruptionError
+from ..storage.wal import (WriteAheadLog, split_version_label,
+                           stamp_version_label)
+
+SIDE_MAGIC = b"NCRS"
+SIDE_VERSION = 1
+_SIDECAR = struct.Struct("<4sHQQ")  # magic, version, next-seq floor, term
+
+#: Leading byte of a replication-stamped label (inside the version stamp).
+_REPL_STAMP = b"R"
+_REPL_STAMP_LEN = 1 + 8 + 8  # marker + seq u64 + term u64
+
+#: Default bytes of shipped-but-unacked log retained for slow followers
+#: before checkpoint truncation proceeds without them.
+DEFAULT_RETAIN_BYTES = 64 << 20
+
+
+def stamp_repl_label(label: bytes, seq: int, term: int) -> bytes:
+    """Prefix a label with its shipping sequence number and term."""
+    return _REPL_STAMP + struct.pack("<QQ", seq, term) + label
+
+
+def split_repl_label(label: bytes) -> tuple[int | None, int | None, bytes]:
+    """Split a stamped label into ``(seq, term, original_label)``.
+
+    Labels written by a plain WAL (no replication) come back as
+    ``(None, None, label)``.
+    """
+    if len(label) >= _REPL_STAMP_LEN and label[:1] == _REPL_STAMP:
+        seq, term = struct.unpack_from("<QQ", label, 1)
+        return seq, term, label[_REPL_STAMP_LEN:]
+    return None, None, label
+
+
+def split_shipped_label(label: bytes
+                        ) -> tuple[int | None, int | None, int | None]:
+    """Decode ``(version, seq, term)`` from a fully stamped group label."""
+    version, rest = split_version_label(label)
+    seq, term, _ = split_repl_label(rest)
+    return version, seq, term
+
+
+def sidecar_path(wal_path: str) -> str:
+    return wal_path + "-repl"
+
+
+def write_sidecar(path: str, next_seq: int, term: int) -> None:
+    """Persist the sequence floor and term (atomic: one small write)."""
+    blob = _SIDECAR.pack(SIDE_MAGIC, SIDE_VERSION, next_seq, term)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_sidecar(path: str) -> tuple[int, int]:
+    """Return ``(next_seq_floor, term)``; ``(1, 0)`` for a fresh log."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read(_SIDECAR.size)
+    except FileNotFoundError:
+        return 1, 0
+    if len(blob) < _SIDECAR.size:
+        return 1, 0
+    magic, version, next_seq, term = _SIDECAR.unpack(blob)
+    if magic != SIDE_MAGIC:
+        raise CorruptionError(f"bad replication sidecar magic in {path!r}")
+    if version != SIDE_VERSION:
+        raise CorruptionError(
+            f"unsupported replication sidecar version {version}")
+    return next_seq, term
+
+
+class ReplicationLog(WriteAheadLog):
+    """A write-ahead log whose groups form a durable, tailable sequence."""
+
+    def __init__(self, path: str, *, create: bool = False,
+                 sync: bool = True,
+                 retain_bytes: int = DEFAULT_RETAIN_BYTES) -> None:
+        if create:
+            # A fresh log restarts the sequence space too.
+            side = sidecar_path(path)
+            if os.path.exists(side):
+                os.remove(side)
+        super().__init__(path, create=create, sync=sync)
+        self.retain_bytes = retain_bytes
+        #: Serializes every access to the shared file handle: commits
+        #: and checkpoints (already serialized by the pager's commit
+        #: lock) against tail reads from server threads.
+        self._lock = threading.RLock()
+        #: Sequence number of the group at the head of the log file.
+        self._base_seq, self._term = read_sidecar(sidecar_path(path))
+        #: Byte offset of each group currently in the log file;
+        #: ``offsets[i]`` holds the group with seq ``base_seq + i``.
+        self._offsets: list[int] = []
+        #: Last-acked seq per registered follower id.
+        self._acked: dict[str, int] = {}
+        #: Follower acks that arrived while the laggard was already past
+        #: retention; counted for stats.
+        self.checkpoints_deferred = 0
+        #: Optional post-commit hook (the shipper's wakeup), called
+        #: outside no locks worth noting but inside the commit lock.
+        self.on_commit: Callable[[int], None] | None = None
+        self._scan_existing()
+
+    # -- sequence bookkeeping ----------------------------------------------
+
+    def _scan_existing(self) -> None:
+        """Rebuild offsets (and the seq base) from groups already on disk.
+
+        Stamped groups dominate the sidecar floor: a crash between the
+        floor write and the truncate leaves both present, and trusting
+        the stamps keeps the on-disk groups' numbering authoritative.
+        """
+        offsets: list[int] = []
+        first_seq: int | None = None
+        max_term = self._term
+        for pos, label, _records, _next in self.iter_groups():
+            _version, seq, term = split_shipped_label(label)
+            if seq is not None:
+                if first_seq is None:
+                    first_seq = seq - len(offsets)
+                if term is not None and term > max_term:
+                    max_term = term
+            offsets.append(pos)
+        self._offsets = offsets
+        self._term = max_term
+        if first_seq is not None:
+            self._base_seq = first_seq
+
+    @property
+    def base_seq(self) -> int:
+        """Seq of the oldest group still in the log (next one if empty)."""
+        return self._base_seq
+
+    @property
+    def next_seq(self) -> int:
+        return self._base_seq + len(self._offsets)
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest committed group (``base_seq - 1`` if none)."""
+        return self._base_seq + len(self._offsets) - 1
+
+    @property
+    def term(self) -> int:
+        return self._term
+
+    def bump_term(self) -> int:
+        """Advance the fencing term durably (promotion)."""
+        with self._lock:
+            self._term += 1
+            write_sidecar(sidecar_path(self.path), self.next_seq, self._term)
+            return self._term
+
+    def adopt_term(self, term: int) -> None:
+        """Raise the term durably (a replica saw a newer primary's groups)."""
+        with self._lock:
+            if term > self._term:
+                self._term = term
+                write_sidecar(sidecar_path(self.path), self.next_seq,
+                              self._term)
+
+    # -- commit ------------------------------------------------------------
+
+    def commit(self, label: bytes, records: list[bytes]) -> None:
+        """Append one group, stamped with the next seq and current term."""
+        version, original = split_version_label(label)
+        stamped = stamp_repl_label(original, self.next_seq, self._term)
+        if version is not None:
+            stamped = stamp_version_label(stamped, version)
+        self.commit_prestamped(stamped, records)
+
+    def commit_prestamped(self, label: bytes, records: list[bytes]) -> None:
+        """Append a group whose label already carries its seq stamp.
+
+        The replica apply path commits shipped groups verbatim -- same
+        seq, same term, same version stamp as on the primary -- so a
+        promoted replica continues the primary's sequence exactly.
+        """
+        with self._lock:
+            offset = self.size
+            super().commit(label, records)
+            self._offsets.append(offset)
+            hook = self.on_commit
+        if hook is not None:
+            hook(self.last_seq)
+
+    # -- follower tracking -------------------------------------------------
+
+    def register_follower(self, follower_id: str, acked_seq: int) -> None:
+        """Track a tailing replica; its ack gates checkpoint truncation."""
+        with self._lock:
+            self._acked[follower_id] = acked_seq
+
+    def forget_follower(self, follower_id: str) -> None:
+        with self._lock:
+            self._acked.pop(follower_id, None)
+
+    def ack(self, follower_id: str, seq: int) -> None:
+        """Record that a follower has durably applied through ``seq``."""
+        with self._lock:
+            prev = self._acked.get(follower_id, -1)
+            if seq > prev:
+                self._acked[follower_id] = seq
+
+    def followers(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._acked)
+
+    def min_acked(self) -> int | None:
+        with self._lock:
+            if not self._acked:
+                return None
+            return min(self._acked.values())
+
+    # -- tailing -----------------------------------------------------------
+
+    def read_raw_groups(self, start_seq: int, *, max_groups: int = 256,
+                        max_bytes: int = 4 << 20
+                        ) -> tuple[int, int, bytes]:
+        """Contiguous committed groups from ``start_seq`` as raw log bytes.
+
+        Returns ``(first_seq, count, data)`` where ``data`` is the exact
+        on-disk byte run (headers, checksums and all) of ``count``
+        groups starting at ``first_seq`` -- zero groups when the log has
+        nothing at or past ``start_seq``.  Raises ``LookupError`` when
+        ``start_seq`` has already been truncated away (the follower fell
+        past retention and must re-bootstrap).
+        """
+        with self._lock:
+            if start_seq < self._base_seq:
+                raise LookupError(
+                    f"seq {start_seq} predates retained log base "
+                    f"{self._base_seq}")
+            index = start_seq - self._base_seq
+            if index >= len(self._offsets):
+                return start_seq, 0, b""
+            end_index = min(index + max_groups, len(self._offsets))
+            start_off = self._offsets[index]
+            stop_off = (self._offsets[end_index]
+                        if end_index < len(self._offsets) else self.size)
+            while (end_index - index > 1
+                   and stop_off - start_off > max_bytes):
+                end_index -= 1
+                stop_off = self._offsets[end_index]
+            self._file.seek(start_off)
+            data = self._file.read(stop_off - start_off)
+            return start_seq, end_index - index, data
+
+    def read_group_at(self, offset: int
+                      ) -> tuple[bytes, list[bytes], int] | None:
+        with self._lock:
+            return super().read_group_at(offset)
+
+    # -- checkpoint --------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Truncate -- unless a follower still needs the retained groups.
+
+        Deferred truncation leaves the groups pending; they replay
+        idempotently on the next recovery, so durability is unaffected.
+        Once the log outgrows ``retain_bytes`` the laggard loses its
+        window (it re-bootstraps from a snapshot) and truncation
+        proceeds.
+        """
+        with self._lock:
+            if self._offsets:
+                min_acked = self.min_acked()
+                if (min_acked is not None and min_acked < self.last_seq
+                        and self.size <= self.retain_bytes):
+                    self.checkpoints_deferred += 1
+                    return
+            next_seq = self.next_seq
+            write_sidecar(sidecar_path(self.path), next_seq, self._term)
+            super().checkpoint()
+            self._base_seq = next_seq
+            self._offsets = []
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        out = super().describe()
+        with self._lock:
+            out.update({
+                "replicated": True,
+                "base_seq": self._base_seq,
+                "last_seq": self.last_seq,
+                "term": self._term,
+                "followers": dict(self._acked),
+                "checkpoints_deferred": self.checkpoints_deferred,
+            })
+        return out

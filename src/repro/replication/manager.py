@@ -1,0 +1,90 @@
+"""Role state machine the server consults: primary, replica, promotion.
+
+One :class:`ReplicationManager` per served index.  A primary holds a
+:class:`~repro.replication.shipper.ReplicationSource` (bootstrap
+sessions + tail fetches); a replica holds a running
+:class:`~repro.replication.applier.ReplicaTailer` and rejects mutations.
+``promote()`` flips a replica to primary in place: the tailer stops
+(its log end is already applied), the term bumps durably, and a fresh
+source comes up over the same log -- the promoted node can ship to its
+own replicas immediately, continuing the old primary's sequence space.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .applier import ReplicaTailer
+from .shipper import ReplicationSource
+
+
+class ReplicationManager:
+    """Per-server replication role, consulted on every mutation."""
+
+    def __init__(self, index, *, role: str,
+                 source: ReplicationSource | None = None,
+                 tailer: ReplicaTailer | None = None,
+                 primary_address: str | None = None) -> None:
+        if role not in ("primary", "replica"):
+            raise ValueError(f"role must be primary or replica, got {role!r}")
+        self._index = index
+        self._lock = threading.Lock()
+        self.role = role
+        self.source = source
+        self.tailer = tailer
+        self.primary_address = primary_address
+
+    @classmethod
+    def as_primary(cls, index) -> "ReplicationManager":
+        return cls(index, role="primary",
+                   source=ReplicationSource(index))
+
+    @classmethod
+    def as_replica(cls, index, tailer: ReplicaTailer
+                   ) -> "ReplicationManager":
+        return cls(index, role="replica", tailer=tailer,
+                   primary_address=tailer.primary_address)
+
+    @property
+    def term(self) -> int:
+        if self.source is not None:
+            return self.source.term
+        if self.tailer is not None:
+            return self.tailer._log.term
+        return 0
+
+    def promote(self) -> dict[str, object]:
+        """Flip replica -> primary (idempotent on a primary)."""
+        with self._lock:
+            if self.role == "primary":
+                return {"role": "primary", "term": self.term,
+                        "promoted": False}
+            tailer, self.tailer = self.tailer, None
+            term = tailer.promote()
+            self.source = ReplicationSource(self._index)
+            self.role = "primary"
+            self.primary_address = None
+            return {"role": "primary", "term": term, "promoted": True,
+                    "applied_seq": tailer.applied_seq}
+
+    def lag(self) -> dict[str, object] | None:
+        if self.tailer is not None:
+            return self.tailer.lag()
+        return None
+
+    def summary(self) -> dict[str, object]:
+        """Role/term/lag block merged into server stats and the gateway."""
+        out: dict[str, object] = {"role": self.role, "term": self.term}
+        lag = self.lag()
+        if lag is not None:
+            out["replica_lag"] = lag
+            out["primary"] = self.primary_address
+        if self.source is not None:
+            out["shipping"] = self.source.summary()
+        return out
+
+    def close(self) -> None:
+        if self.tailer is not None:
+            self.tailer.stop()
+        if self.source is not None:
+            self.source.close()

@@ -26,6 +26,7 @@ callers can branch on it -- e.g. retry on ``overloaded``, give up on
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Sequence
 
 from .protocol import (
@@ -40,6 +41,21 @@ __all__ = ["ServiceClient", "ServiceError"]
 
 #: Default bound on outstanding pipelined requests per connection.
 DEFAULT_PIPELINE_WINDOW = 32
+
+#: Connection-level failures worth a transparent reconnect: the server
+#: restarted, a proxy dropped the connection, or the connect raced a
+#: listener coming up.  Timeouts are *not* here -- a timeout may mean
+#: the request is still executing, and retrying it would double-apply.
+_TRANSIENT_ERRORS = (ConnectionRefusedError, ConnectionResetError,
+                     ConnectionAbortedError, BrokenPipeError)
+
+
+def _is_transient(exc: BaseException) -> bool:
+    if isinstance(exc, _TRANSIENT_ERRORS):
+        return True
+    # recv_frame_bytes folds an EOF mid-frame into ProtocolError; a
+    # clean close between frames surfaces as "server closed ...".
+    return isinstance(exc, ProtocolError) and "closed" in str(exc)
 
 
 class ServiceError(Exception):
@@ -70,24 +86,77 @@ class ServiceClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  connect_timeout: float = 5.0,
                  io_timeout: float | None = 60.0,
-                 wire: str = "binary") -> None:
+                 wire: str = "binary",
+                 retries: int = 0,
+                 retry_backoff_s: float = 0.05,
+                 retry_max_backoff_s: float = 2.0) -> None:
         if wire not in ("binary", "json"):
             raise ValueError(f"wire must be 'binary' or 'json', "
                              f"got {wire!r}")
         self.wire = wire
+        #: Transparent reconnect budget on *transient* connection
+        #: errors (refused connect, reset mid-frame).  Off by default:
+        #: a replayed ``insert`` is not idempotent, so opting in is the
+        #: caller asserting the workload tolerates at-least-once.  The
+        #: pipelined :meth:`drain` path retries regardless (see there).
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_max_backoff_s = retry_max_backoff_s
+        self._host = host
+        self._port = port
+        self._connect_timeout = connect_timeout
+        self._io_timeout = io_timeout
         self._next_id = 1
-        self._outstanding: dict[int, None] = {}
+        #: request id -> encoded frame, kept until its response arrives
+        #: so a reconnect can replay the in-flight window verbatim.
+        self._outstanding: dict[int, bytes | None] = {}
         #: Prepared-query cache: text -> encoded nested-set section,
         #: so repeated queries skip the parse + atom-table work.
         self._query_cache: dict[str, bytes] = {}
-        self._sock = socket.create_connection((host, port),
-                                              timeout=connect_timeout)
-        self._sock.settimeout(io_timeout)
+        self._sock: socket.socket | None = None
+        self._connect(attempts=self.retries)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self, attempts: int = 0) -> None:
+        """(Re)open the TCP connection, with capped exponential backoff."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        backoff = self.retry_backoff_s
+        for attempt in range(attempts + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self._host, self._port),
+                    timeout=self._connect_timeout)
+                break
+            except _TRANSIENT_ERRORS:
+                if attempt == attempts:
+                    raise
+                time.sleep(backoff)
+                backoff = min(backoff * 2, self.retry_max_backoff_s)
+        assert self._sock is not None
+        self._sock.settimeout(self._io_timeout)
         # One small frame per request: batching happens server-side, so
         # trade throughput-by-coalescing-on-the-wire for latency.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
 
-    # -- plumbing ----------------------------------------------------------
+    def _reconnect_and_replay(self, attempts: int) -> None:
+        """Reconnect and resend every outstanding frame, in id order.
+
+        Only callable when every outstanding request kept its frame
+        (binary-wire submits do); responses then arrive tagged as if
+        the connection had never dropped.
+        """
+        if any(frame is None for frame in self._outstanding.values()):
+            raise ProtocolError(
+                "connection lost with unreplayable requests in flight")
+        self._connect(attempts=attempts)
+        for request_id in sorted(self._outstanding):
+            self._sock.sendall(self._outstanding[request_id])
 
     def _unwrap(self, response: Any) -> Any:
         if not isinstance(response, dict) or "ok" not in response:
@@ -100,9 +169,14 @@ class ServiceClient:
     def _send_request(self, request: dict) -> int:
         request_id = self._next_id
         self._next_id += 1
-        self._sock.sendall(encode_request_binary(
-            request, request_id, query_cache=self._query_cache))
-        self._outstanding[request_id] = None
+        frame = encode_request_binary(
+            request, request_id, query_cache=self._query_cache)
+        self._outstanding[request_id] = frame
+        try:
+            self._sock.sendall(frame)
+        except BaseException:
+            del self._outstanding[request_id]
+            raise
         return request_id
 
     def _recv_response(self) -> tuple[int, Any]:
@@ -148,13 +222,33 @@ class ServiceClient:
             return self._unwrap(response)
         sent = self._next_id
         self._next_id += 1
-        self._sock.sendall(frame)
-        self._outstanding[sent] = None
-        request_id, response = self._recv_response()
+        self._outstanding[sent] = frame
+        request_id, response = self._roundtrip(frame, sent)
         if request_id != sent:  # cannot happen with nothing outstanding
             raise ProtocolError(f"response id {request_id} for "
                                 f"request {sent}")
         return self._unwrap(response)
+
+    def _roundtrip(self, frame: bytes, sent: int) -> tuple[int, Any]:
+        """Send + receive one frame, reconnecting on transient failures."""
+        attempts = self.retries
+        backoff = self.retry_backoff_s
+        need_send = True
+        while True:
+            try:
+                if need_send:
+                    self._sock.sendall(frame)
+                    need_send = False
+                return self._recv_response()
+            except Exception as exc:
+                if attempts <= 0 or not _is_transient(exc):
+                    self._outstanding.pop(sent, None)
+                    raise
+                attempts -= 1
+                time.sleep(backoff)
+                backoff = min(backoff * 2, self.retry_max_backoff_s)
+                self._reconnect_and_replay(0)
+                need_send = False  # the replay resent it
 
     # -- pipelining (binary wire) ------------------------------------------
 
@@ -194,11 +288,27 @@ class ServiceClient:
         Reads until the pipeline is empty.  If any response is an
         error, the first one is raised *after* all outstanding
         responses have been read, so the connection stays usable.
+
+        A drain retries transient connection failures even when
+        ``retries`` is 0: every outstanding request kept its encoded
+        frame, so a reconnect can replay the in-flight window verbatim
+        and the drain completes instead of stranding the pipeline.
         """
         results: dict[int, Any] = {}
         first_error: ServiceError | None = None
+        attempts = max(self.retries, 1)
+        backoff = self.retry_backoff_s
         while self._outstanding:
-            request_id, response = self._recv_response()
+            try:
+                request_id, response = self._recv_response()
+            except Exception as exc:
+                if attempts <= 0 or not _is_transient(exc):
+                    raise
+                attempts -= 1
+                time.sleep(backoff)
+                backoff = min(backoff * 2, self.retry_max_backoff_s)
+                self._reconnect_and_replay(0)
+                continue
             try:
                 results[request_id] = self._unwrap(response)
             except ServiceError as exc:
@@ -308,6 +418,8 @@ class ServiceClient:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:

@@ -49,6 +49,7 @@ _STATUS_OF = {
     "shutting_down": 503,
     "timeout": 504,
     "internal": 500,
+    "read_only": 403,
 }
 
 #: Bound on request head (request line + headers) to stop slowloris-ish
@@ -190,8 +191,21 @@ class HttpGateway:
                 "bad_request", f"method {method} not allowed")
         response = await self._server._dispatch(payload)
         if response.get("ok"):
+            if payload.get("op") in ("ping", "stats"):
+                response = self._with_replication(response)
             return 200, response
         return _STATUS_OF.get(response.get("error", ""), 500), response
+
+    def _with_replication(self, response: dict) -> dict:
+        """Stamp role/term/lag onto health responses (monitors scrape
+        ``GET /ping``, so the role must be visible without a stats
+        round trip)."""
+        replication = self._server.replication
+        if replication is None:
+            return response
+        summary = replication.summary()
+        return dict(response, role=summary["role"], term=summary["term"],
+                    replica_lag=summary.get("replica_lag"))
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:

@@ -72,6 +72,9 @@ class ServerMetrics:
         #: observable rather than inferred from end-to-end deltas.
         self._stages: dict[str, deque[float]] = {
             stage: deque(maxlen=reservoir_size) for stage in STAGES}
+        #: Replication role view, absorbed from the manager before each
+        #: stats snapshot (``None`` on an unreplicated server).
+        self.replication: dict[str, object] | None = None
 
     # -- recording ---------------------------------------------------------
 
@@ -115,6 +118,18 @@ class ServerMetrics:
             self.ingest_groups_committed = groups
             self.ingest_errors = errors
 
+    def set_replication(self, role: str, term: int,
+                        lag_groups: int | None = None,
+                        lag_seconds: float | None = None) -> None:
+        """Absorb the replication manager's role/term/lag view."""
+        with self._lock:
+            state: dict[str, object] = {"role": role, "term": term}
+            if lag_groups is not None:
+                state["lag_groups"] = lag_groups
+            if lag_seconds is not None:
+                state["lag_seconds"] = round(lag_seconds, 3)
+            self.replication = state
+
     # -- reading -----------------------------------------------------------
 
     @property
@@ -131,6 +146,8 @@ class ServerMetrics:
             ordered = sorted(self._latencies)
             total = sum(self.requests.values())
             return {
+                "replication": (dict(self.replication)
+                                if self.replication is not None else None),
                 "uptime_s": round(time.monotonic() - self._started, 3),
                 "requests_total": total,
                 "requests_by_op": dict(self.requests),

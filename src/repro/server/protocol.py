@@ -120,9 +120,12 @@ PROTOCOL_VERSION = 1
 #: Recursion bound of the nested-set decoder (hostile depth -> error).
 MAX_SET_DEPTH = 256
 
-#: Request operations the server understands.
+#: Request operations the server understands.  Append-only: binary
+#: opcodes are positional, so reordering would break old clients.
 OPS = ("ping", "query", "query_batch", "insert", "ingest", "delete",
-       "stats", "shutdown")
+       "stats", "shutdown",
+       "repl_bootstrap", "repl_pages", "repl_done", "repl_fetch",
+       "promote")
 
 #: Binary opcode of each request op (index into :data:`OPS`).
 OPCODES = {op: index for index, op in enumerate(OPS)}
@@ -153,6 +156,7 @@ ERROR_CODES = (
     "timeout",         # the per-request deadline expired
     "shutting_down",   # the server is draining
     "internal",        # evaluation raised (message carries the cause)
+    "read_only",       # mutation sent to a replica (message names primary)
 )
 _CODE_INDEX = {code: index for index, code in enumerate(ERROR_CODES)}
 
@@ -493,6 +497,19 @@ def encode_request_binary(request: dict, request_id: int, *,
         for key, value in records:
             out += _encode_str(key)
             out += _encode_str(value)
+    elif op == "repl_bootstrap":
+        out += _encode_str(request["replica_id"])
+    elif op == "repl_pages":
+        out += _encode_str(request["session"])
+        out += encode_varint(int(request["start_page"]))
+        out += encode_varint(int(request["count"]))
+    elif op == "repl_done":
+        out += _encode_str(request["session"])
+    elif op == "repl_fetch":
+        out += _encode_str(request["replica_id"])
+        out += encode_varint(int(request["after_seq"]))
+        out += encode_varint(int(request.get("max_groups", 256)))
+        out += encode_varint(int(request.get("wait_ms", 0)))
     return _frame_of(bytes(out))
 
 
@@ -572,6 +589,19 @@ def decode_request_body(body: bytes) -> Request:
             value, pos = _str_at(body, pos)
             records.append([key, value])
         payload["records"] = records
+    elif op == "repl_bootstrap":
+        payload["replica_id"], pos = _str_at(body, pos)
+    elif op == "repl_pages":
+        payload["session"], pos = _str_at(body, pos)
+        payload["start_page"], pos = _varint_at(body, pos)
+        payload["count"], pos = _varint_at(body, pos)
+    elif op == "repl_done":
+        payload["session"], pos = _str_at(body, pos)
+    elif op == "repl_fetch":
+        payload["replica_id"], pos = _str_at(body, pos)
+        payload["after_seq"], pos = _varint_at(body, pos)
+        payload["max_groups"], pos = _varint_at(body, pos)
+        payload["wait_ms"], pos = _varint_at(body, pos)
     if pos != len(body):
         raise ProtocolError(
             f"{len(body) - pos} trailing bytes after a {op} request")
@@ -775,6 +805,15 @@ def _require_str(request: dict, field_name: str) -> str:
     return value
 
 
+def _require_uint(request: dict, field_name: str,
+                  default: int | None = None) -> int:
+    value = request.get(field_name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ProtocolError(f"{request.get('op')}: field {field_name!r} "
+                            "must be a non-negative integer")
+    return value
+
+
 def _is_query(value: object) -> bool:
     """Queries arrive as text (JSON wire) or NestedSet (binary wire)."""
     return isinstance(value, (str, NestedSet))
@@ -814,6 +853,19 @@ def validate_request(request: Any) -> dict:
                                 "of [key, value] string pairs")
     elif op == "delete":
         _require_str(request, "key")
+    elif op == "repl_bootstrap":
+        _require_str(request, "replica_id")
+    elif op == "repl_pages":
+        _require_str(request, "session")
+        _require_uint(request, "start_page")
+        _require_uint(request, "count")
+    elif op == "repl_done":
+        _require_str(request, "session")
+    elif op == "repl_fetch":
+        _require_str(request, "replica_id")
+        _require_uint(request, "after_seq")
+        _require_uint(request, "max_groups", 256)
+        _require_uint(request, "wait_ms", 0)
     options = request.get("options")
     if options is not None:
         if not isinstance(options, dict):

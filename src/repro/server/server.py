@@ -89,6 +89,18 @@ DEFAULT_BATCH_MAX = 128
 DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
 
+#: Ops admitted even at the in-flight ceiling: observability must work
+#: under overload, and a replica's long-poll tail fetch must never be
+#: starved out by query traffic (there are at most a handful of
+#: replicas, each with one fetch in flight).
+_UNCOUNTED_OPS = frozenset(
+    ("stats", "repl_bootstrap", "repl_pages", "repl_done", "repl_fetch",
+     "promote"))
+
+#: The granularity of the ``repl_fetch`` long-poll wakeup check.
+_FETCH_POLL_S = 0.02
+
+
 def _option_key(options: dict) -> tuple:
     """Hashable grouping key: queries with equal options share a batch."""
     return tuple(sorted(options.items()))
@@ -117,7 +129,8 @@ class QueryServer:
                  close_index_on_drain: bool = True,
                  ingest_batch_size: int = 64,
                  ingest_flush_interval: float = 0.25,
-                 http_port: int | None = None) -> None:
+                 http_port: int | None = None,
+                 replication: Any | None = None) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if workers < 1:
@@ -149,6 +162,10 @@ class QueryServer:
         self._http_port = http_port
         self.http_port: int | None = None
         self._gateway = None
+        #: Optional :class:`~repro.replication.ReplicationManager`: a
+        #: primary answers the ``repl_*`` ops, a replica rejects
+        #: mutations with ``read_only``; ``promote`` flips the role.
+        self.replication = replication
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -213,6 +230,11 @@ class QueryServer:
         while self._inflight > 0 and time.monotonic() < deadline:
             await asyncio.sleep(0.005)
         loop = asyncio.get_running_loop()
+        if self.replication is not None:
+            # Stop the tailer / release pinned bootstrap readers before
+            # the index closes underneath them.
+            await loop.run_in_executor(self._pool,
+                                       self.replication.close)
         if self._ingestor is not None:
             # Commit the ingest tail before the index closes: a drained
             # server has accepted-and-durable ingest, not a dropped queue.
@@ -356,7 +378,8 @@ class QueryServer:
             self.metrics.record_error("shutting_down")
             return error_response("shutting_down",
                                   "server is draining")
-        if op != "stats" and self._inflight >= self.max_inflight:
+        if op not in _UNCOUNTED_OPS and \
+                self._inflight >= self.max_inflight:
             self.metrics.record_error("overloaded")
             return error_response(
                 "overloaded",
@@ -381,7 +404,20 @@ class QueryServer:
                        burst: bool = False) -> dict:
         timeout_s = self._timeout_of(request)
         options = dict(request.get("options") or {})
+        replication = self.replication
+        if op in ("insert", "delete", "ingest") and \
+                replication is not None and \
+                replication.role == "replica":
+            self.metrics.record_error("read_only")
+            primary = replication.primary_address or "unknown"
+            return error_response(
+                "read_only",
+                f"this node is a read-only replica; "
+                f"send mutations to the primary at {primary}")
         try:
+            if op.startswith("repl_") or op == "promote":
+                return await self._execute_replication(op, request,
+                                                       timeout_s)
             if op == "query":
                 if self.batch_window_s <= 0:
                     # Per-request mode: straight to a worker thread,
@@ -435,6 +471,72 @@ class QueryServer:
             return error_response("internal",
                                   f"{type(exc).__name__}: {exc}")
 
+    async def _execute_replication(self, op: str, request: dict,
+                                   timeout_s: float) -> dict:
+        """The ``repl_*`` bootstrap/tail ops and ``promote``."""
+        replication = self.replication
+        if replication is None:
+            return error_response(
+                "bad_request", "replication is not enabled on this server")
+        if op == "promote":
+            result = await self._run_in_pool(replication.promote)
+            self.metrics.set_replication(replication.role,
+                                         replication.term)
+            return ok_response(result)
+        source = replication.source
+        if source is None:
+            return error_response(
+                "bad_request",
+                f"this node is a replica (primary: "
+                f"{replication.primary_address}); "
+                "repl_* ops are served by the primary")
+        if op == "repl_bootstrap":
+            result = await self._run_in_pool(source.bootstrap,
+                                             request["replica_id"])
+            return ok_response(result)
+        if op == "repl_pages":
+            try:
+                result = await asyncio.wait_for(
+                    self._run_in_pool(source.pages, request["session"],
+                                      request["start_page"],
+                                      request["count"]),
+                    timeout_s)
+            except (KeyError, IndexError) as exc:
+                return error_response("bad_request", str(exc))
+            return ok_response(result)
+        if op == "repl_done":
+            return ok_response(source.done(request["session"]))
+        if op == "repl_fetch":
+            return ok_response(await self._fetch_groups(source, request,
+                                                        timeout_s))
+        raise AssertionError(f"unroutable replication op {op!r}")
+
+    async def _fetch_groups(self, source: Any, request: dict,
+                            timeout_s: float) -> dict:
+        """One tail fetch, long-polling up to ``wait_ms`` for new groups.
+
+        The wait runs on the event loop (cheap sleeps), not a worker
+        thread -- a fleet of idle replicas costs polling wakeups, never
+        pool threads.
+        """
+        replica_id = request["replica_id"]
+        after_seq = int(request["after_seq"])
+        max_groups = int(request.get("max_groups") or 256)
+        wait_s = min(int(request.get("wait_ms") or 0) / 1000.0,
+                     max(0.0, timeout_s - 0.1))
+        deadline = time.monotonic() + wait_s
+        while True:
+            reply = await self._run_in_pool(
+                lambda: source.fetch(replica_id, after_seq,
+                                     max_groups=max_groups))
+            if reply.get("count") or reply.get("status") == "behind" \
+                    or self._draining:
+                return reply
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return reply
+            await asyncio.sleep(min(_FETCH_POLL_S, remaining))
+
     def _run_in_pool(self, fn, *args) -> "asyncio.Future":
         assert self._loop is not None
         return self._loop.run_in_executor(self._pool, fn, *args)
@@ -455,6 +557,19 @@ class QueryServer:
                 counters["records_ingested"],
                 counters["groups_committed"],
                 counters["errors"])
+        replication_extra: dict[str, Any] = {}
+        if self.replication is not None:
+            summary = self.replication.summary()
+            lag = summary.get("replica_lag") or {}
+            self.metrics.set_replication(
+                summary["role"], summary["term"],
+                lag.get("lag_groups"), lag.get("lag_seconds"))
+            replication_extra = {
+                "role": summary["role"],
+                "term": summary["term"],
+                "replica_lag": lag or None,
+                "replication": summary,
+            }
         engine_stats = self._index.stats()
         mvcc = engine_stats.get("mvcc") or {}
         return {
@@ -466,6 +581,7 @@ class QueryServer:
                 draining=self._draining,
                 snapshot_version=mvcc.get("snapshot_version"),
                 oldest_pinned_version=mvcc.get("oldest_pinned_version"),
+                **replication_extra,
             ),
             "engine": engine_stats,
         }

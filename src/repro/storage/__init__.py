@@ -39,8 +39,8 @@ STORAGE_KINDS = ("memory", "diskhash", "btree")
 
 
 def _remove_stale(path: str) -> None:
-    """Drop a previous incarnation's store file *and* its WAL."""
-    for stale in (path, wal_path(path)):
+    """Drop a previous incarnation's store file, WAL, and sidecars."""
+    for stale in (path, wal_path(path), wal_path(path) + "-repl"):
         if os.path.exists(stale):
             os.remove(stale)
 

@@ -96,11 +96,13 @@ class BPlusTree(KVStore):
 
     def __init__(self, path: str, *, create: bool = False,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 wal: bool = True, use_mmap: bool = True) -> None:
+                 wal: bool = True, use_mmap: bool = True,
+                 wal_factory=None) -> None:
         super().__init__()
         if create:
             self._pager = Pager(path, page_size=page_size, create=True,
-                                wal=wal, use_mmap=use_mmap)
+                                wal=wal, use_mmap=use_mmap,
+                                wal_factory=wal_factory)
             self._payload = self._pager.page_size
             self._overflow_threshold = self._pager.page_size // 4
             self._root = self._pager.allocate()
@@ -108,7 +110,8 @@ class BPlusTree(KVStore):
             self._write_leaf(self._root, _Leaf(0, []))
             self._write_meta()
         else:
-            self._pager = Pager(path, wal=wal, use_mmap=use_mmap)
+            self._pager = Pager(path, wal=wal, use_mmap=use_mmap,
+                                wal_factory=wal_factory)
             meta = self._pager.meta
             if len(meta) < _META.size:
                 raise CorruptionError("btree metadata missing")
@@ -120,6 +123,13 @@ class BPlusTree(KVStore):
 
     def _write_meta(self) -> None:
         self._pager.set_meta(_META.pack(self._root, self._count))
+
+    def reload_meta(self) -> None:
+        """Re-read the root/count from the pager (replica replay)."""
+        meta = self._pager.meta
+        if len(meta) < _META.size:
+            raise CorruptionError("btree metadata missing")
+        self._root, self._count = _META.unpack(meta[:_META.size])
 
     def _read_node(self, page_id: int) -> _Leaf | _Internal:
         raw = self._pager.read(page_id)
@@ -368,6 +378,10 @@ class BPlusTree(KVStore):
 
     def wal_info(self) -> dict[str, object] | None:
         return self._pager.wal_info()
+
+    @property
+    def pager(self):
+        return self._pager
 
     # -- snapshots ---------------------------------------------------------
 

@@ -76,11 +76,13 @@ class DiskHashTable(KVStore):
     def __init__(self, path: str, *, create: bool = False,
                  n_buckets: int = DEFAULT_BUCKETS,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 wal: bool = True, use_mmap: bool = True) -> None:
+                 wal: bool = True, use_mmap: bool = True,
+                 wal_factory=None) -> None:
         super().__init__()
         if create:
             self._pager = Pager(path, page_size=page_size, create=True,
-                                wal=wal, use_mmap=use_mmap)
+                                wal=wal, use_mmap=use_mmap,
+                                wal_factory=wal_factory)
             self._n_buckets = n_buckets
             per_page = self._pager.page_size // 8
             self._n_dir_pages = (n_buckets + per_page - 1) // per_page
@@ -91,22 +93,38 @@ class DiskHashTable(KVStore):
             self._flush_directory()
             self._write_meta()
         else:
-            self._pager = Pager(path, wal=wal, use_mmap=use_mmap)
+            self._pager = Pager(path, wal=wal, use_mmap=use_mmap,
+                                wal_factory=wal_factory)
             meta = self._pager.meta
             if len(meta) < _META.size:
                 raise CorruptionError("hash table metadata missing")
-            n_buckets, dir_first, n_dir_pages, count = _META.unpack(
-                meta[:_META.size])
-            self._n_buckets = n_buckets
-            self._n_dir_pages = n_dir_pages
-            self._dir_pages = list(range(dir_first, dir_first + n_dir_pages))
-            self._count = count
-            self._directory = self._load_directory()
+            self._absorb_meta(meta)
         self._payload = self._pager.page_size - _PAGE_HEADER.size
         self._max_key = self._payload // 4
         self._overflow_threshold = self._payload // 2
 
     # -- metadata / directory ---------------------------------------------
+
+    def _absorb_meta(self, meta: bytes) -> None:
+        n_buckets, dir_first, n_dir_pages, count = _META.unpack(
+            meta[:_META.size])
+        self._n_buckets = n_buckets
+        self._n_dir_pages = n_dir_pages
+        self._dir_pages = list(range(dir_first, dir_first + n_dir_pages))
+        self._count = count
+        self._directory = self._load_directory()
+
+    def reload_meta(self) -> None:
+        """Re-read cached table state from the pager (replica replay).
+
+        Replicated apply rewrites pages underneath the live table; the
+        in-memory directory and counters must be refreshed before the
+        table serves unversioned reads or (after promotion) mutations.
+        """
+        meta = self._pager.meta
+        if len(meta) < _META.size:
+            raise CorruptionError("hash table metadata missing")
+        self._absorb_meta(meta)
 
     def _write_meta(self) -> None:
         self._pager.set_meta(_META.pack(
@@ -295,6 +313,10 @@ class DiskHashTable(KVStore):
 
     def wal_info(self) -> dict[str, object] | None:
         return self._pager.wal_info()
+
+    @property
+    def pager(self):
+        return self._pager
 
     # -- snapshots ---------------------------------------------------------
 

@@ -147,6 +147,22 @@ class KVStore(ABC):
         """Write-ahead-log state, or ``None`` for non-journaled stores."""
         return None
 
+    @property
+    def pager(self):
+        """The paged-file manager under this store, or ``None``.
+
+        Replication replays shipped commit groups at the page level, so
+        the tier needs the raw pager; memory stores have none.
+        """
+        return None
+
+    def reload_meta(self) -> None:
+        """Refresh in-memory state from persisted metadata.
+
+        No-op by default.  Paged stores re-read their directory/root and
+        counters after a replicated apply rewrote pages underneath them.
+        """
+
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> "KVStore":

@@ -117,6 +117,13 @@ class NamespacedStore(KVStore):
     def wal_info(self) -> dict[str, object] | None:
         return self._base.wal_info()
 
+    @property
+    def pager(self):
+        return self._base.pager
+
+    def reload_meta(self) -> None:
+        self._base.reload_meta()
+
     # -- snapshots ---------------------------------------------------------
 
     def snapshot(self) -> KVStore:

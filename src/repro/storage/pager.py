@@ -101,6 +101,24 @@ def wal_path(path: str) -> str:
     return path + "-wal"
 
 
+def parse_header(raw: bytes) -> tuple[int, int, int, bytes]:
+    """``(page_size, n_pages, free_head, meta)`` from a raw header page.
+
+    Used by the replication tier to read a store's geometry out of a
+    shipped (or pinned) copy of page 0 without opening a pager on it.
+    """
+    if len(raw) < _HEADER_SIZE:
+        raise CorruptionError("short header page")
+    magic, version, page_size, n_pages, free_head, meta_len = \
+        struct.unpack_from(_HEADER_FMT, raw, 0)
+    if magic != MAGIC:
+        raise CorruptionError("bad store magic in header page")
+    if version != VERSION:
+        raise CorruptionError(f"unsupported store version {version}")
+    return page_size, n_pages, free_head, \
+        raw[_HEADER_SIZE:_HEADER_SIZE + meta_len]
+
+
 class PageReader:
     """Read-only view of a paged file pinned at one version.
 
@@ -160,7 +178,8 @@ class Pager:
 
     def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
                  create: bool = False, *, wal: bool = True,
-                 use_mmap: bool = True) -> None:
+                 use_mmap: bool = True,
+                 wal_factory=None) -> None:
         self.path = path
         # One file handle serves every page access; the reentrant lock
         # makes each seek+read / seek+write pair atomic so concurrent
@@ -186,11 +205,15 @@ class Pager:
         self._mapped_pages = 0
         # Unbuffered: writes must reach the kernel page cache at the
         # syscall, so the read-only mapping is always coherent with them.
+        # ``wal_factory(path, create=...)`` substitutes a WriteAheadLog
+        # subclass -- the replication tier installs its sequence-stamped
+        # ReplicationLog here without the pager knowing the difference.
+        make_wal = wal_factory if wal_factory is not None else WriteAheadLog
         if create:
             self._file = wrap_file(open(path, "w+b", buffering=0),
                                    role="pager")
             if wal:
-                self._wal = WriteAheadLog(wal_path(path), create=True)
+                self._wal = make_wal(wal_path(path), create=True)
             self.page_size = page_size
             self.n_pages = 1
             self._free_head = 0
@@ -202,7 +225,7 @@ class Pager:
             self._file = wrap_file(open(path, "r+b", buffering=0),
                                    role="pager")
             if wal:
-                self._wal = WriteAheadLog(wal_path(path))
+                self._wal = make_wal(wal_path(path))
                 self._recover()
             self._read_header()
         self._remap()
@@ -614,6 +637,80 @@ class Pager:
         else:
             os.fsync(self._file.fileno())
         self._wal.checkpoint()
+
+    # -- replication ----------------------------------------------------------
+
+    def adopt_version(self, version: int) -> None:
+        """Raise the version counter to ``version`` (replica bootstrap).
+
+        A freshly bootstrapped replica starts from a page-level copy of
+        the primary, but its pager would otherwise count versions from
+        zero; adopting the primary's snapshot version keeps subsequent
+        replayed commits numbered exactly as on the primary.
+        """
+        with self._version_lock:
+            if version > self._version:
+                self._version = version
+
+    def apply_replicated_group(self, label: bytes, records: list[bytes],
+                               version: int | None = None) -> None:
+        """Replay one shipped commit group as a local committed write.
+
+        Mirrors the apply phase of :meth:`commit`: the group goes to the
+        local WAL first (durability -- the label arrives already stamped
+        with the primary's version/seq/term, so it is committed verbatim
+        via ``commit_prestamped`` when the log supports it), then the
+        post-image pages overwrite the main file with pre-images captured
+        for pinned readers, and only then does the version advance to the
+        primary's stamped ``version`` -- snapshot reads on the replica
+        stay consistent mid-replay exactly as they do under local
+        commits on the primary.
+        """
+        if self._wal is None:
+            raise StorageError("replicated apply needs a write-ahead log")
+        with self._commit_lock:
+            commit = getattr(self._wal, "commit_prestamped",
+                             self._wal.commit)
+            commit(label, records)
+            header_dirty = None
+            with self._io_lock:
+                with self._version_lock:
+                    if self._pins:
+                        for record in records:
+                            page_id = struct.unpack_from("<Q", record, 0)[0]
+                            self._capture_preimage(page_id)
+                for record in records:
+                    if len(record) <= 8:
+                        raise CorruptionError("undersized shipped record")
+                    page_id = struct.unpack_from("<Q", record, 0)[0]
+                    data = record[8:]
+                    self._file.seek(page_id * len(data))
+                    self._file.write(data)
+                    if page_id == _HEADER_PAGE:
+                        header_dirty = data
+                if header_dirty is not None:
+                    # Re-absorb the primary's header fields: allocation
+                    # state (n_pages, free list) and client metadata all
+                    # changed underneath the in-memory copies.
+                    magic, ver, _page_size, n_pages, free_head, meta_len = \
+                        struct.unpack_from(_HEADER_FMT, header_dirty, 0)
+                    if magic != MAGIC or ver != VERSION:
+                        raise CorruptionError("bad header in shipped group")
+                    self.n_pages = n_pages
+                    self._free_head = free_head
+                    self._meta = header_dirty[
+                        _HEADER_SIZE:_HEADER_SIZE + meta_len]
+                with self._version_lock:
+                    if version is not None and version > self._version:
+                        self._version = version
+                self._remap()
+            if self._wal.size > DEFAULT_CHECKPOINT_BYTES:
+                self._checkpoint_locked()
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The underlying write-ahead log (``None`` when disabled)."""
+        return self._wal
 
     def wal_info(self) -> dict[str, object] | None:
         """WAL description plus this open's recovery counts, or ``None``."""

@@ -161,7 +161,53 @@ class WriteAheadLog:
         self.stats.records_logged += len(records)
         self.stats.bytes_logged += len(group)
 
-    # -- recovery ----------------------------------------------------------
+    # -- recovery / iteration ----------------------------------------------
+
+    @property
+    def header_size(self) -> int:
+        """Byte offset of the first group (right after the file header)."""
+        return _FILE_HEADER.size
+
+    def read_group_at(self, offset: int
+                      ) -> tuple[bytes, list[bytes], int] | None:
+        """Read and decode the single group at byte ``offset``.
+
+        Returns ``(label, records, next_offset)``, or ``None`` when the
+        offset is at (or past) the end of the log, or the group there is
+        torn or fails its checksum.  Only this group's bytes are read,
+        so callers can walk logs of any size in bounded memory -- the
+        shared primitive under both :meth:`recover` and the replication
+        tailing path.
+        """
+        self._file.seek(offset)
+        header = self._file.read(_GROUP_HEADER.size)
+        if len(header) < _GROUP_HEADER.size:
+            return None
+        magic, body_len, crc = _GROUP_HEADER.unpack(header)
+        if magic != GROUP_MAGIC:
+            return None
+        body = self._file.read(body_len)
+        if len(body) < body_len or zlib.crc32(body) != crc:
+            return None
+        label, records = self._parse_body(body)
+        return label, records, offset + _GROUP_HEADER.size + body_len
+
+    def iter_groups(self, offset: int | None = None):
+        """Yield ``(offset, label, records, next_offset)`` from ``offset``.
+
+        Starts at the first group when ``offset`` is ``None``.  Stops at
+        the first torn/invalid group (the crash tail) or at end of log.
+        Groups are decoded one at a time -- memory use is bounded by the
+        largest single group, not the log size.
+        """
+        pos = _FILE_HEADER.size if offset is None else offset
+        while True:
+            group = self.read_group_at(pos)
+            if group is None:
+                return
+            label, records, next_pos = group
+            yield pos, label, records, next_pos
+            pos = next_pos
 
     def recover(self, apply: Callable[[bytes, list[bytes]], None]
                 ) -> tuple[int, int]:
@@ -172,42 +218,26 @@ class WriteAheadLog:
         The caller must fsync the main file and then :meth:`checkpoint`;
         until it does, the replayed groups stay pending in the log, so a
         crash *during recovery* simply replays them again (idempotent --
-        the records are physical post-images).
+        the records are physical post-images).  Groups stream through
+        one at a time, so replaying a multi-GB log needs memory for only
+        the largest single group.
         """
-        self._file.seek(0, os.SEEK_END)
-        size = self._file.tell()
-        if size <= _FILE_HEADER.size:
-            return 0, 0
-        self._file.seek(_FILE_HEADER.size)
-        raw = self._file.read(size - _FILE_HEADER.size)
-        replayed = discarded = 0
-        pos = 0
-        while pos < len(raw):
-            group = self._parse_group(raw, pos)
-            if group is None:
-                discarded = 1
-                break
-            label, records, pos = group
+        end = self.size
+        replayed = 0
+        stopped_at = _FILE_HEADER.size
+        for pos, label, records, next_pos in self.iter_groups():
             apply(label, records)
             replayed += 1
+            stopped_at = next_pos
+        discarded = 1 if stopped_at < end else 0
         self._pending_groups = replayed
         self.stats.recovered_groups += replayed
         self.stats.discarded_groups += discarded
         return replayed, discarded
 
     @staticmethod
-    def _parse_group(raw: bytes, pos: int
-                     ) -> tuple[bytes, list[bytes], int] | None:
-        """Decode one group at ``pos``; ``None`` for a torn/invalid tail."""
-        if pos + _GROUP_HEADER.size > len(raw):
-            return None
-        magic, body_len, crc = _GROUP_HEADER.unpack_from(raw, pos)
-        if magic != GROUP_MAGIC:
-            return None
-        body_start = pos + _GROUP_HEADER.size
-        body = raw[body_start:body_start + body_len]
-        if len(body) < body_len or zlib.crc32(body) != crc:
-            return None
+    def _parse_body(body: bytes) -> tuple[bytes, list[bytes]]:
+        """Split a checksummed group body into ``(label, records)``."""
         cursor = 0
         label_len = struct.unpack_from("<H", body, cursor)[0]
         cursor += 2
@@ -221,6 +251,22 @@ class WriteAheadLog:
             cursor += 4
             records.append(body[cursor:cursor + length])
             cursor += length
+        return label, records
+
+    @classmethod
+    def _parse_group(cls, raw: bytes, pos: int
+                     ) -> tuple[bytes, list[bytes], int] | None:
+        """Decode one group at ``pos`` of a byte blob; ``None`` if torn."""
+        if pos + _GROUP_HEADER.size > len(raw):
+            return None
+        magic, body_len, crc = _GROUP_HEADER.unpack_from(raw, pos)
+        if magic != GROUP_MAGIC:
+            return None
+        body_start = pos + _GROUP_HEADER.size
+        body = raw[body_start:body_start + body_len]
+        if len(body) < body_len or zlib.crc32(body) != crc:
+            return None
+        label, records = cls._parse_body(body)
         return label, records, body_start + body_len
 
     # -- checkpoint --------------------------------------------------------

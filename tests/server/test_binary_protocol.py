@@ -46,6 +46,13 @@ REQUESTS = [
     {"op": "ingest", "records": [["k1", "{a}"], ["k2", "{b, {c}}"]]},
     {"op": "stats"},
     {"op": "shutdown"},
+    {"op": "repl_bootstrap", "replica_id": "replica-7"},
+    {"op": "repl_pages", "session": "ab12cd", "start_page": 3,
+     "count": 16},
+    {"op": "repl_done", "session": "ab12cd"},
+    {"op": "repl_fetch", "replica_id": "replica-7", "after_seq": 42,
+     "max_groups": 64, "wait_ms": 250},
+    {"op": "promote"},
 ]
 
 
